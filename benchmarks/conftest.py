@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Every bench regenerates one of the paper's tables/figures, prints the same
+rows/series the paper reports, and asserts the shape claims from
+DESIGN.md §6.  Benches run once per session (``pedantic`` with one round)
+— the quantity of interest is the experiment's *output*, not harness
+micro-timing — except the substrate micro-benchmarks, which use normal
+pytest-benchmark statistics.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+tables on stdout).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under the benchmark clock."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,42 @@
+"""ARCH bench: the Fig. 2 cloud architecture, end to end.
+
+The paper evaluates its architecture through stated goals (scalability,
+high utilization, cost minimization).  This bench runs the full DES
+campaign across fleet sizes and checks:
+
+* throughput scales near-linearly with the ASG ceiling;
+* fleet utilization stays high;
+* the r111 index cuts makespan, cost, and init overhead vs r108.
+"""
+
+from repro.experiments.architecture import run_architecture_sweep
+
+
+def test_bench_architecture(once):
+    result = once(
+        run_architecture_sweep, n_jobs=120, fleet_sizes=(2, 4, 8, 16), seed=0
+    )
+
+    print()
+    print(result.to_table())
+
+    t = {n: result.point(f"ondemand-x{n}") for n in (2, 4, 8, 16)}
+
+    # near-linear scaling until the queue drains faster than boots matter
+    assert t[4].jobs_per_hour > 1.6 * t[2].jobs_per_hour
+    assert t[8].jobs_per_hour > 1.5 * t[4].jobs_per_hour
+    assert t[16].jobs_per_hour > 1.3 * t[8].jobs_per_hour
+
+    # utilization stays high while scaling out
+    assert all(p.mean_utilization > 0.75 for p in t.values())
+
+    # cost per job roughly flat — scaling out is ~free at constant work
+    costs = [p.cost_per_job_usd for p in t.values()]
+    assert max(costs) / min(costs) < 1.3
+
+    # release-108 variant: slower, pricier, heavier init
+    r108 = result.point("r108-x8")
+    r111 = result.point("ondemand-x8")
+    assert r108.makespan_hours > 4 * r111.makespan_hours
+    assert r108.cost_usd > 5 * r111.cost_usd
+    assert r108.init_overhead_seconds > 2 * r111.init_overhead_seconds

@@ -1,0 +1,44 @@
+"""TAB-CONFIG bench: the §III-A test-configuration block.
+
+Regenerates the index-size table across Ensembl releases and checks:
+
+* release 108 index ≈ 85 GiB (fit) and release 111 ≈ 29.5 GiB (held out);
+* the consolidation at 109→110 collapses the index ~3×;
+* the r111 index fits a half-size, half-price instance.
+"""
+
+import pytest
+
+from repro.experiments.config_table import memory_fit_matrix, run_config_table
+from repro.perf.targets import PAPER
+from repro.util.units import GIB
+
+
+def test_bench_config_table(once):
+    result = once(run_config_table)
+
+    print()
+    print(result.to_table())
+    print()
+    print(memory_fit_matrix())
+
+    assert result.predicted_r108_bytes == pytest.approx(
+        PAPER.index_bytes_r108, rel=0.01
+    )
+    assert result.predicted_r111_bytes == pytest.approx(
+        PAPER.index_bytes_r111, rel=0.02
+    )
+    ratio = result.predicted_r108_bytes / result.predicted_r111_bytes
+    assert ratio == pytest.approx(PAPER.index_size_ratio, rel=0.02)
+
+    # shape claim 2: smaller instance class becomes available at release 110
+    assert result.row(108).smallest_instance == "r6a.4xlarge"
+    assert result.row(111).smallest_instance == "r6a.2xlarge"
+    assert result.row(111).hourly_usd == pytest.approx(
+        result.row(108).hourly_usd / 2, rel=0.01
+    )
+
+    print(
+        f"\nindex ratio {ratio:.2f} (paper {PAPER.index_size_ratio:.2f}); "
+        f"r111 index {result.predicted_r111_bytes / GIB:.1f} GiB"
+    )

@@ -1,0 +1,39 @@
+"""FIG3 bench: STAR execution time with r108 vs r111 indexes.
+
+Regenerates Fig. 3's per-file series (49 files, mean 15.9 GiB, 777 GiB
+total on r6a.4xlarge) and checks the §III-A claims:
+
+* release 111 wins on every file;
+* FASTQ-size-weighted mean speedup ≈ 12× (band 8–16×);
+* mean mapping-rate delta < 1%;
+* index sizes 85 GiB vs 29.5 GiB (checked in the config-table bench).
+"""
+
+import pytest
+
+from repro.experiments.fig3 import run_fig3
+from repro.perf.targets import PAPER
+
+
+def test_bench_fig3(once):
+    result = once(run_fig3, rng=0)
+
+    print()
+    print(result.to_table())
+
+    assert len(result.rows) == PAPER.fig3_n_files
+    assert result.mean_fastq_bytes == pytest.approx(
+        PAPER.fig3_mean_fastq_bytes, rel=0.01
+    )
+
+    # shape claim 1: r111 wins everywhere, weighted mean ≈ 12x
+    assert all(r.speedup > 1 for r in result.rows)
+    assert 8.0 < result.weighted_speedup < 16.0
+
+    # shape claim 3: mapping-rate delta < 1% mean
+    assert result.mean_mapping_delta < PAPER.mapping_rate_max_delta
+
+    # crossover check: there is none — the old index never wins, even for
+    # the smallest file where fixed setup costs matter most
+    smallest = min(result.rows, key=lambda r: r.fastq_bytes)
+    assert smallest.speedup > 2.0

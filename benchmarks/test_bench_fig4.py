@@ -1,0 +1,38 @@
+"""FIG4 bench: time savings due to early stopping.
+
+Regenerates Fig. 4's replay over the 1000-run corpus and checks §III-B:
+
+* 38 of 1000 runs terminated;
+* every terminated run is single-cell, none would have passed the bar;
+* termination happens at ~10% of reads;
+* total saving ≈ 19.5% (30.4 h of 155.8 h; band 15–25%).
+"""
+
+import pytest
+
+from repro.experiments.fig4 import run_fig4
+from repro.perf.targets import PAPER
+
+
+def test_bench_fig4(once):
+    result = once(run_fig4, rng=0)
+    savings = result.savings
+
+    print()
+    print(result.to_table())
+
+    assert savings.n_runs == PAPER.early_stop_corpus_size
+    assert savings.n_terminated == PAPER.early_stop_terminated
+    assert savings.all_terminated_single_cell()
+    assert result.false_terminations == 0
+
+    for row in result.terminated_rows:
+        assert row.stop_fraction == pytest.approx(
+            PAPER.early_stop_check_fraction, abs=0.01
+        )
+
+    # totals track the paper's hour-level aggregates
+    assert savings.total_hours_if_full == pytest.approx(
+        PAPER.early_stop_total_hours, rel=0.10
+    )
+    assert 0.15 < savings.saving_fraction < 0.25

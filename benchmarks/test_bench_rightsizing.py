@@ -1,0 +1,74 @@
+"""ABL-RIGHTSIZE bench: "smaller index allows smaller and cheaper instances".
+
+Quantifies the §III-A consequence: the advisor picks the cheapest r6a
+whose RAM fits each release's index, and reports per-file cost and init
+overhead on that choice vs the paper's pinned r6a.4xlarge.
+"""
+
+import pytest
+
+from repro.core.rightsizing import RightSizingAdvisor
+from repro.genome.ensembl import RELEASE_CATALOG
+from repro.perf.targets import PAPER
+from repro.util.tables import Table
+from repro.util.units import GIB
+
+
+def run_rightsizing():
+    advisor = RightSizingAdvisor()
+    return {
+        int(release): advisor.recommend(
+            release, mean_fastq_bytes=PAPER.fig3_mean_fastq_bytes
+        )
+        for release in sorted(RELEASE_CATALOG)
+    }, advisor
+
+
+def test_bench_rightsizing(once):
+    choices, advisor = once(run_rightsizing)
+
+    table = Table(
+        ["release", "index GiB", "RAM need GiB", "instance", "$/h",
+         "init s", "STAR min/file", "$/file"],
+        title="Right-sizing per Ensembl release (ABL-RIGHTSIZE)",
+    )
+    for release, c in choices.items():
+        table.add_row(
+            [
+                release,
+                f"{c.index_bytes / GIB:.1f}",
+                f"{c.memory_required_bytes / GIB:.1f}",
+                c.instance.name,
+                f"{c.hourly_usd:.4f}",
+                f"{c.init_overhead_seconds:.0f}",
+                f"{c.star_seconds_mean_file / 60:.1f}",
+                f"{c.cost_per_mean_file_usd:.4f}",
+            ]
+        )
+    print()
+    print(table.render())
+
+    old, new = choices[108], choices[111]
+
+    # the claim: r111 runs on a smaller, cheaper instance
+    assert new.instance.memory_gib < old.instance.memory_gib
+    assert new.hourly_usd < old.hourly_usd
+
+    # init overhead (download + shm load) shrinks ~3x with the index
+    assert old.init_overhead_seconds / new.init_overhead_seconds == pytest.approx(
+        PAPER.index_size_ratio, rel=0.15
+    )
+
+    # compounded cost per file: >12x speedup AND cheaper hardware
+    assert old.cost_per_mean_file_usd / new.cost_per_mean_file_usd > 12
+
+    # pinned-instance comparison (the paper's actual Fig. 3 protocol)
+    pinned_old = advisor.fixed_instance_choice(
+        108, PAPER.instance_type, mean_fastq_bytes=PAPER.fig3_mean_fastq_bytes
+    )
+    pinned_new = advisor.fixed_instance_choice(
+        111, PAPER.instance_type, mean_fastq_bytes=PAPER.fig3_mean_fastq_bytes
+    )
+    speedup = pinned_old.star_seconds_mean_file / pinned_new.star_seconds_mean_file
+    print(f"\npinned {PAPER.instance_type}: r108/r111 time ratio {speedup:.1f}x")
+    assert speedup == pytest.approx(PAPER.fig3_weighted_speedup, rel=0.05)

@@ -1,0 +1,41 @@
+"""ABL-DUP bench: the duplication mechanism, measured on the real aligner.
+
+Validates the assumption behind the calibrated difficulty model
+(difficulty = duplication^α): with the actual suffix-array aligner,
+alignment time grows monotonically with the amount of duplicated scaffold
+sequence, mean seed hits per read track the duplication factor ~linearly,
+and the mapping rate does not move — the complete §III-A mechanism on one
+axis, with releases 111 and 108 sitting at dup≈1.0 and ≈2.9.
+"""
+
+import pytest
+
+from repro.experiments.scaling_study import run_scaling_study
+
+
+def test_bench_scaling_study(once):
+    result = once(
+        run_scaling_study,
+        duplication_factors=(1.0, 2.0, 3.0, 6.0),
+        n_reads=200,
+        seed=42,
+    )
+
+    print()
+    print(result.to_table())
+
+    assert result.time_ratios_increase
+    assert result.seed_hits_track_duplication
+    assert result.max_mapping_delta < 0.01
+
+    # at release 108's duplication (~3), the real aligner already pays ~2-3x
+    near_r108 = min(
+        result.points, key=lambda p: abs(p.duplication_factor - 3.0)
+    )
+    assert result.time_ratio(near_r108) > 1.8
+
+    # seed hits ≈ duplication factor (each genome window exists dup times)
+    for p in result.points:
+        assert p.mean_seed_hits == pytest.approx(
+            result.baseline.mean_seed_hits * p.duplication_factor, rel=0.4
+        )

@@ -1,0 +1,99 @@
+"""Substrate micro-benchmarks (pytest-benchmark statistics).
+
+Times the hot operations every experiment rests on: suffix-array
+construction (genomeGenerate's core), per-read alignment, pseudo-
+alignment, DESeq2 normalization, and the DES event loop.  These establish
+the performance envelope of the reproduction itself and catch substrate
+regressions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.align.index import genome_generate
+from repro.align.pseudo import PseudoAligner, build_pseudo_index
+from repro.align.star import StarAligner, StarParameters
+from repro.align.suffix_array import build_suffix_array
+from repro.cloud.events import Simulation, Timeout
+from repro.genome.ensembl import EnsemblRelease, build_release_assembly
+from repro.genome.synth import GenomeUniverseSpec, make_universe
+from repro.quant.deseq2 import estimate_size_factors
+from repro.quant.matrix import CountMatrix
+from repro.reads.library import LibraryType, SampleProfile
+from repro.reads.simulator import ReadSimulator
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return make_universe(GenomeUniverseSpec(), np.random.default_rng(42))
+
+
+@pytest.fixture(scope="module")
+def assembly(universe):
+    return build_release_assembly(universe, EnsemblRelease.R111, rng=1)
+
+
+@pytest.fixture(scope="module")
+def index(universe, assembly):
+    return genome_generate(assembly, universe.annotation)
+
+
+@pytest.fixture(scope="module")
+def reads(universe, assembly):
+    simulator = ReadSimulator(assembly, universe.annotation)
+    return simulator.simulate(
+        SampleProfile(LibraryType.BULK_POLYA, n_reads=100, read_length=80), rng=7
+    ).records
+
+
+def test_bench_suffix_array_100kb(benchmark):
+    rng = np.random.default_rng(0)
+    seq = rng.integers(0, 4, size=100_000).astype(np.uint8)
+    sa = benchmark(build_suffix_array, seq)
+    assert sa.size == 100_000
+
+
+def test_bench_genome_generate(benchmark, universe, assembly):
+    idx = benchmark(genome_generate, assembly, universe.annotation)
+    assert idx.n_bases == assembly.total_length
+
+
+def test_bench_align_100_reads(benchmark, index, reads):
+    aligner = StarAligner(index, StarParameters(progress_every=1000))
+    result = benchmark(aligner.run, reads)
+    assert result.final.reads_processed == 100
+
+
+def test_bench_pseudo_align_100_reads(benchmark, universe, assembly, reads):
+    pseudo = PseudoAligner(build_pseudo_index(assembly, universe.annotation))
+    result = benchmark(pseudo.run, reads)
+    assert result.n_reads == 100
+
+
+def test_bench_deseq2_20k_genes(benchmark):
+    rng = np.random.default_rng(1)
+    counts = rng.poisson(30, size=(20_000, 16)) + 1
+    matrix = CountMatrix(
+        gene_ids=[f"g{i}" for i in range(20_000)],
+        sample_ids=[f"s{j}" for j in range(16)],
+        counts=counts,
+    )
+    factors = benchmark(estimate_size_factors, matrix)
+    assert factors.shape == (16,)
+
+
+def test_bench_des_event_loop_10k(benchmark):
+    def run_sim():
+        sim = Simulation()
+
+        def ticker():
+            for _ in range(1000):
+                yield Timeout(1.0)
+
+        for _ in range(10):
+            sim.process(ticker())
+        sim.run()
+        return sim.now
+
+    now = benchmark(run_sim)
+    assert now == 1000.0

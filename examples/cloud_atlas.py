@@ -1,0 +1,74 @@
+"""Cloud atlas campaign: the Fig. 2 architecture end to end.
+
+Simulates a 150-run atlas slice on an AutoScalingGroup of spot
+r6a.2xlarge instances with the release-111 index and early stopping on,
+then re-runs the identical workload with each optimization disabled to
+show what it buys:
+
+* baseline        — r111 index, early stopping, spot
+* no-early-stop   — r111 index, spot
+* r108-index      — old index (needs r6a.4xlarge), early stopping, spot
+* on-demand       — r111 index, early stopping, on-demand
+
+Usage::
+
+    python examples/cloud_atlas.py
+"""
+
+from dataclasses import replace
+
+from repro.cloud.autoscaling import ScalingPolicy
+from repro.cloud.ec2 import InstanceMarket
+from repro.core.atlas import AtlasConfig, run_atlas
+from repro.experiments.corpus import CorpusSpec, generate_corpus
+from repro.genome.ensembl import EnsemblRelease
+from repro.util.tables import Table
+
+
+def main() -> None:
+    jobs = generate_corpus(CorpusSpec(n_runs=150), rng=3)
+    base = AtlasConfig(
+        release=EnsemblRelease.R111,
+        instance_name="r6a.2xlarge",
+        market=InstanceMarket.SPOT,
+        scaling=ScalingPolicy(max_size=8, messages_per_instance=4),
+        seed=11,
+    )
+    variants = {
+        "baseline": base,
+        "no-early-stop": replace(base, early_stopping=None),
+        "r108-index": replace(
+            base, release=EnsemblRelease.R108, instance_name="r6a.4xlarge"
+        ),
+        "on-demand": replace(base, market=InstanceMarket.ON_DEMAND),
+    }
+
+    table = Table(
+        ["variant", "makespan h", "jobs/h", "STAR h", "terminated",
+         "init s", "cost $", "$/job"],
+        title=f"Atlas campaign over {len(jobs)} SRA runs",
+    )
+    for name, config in variants.items():
+        report = run_atlas(jobs, config)
+        table.add_row(
+            [
+                name,
+                f"{report.makespan_seconds / 3600:.2f}",
+                f"{report.throughput_jobs_per_hour:.1f}",
+                f"{report.star_hours_actual:.1f}",
+                report.n_terminated,
+                f"{report.init_overhead_seconds:.0f}",
+                f"{report.cost.total_usd:.2f}",
+                f"{report.cost.total_usd / report.n_jobs:.3f}",
+            ]
+        )
+    print(table.render())
+    print(
+        "\nReading the table: early stopping trims STAR hours; the r111 "
+        "index cuts both runtime (~12x) and init overhead (~3x smaller "
+        "download+load); spot cuts cost at a small makespan penalty."
+    )
+
+
+if __name__ == "__main__":
+    main()

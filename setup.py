@@ -1,0 +1,16 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP
+660 editable installs fail; this shim lets ``pip install -e . --no-use-pep517``
+use the classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

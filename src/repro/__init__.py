@@ -1,0 +1,54 @@
+"""repro — reproduction of "Optimizing STAR Aligner for High Throughput
+Computing in the Cloud" (Kica et al., CLUSTER 2024).
+
+Layered as the paper's system is:
+
+* substrates: :mod:`repro.genome`, :mod:`repro.reads`, :mod:`repro.align`
+  (a working STAR-like aligner), :mod:`repro.quant` (DESeq2
+  normalization), :mod:`repro.cloud` (AWS discrete-event simulation),
+  :mod:`repro.perf` (calibrated performance models);
+* contribution: :mod:`repro.core` (the Transcriptomics Atlas pipeline,
+  early stopping, right-sizing, cloud orchestration);
+* evaluation: :mod:`repro.experiments` (one harness per figure/table).
+
+Quick start::
+
+    from repro import run_fig3, run_fig4
+    print(run_fig3().to_table(max_rows=10))
+    print(run_fig4().savings.to_text())
+"""
+
+from repro.core import (
+    AtlasConfig,
+    AtlasJob,
+    EarlyStoppingPolicy,
+    EarlyStopMonitor,
+    TranscriptomicsAtlasPipeline,
+    run_atlas,
+)
+from repro.experiments import (
+    run_ablation,
+    run_architecture_sweep,
+    run_config_table,
+    run_fig3,
+    run_fig4,
+    run_mini_fig3,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AtlasConfig",
+    "AtlasJob",
+    "EarlyStopMonitor",
+    "EarlyStoppingPolicy",
+    "TranscriptomicsAtlasPipeline",
+    "__version__",
+    "run_ablation",
+    "run_architecture_sweep",
+    "run_atlas",
+    "run_config_table",
+    "run_fig3",
+    "run_fig4",
+    "run_mini_fig3",
+]

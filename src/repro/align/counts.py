@@ -1,0 +1,149 @@
+"""``--quantMode GeneCounts`` — per-gene read counting.
+
+Reproduces STAR's ``ReadsPerGene.out.tab``: four special rows
+(``N_unmapped``, ``N_multimapping``, ``N_noFeature``, ``N_ambiguous``)
+followed by one row per gene, with three count columns for the three
+strandedness conventions (unstranded, stranded-forward, stranded-reverse).
+Only uniquely mapped reads are assigned to genes, as in STAR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.genome.annotation import Annotation, Gene, Strand
+from repro.genome.model import SequenceRegion
+
+#: Column order of ReadsPerGene.out.tab after the gene id.
+STRAND_COLUMNS = ("unstranded", "forward", "reverse")
+
+_SPECIAL_ROWS = ("N_unmapped", "N_multimapping", "N_noFeature", "N_ambiguous")
+
+
+@dataclass
+class GeneCounts:
+    """Accumulator for gene-level counts over one alignment run."""
+
+    annotation: Annotation
+    n_unmapped: int = 0
+    n_multimapping: int = 0
+    #: per-strandedness convention: noFeature/ambiguous and per-gene counts
+    n_no_feature: dict[str, int] = field(
+        default_factory=lambda: {c: 0 for c in STRAND_COLUMNS}
+    )
+    n_ambiguous: dict[str, int] = field(
+        default_factory=lambda: {c: 0 for c in STRAND_COLUMNS}
+    )
+    counts: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for gene_id in self.annotation.gene_ids:
+            self.counts.setdefault(gene_id, {c: 0 for c in STRAND_COLUMNS})
+
+    # -- accumulation ------------------------------------------------------
+
+    def record_unmapped(self) -> None:
+        self.n_unmapped += 1
+
+    def record_multimapped(self) -> None:
+        self.n_multimapping += 1
+
+    def record_unique(
+        self, blocks: list[SequenceRegion], read_strand: Strand
+    ) -> None:
+        """Assign one uniquely mapped read given its exonic blocks.
+
+        A gene matches when any block overlaps its extent.  For the two
+        stranded conventions the gene must additionally lie on the matching
+        strand (forward = read strand equals gene strand; reverse =
+        opposite, as for dUTP protocols).
+        """
+        overlapping: list[Gene] = []
+        seen: set[str] = set()
+        for block in blocks:
+            for gene in self.annotation.overlapping_genes(block):
+                if gene.gene_id not in seen:
+                    seen.add(gene.gene_id)
+                    overlapping.append(gene)
+        self._tally("unstranded", overlapping)
+        same = [g for g in overlapping if g.strand is read_strand]
+        opposite = [g for g in overlapping if g.strand is not read_strand]
+        self._tally("forward", same)
+        self._tally("reverse", opposite)
+
+    def _tally(self, column: str, genes: list[Gene]) -> None:
+        if not genes:
+            self.n_no_feature[column] += 1
+        elif len(genes) > 1:
+            self.n_ambiguous[column] += 1
+        else:
+            self.counts[genes[0].gene_id][column] += 1
+
+    # -- reporting -----------------------------------------------------------
+
+    def total_assigned(self, column: str = "unstranded") -> int:
+        """Reads assigned to exactly one gene under ``column``."""
+        return sum(c[column] for c in self.counts.values())
+
+    def column_vector(self, column: str = "unstranded") -> dict[str, int]:
+        """Gene id → count for one strandedness convention."""
+        return {g: c[column] for g, c in self.counts.items()}
+
+    def to_tab(self) -> str:
+        """Render as ``ReadsPerGene.out.tab`` text."""
+        lines = [
+            "\t".join(
+                [
+                    "N_unmapped",
+                    str(self.n_unmapped),
+                    str(self.n_unmapped),
+                    str(self.n_unmapped),
+                ]
+            ),
+            "\t".join(
+                [
+                    "N_multimapping",
+                    str(self.n_multimapping),
+                    str(self.n_multimapping),
+                    str(self.n_multimapping),
+                ]
+            ),
+            "\t".join(
+                ["N_noFeature"] + [str(self.n_no_feature[c]) for c in STRAND_COLUMNS]
+            ),
+            "\t".join(
+                ["N_ambiguous"] + [str(self.n_ambiguous[c]) for c in STRAND_COLUMNS]
+            ),
+        ]
+        for gene_id in self.annotation.gene_ids:
+            row = self.counts[gene_id]
+            lines.append(
+                "\t".join([gene_id] + [str(row[c]) for c in STRAND_COLUMNS])
+            )
+        return "\n".join(lines) + "\n"
+
+    def write_tab(self, path: Path | str) -> None:
+        """Write ``ReadsPerGene.out.tab``."""
+        Path(path).write_text(self.to_tab())
+
+
+def read_counts_tab(path: Path | str) -> tuple[dict[str, int], dict[str, list[int]]]:
+    """Parse a ``ReadsPerGene.out.tab`` file.
+
+    Returns ``(specials, genes)`` where ``specials`` maps the N_* rows to
+    their unstranded value and ``genes`` maps gene id to the three-column
+    count list.
+    """
+    specials: dict[str, int] = {}
+    genes: dict[str, list[int]] = {}
+    for line in Path(path).read_text().splitlines():
+        fields = line.split("\t")
+        if len(fields) != 4:
+            raise ValueError(f"malformed counts line: {line!r}")
+        name, values = fields[0], [int(v) for v in fields[1:]]
+        if name in _SPECIAL_ROWS:
+            specials[name] = values[0]
+        else:
+            genes[name] = values
+    return specials, genes

@@ -1,0 +1,85 @@
+"""Mismatch-budgeted ungapped extension and alignment scoring.
+
+After seeding, candidate placements are verified by direct comparison
+against the genome with a mismatch budget — the local-alignment score
+model is STAR's default (match +1, mismatch −1) without indels, which is
+sufficient for the substitution-only error model of our read simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.index import GenomeIndex
+from repro.genome.alphabet import BASE_N
+
+
+@dataclass(frozen=True)
+class ScoringParams:
+    """Alignment scoring and acceptance thresholds (STAR-flavoured defaults)."""
+
+    match_score: int = 1
+    mismatch_penalty: int = 1
+    #: maximum mismatches accepted in a full-read placement
+    max_mismatches: int = 4
+    #: minimum fraction of the read that must be matched for acceptance
+    #: (STAR's ``--outFilterMatchNminOverLread``, default 0.66)
+    min_matched_fraction: float = 0.66
+
+    def score(self, matched: int, mismatched: int) -> int:
+        """Alignment score for the given match/mismatch counts."""
+        return matched * self.match_score - mismatched * self.mismatch_penalty
+
+    def accepts(self, matched: int, mismatched: int, read_length: int) -> bool:
+        """Acceptance test for a candidate placement."""
+        return (
+            mismatched <= self.max_mismatches
+            and matched >= self.min_matched_fraction * read_length
+        )
+
+
+@dataclass(frozen=True)
+class ExtensionResult:
+    """Outcome of placing a read segment at one genome position."""
+
+    genome_start: int
+    length: int
+    mismatches: int
+    ok: bool
+
+    @property
+    def matched(self) -> int:
+        return self.length - self.mismatches
+
+
+def ungapped_extend(
+    index: GenomeIndex,
+    read_segment: np.ndarray,
+    genome_start: int,
+    *,
+    max_mismatches: int,
+) -> ExtensionResult:
+    """Compare ``read_segment`` against the genome at ``genome_start``.
+
+    Fails (``ok=False``) when the segment would cross a contig boundary or
+    run off the genome, or when mismatches exceed the budget.  ``N`` bases
+    on either side always count as mismatches (STAR treats genome N the
+    same way).
+    """
+    seg = np.asarray(read_segment, dtype=np.uint8)
+    length = int(seg.size)
+    if length == 0:
+        return ExtensionResult(genome_start, 0, 0, ok=True)
+    if not index.span_within_contig(genome_start, length):
+        return ExtensionResult(genome_start, length, length, ok=False)
+    window = index.genome[genome_start : genome_start + length]
+    diff = (window != seg) | (window == BASE_N) | (seg == BASE_N)
+    mismatches = int(diff.sum())
+    return ExtensionResult(
+        genome_start=genome_start,
+        length=length,
+        mismatches=mismatches,
+        ok=mismatches <= max_mismatches,
+    )

@@ -1,0 +1,172 @@
+"""Genome index — the ``genomeGenerate`` step of the aligner.
+
+The index bundles the concatenated genome, its suffix array, contig
+coordinate tables, and the annotated splice-junction database (sjdb).
+Its byte size is dominated by the 8-byte-per-base suffix array, so it
+scales linearly with toplevel FASTA size — the mechanism behind the
+paper's 85 GiB (r108) vs 29.5 GiB (r111) observation.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.align.suffix_array import build_suffix_array
+from repro.genome.annotation import Annotation
+from repro.genome.model import Assembly
+
+
+@dataclass
+class GenomeIndex:
+    """Searchable index over one assembly.
+
+    ``genome`` is the forward-strand concatenation of all contigs (reads
+    are additionally searched as reverse complements, as real STAR does);
+    ``offsets`` has ``len(names)+1`` entries delimiting each contig.
+    """
+
+    assembly_name: str
+    genome: np.ndarray
+    suffix_array: np.ndarray
+    offsets: np.ndarray
+    names: list[str]
+    annotation: Annotation | None = None
+    sjdb: set[tuple[str, int, int]] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.offsets.size != len(self.names) + 1:
+            raise ValueError("offsets must have len(names)+1 entries")
+        if self.suffix_array.size != self.genome.size:
+            raise ValueError("suffix array length must equal genome length")
+        self._search_context = None
+
+    @property
+    def search_context(self):
+        """Lazily built fast-search state (see SearchContext) — the hot
+        path of every MMP query goes through this."""
+        if self._search_context is None:
+            from repro.align.suffix_array import SearchContext
+
+            self._search_context = SearchContext(self.genome, self.suffix_array)
+        return self._search_context
+
+    # -- coordinates -----------------------------------------------------
+
+    @property
+    def n_bases(self) -> int:
+        return int(self.genome.size)
+
+    @property
+    def n_contigs(self) -> int:
+        return len(self.names)
+
+    def contig_of(self, position: int) -> int:
+        """Contig ordinal containing absolute genome ``position``."""
+        if not 0 <= position < self.n_bases:
+            raise IndexError(f"position {position} outside genome of {self.n_bases}")
+        return int(np.searchsorted(self.offsets, position, side="right") - 1)
+
+    def to_contig_coords(self, position: int) -> tuple[str, int]:
+        """Map an absolute position to (contig name, contig-local offset)."""
+        c = self.contig_of(position)
+        return self.names[c], int(position - self.offsets[c])
+
+    def to_absolute(self, contig: str, offset: int) -> int:
+        """Map (contig name, local offset) to an absolute genome position."""
+        c = self.names.index(contig)
+        length = int(self.offsets[c + 1] - self.offsets[c])
+        if not 0 <= offset < length:
+            raise IndexError(f"offset {offset} outside contig {contig} of {length}")
+        return int(self.offsets[c]) + offset
+
+    def span_within_contig(self, position: int, length: int) -> bool:
+        """True when ``[position, position+length)`` stays inside one contig."""
+        if length <= 0 or position < 0 or position + length > self.n_bases:
+            return False
+        c = self.contig_of(position)
+        return position + length <= int(self.offsets[c + 1])
+
+    # -- splice junction database ----------------------------------------
+
+    def junction_key(self, donor_abs: int, acceptor_abs: int) -> tuple[str, int, int]:
+        """Normalize an absolute junction to the (contig, start, end) sjdb key."""
+        contig, donor_local = self.to_contig_coords(donor_abs)
+        contig2, acceptor_local = self.to_contig_coords(acceptor_abs)
+        if contig != contig2:
+            raise ValueError("junction endpoints on different contigs")
+        return (contig, donor_local, acceptor_local)
+
+    def is_annotated_junction(self, donor_abs: int, acceptor_abs: int) -> bool:
+        """Whether the intron ``[donor_abs, acceptor_abs)`` is in the sjdb."""
+        try:
+            return self.junction_key(donor_abs, acceptor_abs) in self.sjdb
+        except ValueError:
+            return False
+
+    # -- size accounting ---------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory index footprint (what gets loaded to /dev/shm).
+
+        genome: 1 byte/base; suffix array: 8 bytes/base; offsets and sjdb
+        are negligible but counted for honesty.
+        """
+        return int(
+            self.genome.nbytes
+            + self.suffix_array.nbytes
+            + self.offsets.nbytes
+            + 24 * len(self.sjdb)
+        )
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: Path | str) -> int:
+        """Serialize to disk; returns bytes written."""
+        path = Path(path)
+        payload = {
+            "assembly_name": self.assembly_name,
+            "genome": self.genome,
+            "suffix_array": self.suffix_array,
+            "offsets": self.offsets,
+            "names": self.names,
+            "annotation": self.annotation,
+            "sjdb": self.sjdb,
+        }
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        return path.stat().st_size
+
+    @classmethod
+    def load(cls, path: Path | str) -> "GenomeIndex":
+        """Deserialize an index previously written by :meth:`save`."""
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        return cls(**payload)
+
+
+def genome_generate(
+    assembly: Assembly, annotation: Annotation | None = None
+) -> GenomeIndex:
+    """Build a :class:`GenomeIndex` from an assembly (STAR's ``genomeGenerate``).
+
+    When an annotation is supplied its splice junctions seed the sjdb,
+    letting the aligner accept annotated non-canonical junctions.
+    """
+    genome, offsets, names = assembly.concatenate()
+    sa = build_suffix_array(genome)
+    sjdb: set[tuple[str, int, int]] = set()
+    if annotation is not None:
+        sjdb = set(annotation.splice_junctions())
+    return GenomeIndex(
+        assembly_name=assembly.name,
+        genome=genome,
+        suffix_array=sa,
+        offsets=offsets,
+        names=names,
+        annotation=annotation,
+        sjdb=sjdb,
+    )

@@ -1,0 +1,178 @@
+"""``Log.progress.out`` and ``Log.final.out`` — STAR's reporting files.
+
+The paper's early-stopping optimization exists *because* STAR reports the
+current percentage of mapped reads while running (and, as its conclusions
+note, aligners like Salmon do not).  This module defines the record type,
+and writers/parsers for both files, format-compatible at the column level
+with what an external monitor would scrape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.util.validation import check_non_negative
+
+PROGRESS_HEADER = (
+    "Time\tReads processed\tReads total\tMapped unique\tMapped multi\t"
+    "Mapped %\tUnmapped %"
+)
+
+
+@dataclass(frozen=True)
+class ProgressRecord:
+    """One snapshot line of ``Log.progress.out``.
+
+    ``mapped_fraction`` counts unique + multi-mapping reads, matching the
+    "current percent of mapped reads" the paper's monitor reads.
+    """
+
+    elapsed_seconds: float
+    reads_processed: int
+    reads_total: int
+    mapped_unique: int
+    mapped_multi: int
+
+    def __post_init__(self) -> None:
+        check_non_negative("elapsed_seconds", self.elapsed_seconds)
+        check_non_negative("reads_processed", self.reads_processed)
+        if self.mapped_unique + self.mapped_multi > self.reads_processed:
+            raise ValueError("mapped reads exceed processed reads")
+        if self.reads_total and self.reads_processed > self.reads_total:
+            raise ValueError("processed reads exceed declared total")
+
+    @property
+    def mapped_reads(self) -> int:
+        return self.mapped_unique + self.mapped_multi
+
+    @property
+    def mapped_fraction(self) -> float:
+        if self.reads_processed == 0:
+            return 0.0
+        return self.mapped_reads / self.reads_processed
+
+    @property
+    def processed_fraction(self) -> float:
+        """Fraction of the run's total reads seen so far (0 when unknown)."""
+        if self.reads_total == 0:
+            return 0.0
+        return self.reads_processed / self.reads_total
+
+    def to_line(self) -> str:
+        """Render as one tab-separated progress line."""
+        unmapped = self.reads_processed - self.mapped_reads
+        unmapped_pct = (
+            100.0 * unmapped / self.reads_processed if self.reads_processed else 0.0
+        )
+        return "\t".join(
+            [
+                f"{self.elapsed_seconds:.2f}",
+                str(self.reads_processed),
+                str(self.reads_total),
+                str(self.mapped_unique),
+                str(self.mapped_multi),
+                f"{100.0 * self.mapped_fraction:.2f}",
+                f"{unmapped_pct:.2f}",
+            ]
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> "ProgressRecord":
+        """Parse a line produced by :meth:`to_line`."""
+        fields = line.rstrip("\n").split("\t")
+        if len(fields) != 7:
+            raise ValueError(f"malformed progress line: {line!r}")
+        return cls(
+            elapsed_seconds=float(fields[0]),
+            reads_processed=int(fields[1]),
+            reads_total=int(fields[2]),
+            mapped_unique=int(fields[3]),
+            mapped_multi=int(fields[4]),
+        )
+
+
+def write_progress_log(records: list[ProgressRecord], path: Path | str) -> None:
+    """Write a full ``Log.progress.out`` (header + one line per snapshot)."""
+    with open(path, "w") as fh:
+        fh.write(PROGRESS_HEADER + "\n")
+        for rec in records:
+            fh.write(rec.to_line() + "\n")
+
+
+def read_progress_log(path: Path | str) -> list[ProgressRecord]:
+    """Parse a ``Log.progress.out`` written by :func:`write_progress_log`."""
+    records: list[ProgressRecord] = []
+    with open(path) as fh:
+        header = fh.readline().rstrip("\n")
+        if header != PROGRESS_HEADER:
+            raise ValueError(f"unrecognized progress header: {header!r}")
+        for line in fh:
+            if line.strip():
+                records.append(ProgressRecord.from_line(line))
+    return records
+
+
+@dataclass(frozen=True)
+class FinalLogStats:
+    """The summary statistics of ``Log.final.out``."""
+
+    reads_total: int
+    reads_processed: int
+    mapped_unique: int
+    mapped_multi: int
+    too_many_loci: int
+    unmapped: int
+    mismatch_rate: float
+    spliced_reads: int
+    elapsed_seconds: float
+    aborted: bool = False
+
+    @property
+    def mapped_fraction(self) -> float:
+        if self.reads_processed == 0:
+            return 0.0
+        return (self.mapped_unique + self.mapped_multi) / self.reads_processed
+
+    @property
+    def unique_fraction(self) -> float:
+        if self.reads_processed == 0:
+            return 0.0
+        return self.mapped_unique / self.reads_processed
+
+    def to_text(self) -> str:
+        """Render in the ``key |\tvalue`` layout STAR uses."""
+        pct = 100.0 * self.mapped_fraction
+        upct = 100.0 * self.unique_fraction
+        rows = [
+            ("Number of input reads", self.reads_total),
+            ("Number of reads processed", self.reads_processed),
+            ("Uniquely mapped reads number", self.mapped_unique),
+            ("Uniquely mapped reads %", f"{upct:.2f}%"),
+            ("Number of reads mapped to multiple loci", self.mapped_multi),
+            ("Number of reads mapped to too many loci", self.too_many_loci),
+            ("Number of unmapped reads", self.unmapped),
+            ("Mapped reads %", f"{pct:.2f}%"),
+            ("Mismatch rate per base, %", f"{100.0 * self.mismatch_rate:.2f}%"),
+            ("Number of splices: Total", self.spliced_reads),
+            ("Elapsed time, seconds", f"{self.elapsed_seconds:.2f}"),
+            ("Run aborted by monitor", "yes" if self.aborted else "no"),
+        ]
+        width = max(len(k) for k, _ in rows) + 1
+        return "\n".join(f"{k.ljust(width)}|\t{v}" for k, v in rows) + "\n"
+
+
+def write_final_log(stats: FinalLogStats, path: Path | str) -> None:
+    """Write ``Log.final.out``."""
+    Path(path).write_text(stats.to_text())
+
+
+def parse_final_log(text: str) -> dict[str, str]:
+    """Parse ``Log.final.out`` text into a key → raw-value mapping."""
+    out: dict[str, str] = {}
+    for line in text.splitlines():
+        if "|" not in line:
+            continue
+        key, _, value = line.partition("|")
+        out[key.strip()] = value.strip()
+    return out

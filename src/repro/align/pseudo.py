@@ -1,0 +1,161 @@
+"""A Salmon-like k-mer pseudo-aligner baseline.
+
+The paper's conclusions contrast STAR with pseudo-aligners: Salmon does not
+expose a running mapping-rate value, so the early-stopping optimization
+cannot be applied to it.  This baseline reproduces that contrast: it is
+faster per read (k-mer voting over a transcriptome hash, no suffix-array
+walk, no splice stitching) but reports nothing until the run completes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.genome.alphabet import kmer_codes, reverse_complement
+from repro.genome.annotation import Annotation
+from repro.genome.model import Assembly
+from repro.reads.fastq import FastqRecord
+
+
+@dataclass
+class PseudoIndex:
+    """k-mer → set-of-transcript-ordinals hash over the transcriptome."""
+
+    k: int
+    transcript_ids: list[str]
+    gene_ids: list[str]
+    kmer_map: dict[int, frozenset[int]] = field(default_factory=dict)
+
+    @property
+    def n_transcripts(self) -> int:
+        return len(self.transcript_ids)
+
+    def size_bytes(self) -> int:
+        """Rough footprint: 8-byte key + ~8 bytes/posting."""
+        postings = sum(len(v) for v in self.kmer_map.values())
+        return 16 * len(self.kmer_map) + 8 * postings
+
+
+def build_pseudo_index(
+    assembly: Assembly, annotation: Annotation, *, k: int = 21
+) -> PseudoIndex:
+    """Index every transcript's k-mers (the Salmon ``index`` step)."""
+    transcripts = annotation.transcripts
+    if not transcripts:
+        raise ValueError("annotation has no transcripts")
+    acc: dict[int, set[int]] = {}
+    tids: list[str] = []
+    gids: list[str] = []
+    for ordinal, t in enumerate(transcripts):
+        tids.append(t.transcript_id)
+        gids.append(t.gene_id)
+        seq = t.spliced_sequence(assembly)
+        for code in kmer_codes(seq, k):
+            if code >= 0:
+                acc.setdefault(int(code), set()).add(ordinal)
+    return PseudoIndex(
+        k=k,
+        transcript_ids=tids,
+        gene_ids=gids,
+        kmer_map={c: frozenset(s) for c, s in acc.items()},
+    )
+
+
+@dataclass(frozen=True)
+class PseudoAssignment:
+    """Per-read pseudo-alignment result."""
+
+    read_id: str
+    mapped: bool
+    gene_id: str | None
+    n_compatible: int
+
+
+@dataclass
+class PseudoRunResult:
+    """Whole-run output: per-gene counts and the final mapping rate.
+
+    Deliberately has no progress stream — that absence is the point of the
+    baseline (see module docstring).
+    """
+
+    assignments: list[PseudoAssignment]
+    gene_counts: dict[str, int]
+
+    @property
+    def n_reads(self) -> int:
+        return len(self.assignments)
+
+    @property
+    def mapped_fraction(self) -> float:
+        if not self.assignments:
+            return 0.0
+        return sum(a.mapped for a in self.assignments) / len(self.assignments)
+
+
+class PseudoAligner:
+    """k-mer voting pseudo-aligner over a :class:`PseudoIndex`."""
+
+    def __init__(
+        self,
+        index: PseudoIndex,
+        *,
+        min_vote_fraction: float = 0.5,
+        kmer_stride: int = 4,
+    ) -> None:
+        if not 0.0 < min_vote_fraction <= 1.0:
+            raise ValueError("min_vote_fraction must be in (0, 1]")
+        if kmer_stride < 1:
+            raise ValueError("kmer_stride must be >= 1")
+        self.index = index
+        self.min_vote_fraction = min_vote_fraction
+        self.kmer_stride = kmer_stride
+
+    def _vote(self, seq: np.ndarray) -> tuple[dict[int, int], int]:
+        codes = kmer_codes(seq, self.index.k)[:: self.kmer_stride]
+        votes: dict[int, int] = {}
+        considered = 0
+        for code in codes:
+            if code < 0:
+                continue
+            considered += 1
+            hits = self.index.kmer_map.get(int(code))
+            if not hits:
+                continue
+            for t in hits:
+                votes[t] = votes.get(t, 0) + 1
+        return votes, considered
+
+    def assign_read(self, record: FastqRecord) -> PseudoAssignment:
+        """Pseudo-align one read (both orientations, best vote wins)."""
+        best_votes: dict[int, int] = {}
+        best_considered = 1
+        for seq in (record.sequence, reverse_complement(record.sequence)):
+            votes, considered = self._vote(seq)
+            if votes and (
+                not best_votes
+                or max(votes.values()) / max(considered, 1)
+                > max(best_votes.values()) / best_considered
+            ):
+                best_votes, best_considered = votes, max(considered, 1)
+        if not best_votes:
+            return PseudoAssignment(record.read_id, False, None, 0)
+        top = max(best_votes.values())
+        if top / best_considered < self.min_vote_fraction:
+            return PseudoAssignment(record.read_id, False, None, 0)
+        winners = [t for t, v in best_votes.items() if v == top]
+        genes = {self.index.gene_ids[t] for t in winners}
+        gene_id = genes.pop() if len(genes) == 1 else None
+        return PseudoAssignment(record.read_id, True, gene_id, len(winners))
+
+    def run(self, records: Iterable[FastqRecord]) -> PseudoRunResult:
+        """Pseudo-align a stream of reads; only final statistics come out."""
+        assignments = [self.assign_read(r) for r in records]
+        gene_counts: dict[str, int] = {g: 0 for g in set(self.index.gene_ids)}
+        for a in assignments:
+            if a.mapped and a.gene_id is not None:
+                gene_counts[a.gene_id] += 1
+        return PseudoRunResult(assignments=assignments, gene_counts=gene_counts)

@@ -1,0 +1,286 @@
+"""SAM output — STAR's ``Aligned.out.sam``.
+
+Renders alignment outcomes as SAM 1.6 records: proper FLAG bits,
+1-based POS, CIGAR with ``M``/``S``/``N`` operators (``N`` encodes the
+intron of a spliced alignment, exactly as STAR emits junction-spanning
+reads), ``NH`` (number of hits), ``AS`` (alignment score) and ``nM``
+(mismatches) tags — the tags STAR writes by default.  A parser reads the
+subset this writer produces, so outputs round-trip for tests and
+downstream tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.align.index import GenomeIndex
+from repro.align.star import AlignmentOutcome, AlignmentStatus
+from repro.genome.annotation import Strand
+from repro.reads.fastq import FastqRecord
+
+FLAG_PAIRED = 0x1
+FLAG_PROPER_PAIR = 0x2
+FLAG_UNMAPPED = 0x4
+FLAG_MATE_UNMAPPED = 0x8
+FLAG_REVERSE = 0x10
+FLAG_MATE_REVERSE = 0x20
+FLAG_FIRST_IN_PAIR = 0x40
+FLAG_SECOND_IN_PAIR = 0x80
+FLAG_SECONDARY = 0x100
+
+
+@dataclass(frozen=True)
+class SamRecord:
+    """One parsed SAM alignment line."""
+
+    qname: str
+    flag: int
+    rname: str
+    pos: int  # 1-based; 0 for unmapped
+    mapq: int
+    cigar: str
+    seq: str
+    qual: str
+    tags: dict[str, str | int]
+
+    @property
+    def is_unmapped(self) -> bool:
+        return bool(self.flag & FLAG_UNMAPPED)
+
+    @property
+    def is_reverse(self) -> bool:
+        return bool(self.flag & FLAG_REVERSE)
+
+
+def _mapq(status: AlignmentStatus, n_loci: int) -> int:
+    """STAR's MAPQ convention: 255 unique, 3 for 2 loci, 1 for 3-4, 0 else."""
+    if status is AlignmentStatus.UNIQUE:
+        return 255
+    if n_loci == 2:
+        return 3
+    if n_loci in (3, 4):
+        return 1
+    return 0
+
+
+def cigar_for(outcome: AlignmentOutcome, read_length: int) -> str:
+    """CIGAR string for one outcome.
+
+    Contiguous reads are ``<L>M``; two-block spliced reads are
+    ``<L1>M<intron>N<L2>M``.  Unmapped reads get ``*``.
+    """
+    if not outcome.status.is_mapped or not outcome.blocks:
+        return "*"
+    blocks = outcome.blocks
+    if len(blocks) == 1:
+        return f"{blocks[0].length}M"
+    parts: list[str] = []
+    for i, block in enumerate(blocks):
+        if i > 0:
+            gap = block.start - blocks[i - 1].end
+            parts.append(f"{gap}N")
+        parts.append(f"{block.length}M")
+    return "".join(parts)
+
+
+def sam_header(index: GenomeIndex, *, program: str = "repro-star") -> str:
+    """@HD/@SQ/@PG header lines for one index's contigs."""
+    lines = ["@HD\tVN:1.6\tSO:unsorted"]
+    for i, name in enumerate(index.names):
+        length = int(index.offsets[i + 1] - index.offsets[i])
+        lines.append(f"@SQ\tSN:{name}\tLN:{length}")
+    lines.append(f"@PG\tID:{program}\tPN:{program}")
+    return "\n".join(lines) + "\n"
+
+
+def to_sam_line(record: FastqRecord, outcome: AlignmentOutcome) -> str:
+    """Render one read's alignment as a SAM line."""
+    if outcome.status.is_mapped and outcome.blocks:
+        flag = FLAG_REVERSE if outcome.strand is Strand.REVERSE else 0
+        rname = outcome.blocks[0].contig
+        pos = outcome.blocks[0].start + 1  # SAM is 1-based
+        cigar = cigar_for(outcome, record.length)
+        mapq = _mapq(outcome.status, outcome.n_loci)
+        tags = (
+            f"NH:i:{outcome.n_loci}\tAS:i:{outcome.score}"
+            f"\tnM:i:{outcome.mismatches}"
+        )
+    else:
+        flag = FLAG_UNMAPPED
+        rname, pos, cigar, mapq = "*", 0, "*", 0
+        tags = "NH:i:0\tAS:i:0\tnM:i:0"
+    return (
+        f"{record.read_id}\t{flag}\t{rname}\t{pos}\t{mapq}\t{cigar}"
+        f"\t*\t0\t0\t{record.sequence_str}\t{record.quality_str}\t{tags}"
+    )
+
+
+def write_sam(
+    records: list[FastqRecord],
+    outcomes: list[AlignmentOutcome],
+    index: GenomeIndex,
+    path: Path | str,
+) -> int:
+    """Write ``Aligned.out.sam``; returns the number of alignment lines."""
+    if len(records) != len(outcomes):
+        raise ValueError(
+            f"{len(records)} reads but {len(outcomes)} outcomes"
+        )
+    with open(path, "w") as fh:
+        fh.write(sam_header(index))
+        for record, outcome in zip(records, outcomes):
+            fh.write(to_sam_line(record, outcome) + "\n")
+    return len(records)
+
+
+def to_paired_sam_lines(
+    record1: FastqRecord,
+    record2: FastqRecord,
+    outcome: "PairedOutcome",
+) -> tuple[str, str]:
+    """Render one read pair as two SAM lines with full pair semantics.
+
+    Sets the pair flag bits (0x1, 0x2 for proper pairs, 0x40/0x80 mate
+    ordinals, mate-unmapped/mate-reverse), cross-references RNEXT/PNEXT
+    (``=`` when both mates share a contig), and writes signed TLEN with
+    the leftmost mate positive, as SAM 1.6 specifies.
+    """
+    from repro.align.paired import PairStatus
+
+    def mate_fields(outcome_self, outcome_mate, *, first: bool) -> list[str]:
+        flag = FLAG_PAIRED | (FLAG_FIRST_IN_PAIR if first else FLAG_SECOND_IN_PAIR)
+        self_mapped = outcome_self.status.is_mapped and outcome_self.blocks
+        mate_mapped = outcome_mate.status.is_mapped and outcome_mate.blocks
+        if outcome.status is PairStatus.PROPER_PAIR:
+            flag |= FLAG_PROPER_PAIR
+        if not self_mapped:
+            flag |= FLAG_UNMAPPED
+        if not mate_mapped:
+            flag |= FLAG_MATE_UNMAPPED
+        if self_mapped and outcome_self.strand is Strand.REVERSE:
+            flag |= FLAG_REVERSE
+        if mate_mapped and outcome_mate.strand is Strand.REVERSE:
+            flag |= FLAG_MATE_REVERSE
+
+        if self_mapped:
+            rname = outcome_self.blocks[0].contig
+            pos = outcome_self.blocks[0].start + 1
+            cigar = cigar_for(outcome_self, 0)
+            mapq = _mapq(outcome_self.status, outcome_self.n_loci)
+        else:
+            rname, pos, cigar, mapq = "*", 0, "*", 0
+        if mate_mapped:
+            mate_rname = outcome_mate.blocks[0].contig
+            pnext = outcome_mate.blocks[0].start + 1
+            rnext = "=" if (self_mapped and mate_rname == rname) else mate_rname
+        else:
+            rnext, pnext = "*", 0
+
+        tlen = 0
+        if outcome.status is PairStatus.PROPER_PAIR and outcome.template_length:
+            # leftmost mate gets +TLEN, the other -TLEN
+            self_start = outcome_self.blocks[0].start
+            mate_start = outcome_mate.blocks[0].start
+            sign = 1 if self_start <= mate_start else -1
+            tlen = sign * outcome.template_length
+        return [
+            str(flag), rname, str(pos), str(mapq), cigar,
+            rnext, str(pnext), str(tlen),
+        ]
+
+    lines = []
+    for record, first in ((record1, True), (record2, False)):
+        outcome_self = outcome.mate1 if first else outcome.mate2
+        outcome_mate = outcome.mate2 if first else outcome.mate1
+        fields = mate_fields(outcome_self, outcome_mate, first=first)
+        tags = (
+            f"NH:i:{outcome_self.n_loci}\tAS:i:{outcome_self.score}"
+            f"\tnM:i:{outcome_self.mismatches}"
+        )
+        qname = outcome.pair_id
+        lines.append(
+            "\t".join(
+                [qname] + fields + [record.sequence_str, record.quality_str, tags]
+            )
+        )
+    return lines[0], lines[1]
+
+
+def write_paired_sam(
+    mate1: list[FastqRecord],
+    mate2: list[FastqRecord],
+    outcomes: list["PairedOutcome"],
+    index: GenomeIndex,
+    path: Path | str,
+) -> int:
+    """Write ``Aligned.out.sam`` for a paired run; returns lines written."""
+    n = len(outcomes)
+    if not (len(mate1) >= n and len(mate2) >= n):
+        raise ValueError("fewer reads than outcomes")
+    with open(path, "w") as fh:
+        fh.write(sam_header(index))
+        for r1, r2, outcome in zip(mate1[:n], mate2[:n], outcomes):
+            line1, line2 = to_paired_sam_lines(r1, r2, outcome)
+            fh.write(line1 + "\n")
+            fh.write(line2 + "\n")
+    return 2 * n
+
+
+def _parse_tag(token: str) -> tuple[str, str | int]:
+    name, typ, value = token.split(":", 2)
+    return name, int(value) if typ == "i" else value
+
+
+def parse_sam(path: Path | str) -> tuple[list[str], list[SamRecord]]:
+    """Parse a SAM file into (header_lines, records)."""
+    header: list[str] = []
+    records: list[SamRecord] = []
+    with open(path) as fh:
+        for raw in fh:
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("@"):
+                header.append(line)
+                continue
+            fields = line.split("\t")
+            if len(fields) < 11:
+                raise ValueError(f"malformed SAM line: {line!r}")
+            tags = dict(_parse_tag(t) for t in fields[11:])
+            records.append(
+                SamRecord(
+                    qname=fields[0],
+                    flag=int(fields[1]),
+                    rname=fields[2],
+                    pos=int(fields[3]),
+                    mapq=int(fields[4]),
+                    cigar=fields[5],
+                    seq=fields[9],
+                    qual=fields[10],
+                    tags=tags,
+                )
+            )
+    return header, records
+
+
+def cigar_reference_span(cigar: str) -> int:
+    """Reference bases consumed by a CIGAR (M/N/D ops); 0 for ``*``."""
+    if cigar == "*":
+        return 0
+    span = 0
+    number = ""
+    for ch in cigar:
+        if ch.isdigit():
+            number += ch
+            continue
+        if not number:
+            raise ValueError(f"malformed CIGAR: {cigar!r}")
+        if ch in "MND=X":
+            span += int(number)
+        elif ch not in "ISHP":
+            raise ValueError(f"unsupported CIGAR op {ch!r} in {cigar!r}")
+        number = ""
+    if number:
+        raise ValueError(f"trailing number in CIGAR: {cigar!r}")
+    return span

@@ -1,0 +1,201 @@
+"""Suffix-array construction and interval search.
+
+Construction uses prefix doubling fully vectorized in numpy:
+O(n log n) argsorts over composite (rank, rank+k) keys.  This is the
+index structure STAR's uncompressed-SA design is built on, and its
+memory footprint (8 bytes/position) is what makes index size track
+genome size — the fact behind the paper's §III-A optimization.
+
+Search maintains an SA interval and narrows it one character at a time
+(``extend_interval``), which gives both exact pattern search and the
+sequential Maximal Mappable Prefix scan in :mod:`repro.align.seeds`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def build_suffix_array(sequence: np.ndarray) -> np.ndarray:
+    """Suffix array (int64 start positions, lexicographic suffix order).
+
+    Shorter suffixes that are prefixes of longer ones sort first, i.e. the
+    implicit sentinel is smaller than every symbol.
+    """
+    seq = np.asarray(sequence, dtype=np.uint8)
+    n = int(seq.size)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if n == 1:
+        return np.zeros(1, dtype=np.int64)
+
+    # Compact initial ranks to dense values < n: the composite key below
+    # multiplies by (n + 2), which is only collision-free when every rank is
+    # < n and every second key is <= n.  (Raw symbol codes are NOT dense —
+    # e.g. "TN" has codes [3, 4] with n = 2 — so compaction is required for
+    # correctness, not just hygiene.)
+    order = np.argsort(seq, kind="stable")
+    sorted_vals = seq[order].astype(np.int64)
+    dense = np.empty(n, dtype=np.int64)
+    dense[0] = 0
+    np.cumsum(sorted_vals[1:] != sorted_vals[:-1], out=dense[1:])
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = dense
+
+    k = 1
+    while True:
+        second = np.zeros(n, dtype=np.int64)
+        if k < n:
+            second[: n - k] = rank[k:] + 1
+        # Composite key; rank < n and second <= n so this fits int64 for any
+        # genome that fits in memory.
+        key = rank * (n + 2) + second
+        sa = np.argsort(key, kind="stable")
+        sorted_key = key[sa]
+        boundaries = np.empty(n, dtype=np.int64)
+        boundaries[0] = 0
+        np.cumsum(sorted_key[1:] != sorted_key[:-1], out=boundaries[1:])
+        new_rank = np.empty(n, dtype=np.int64)
+        new_rank[sa] = boundaries
+        rank = new_rank
+        if boundaries[-1] == n - 1:
+            return sa.astype(np.int64)
+        k *= 2
+
+
+class SearchContext:
+    """Precomputed state for fast repeated SA searches.
+
+    Profiling (see benchmarks) showed numpy scalar indexing dominating the
+    MMP binary search; this context converts the genome to ``bytes`` and
+    the suffix array to a plain list (both O(1) C-speed element access)
+    and precomputes the depth-0 symbol boundaries — the first characters
+    of suffixes in SA order are sorted, so the first narrowing step is a
+    table lookup instead of a binary search.
+    """
+
+    __slots__ = ("genome_bytes", "sa_list", "n", "first_bounds")
+
+    def __init__(self, genome: np.ndarray, sa: np.ndarray) -> None:
+        self.genome_bytes = np.asarray(genome, dtype=np.uint8).tobytes()
+        self.sa_list = sa.tolist()
+        self.n = int(sa.size)
+        firsts = np.asarray(genome, dtype=np.uint8)[sa] if sa.size else np.empty(
+            0, dtype=np.uint8
+        )
+        # boundaries: first_bounds[s] = first SA index whose suffix starts
+        # with a symbol >= s (6 entries cover symbols 0..4 plus the end)
+        self.first_bounds = [
+            int(np.searchsorted(firsts, s, side="left")) for s in range(5)
+        ] + [self.n]
+
+    def extend(self, lo: int, hi: int, depth: int, symbol: int) -> tuple[int, int]:
+        """Narrow ``[lo, hi)`` of depth-``depth`` matches by one symbol."""
+        if depth == 0 and lo == 0 and hi == self.n:
+            return self.first_bounds[symbol], self.first_bounds[symbol + 1]
+        genome = self.genome_bytes
+        sa = self.sa_list
+        n = self.n
+
+        # lower bound: first index with char >= symbol (short suffixes = -1)
+        a, b = lo, hi
+        while a < b:
+            mid = (a + b) >> 1
+            pos = sa[mid] + depth
+            ch = genome[pos] if pos < n else -1
+            if ch < symbol:
+                a = mid + 1
+            else:
+                b = mid
+        new_lo = a
+        a, b = new_lo, hi
+        while a < b:
+            mid = (a + b) >> 1
+            pos = sa[mid] + depth
+            ch = genome[pos] if pos < n else -1
+            if ch <= symbol:
+                a = mid + 1
+            else:
+                b = mid
+        return new_lo, a
+
+
+def _char_after(genome: np.ndarray, sa: np.ndarray, index: int, depth: int) -> int:
+    """Symbol at offset ``depth`` of suffix ``sa[index]``; -1 past the end."""
+    pos = int(sa[index]) + depth
+    if pos >= genome.size:
+        return -1
+    return int(genome[pos])
+
+
+def extend_interval(
+    genome: np.ndarray,
+    sa: np.ndarray,
+    lo: int,
+    hi: int,
+    depth: int,
+    symbol: int,
+) -> tuple[int, int]:
+    """Narrow SA interval ``[lo, hi)`` of depth-``depth`` matches by one symbol.
+
+    Precondition: all suffixes in ``[lo, hi)`` share the same first ``depth``
+    symbols.  Returns the (possibly empty) sub-interval whose suffixes also
+    have ``symbol`` at offset ``depth``.  Two binary searches, O(log(hi-lo)).
+    """
+    # lower bound: first index with char >= symbol
+    a, b = lo, hi
+    while a < b:
+        mid = (a + b) // 2
+        if _char_after(genome, sa, mid, depth) < symbol:
+            a = mid + 1
+        else:
+            b = mid
+    new_lo = a
+    # upper bound: first index with char > symbol
+    a, b = new_lo, hi
+    while a < b:
+        mid = (a + b) // 2
+        if _char_after(genome, sa, mid, depth) <= symbol:
+            a = mid + 1
+        else:
+            b = mid
+    return new_lo, a
+
+
+def sa_search(
+    genome: np.ndarray, sa: np.ndarray, pattern: np.ndarray
+) -> tuple[int, int]:
+    """Exact-match SA interval of ``pattern``; empty interval when absent."""
+    pattern = np.asarray(pattern, dtype=np.uint8)
+    lo, hi = 0, int(sa.size)
+    for depth in range(pattern.size):
+        lo, hi = extend_interval(genome, sa, lo, hi, depth, int(pattern[depth]))
+        if lo >= hi:
+            return lo, lo
+    return lo, hi
+
+
+def occurrences(
+    genome: np.ndarray, sa: np.ndarray, pattern: np.ndarray
+) -> np.ndarray:
+    """Sorted genome positions where ``pattern`` occurs exactly."""
+    lo, hi = sa_search(genome, sa, pattern)
+    return np.sort(sa[lo:hi])
+
+
+def verify_suffix_array(genome: np.ndarray, sa: np.ndarray) -> bool:
+    """Check that ``sa`` is a permutation in strict lexicographic suffix order.
+
+    O(n²) in the worst case — a test/debug utility, not for hot paths.
+    """
+    n = genome.size
+    if sa.size != n or n == 0:
+        return sa.size == n
+    if not np.array_equal(np.sort(sa), np.arange(n)):
+        return False
+    for i in range(n - 1):
+        a = genome[sa[i] :].tobytes()
+        b = genome[sa[i + 1] :].tobytes()
+        if a >= b:
+            return False
+    return True

@@ -1,0 +1,299 @@
+"""Command-line interface: regenerate any of the paper's artifacts.
+
+Usage::
+
+    python -m repro fig3 [--seed N] [--rows K]
+    python -m repro fig4 [--seed N] [--threshold 0.3] [--check 0.1]
+    python -m repro mini-fig3 [--reads N]
+    python -m repro config-table
+    python -m repro calibrate
+    python -m repro architecture [--jobs N]
+    python -m repro ablation [--corpus N]
+    python -m repro pseudo [--seed N]
+    python -m repro hpc [--jobs N] [--nodes N]
+    python -m repro atlas [--jobs N] [--spot] [--release 111] [--fleet 8]
+
+Every command prints the same rows/series the paper reports and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from repro.experiments.fig3 import run_fig3
+
+    result = run_fig3(rng=args.seed)
+    print(result.to_table(max_rows=args.rows))
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.core.early_stopping import EarlyStoppingPolicy
+    from repro.experiments.fig4 import run_fig4
+
+    policy = EarlyStoppingPolicy(
+        mapping_threshold=args.threshold, check_fraction=args.check
+    )
+    result = run_fig4(policy=policy, rng=args.seed)
+    print(result.to_table())
+    return 0
+
+
+def _cmd_mini_fig3(args: argparse.Namespace) -> int:
+    from repro.experiments.mini_fig3 import run_mini_fig3
+
+    print(run_mini_fig3(n_reads=args.reads, seed=args.seed).to_table())
+    return 0
+
+
+def _cmd_config_table(args: argparse.Namespace) -> int:
+    from repro.experiments.config_table import memory_fit_matrix, run_config_table
+
+    print(run_config_table().to_table())
+    print()
+    print(memory_fit_matrix())
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.perf.calibration import calibrate
+    from repro.perf.targets import summarize
+
+    print(summarize())
+    print()
+    print(calibrate().to_text())
+    return 0
+
+
+def _cmd_architecture(args: argparse.Namespace) -> int:
+    from repro.experiments.architecture import run_architecture_sweep
+
+    result = run_architecture_sweep(n_jobs=args.jobs, seed=args.seed)
+    print(result.to_table())
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments.ablation import run_ablation
+
+    print(run_ablation(corpus_size=args.corpus, seed=args.seed).to_table())
+    return 0
+
+
+def _cmd_pseudo(args: argparse.Namespace) -> int:
+    from repro.experiments.pseudo_comparison import (
+        run_pseudo_comparison,
+        run_transferability,
+    )
+
+    print(run_pseudo_comparison(rng=args.seed).to_table())
+    print()
+    print(run_transferability(seed=args.seed or 11).to_table())
+    return 0
+
+
+def _cmd_hpc(args: argparse.Namespace) -> int:
+    from repro.core.hpc import HpcConfig, run_hpc
+    from repro.experiments.corpus import CorpusSpec, generate_corpus
+    from repro.util.tables import Table
+
+    jobs = generate_corpus(CorpusSpec(n_runs=args.jobs), rng=args.seed)
+    report = run_hpc(jobs, HpcConfig(n_nodes=args.nodes, seed=args.seed))
+    table = Table(["metric", "value"], title=f"HPC campaign — {args.nodes} nodes")
+    table.add_row(["jobs", report.n_jobs])
+    table.add_row(["terminated early", report.n_terminated])
+    table.add_row(["makespan (h)", f"{report.makespan_seconds / 3600:.2f}"])
+    table.add_row(["node-hours", f"{report.node_hours:.1f}"])
+    table.add_row(["STAR hours", f"{report.star_hours_actual:.1f}"])
+    table.add_row(["jobs/hour", f"{report.throughput_jobs_per_hour:.1f}"])
+    print(table.render())
+    return 0
+
+
+def _cmd_atlas(args: argparse.Namespace) -> int:
+    from repro.cloud.autoscaling import ScalingPolicy
+    from repro.cloud.ec2 import InstanceMarket
+    from repro.core.atlas import AtlasConfig, run_atlas
+    from repro.experiments.corpus import CorpusSpec, generate_corpus
+    from repro.genome.ensembl import EnsemblRelease
+    from repro.util.tables import Table
+
+    jobs = generate_corpus(CorpusSpec(n_runs=args.jobs), rng=args.seed)
+    config = AtlasConfig(
+        release=EnsemblRelease(args.release),
+        market=InstanceMarket.SPOT if args.spot else InstanceMarket.ON_DEMAND,
+        scaling=ScalingPolicy(max_size=args.fleet, messages_per_instance=4),
+        seed=args.seed,
+    )
+    report = run_atlas(jobs, config)
+    table = Table(
+        ["metric", "value"],
+        title=f"Atlas campaign — release {args.release}, "
+        f"{'spot' if args.spot else 'on-demand'}, fleet<={args.fleet}",
+    )
+    table.add_row(["instance type", report.instance.name])
+    table.add_row(["jobs completed", report.n_jobs])
+    table.add_row(["terminated early", report.n_terminated])
+    table.add_row(["makespan (h)", f"{report.makespan_seconds / 3600:.2f}"])
+    table.add_row(["throughput (jobs/h)", f"{report.throughput_jobs_per_hour:.1f}"])
+    table.add_row(["STAR hours", f"{report.star_hours_actual:.1f}"])
+    table.add_row(["STAR hours saved", f"{report.star_hours_saved:.1f}"])
+    table.add_row(["init overhead (s)", f"{report.init_overhead_seconds:.0f}"])
+    table.add_row(["peak fleet", report.peak_fleet])
+    table.add_row(["mean utilization", f"{report.mean_utilization:.2f}"])
+    table.add_row(["spot interruptions", report.cost.n_interrupted])
+    table.add_row(["total cost", f"${report.cost.total_usd:.2f}"])
+    print(table.render())
+    return 0
+
+
+def _cmd_full_atlas(args: argparse.Namespace) -> int:
+    from repro.experiments.full_atlas import run_full_atlas
+
+    result = run_full_atlas(n_files=args.files, fleet=args.fleet, seed=args.seed)
+    print(result.to_table())
+    return 0
+
+
+def _cmd_diagrams(args: argparse.Namespace) -> int:
+    from repro.experiments.diagrams import diagrams_report
+
+    print(diagrams_report())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import ReportScale, generate_report
+
+    scale = ReportScale.quick() if args.quick else None
+    text = generate_report(seed=args.seed, scale=scale)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output} ({len(text)} bytes)")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.atlas import AtlasConfig
+    from repro.core.planner import PlannerConstraints, plan_campaign
+    from repro.experiments.corpus import CorpusSpec, generate_corpus
+
+    jobs = generate_corpus(CorpusSpec(n_runs=args.jobs), rng=args.seed)
+    plan = plan_campaign(
+        jobs,
+        PlannerConstraints(deadline_hours=args.deadline),
+        base_config=AtlasConfig(instance_name="r6a.2xlarge", seed=args.seed),
+    )
+    print(plan.to_table())
+    return 0 if plan.feasible else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Optimizing STAR Aligner for High Throughput "
+        "Computing in the Cloud' (CLUSTER 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig3", help="release 108 vs 111 STAR times (Fig. 3)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--rows", type=int, default=None, help="limit printed rows")
+    p.set_defaults(fn=_cmd_fig3)
+
+    p = sub.add_parser("fig4", help="early-stopping savings replay (Fig. 4)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--threshold", type=float, default=0.30)
+    p.add_argument("--check", type=float, default=0.10)
+    p.set_defaults(fn=_cmd_fig4)
+
+    p = sub.add_parser("mini-fig3", help="Fig. 3 mechanisms with the real aligner")
+    p.add_argument("--reads", type=int, default=400)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(fn=_cmd_mini_fig3)
+
+    p = sub.add_parser("config-table", help="index sizes per Ensembl release")
+    p.set_defaults(fn=_cmd_config_table)
+
+    p = sub.add_parser("calibrate", help="show derived model constants")
+    p.set_defaults(fn=_cmd_calibrate)
+
+    p = sub.add_parser("architecture", help="fleet-size scaling sweep")
+    p.add_argument("--jobs", type=int, default=120)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_architecture)
+
+    p = sub.add_parser("ablation", help="early-stopping operating-point sweep")
+    p.add_argument("--corpus", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_ablation)
+
+    p = sub.add_parser("pseudo", help="applicability to pseudo-aligners")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_pseudo)
+
+    p = sub.add_parser("hpc", help="fixed-cluster (SLURM-like) campaign")
+    p.add_argument("--jobs", type=int, default=120)
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_hpc)
+
+    p = sub.add_parser(
+        "full-atlas", help="the full 7216-file / 17TB campaign, 4 variants"
+    )
+    p.add_argument("--files", type=int, default=7216)
+    p.add_argument("--fleet", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_full_atlas)
+
+    p = sub.add_parser("diagrams", help="Figs. 1-2 as structure-derived text")
+    p.set_defaults(fn=_cmd_diagrams)
+
+    p = sub.add_parser("report", help="regenerate every experiment in one document")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--quick", action="store_true", help="reduced workload sizes")
+    p.add_argument("--output", type=str, default=None, help="write to a file")
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("plan", help="cheapest config meeting a deadline")
+    p.add_argument("--jobs", type=int, default=120)
+    p.add_argument("--deadline", type=float, default=6.0, help="hours")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_plan)
+
+    p = sub.add_parser("atlas", help="cloud atlas campaign")
+    p.add_argument("--jobs", type=int, default=120)
+    p.add_argument("--spot", action="store_true")
+    p.add_argument("--release", type=int, default=111, choices=range(106, 113))
+    p.add_argument("--fleet", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_atlas)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) went away — not an error; park
+        # stdout on /dev/null so the interpreter-exit flush stays quiet
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Cloud substrate: a deterministic discrete-event simulation of AWS.
+
+Models exactly the services in the paper's Fig. 2 architecture:
+
+* :mod:`repro.cloud.events` — the discrete-event engine (simpy-flavoured
+  generator processes, deterministic given seeds);
+* :mod:`repro.cloud.ec2` — instance-type catalog (r6a and friends),
+  on-demand/spot markets, boot latency, spot interruptions;
+* :mod:`repro.cloud.sqs` — at-least-once queue with visibility timeout;
+* :mod:`repro.cloud.s3` — object store with byte accounting;
+* :mod:`repro.cloud.autoscaling` — queue-depth-driven AutoScalingGroup;
+* :mod:`repro.cloud.agent` — the per-instance worker loop (init: download
+  and load the STAR index; poll SQS; run injected work; delete message);
+* :mod:`repro.cloud.cost` — per-second billing and cost roll-ups.
+
+The genomics pipeline itself is *injected* into agents by
+:mod:`repro.core.atlas`; this package knows nothing about genomes.
+"""
+
+from repro.cloud.autoscaling import AutoScalingGroup, ScalingPolicy
+from repro.cloud.cost import CostAccountant, CostReport
+from repro.cloud.ec2 import (
+    EC2Instance,
+    Ec2Service,
+    InstanceMarket,
+    InstanceState,
+    InstanceType,
+    INSTANCE_CATALOG,
+    SpotModel,
+    instance_type,
+)
+from repro.cloud.events import Process, SimEvent, Simulation, Timeout
+from repro.cloud.s3 import S3Bucket, S3Object, S3Service
+from repro.cloud.sqs import Message, SqsQueue
+
+__all__ = [
+    "AutoScalingGroup",
+    "CostAccountant",
+    "CostReport",
+    "EC2Instance",
+    "Ec2Service",
+    "INSTANCE_CATALOG",
+    "InstanceMarket",
+    "InstanceState",
+    "InstanceType",
+    "Message",
+    "Process",
+    "S3Bucket",
+    "S3Object",
+    "S3Service",
+    "ScalingPolicy",
+    "SimEvent",
+    "Simulation",
+    "SpotModel",
+    "SqsQueue",
+    "Timeout",
+    "instance_type",
+]

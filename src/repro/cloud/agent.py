@@ -1,0 +1,222 @@
+"""Worker agent: the per-instance loop of the paper's architecture.
+
+Each EC2 instance runs the same loop (Fig. 2): wait for boot → *init phase*
+(download the pre-computed STAR index from S3 and load it into shared
+memory) → poll the SQS queue → run the pipeline for each message → delete
+the message → repeat; stop after the queue stays empty, or when a spot
+interruption warning arrives (the undeleted message then returns to the
+queue via its visibility timeout — at-least-once processing).
+
+The actual *work* (init and per-message pipeline) is injected as generator
+functions so this module stays genomics-free; :mod:`repro.core.atlas`
+supplies the Transcriptomics Atlas behaviour.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cloud.ec2 import EC2Instance
+from repro.cloud.events import AnyOf, SimEvent, Simulation, Timeout
+from repro.cloud.sqs import Message, SqsQueue
+
+#: init hook: ``init_work(agent)`` → generator yielding sim waits
+InitWork = Callable[["WorkerAgent"], Generator]
+#: message hook: ``process_message(agent, message)`` → generator returning a result
+MessageWork = Callable[["WorkerAgent", Message], Generator]
+
+
+@dataclass
+class AgentStats:
+    """Utilization accounting for one agent."""
+
+    init_seconds: float = 0.0
+    busy_seconds: float = 0.0
+    idle_seconds: float = 0.0
+    jobs_completed: int = 0
+    jobs_interrupted: int = 0
+    stopped_at: float | None = None
+    stop_reason: str = ""
+
+    @property
+    def utilization(self) -> float:
+        """busy / (init + busy + idle); 0 for an agent that never worked."""
+        denom = self.init_seconds + self.busy_seconds + self.idle_seconds
+        return self.busy_seconds / denom if denom > 0 else 0.0
+
+
+class WorkerAgent:
+    """One instance's control loop, driven as a simulation process."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        instance: EC2Instance,
+        queue: SqsQueue,
+        *,
+        init_work: InitWork,
+        process_message: MessageWork,
+        poll_interval: float = 20.0,
+        max_idle_polls: int = 3,
+        heartbeat: bool = True,
+        on_stop: Callable[["WorkerAgent"], None] | None = None,
+    ) -> None:
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        if max_idle_polls < 1:
+            raise ValueError("max_idle_polls must be >= 1")
+        self.sim = sim
+        self.instance = instance
+        self.queue = queue
+        self.init_work = init_work
+        self.process_message = process_message
+        self.poll_interval = poll_interval
+        self.max_idle_polls = max_idle_polls
+        self.heartbeat = heartbeat
+        self.on_stop = on_stop
+        self.stats = AgentStats()
+        self.results: list[Any] = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def _interruptible(self, gen: Generator) -> Generator:
+        """Drive ``gen``, aborting the moment the instance dies.
+
+        Every wait the work yields is raced against the instance's
+        termination event (so a spot kill interrupts a long STAR run *at
+        the kill time*, not at the run's natural end), and between steps a
+        pending interruption warning stops further work (the standard
+        drain-on-warning pattern).
+
+        Returns ``(status, value)`` where status is ``"done"`` or
+        ``"interrupted"``.
+        """
+        terminated = self.instance.terminated_event
+        try:
+            item = gen.send(None)
+        except StopIteration as stop:
+            return ("done", stop.value)
+        while True:
+            if isinstance(item, Timeout):
+                wait_event = self.sim.timeout_event(item.delay)
+            elif isinstance(item, SimEvent):
+                wait_event = item
+            else:
+                raise TypeError(
+                    f"agent work yielded {type(item).__name__}; expected "
+                    "Timeout or SimEvent"
+                )
+            winner, value = yield AnyOf(wait_event, terminated)
+            if (
+                winner is terminated
+                or not self.instance.is_running
+                or self.interruption_pending
+            ):
+                gen.close()
+                return ("interrupted", None)
+            try:
+                item = gen.send(value)
+            except StopIteration as stop:
+                return ("done", stop.value)
+
+    @property
+    def interruption_pending(self) -> bool:
+        """A spot interruption warning has been received."""
+        return self.instance.interruption_warning.triggered
+
+    def _start_heartbeat(self, receipt: str) -> dict:
+        """Keep the in-flight message invisible while we work on it.
+
+        The standard long-job SQS pattern: extend the message's visibility
+        every half-timeout so it is not redelivered while still being
+        processed (e.g. a multi-hour STAR run against the r108 index).
+        Implemented as a cancellable timer chain (not a process) so an
+        armed-but-unneeded tick never extends the simulation.  Stop via
+        :meth:`_stop_heartbeat`; a stale receipt stops it too.
+        """
+        state: dict = {"active": self.heartbeat, "handle": None}
+        if not self.heartbeat:
+            return state
+        timeout = self.queue.visibility_timeout
+        period = timeout / 2.0
+
+        def tick() -> None:
+            if not state["active"] or not self.instance.is_running:
+                return
+            if not self.queue.change_visibility(receipt, timeout):
+                return  # receipt stale: job finished or was released
+            state["handle"] = self.sim.call_later(period, tick)
+
+        state["handle"] = self.sim.call_later(period, tick)
+        return state
+
+    @staticmethod
+    def _stop_heartbeat(state: dict) -> None:
+        state["active"] = False
+        if state.get("handle") is not None:
+            state["handle"].cancel()
+
+    # -- the loop -------------------------------------------------------------
+
+    def run(self) -> Generator:
+        """The agent process (register with ``sim.process(agent.run())``)."""
+        if not self.instance.running_event.triggered:
+            yield self.instance.running_event
+        if not self.instance.is_running:
+            self._stopped("terminated before boot completed")
+            return self.stats
+
+        init_started = self.sim.now
+        status, _ = yield from self._interruptible(self.init_work(self))
+        self.stats.init_seconds = self.sim.now - init_started
+        if status == "interrupted":
+            self._stopped("interrupted during init")
+            return self.stats
+
+        idle_polls = 0
+        while self.instance.is_running:
+            if self.interruption_pending:
+                self._stopped("spot interruption warning")
+                return self.stats
+            message = self.queue.receive()
+            if message is None:
+                idle_polls += 1
+                if idle_polls >= self.max_idle_polls and self.queue.is_drained:
+                    self._stopped("queue drained")
+                    return self.stats
+                idle_started = self.sim.now
+                yield Timeout(self.poll_interval)
+                self.stats.idle_seconds += self.sim.now - idle_started
+                continue
+            idle_polls = 0
+            busy_started = self.sim.now
+            receipt = message.receipt_handle
+            heartbeat_state = self._start_heartbeat(receipt)
+            status, result = yield from self._interruptible(
+                self.process_message(self, message)
+            )
+            self._stop_heartbeat(heartbeat_state)
+            self.stats.busy_seconds += self.sim.now - busy_started
+            if status == "interrupted":
+                # Do NOT delete — but release the message immediately (the
+                # drain handler calls ChangeMessageVisibility(0)) so another
+                # instance picks it up without waiting out the timeout.
+                if receipt is not None:
+                    self.queue.change_visibility(receipt, 1.0)
+                self.stats.jobs_interrupted += 1
+                self._stopped("spot interruption mid-job")
+                return self.stats
+            self.queue.delete(receipt)
+            self.stats.jobs_completed += 1
+            self.results.append(result)
+
+        self._stopped("instance terminated")
+        return self.stats
+
+    def _stopped(self, reason: str) -> None:
+        self.stats.stopped_at = self.sim.now
+        self.stats.stop_reason = reason
+        if self.on_stop is not None:
+            self.on_stop(self)

@@ -1,0 +1,125 @@
+"""AutoScalingGroup: queue-depth-driven dynamic virtual cluster.
+
+The paper scales EC2 instances with an AutoScalingGroup fed by the SQS
+backlog — the standard "backlog per instance" target-tracking pattern.
+Scale-out launches instances (optionally spot); scale-in happens
+naturally as agents self-terminate on a drained queue, and the ASG
+replaces spot-interrupted instances while work remains.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from dataclasses import dataclass
+
+from repro.cloud.agent import WorkerAgent
+from repro.cloud.ec2 import Ec2Service, InstanceMarket, InstanceType
+from repro.cloud.events import Simulation, Timeout
+from repro.cloud.sqs import SqsQueue
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ScalingPolicy:
+    """Backlog-per-instance target tracking."""
+
+    min_size: int = 0
+    max_size: int = 16
+    #: desired = ceil(backlog / messages_per_instance)
+    messages_per_instance: int = 4
+    evaluation_interval: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.min_size < 0 or self.max_size < self.min_size:
+            raise ValueError("need 0 <= min_size <= max_size")
+        check_positive("messages_per_instance", self.messages_per_instance)
+        check_positive("evaluation_interval", self.evaluation_interval)
+
+    def desired_capacity(self, backlog: int) -> int:
+        """Clamped desired instance count for the given backlog."""
+        import math
+
+        desired = math.ceil(backlog / self.messages_per_instance)
+        return max(self.min_size, min(self.max_size, desired))
+
+
+#: builds the agent for a newly launched instance
+AgentFactory = Callable[["AutoScalingGroup", "WorkerAgent"], None] | None
+
+
+class AutoScalingGroup:
+    """Manages a fleet of worker instances against one queue."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        ec2: Ec2Service,
+        queue: SqsQueue,
+        *,
+        itype: InstanceType,
+        market: InstanceMarket = InstanceMarket.ON_DEMAND,
+        policy: ScalingPolicy | None = None,
+        make_agent: Callable[["AutoScalingGroup", object], WorkerAgent] | None = None,
+    ) -> None:
+        if make_agent is None:
+            raise ValueError("make_agent is required: it wires the pipeline work in")
+        self.sim = sim
+        self.ec2 = ec2
+        self.queue = queue
+        self.itype = itype
+        self.market = market
+        self.policy = policy or ScalingPolicy()
+        self.make_agent = make_agent
+        self.agents: list[WorkerAgent] = []
+        self._active = True
+        self.scale_events: list[tuple[float, int, int]] = []  # (t, alive, desired)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def controller(self) -> Generator:
+        """The ASG evaluation loop (register as a sim process).
+
+        Runs until the queue drains and every agent has stopped, then
+        deactivates — letting the simulation terminate.
+        """
+        while self._active:
+            backlog = self.queue.approximate_depth + self.queue.inflight_count
+            alive = len(self.ec2.alive())
+            desired = self.policy.desired_capacity(backlog)
+            self.scale_events.append((self.sim.now, alive, desired))
+            for _ in range(desired - alive):
+                self._launch_one()
+            if self.queue.is_drained and not self.ec2.alive():
+                self._active = False
+                return
+            yield Timeout(self.policy.evaluation_interval)
+
+    def _launch_one(self) -> None:
+        instance = self.ec2.launch(self.itype, self.market)
+        agent = self.make_agent(self, instance)
+        self.agents.append(agent)
+        self.sim.process(agent.run(), name=f"agent-{instance.instance_id}")
+
+    def stop(self) -> None:
+        """Deactivate the controller (no further scale-out)."""
+        self._active = False
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def total_jobs_completed(self) -> int:
+        return sum(a.stats.jobs_completed for a in self.agents)
+
+    @property
+    def total_jobs_interrupted(self) -> int:
+        return sum(a.stats.jobs_interrupted for a in self.agents)
+
+    def mean_utilization(self) -> float:
+        """Fleet-mean busy fraction (0 when no agent ran)."""
+        if not self.agents:
+            return 0.0
+        return sum(a.stats.utilization for a in self.agents) / len(self.agents)
+
+    def peak_fleet_size(self) -> int:
+        """Max simultaneously alive instances seen by the controller."""
+        return max((alive for _, alive, _ in self.scale_events), default=0)

@@ -1,0 +1,108 @@
+"""Cost accounting: per-second EC2 billing plus S3 request/storage charges.
+
+The paper's third stated goal is "minimization of cloud costs"; this module
+turns a simulation into a bill so the benches can compare architecture
+variants (spot vs on-demand, r6a.4xlarge vs right-sized instances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.ec2 import EC2Instance, InstanceMarket, SpotModel
+from repro.cloud.s3 import S3Bucket
+
+#: us-east-1 S3 standard pricing (2024): per-GB-month storage and per-1k requests.
+S3_STORAGE_USD_PER_GB_MONTH = 0.023
+S3_PUT_USD_PER_1K = 0.005
+S3_GET_USD_PER_1K = 0.0004
+
+
+@dataclass
+class CostReport:
+    """Itemized bill for one simulated run."""
+
+    compute_usd: float = 0.0
+    compute_seconds: float = 0.0
+    on_demand_usd: float = 0.0
+    spot_usd: float = 0.0
+    s3_request_usd: float = 0.0
+    s3_storage_usd: float = 0.0
+    n_instances: int = 0
+    n_interrupted: int = 0
+    per_instance: list[tuple[str, str, float, float]] = field(default_factory=list)
+
+    @property
+    def total_usd(self) -> float:
+        return self.compute_usd + self.s3_request_usd + self.s3_storage_usd
+
+    def to_text(self) -> str:
+        lines = [
+            f"Instances: {self.n_instances} ({self.n_interrupted} spot-interrupted)",
+            f"Compute:   {self.compute_seconds / 3600:.1f} instance-hours, "
+            f"${self.compute_usd:.2f} "
+            f"(on-demand ${self.on_demand_usd:.2f}, spot ${self.spot_usd:.2f})",
+            f"S3:        requests ${self.s3_request_usd:.4f}, "
+            f"storage ${self.s3_storage_usd:.4f}",
+            f"TOTAL:     ${self.total_usd:.2f}",
+        ]
+        return "\n".join(lines)
+
+
+class CostAccountant:
+    """Aggregates charges from simulated services."""
+
+    def __init__(self, spot_model: SpotModel | None = None) -> None:
+        self.spot_model = spot_model or SpotModel()
+
+    def bill_instances(
+        self, instances: list[EC2Instance], now: float
+    ) -> CostReport:
+        """Bill every instance for its billable seconds at its market rate."""
+        report = CostReport()
+        for inst in instances:
+            seconds = inst.billed_seconds(now)
+            rate = inst.hourly_rate(self.spot_model)
+            usd = seconds / 3600.0 * rate
+            report.compute_seconds += seconds
+            report.compute_usd += usd
+            if inst.market is InstanceMarket.SPOT:
+                report.spot_usd += usd
+            else:
+                report.on_demand_usd += usd
+            report.n_instances += 1
+            if inst.interrupted:
+                report.n_interrupted += 1
+            report.per_instance.append(
+                (inst.instance_id, inst.itype.name, seconds, usd)
+            )
+        return report
+
+    def bill_s3(
+        self, buckets: list[S3Bucket], *, storage_days: float = 30.0
+    ) -> tuple[float, float]:
+        """(request_usd, storage_usd) across buckets."""
+        requests = 0.0
+        storage = 0.0
+        for b in buckets:
+            requests += b.put_count / 1000.0 * S3_PUT_USD_PER_1K
+            requests += b.get_count / 1000.0 * S3_GET_USD_PER_1K
+            storage += (
+                b.total_bytes / 1e9 * S3_STORAGE_USD_PER_GB_MONTH * storage_days / 30.0
+            )
+        return requests, storage
+
+    def full_report(
+        self,
+        instances: list[EC2Instance],
+        buckets: list[S3Bucket],
+        now: float,
+        *,
+        storage_days: float = 30.0,
+    ) -> CostReport:
+        """Complete bill: compute + S3."""
+        report = self.bill_instances(instances, now)
+        report.s3_request_usd, report.s3_storage_usd = self.bill_s3(
+            buckets, storage_days=storage_days
+        )
+        return report

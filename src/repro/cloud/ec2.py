@@ -1,0 +1,259 @@
+"""EC2 model: instance types, markets, lifecycle, spot interruptions.
+
+The catalog covers the memory-optimized r6a family the paper uses (the
+test configuration is r6a.4xlarge) plus general-purpose m6a for the
+right-sizing comparison.  Prices are on-demand us-east-1 Linux rates
+(USD/hour, mid-2024); spot is modelled as a discounted rate with random
+interruptions.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.events import SimEvent, Simulation
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """One EC2 instance type's shape and price."""
+
+    name: str
+    vcpus: int
+    memory_bytes: float
+    on_demand_hourly_usd: float
+
+    def __post_init__(self) -> None:
+        check_positive("vcpus", self.vcpus)
+        check_positive("memory_bytes", self.memory_bytes)
+        check_positive("on_demand_hourly_usd", self.on_demand_hourly_usd)
+
+    @property
+    def family(self) -> str:
+        return self.name.split(".", 1)[0]
+
+    @property
+    def memory_gib(self) -> float:
+        return self.memory_bytes / 2**30
+
+
+def _r6a(size: str, vcpus: int, mem_gib: int, price: float) -> InstanceType:
+    return InstanceType(f"r6a.{size}", vcpus, mem_gib * 2**30, price)
+
+
+def _m6a(size: str, vcpus: int, mem_gib: int, price: float) -> InstanceType:
+    return InstanceType(f"m6a.{size}", vcpus, mem_gib * 2**30, price)
+
+
+#: us-east-1 Linux on-demand rates (mid-2024).
+INSTANCE_CATALOG: dict[str, InstanceType] = {
+    t.name: t
+    for t in [
+        _r6a("large", 2, 16, 0.1134),
+        _r6a("xlarge", 4, 32, 0.2268),
+        _r6a("2xlarge", 8, 64, 0.4536),
+        _r6a("4xlarge", 16, 128, 0.9072),
+        _r6a("8xlarge", 32, 256, 1.8144),
+        _r6a("12xlarge", 48, 384, 2.7216),
+        _m6a("large", 2, 8, 0.0864),
+        _m6a("xlarge", 4, 16, 0.1728),
+        _m6a("2xlarge", 8, 32, 0.3456),
+        _m6a("4xlarge", 16, 64, 0.6912),
+        _m6a("8xlarge", 32, 128, 1.3824),
+    ]
+}
+
+
+def instance_type(name: str) -> InstanceType:
+    """Catalog lookup with a helpful error."""
+    try:
+        return INSTANCE_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown instance type {name!r}; known: {sorted(INSTANCE_CATALOG)}"
+        ) from None
+
+
+class InstanceMarket(enum.Enum):
+    """Purchase option."""
+
+    ON_DEMAND = "on_demand"
+    SPOT = "spot"
+
+
+class InstanceState(enum.Enum):
+    """Lifecycle states (subset of EC2's)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    TERMINATED = "terminated"
+
+
+@dataclass(frozen=True)
+class SpotModel:
+    """Spot market behaviour: discount and interruption process.
+
+    Interruptions arrive as a Poisson process per instance with the given
+    mean time between interruptions; AWS gives a 120 s warning, which the
+    agent can use to stop cleanly (the SQS visibility timeout then returns
+    its message to the queue).
+    """
+
+    discount: float = 0.34  # spot price ≈ 34% of on-demand for r6a
+    mean_interruption_seconds: float = 6 * 3600.0
+    warning_seconds: float = 120.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.discount <= 1.0:
+            raise ValueError("discount must be in (0, 1]")
+        check_positive("mean_interruption_seconds", self.mean_interruption_seconds)
+
+    def hourly_usd(self, itype: InstanceType) -> float:
+        return itype.on_demand_hourly_usd * self.discount
+
+
+@dataclass
+class EC2Instance:
+    """One launched instance."""
+
+    instance_id: str
+    itype: InstanceType
+    market: InstanceMarket
+    launch_time: float
+    state: InstanceState = InstanceState.PENDING
+    running_time: float | None = None
+    terminate_time: float | None = None
+    #: fires when the instance reaches RUNNING
+    running_event: SimEvent = field(default_factory=SimEvent)
+    #: fires with the warning when a spot interruption is imminent
+    interruption_warning: SimEvent = field(default_factory=SimEvent)
+    #: fires when the instance is terminated (any cause)
+    terminated_event: SimEvent = field(default_factory=SimEvent)
+    interrupted: bool = False
+
+    @property
+    def is_running(self) -> bool:
+        return self.state is InstanceState.RUNNING
+
+    def billed_seconds(self, now: float) -> float:
+        """Billable seconds so far (AWS bills from RUNNING, 60 s minimum)."""
+        if self.running_time is None:
+            return 0.0
+        end = self.terminate_time if self.terminate_time is not None else now
+        return max(60.0, max(0.0, end - self.running_time))
+
+    def hourly_rate(self, spot_model: SpotModel) -> float:
+        if self.market is InstanceMarket.SPOT:
+            return spot_model.hourly_usd(self.itype)
+        return self.itype.on_demand_hourly_usd
+
+
+class Ec2Service:
+    """Launch/terminate instances inside a :class:`Simulation`."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        *,
+        boot_seconds: float = 60.0,
+        spot_model: SpotModel | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        check_positive("boot_seconds", boot_seconds)
+        self.sim = sim
+        self.boot_seconds = boot_seconds
+        self.spot_model = spot_model or SpotModel()
+        self.rng = ensure_rng(rng)
+        self.instances: list[EC2Instance] = []
+        self._ids = itertools.count()
+
+    def launch(
+        self, itype: InstanceType, market: InstanceMarket = InstanceMarket.ON_DEMAND
+    ) -> EC2Instance:
+        """Start an instance; it reaches RUNNING after the boot delay."""
+        inst = EC2Instance(
+            instance_id=f"i-{next(self._ids):08x}",
+            itype=itype,
+            market=market,
+            launch_time=self.sim.now,
+        )
+        self.instances.append(inst)
+        self.sim.call_later(self.boot_seconds, lambda: self._mark_running(inst))
+        return inst
+
+    def _mark_running(self, inst: EC2Instance) -> None:
+        if inst.state is InstanceState.TERMINATED:
+            return
+        inst.state = InstanceState.RUNNING
+        inst.running_time = self.sim.now
+        if not inst.running_event.triggered:
+            inst.running_event.succeed(self.sim.now)
+        if inst.market is InstanceMarket.SPOT:
+            self._schedule_interruption(inst)
+
+    def _schedule_interruption(self, inst: EC2Instance) -> None:
+        delay = float(
+            self.rng.exponential(self.spot_model.mean_interruption_seconds)
+        )
+        warning_at = max(0.0, delay - self.spot_model.warning_seconds)
+        self.sim.call_later(warning_at, lambda: self._warn(inst))
+        self.sim.call_later(delay, lambda: self._interrupt(inst))
+
+    def _warn(self, inst: EC2Instance) -> None:
+        if inst.is_running and not inst.interruption_warning.triggered:
+            inst.interruption_warning.succeed(self.sim.now)
+
+    def _interrupt(self, inst: EC2Instance) -> None:
+        if inst.is_running:
+            inst.interrupted = True
+            self.terminate(inst)
+
+    def terminate(self, inst: EC2Instance) -> None:
+        """Terminate (idempotent)."""
+        if inst.state is InstanceState.TERMINATED:
+            return
+        inst.state = InstanceState.TERMINATED
+        inst.terminate_time = self.sim.now
+        # release anyone still waiting for boot (they must re-check state)
+        if not inst.running_event.triggered:
+            inst.running_event.succeed(None)
+        if not inst.terminated_event.triggered:
+            inst.terminated_event.succeed(self.sim.now)
+
+    # -- queries ---------------------------------------------------------------
+
+    def running(self) -> list[EC2Instance]:
+        return [i for i in self.instances if i.is_running]
+
+    def alive(self) -> list[EC2Instance]:
+        """Instances that are pending or running."""
+        return [i for i in self.instances if i.state is not InstanceState.TERMINATED]
+
+
+def cheapest_fitting(
+    memory_required: float, *, family: str | None = "r6a", min_vcpus: int = 1
+) -> InstanceType:
+    """Cheapest catalog type with at least the given memory (and vCPUs).
+
+    Used by the right-sizing advisor: the r111 index's smaller footprint
+    lets this pick a smaller, cheaper instance than the r108 index does.
+    """
+    candidates = [
+        t
+        for t in INSTANCE_CATALOG.values()
+        if t.memory_bytes >= memory_required
+        and t.vcpus >= min_vcpus
+        and (family is None or t.family == family)
+    ]
+    if not candidates:
+        raise ValueError(
+            f"no instance type with {memory_required / 2**30:.1f} GiB "
+            f"in family {family!r}"
+        )
+    return min(candidates, key=lambda t: t.on_demand_hourly_usd)

@@ -1,0 +1,269 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic, simpy-flavoured kernel: *processes* are Python
+generators that yield awaitables —
+
+* ``Timeout(delay)`` — resume after simulated seconds;
+* ``SimEvent`` — resume when someone calls :meth:`SimEvent.succeed`;
+* another ``Process`` — resume when it finishes (its return value is sent
+  back in).
+
+Determinism: events at equal times fire in schedule order (a monotonically
+increasing sequence number breaks ties), so runs are bit-reproducible for
+fixed seeds — which the benches rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Generator
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Yield inside a process to sleep ``delay`` simulated seconds."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"negative timeout: {self.delay}")
+
+
+class SimEvent:
+    """A one-shot event processes can wait on.
+
+    ``succeed(value)`` wakes every waiter with ``value``; succeeding twice
+    is an error.  Waiting on an already-succeeded event resumes immediately.
+    """
+
+    __slots__ = ("triggered", "value", "_callbacks")
+
+    def __init__(self) -> None:
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    def succeed(self, value: Any = None) -> None:
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(value)
+
+    def _add_callback(self, cb: Callable[[Any], None]) -> None:
+        self._callbacks.append(cb)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        sim = proc._sim
+        self._callbacks.append(lambda value: sim._schedule_now(proc._resume, value))
+
+
+class AnyOf:
+    """Yield inside a process to wait for the FIRST of several events.
+
+    The process resumes with ``(event, value)`` identifying which fired.
+    Used by the worker agent to race a work step against instance
+    termination (spot interruption semantics).
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, *events: SimEvent) -> None:
+        if not events:
+            raise ValueError("AnyOf needs at least one event")
+        self.events = events
+
+
+class Process:
+    """A running generator-process inside a :class:`Simulation`."""
+
+    __slots__ = ("_sim", "_gen", "name", "finished", "result", "_completion")
+
+    def __init__(self, sim: "Simulation", gen: Generator, name: str = "") -> None:
+        self._sim = sim
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.finished = False
+        self.result: Any = None
+        self._completion = SimEvent()
+
+    def _resume(self, send_value: Any = None) -> None:
+        if self.finished:
+            return
+        try:
+            yielded = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self._completion.succeed(stop.value)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            self._sim._schedule_at(self._sim.now + yielded.delay, self._resume, None)
+        elif isinstance(yielded, SimEvent):
+            if yielded.triggered:
+                self._sim._schedule_now(self._resume, yielded.value)
+            else:
+                yielded._add_waiter(self)
+        elif isinstance(yielded, AnyOf):
+            already = [ev for ev in yielded.events if ev.triggered]
+            if already:
+                winner = already[0]
+                self._sim._schedule_now(self._resume, (winner, winner.value))
+            else:
+                state = {"fired": False}
+
+                def make_callback(event: SimEvent):
+                    def callback(value: Any) -> None:
+                        if state["fired"]:
+                            return
+                        state["fired"] = True
+                        self._sim._schedule_now(self._resume, (event, value))
+
+                    return callback
+
+                for ev in yielded.events:
+                    ev._add_callback(make_callback(ev))
+        elif isinstance(yielded, Process):
+            if yielded.finished:
+                self._sim._schedule_now(self._resume, yielded.result)
+            else:
+                yielded._completion._add_waiter(self)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {type(yielded).__name__}; "
+                "expected Timeout, SimEvent, AnyOf, or Process"
+            )
+
+    @property
+    def completion(self) -> SimEvent:
+        """Event that fires (with the return value) when this process ends."""
+        return self._completion
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable[[Any], None] = field(compare=False)
+    arg: Any = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Returned by :meth:`Simulation.call_later`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class Simulation:
+    """The event loop: a time-ordered heap of callbacks."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[_ScheduledEvent] = []
+        self._seq = 0
+        self._processes: list[Process] = []
+
+    # -- scheduling primitives ------------------------------------------------
+
+    def _schedule_at(self, time: float, callback: Callable, arg: Any = None) -> EventHandle:
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        ev = _ScheduledEvent(time=time, seq=self._seq, callback=callback, arg=arg)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return EventHandle(ev)
+
+    def _schedule_now(self, callback: Callable, arg: Any = None) -> EventHandle:
+        return self._schedule_at(self.now, callback, arg)
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> EventHandle:
+        """Run ``fn()`` after ``delay`` simulated seconds (cancellable)."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self._schedule_at(self.now + delay, lambda _arg: fn(), None)
+
+    def event(self) -> SimEvent:
+        """Create a fresh waitable event."""
+        return SimEvent()
+
+    def timeout_event(self, delay: float) -> SimEvent:
+        """An event that succeeds after ``delay`` seconds (for AnyOf races)."""
+        event = SimEvent()
+        self.call_later(delay, lambda: event.succeed(self.now))
+        return event
+
+    # -- processes ----------------------------------------------------------
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Register and start a generator as a process (first step runs at now)."""
+        proc = Process(self, gen, name)
+        self._processes.append(proc)
+        self._schedule_now(proc._resume, None)
+        return proc
+
+    # -- running -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when the heap is empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            if ev.time < self.now:
+                raise AssertionError("event time went backwards")
+            self.now = ev.time
+            ev.callback(ev.arg)
+            return True
+        return False
+
+    def run(self, until: float | None = None, *, max_events: int = 10_000_000) -> None:
+        """Run until the heap drains or simulated time reaches ``until``.
+
+        ``max_events`` guards against accidental infinite self-scheduling.
+        """
+        executed = 0
+        while self._heap:
+            # purge cancelled events before consulting the time bound —
+            # step() would otherwise skip past a cancelled head straight into
+            # an event beyond `until`
+            while self._heap and self._heap[0].cancelled:
+                heapq.heappop(self._heap)
+            if not self._heap:
+                break
+            if until is not None and self._heap[0].time > until:
+                self.now = until
+                return
+            if not self.step():
+                break
+            executed += 1
+            if executed >= max_events:
+                raise RuntimeError(f"exceeded max_events={max_events}; runaway simulation?")
+        if until is not None and self.now < until:
+            self.now = until
+
+    def run_process(self, gen: Generator, name: str = "") -> Any:
+        """Convenience: start a process, run to completion, return its result."""
+        proc = self.process(gen, name)
+        self.run()
+        if not proc.finished:
+            raise RuntimeError(f"process {proc.name!r} did not finish (deadlock?)")
+        return proc.result

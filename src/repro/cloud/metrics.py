@@ -1,0 +1,149 @@
+"""CloudWatch-style metrics: periodic sampling of simulation state.
+
+The paper's architecture is operated through exactly these signals — SQS
+queue depth (the scaling trigger), fleet size, and instance utilization.
+:class:`MetricsCollector` samples named gauges on a fixed period inside
+the DES, producing time series the experiments can assert on (e.g. "the
+queue drains monotonically once the fleet saturates") and render as
+compact text charts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.cloud.events import Simulation, Timeout
+from repro.util.validation import check_positive
+
+#: a gauge reads the current value of some simulation quantity
+Gauge = Callable[[], float]
+
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+@dataclass
+class TimeSeries:
+    """One metric's samples."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, t: float, v: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ValueError("samples must be appended in time order")
+        self.times.append(t)
+        self.values.append(v)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def value_at(self, t: float) -> float:
+        """Last sample at or before ``t`` (0.0 before the first sample)."""
+        result = 0.0
+        for ts, v in zip(self.times, self.values):
+            if ts > t:
+                break
+            result = v
+        return result
+
+    def integral(self) -> float:
+        """Step-function time integral (e.g. instance-seconds from a
+        fleet-size series)."""
+        total = 0.0
+        for i in range(1, len(self.times)):
+            total += self.values[i - 1] * (self.times[i] - self.times[i - 1])
+        return total
+
+    def is_monotone_non_increasing(self, *, start: float = 0.0) -> bool:
+        """True when the series never rises after ``start``."""
+        prev: float | None = None
+        for t, v in zip(self.times, self.values):
+            if t < start:
+                continue
+            if prev is not None and v > prev:
+                return False
+            prev = v
+        return True
+
+    def sparkline(self, *, width: int = 60) -> str:
+        """Render as a unicode sparkline (downsampled to ``width``)."""
+        if not self.values:
+            return ""
+        values = self.values
+        if len(values) > width:
+            stride = len(values) / width
+            values = [
+                values[min(len(values) - 1, int(i * stride))] for i in range(width)
+            ]
+        peak = max(values)
+        if peak <= 0:
+            return _SPARK_LEVELS[0] * len(values)
+        return "".join(
+            _SPARK_LEVELS[min(8, int(round(8 * v / peak)))] for v in values
+        )
+
+
+class MetricsCollector:
+    """Samples registered gauges every ``period`` simulated seconds.
+
+    Register gauges, then start the collector as a process::
+
+        collector = MetricsCollector(sim, period=60)
+        collector.register("queue_depth", lambda: queue.approximate_depth)
+        sim.process(collector.run())
+
+    The collector stops sampling when ``stop()`` is called or, with
+    ``until``, at a fixed horizon — otherwise it would keep the
+    simulation alive forever.
+    """
+
+    def __init__(self, sim: Simulation, *, period: float = 60.0) -> None:
+        check_positive("period", period)
+        self.sim = sim
+        self.period = period
+        self.series: dict[str, TimeSeries] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._active = True
+
+    def register(self, name: str, gauge: Gauge) -> None:
+        """Add a named gauge; sampling starts at the collector's next tick."""
+        if name in self._gauges:
+            raise ValueError(f"gauge {name!r} already registered")
+        self._gauges[name] = gauge
+        self.series[name] = TimeSeries(name)
+
+    def sample_now(self) -> None:
+        """Take one sample of every gauge immediately."""
+        for name, gauge in self._gauges.items():
+            self.series[name].append(self.sim.now, float(gauge()))
+
+    def run(self, *, until: float | None = None):
+        """The sampling process (register with ``sim.process``)."""
+        while self._active:
+            self.sample_now()
+            if until is not None and self.sim.now >= until:
+                return
+            yield Timeout(self.period)
+
+    def stop(self) -> None:
+        """Stop sampling after the current tick."""
+        self._active = False
+
+    def report(self, *, width: int = 60) -> str:
+        """All series as labelled sparklines with their peak values."""
+        lines = []
+        for name, ts in self.series.items():
+            lines.append(
+                f"{name:>16} peak={ts.max:<8.1f} {ts.sparkline(width=width)}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""S3 model: buckets of byte-accounted objects.
+
+Stores object metadata (and optional payloads for result inspection);
+transfer *times* are computed by the caller from
+:class:`repro.perf.transfer.TransferModel`, keeping this module a pure
+data service.  Request/byte counters feed the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class S3Object:
+    """One stored object's metadata."""
+
+    key: str
+    size_bytes: float
+    stored_at: float
+    payload: Any = field(default=None, compare=False)
+
+
+class S3Bucket:
+    """A named bucket."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("bucket name must be non-empty")
+        self.name = name
+        self._objects: dict[str, S3Object] = {}
+        self.put_count = 0
+        self.get_count = 0
+        self.bytes_in = 0.0
+        self.bytes_out = 0.0
+
+    def put(self, key: str, size_bytes: float, *, now: float, payload: Any = None) -> S3Object:
+        """Store (or overwrite) an object."""
+        check_non_negative("size_bytes", size_bytes)
+        obj = S3Object(key=key, size_bytes=size_bytes, stored_at=now, payload=payload)
+        self._objects[key] = obj
+        self.put_count += 1
+        self.bytes_in += size_bytes
+        return obj
+
+    def get(self, key: str) -> S3Object:
+        """Fetch object metadata+payload; KeyError when missing."""
+        if key not in self._objects:
+            raise KeyError(f"s3://{self.name}/{key} does not exist")
+        obj = self._objects[key]
+        self.get_count += 1
+        self.bytes_out += obj.size_bytes
+        return obj
+
+    def head(self, key: str) -> S3Object | None:
+        """Metadata without transfer accounting (like HeadObject)."""
+        return self._objects.get(key)
+
+    def delete(self, key: str) -> bool:
+        """Remove an object; False when it was absent (idempotent)."""
+        return self._objects.pop(key, None) is not None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._objects
+
+    def keys(self, prefix: str = "") -> list[str]:
+        """List keys under a prefix, sorted (like ListObjectsV2)."""
+        return sorted(k for k in self._objects if k.startswith(prefix))
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(o.size_bytes for o in self._objects.values())
+
+    @property
+    def object_count(self) -> int:
+        return len(self._objects)
+
+
+class S3Service:
+    """Bucket registry."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[str, S3Bucket] = {}
+
+    def create_bucket(self, name: str) -> S3Bucket:
+        if name in self._buckets:
+            raise ValueError(f"bucket {name!r} already exists")
+        bucket = S3Bucket(name)
+        self._buckets[name] = bucket
+        return bucket
+
+    def bucket(self, name: str) -> S3Bucket:
+        if name not in self._buckets:
+            raise KeyError(f"bucket {name!r} does not exist")
+        return self._buckets[name]
+
+    def buckets(self) -> list[str]:
+        return sorted(self._buckets)

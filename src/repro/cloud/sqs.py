@@ -1,0 +1,157 @@
+"""SQS model: at-least-once delivery with visibility timeout.
+
+The paper's architecture feeds SRA accessions to instances through SQS.
+The semantics that matter for correctness under spot interruptions are
+modelled faithfully:
+
+* a received message becomes *invisible* for ``visibility_timeout``
+  seconds; if not deleted in time it returns to the queue (at-least-once,
+  so a killed worker's accession is re-processed elsewhere);
+* ``receive_count`` increments per delivery, and messages exceeding
+  ``max_receive_count`` go to an optional dead-letter queue, as the real
+  service does with a redrive policy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cloud.events import EventHandle, Simulation
+from repro.util.validation import check_positive
+
+
+@dataclass
+class Message:
+    """One queue message; ``receipt_handle`` changes per delivery."""
+
+    message_id: str
+    body: Any
+    enqueued_at: float
+    receive_count: int = 0
+    receipt_handle: str | None = None
+    _visibility_event: EventHandle | None = field(default=None, repr=False)
+
+
+class SqsQueue:
+    """A single SQS queue inside a :class:`Simulation`."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        *,
+        name: str = "queue",
+        visibility_timeout: float = 3600.0,
+        max_receive_count: int = 5,
+        dead_letter: "SqsQueue | None" = None,
+    ) -> None:
+        check_positive("visibility_timeout", visibility_timeout)
+        if max_receive_count < 1:
+            raise ValueError("max_receive_count must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.visibility_timeout = visibility_timeout
+        self.max_receive_count = max_receive_count
+        self.dead_letter = dead_letter
+        self._visible: list[Message] = []
+        self._inflight: dict[str, Message] = {}
+        self._ids = itertools.count()
+        self._receipts = itertools.count()
+        # service metrics
+        self.total_sent = 0
+        self.total_delivered = 0
+        self.total_deleted = 0
+        self.total_expired_visibility = 0
+        self.total_dead_lettered = 0
+
+    # -- producer side -----------------------------------------------------
+
+    def send(self, body: Any) -> Message:
+        """Enqueue one message."""
+        msg = Message(
+            message_id=f"{self.name}-{next(self._ids)}",
+            body=body,
+            enqueued_at=self.sim.now,
+        )
+        self._visible.append(msg)
+        self.total_sent += 1
+        return msg
+
+    def send_batch(self, bodies: list[Any]) -> list[Message]:
+        """Enqueue many messages (the pipeline seeds thousands of SRA IDs)."""
+        return [self.send(b) for b in bodies]
+
+    # -- consumer side -----------------------------------------------------
+
+    def receive(self) -> Message | None:
+        """Deliver the oldest visible message, or None when the queue is empty.
+
+        Starts the visibility clock; the consumer must :meth:`delete`
+        before it expires or the message becomes visible again.
+        """
+        if not self._visible:
+            return None
+        msg = self._visible.pop(0)
+        msg.receive_count += 1
+        msg.receipt_handle = f"r-{next(self._receipts)}"
+        self._inflight[msg.receipt_handle] = msg
+        self.total_delivered += 1
+        handle = msg.receipt_handle
+        msg._visibility_event = self.sim.call_later(
+            self.visibility_timeout, lambda: self._expire_visibility(handle)
+        )
+        return msg
+
+    def _expire_visibility(self, receipt_handle: str) -> None:
+        msg = self._inflight.pop(receipt_handle, None)
+        if msg is None:
+            return  # already deleted
+        self.total_expired_visibility += 1
+        msg.receipt_handle = None
+        if msg.receive_count >= self.max_receive_count:
+            self.total_dead_lettered += 1
+            if self.dead_letter is not None:
+                self.dead_letter.send(msg.body)
+            return
+        self._visible.append(msg)
+
+    def delete(self, receipt_handle: str) -> bool:
+        """Acknowledge a delivered message; False if the receipt is stale."""
+        msg = self._inflight.pop(receipt_handle, None)
+        if msg is None:
+            return False
+        if msg._visibility_event is not None:
+            msg._visibility_event.cancel()
+        self.total_deleted += 1
+        return True
+
+    def change_visibility(self, receipt_handle: str, timeout: float) -> bool:
+        """Extend/shrink one in-flight message's visibility (heartbeating)."""
+        check_positive("timeout", timeout)
+        msg = self._inflight.get(receipt_handle)
+        if msg is None:
+            return False
+        if msg._visibility_event is not None:
+            msg._visibility_event.cancel()
+        handle = receipt_handle
+        msg._visibility_event = self.sim.call_later(
+            timeout, lambda: self._expire_visibility(handle)
+        )
+        return True
+
+    # -- metrics --------------------------------------------------------------
+
+    @property
+    def approximate_depth(self) -> int:
+        """Visible message count (the ASG's scaling signal)."""
+        return len(self._visible)
+
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def is_drained(self) -> bool:
+        """No visible and no in-flight messages."""
+        return not self._visible and not self._inflight

@@ -1,0 +1,61 @@
+"""The paper's contribution: the Transcriptomics Atlas pipeline and its
+application-specific optimizations.
+
+* :mod:`repro.core.pipeline` — the four-step pipeline (prefetch →
+  fasterq-dump → STAR → DESeq2) over the local toolchain;
+* :mod:`repro.core.early_stopping` — §III-B: abort alignments whose
+  mapping rate is below threshold once enough reads were processed;
+* :mod:`repro.core.rightsizing` — §III-A consequence: pick the smallest
+  instance whose RAM fits the index;
+* :mod:`repro.core.atlas` — the cloud orchestration of Fig. 2, wiring the
+  pipeline into the DES substrate (SQS + ASG + S3 + spot);
+* :mod:`repro.core.analytics` — savings/throughput accounting used by the
+  figures.
+"""
+
+from repro.core.analytics import EarlyStopSavings, compute_savings
+from repro.core.atlas import AtlasConfig, AtlasJob, AtlasRunReport, run_atlas
+from repro.core.early_stopping import (
+    Decision,
+    EarlyStoppingPolicy,
+    EarlyStopMonitor,
+)
+from repro.core.hpc import HpcConfig, HpcRunReport, run_hpc
+from repro.core.planner import (
+    CampaignPlan,
+    PlannerConstraints,
+    plan_campaign,
+)
+from repro.core.pipeline import (
+    PipelineConfig,
+    PipelineResult,
+    StepTiming,
+    TranscriptomicsAtlasPipeline,
+)
+from repro.core.rightsizing import RightSizingAdvisor, RightSizingChoice
+from repro.core.trajectory import MappingTrajectory
+
+__all__ = [
+    "AtlasConfig",
+    "AtlasJob",
+    "AtlasRunReport",
+    "CampaignPlan",
+    "Decision",
+    "EarlyStopMonitor",
+    "EarlyStopSavings",
+    "EarlyStoppingPolicy",
+    "HpcConfig",
+    "HpcRunReport",
+    "MappingTrajectory",
+    "PipelineConfig",
+    "PipelineResult",
+    "PlannerConstraints",
+    "RightSizingAdvisor",
+    "RightSizingChoice",
+    "StepTiming",
+    "TranscriptomicsAtlasPipeline",
+    "compute_savings",
+    "plan_campaign",
+    "run_atlas",
+    "run_hpc",
+]

@@ -1,0 +1,356 @@
+"""Cloud orchestration of the Transcriptomics Atlas (Fig. 2).
+
+``run_atlas`` wires the pipeline into the DES substrate: an SQS queue is
+seeded with one message per SRA run, an AutoScalingGroup launches worker
+instances (on-demand or spot), each instance's init phase downloads the
+STAR index from S3 and loads it into shared memory, and each message is
+processed through prefetch → fasterq-dump → STAR (with the early-stopping
+monitor watching synthesized progress) → normalization + result upload.
+
+Timing comes from the calibrated models in :mod:`repro.perf`; alignment
+*behaviour* (what the monitor sees, when it fires) comes from each job's
+mapping-rate trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.agent import WorkerAgent
+from repro.cloud.autoscaling import AutoScalingGroup, ScalingPolicy
+from repro.cloud.cost import CostAccountant, CostReport
+from repro.cloud.ec2 import (
+    Ec2Service,
+    InstanceMarket,
+    InstanceType,
+    SpotModel,
+    cheapest_fitting,
+    instance_type,
+)
+from repro.cloud.events import Simulation, Timeout
+from repro.cloud.s3 import S3Service
+from repro.cloud.sqs import SqsQueue
+from repro.core.early_stopping import Decision, EarlyStoppingPolicy
+from repro.core.pipeline import RunStatus
+from repro.core.trajectory import MappingTrajectory
+from repro.genome.ensembl import EnsemblRelease, release_spec
+from repro.perf.index_model import IndexModel
+from repro.perf.star_model import StarPerfModel
+from repro.perf.transfer import TransferModel
+from repro.reads.library import LibraryType
+from repro.util.rng import derive_rng, ensure_rng
+
+
+@dataclass(frozen=True)
+class AtlasJob:
+    """One SRA run to process (an SQS message body)."""
+
+    accession: str
+    sra_bytes: float
+    fastq_bytes: float
+    n_reads: int
+    library: LibraryType
+    trajectory: MappingTrajectory
+
+    @property
+    def terminal_mapping_rate(self) -> float:
+        return self.trajectory.terminal_rate
+
+
+@dataclass(frozen=True)
+class AtlasConfig:
+    """Everything that defines one atlas campaign."""
+
+    release: EnsemblRelease = EnsemblRelease.R111
+    #: pinned instance type name; None → right-size from the index footprint
+    instance_name: str | None = None
+    market: InstanceMarket = InstanceMarket.ON_DEMAND
+    scaling: ScalingPolicy = field(default_factory=ScalingPolicy)
+    early_stopping: EarlyStoppingPolicy | None = field(
+        default_factory=EarlyStoppingPolicy
+    )
+    #: the atlas acceptance bar on the FINAL mapping rate — applied whether
+    #: or not early stopping is enabled (early stopping merely applies the
+    #: same bar sooner); None disables filtering entirely
+    acceptance_threshold: float | None = 0.30
+    star_model: StarPerfModel = field(default_factory=StarPerfModel)
+    index_model: IndexModel = field(default_factory=IndexModel)
+    transfer_model: TransferModel = field(default_factory=TransferModel)
+    spot_model: SpotModel = field(default_factory=SpotModel)
+    #: per-job fixed normalization/bookkeeping time (DESeq2 step), seconds
+    normalize_seconds: float = 30.0
+    #: uploaded result size per job (gene counts + logs), bytes
+    result_bytes: float = 2e6
+    visibility_timeout: float = 4 * 3600.0
+    #: SQS redrive bound: a job interrupted this many times is dead-lettered
+    max_receive_count: int = 10
+    #: sample queue-depth/fleet metrics every N seconds (None = off)
+    metrics_period: float | None = None
+    #: trajectory checkpoints the monitor sees per run
+    n_progress_snapshots: int = 20
+    memory_overhead_bytes: float = 6e9
+    seed: int = 0
+
+    def resolve_instance(self) -> InstanceType:
+        """Pinned type, or the cheapest one whose RAM fits the index."""
+        if self.instance_name is not None:
+            return instance_type(self.instance_name)
+        spec = release_spec(self.release)
+        memory = self.index_model.memory_required_bytes(
+            spec, overhead=self.memory_overhead_bytes
+        )
+        return cheapest_fitting(memory, family="r6a", min_vcpus=8)
+
+
+@dataclass
+class JobRecord:
+    """Outcome of one job inside the simulation."""
+
+    accession: str
+    status: RunStatus
+    library: LibraryType
+    started_at: float
+    finished_at: float
+    star_seconds: float
+    star_seconds_if_full: float
+    stop_fraction: float | None
+    instance_id: str
+
+    @property
+    def total_seconds(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def star_seconds_saved(self) -> float:
+        return self.star_seconds_if_full - self.star_seconds
+
+
+@dataclass
+class AtlasRunReport:
+    """Campaign-level results."""
+
+    jobs: list[JobRecord]
+    makespan_seconds: float
+    cost: CostReport
+    instance: InstanceType
+    peak_fleet: int
+    mean_utilization: float
+    init_overhead_seconds: float
+    queue_redeliveries: int
+    dead_lettered: int = 0
+    #: CloudWatch-style time series (when config.metrics_period is set)
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def star_hours_actual(self) -> float:
+        return sum(j.star_seconds for j in self.jobs) / 3600.0
+
+    @property
+    def star_hours_if_full(self) -> float:
+        return sum(j.star_seconds_if_full for j in self.jobs) / 3600.0
+
+    @property
+    def star_hours_saved(self) -> float:
+        return self.star_hours_if_full - self.star_hours_actual
+
+    @property
+    def n_terminated(self) -> int:
+        return sum(1 for j in self.jobs if j.status is RunStatus.REJECTED_EARLY)
+
+    @property
+    def throughput_jobs_per_hour(self) -> float:
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return self.n_jobs / (self.makespan_seconds / 3600.0)
+
+
+def simulate_star_step(
+    job: AtlasJob,
+    config: AtlasConfig,
+    vcpus: int,
+    rng: np.random.Generator,
+) -> tuple[float, float, float | None, RunStatus]:
+    """Resolve one job's STAR step against the trajectory + policy.
+
+    Returns (actual_seconds, full_seconds, stop_fraction, status).
+    The run-to-run noise draw is shared between the actual and the
+    counterfactual full run so savings are measured on the same sample.
+    Shared by the cloud atlas and the HPC mode.
+    """
+    spec = release_spec(config.release)
+    full = config.star_model.predict(
+        job.fastq_bytes, spec, vcpus, scanned_fraction=1.0, rng=rng
+    )
+    stop_fraction: float | None = None
+    status = RunStatus.ACCEPTED
+    if config.early_stopping is not None:
+        n = config.n_progress_snapshots
+        for i in range(1, n + 1):
+            f = i / n
+            rate = job.trajectory.rate_at(f)
+            if (
+                config.early_stopping.decide_rate(rate, f)
+                is Decision.ABORT
+            ):
+                stop_fraction = f
+                status = RunStatus.REJECTED_EARLY
+                break
+    if (
+        stop_fraction is None
+        and config.acceptance_threshold is not None
+        and job.trajectory.rate_at(1.0) < config.acceptance_threshold
+    ):
+        status = RunStatus.REJECTED_FINAL
+    if stop_fraction is None:
+        return full.total_seconds, full.total_seconds, None, status
+    actual = full.setup_seconds + stop_fraction * full.full_scan_seconds
+    return actual, full.total_seconds, stop_fraction, status
+
+
+def run_atlas(jobs: list[AtlasJob], config: AtlasConfig) -> AtlasRunReport:
+    """Simulate a full atlas campaign and return the report."""
+    if not jobs:
+        raise ValueError("no jobs to run")
+    rng = ensure_rng(config.seed)
+    sim = Simulation()
+    ec2 = Ec2Service(
+        sim, spot_model=config.spot_model, rng=derive_rng(rng, "spot")
+    )
+    s3 = S3Service()
+    itype = config.resolve_instance()
+    spec = release_spec(config.release)
+    index_bytes = config.index_model.index_bytes(spec)
+
+    index_bucket = s3.create_bucket("atlas-index")
+    index_key = f"star-index-r{spec.release}.tar"
+    index_bucket.put(index_key, index_bytes, now=0.0)
+    results_bucket = s3.create_bucket("atlas-results")
+
+    dead_letter = SqsQueue(sim, name="sra-ids-dlq", visibility_timeout=3600.0)
+    queue = SqsQueue(
+        sim,
+        name="sra-ids",
+        visibility_timeout=config.visibility_timeout,
+        max_receive_count=config.max_receive_count,
+        dead_letter=dead_letter,
+    )
+    queue.send_batch(list(jobs))
+
+    records: list[JobRecord] = []
+    transfer = config.transfer_model
+    index_model = config.index_model
+    init_overhead = transfer.s3_download_seconds(index_bytes) + (
+        index_model.shm_load_seconds(spec)
+    )
+    job_rng_root = derive_rng(rng, "jobs")
+    job_seeds = {
+        job.accession: derive_rng(job_rng_root, job.accession)
+        for job in jobs
+    }
+
+    def init_work(agent: WorkerAgent):
+        index_bucket.get(index_key)
+        yield Timeout(transfer.s3_download_seconds(index_bytes))
+        yield Timeout(index_model.shm_load_seconds(spec))
+
+    def process_message(agent: WorkerAgent, message):
+        job: AtlasJob = message.body
+        started = sim.now
+        yield Timeout(transfer.prefetch_seconds(job.sra_bytes))
+        yield Timeout(transfer.fasterq_dump_seconds(job.fastq_bytes))
+        actual, full, stop_fraction, status = simulate_star_step(
+            job, config, itype.vcpus, job_seeds[job.accession]
+        )
+        yield Timeout(actual)
+        if status is RunStatus.ACCEPTED:
+            yield Timeout(config.normalize_seconds)
+            yield Timeout(transfer.s3_upload_seconds(config.result_bytes))
+            results_bucket.put(
+                f"{job.accession}/ReadsPerGene.out.tab",
+                config.result_bytes,
+                now=sim.now,
+            )
+        record = JobRecord(
+            accession=job.accession,
+            status=status,
+            library=job.library,
+            started_at=started,
+            finished_at=sim.now,
+            star_seconds=actual,
+            star_seconds_if_full=full,
+            stop_fraction=stop_fraction,
+            instance_id=agent.instance.instance_id,
+        )
+        records.append(record)
+        return record
+
+    def make_agent(asg: AutoScalingGroup, instance) -> WorkerAgent:
+        return WorkerAgent(
+            sim,
+            instance,
+            queue,
+            init_work=init_work,
+            process_message=process_message,
+            on_stop=lambda a: ec2.terminate(a.instance),
+        )
+
+    asg = AutoScalingGroup(
+        sim,
+        ec2,
+        queue,
+        itype=itype,
+        market=config.market,
+        policy=config.scaling,
+        make_agent=make_agent,
+    )
+
+    collector = None
+    if config.metrics_period is not None:
+        from repro.cloud.metrics import MetricsCollector
+
+        collector = MetricsCollector(sim, period=config.metrics_period)
+        collector.register("queue_depth", lambda: queue.approximate_depth)
+        collector.register("in_flight", lambda: queue.inflight_count)
+        collector.register("fleet_running", lambda: len(ec2.running()))
+        collector.register("jobs_done", lambda: len(records))
+
+        def campaign():
+            yield sim.process(asg.controller(), name="asg-controller")
+            collector.stop()
+
+        sim.process(collector.run(), name="metrics")
+        sim.process(campaign(), name="campaign")
+    else:
+        sim.process(asg.controller(), name="asg-controller")
+    sim.run()
+
+    # Deduplicate redelivered jobs: keep the first completed record per
+    # accession (at-least-once delivery can process a job twice when a spot
+    # interruption strikes after most of the work was done).
+    seen: dict[str, JobRecord] = {}
+    for record in records:
+        seen.setdefault(record.accession, record)
+    final_records = [seen[j.accession] for j in jobs if j.accession in seen]
+
+    makespan = max((r.finished_at for r in final_records), default=sim.now)
+    cost = CostAccountant(config.spot_model).full_report(
+        ec2.instances, [index_bucket, results_bucket], sim.now
+    )
+    return AtlasRunReport(
+        jobs=final_records,
+        makespan_seconds=makespan,
+        cost=cost,
+        instance=itype,
+        peak_fleet=asg.peak_fleet_size(),
+        mean_utilization=asg.mean_utilization(),
+        init_overhead_seconds=init_overhead,
+        queue_redeliveries=queue.total_expired_visibility,
+        dead_lettered=queue.total_dead_lettered,
+        metrics=collector.series if collector is not None else {},
+    )

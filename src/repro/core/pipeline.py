@@ -1,0 +1,225 @@
+"""The Transcriptomics Atlas pipeline (Fig. 1), over the real local toolchain.
+
+Four steps per SRA accession:
+
+1. ``prefetch`` — download the ``.sra`` container from the repository;
+2. ``fasterq-dump`` — convert it to FASTQ (paired archives split into
+   ``_1``/``_2`` files, detected from the container magic as the real
+   tool does);
+3. STAR alignment with ``--quantMode GeneCounts`` — monitored by the
+   early-stopping policy; paired runs go through the pairing façade;
+4. DESeq2 count normalization — per-sample counts are collected and
+   normalized jointly with median-of-ratios once the batch completes.
+
+This class is the *local* (workstation/HPC) embodiment the paper's
+conclusions mention; :mod:`repro.core.atlas` embeds the same step
+structure in the cloud simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.align.star import StarAligner, StarRunResult
+from repro.core.early_stopping import EarlyStoppingPolicy, EarlyStopMonitor
+from repro.quant.deseq2 import estimate_size_factors, normalize_counts
+from repro.quant.matrix import CountMatrix
+from repro.reads.fastq import iter_fastq
+from repro.reads.sra import SraRepository, fasterq_dump, prefetch
+from repro.reads.trim import ReadTrimmer, TrimConfig, TrimStats
+
+
+class RunStatus(enum.Enum):
+    """Terminal status of one accession's pipeline run."""
+
+    ACCEPTED = "accepted"
+    REJECTED_EARLY = "rejected_early"  # aborted by the monitor
+    REJECTED_FINAL = "rejected_final"  # completed but below the acceptance bar
+
+    @property
+    def produced_counts(self) -> bool:
+        return self is RunStatus.ACCEPTED
+
+
+@dataclass(frozen=True)
+class StepTiming:
+    """Wall-clock seconds per pipeline step."""
+
+    prefetch: float
+    fasterq_dump: float
+    star: float
+
+    @property
+    def total(self) -> float:
+        return self.prefetch + self.fasterq_dump + self.star
+
+
+@dataclass
+class PipelineResult:
+    """Everything one accession's run produced."""
+
+    accession: str
+    status: RunStatus
+    timing: StepTiming
+    #: single-end StarRunResult or paired PairedRunResult — both expose
+    #: ``final``, ``aborted``, ``gene_counts`` and ``mapped_fraction``
+    star_result: StarRunResult
+    fastq_bytes: int
+    counts: dict[str, int] | None = None
+    trim_stats: TrimStats | None = None
+    paired: bool = False
+
+    @property
+    def mapped_fraction(self) -> float:
+        return self.star_result.mapped_fraction
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Pipeline-level options."""
+
+    early_stopping: EarlyStoppingPolicy | None = field(
+        default_factory=EarlyStoppingPolicy
+    )
+    #: atlas acceptance bar on the final mapping rate, applied whether or
+    #: not early stopping is on (None disables filtering)
+    acceptance_threshold: float | None = 0.30
+    #: strandedness column of ReadsPerGene.out.tab used for the atlas
+    counts_column: str = "unstranded"
+    #: keep STAR output files on disk under the workspace
+    write_outputs: bool = True
+    #: optional QC trimming between fasterq-dump and STAR
+    trim: "TrimConfig | None" = None
+
+
+class TranscriptomicsAtlasPipeline:
+    """Runs accessions end to end against a repository and an aligner."""
+
+    def __init__(
+        self,
+        repository: SraRepository,
+        aligner: StarAligner,
+        workspace: Path | str,
+        *,
+        config: PipelineConfig | None = None,
+    ) -> None:
+        self.repository = repository
+        self.aligner = aligner
+        self.workspace = Path(workspace)
+        self.workspace.mkdir(parents=True, exist_ok=True)
+        self.config = config or PipelineConfig()
+        self.results: list[PipelineResult] = []
+
+    # -- single accession --------------------------------------------------
+
+    def run_accession(self, accession: str) -> PipelineResult:
+        """Execute all four steps for one accession."""
+        cfg = self.config
+        work = self.workspace / accession
+        work.mkdir(parents=True, exist_ok=True)
+
+        t0 = time.monotonic()
+        sra_path = prefetch(self.repository, accession, work)
+        t1 = time.monotonic()
+        paired = sra_path.read_bytes()[:4] == b"SRAP"
+        if paired:
+            from repro.reads.paired import fasterq_dump_paired
+
+            fastq_path, fastq_path_2 = fasterq_dump_paired(sra_path, work)
+        else:
+            fastq_path = fasterq_dump(sra_path, work)
+            fastq_path_2 = None
+        t2 = time.monotonic()
+
+        monitor = (
+            EarlyStopMonitor(policy=cfg.early_stopping)
+            if cfg.early_stopping is not None
+            else None
+        )
+        hook = monitor.hook if monitor is not None else None
+        trim_stats = None
+        if paired:
+            from repro.align.paired import PairedStarAligner
+
+            mate1 = list(iter_fastq(fastq_path))
+            mate2 = list(iter_fastq(fastq_path_2))
+            star_result = PairedStarAligner(self.aligner).run(
+                mate1, mate2, monitor=hook
+            )
+        else:
+            records = list(iter_fastq(fastq_path))
+            if cfg.trim is not None:
+                records, trim_stats = ReadTrimmer(cfg.trim).trim(records)
+            star_result = self.aligner.run(
+                records,
+                monitor=hook,
+                out_dir=(work / "star") if cfg.write_outputs else None,
+            )
+        t3 = time.monotonic()
+
+        if star_result.aborted:
+            status = RunStatus.REJECTED_EARLY
+        elif (
+            cfg.acceptance_threshold is not None
+            and star_result.mapped_fraction < cfg.acceptance_threshold
+        ):
+            status = RunStatus.REJECTED_FINAL
+        else:
+            status = RunStatus.ACCEPTED
+
+        counts = None
+        if status.produced_counts and star_result.gene_counts is not None:
+            counts = star_result.gene_counts.column_vector(cfg.counts_column)
+
+        result = PipelineResult(
+            accession=accession,
+            status=status,
+            timing=StepTiming(
+                prefetch=t1 - t0, fasterq_dump=t2 - t1, star=t3 - t2
+            ),
+            star_result=star_result,
+            fastq_bytes=fastq_path.stat().st_size
+            + (fastq_path_2.stat().st_size if fastq_path_2 is not None else 0),
+            counts=counts,
+            trim_stats=trim_stats,
+            paired=paired,
+        )
+        self.results.append(result)
+        return result
+
+    def run_batch(self, accessions: list[str]) -> list[PipelineResult]:
+        """Run several accessions sequentially (one instance's view)."""
+        return [self.run_accession(a) for a in accessions]
+
+    # -- step 4: joint normalization -----------------------------------------
+
+    def build_count_matrix(self) -> CountMatrix:
+        """Assemble accepted runs' GeneCounts into a gene × sample matrix."""
+        columns = {
+            r.accession: r.counts
+            for r in self.results
+            if r.status.produced_counts and r.counts is not None
+        }
+        if not columns:
+            raise ValueError("no accepted runs with counts to normalize")
+        return CountMatrix.from_columns(columns)
+
+    def normalize(self) -> tuple[CountMatrix, np.ndarray, np.ndarray]:
+        """DESeq2 step: returns (matrix, size_factors, normalized_counts)."""
+        matrix = self.build_count_matrix().drop_all_zero_genes()
+        factors = estimate_size_factors(matrix)
+        return matrix, factors, normalize_counts(matrix, factors)
+
+    # -- reporting -------------------------------------------------------------
+
+    def summary(self) -> dict[str, int]:
+        """Run-status tally."""
+        tally = {status.value: 0 for status in RunStatus}
+        for r in self.results:
+            tally[r.status.value] += 1
+        return tally

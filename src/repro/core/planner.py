@@ -1,0 +1,143 @@
+"""Campaign planner: cheapest configuration that meets a deadline.
+
+The paper states three goals — scalability, high utilization, and
+*minimization of cloud costs*.  This module turns the third into an
+optimizer: enumerate candidate configurations (fleet ceiling × purchase
+market, optionally × genome release), simulate each campaign with
+:func:`repro.core.atlas.run_atlas`, and pick the cheapest one whose
+makespan meets the deadline.  Simulation is cheap (milliseconds per
+candidate), so exhaustive search over the small grid is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cloud.autoscaling import ScalingPolicy
+from repro.cloud.ec2 import InstanceMarket
+from repro.core.atlas import AtlasConfig, AtlasJob, AtlasRunReport, run_atlas
+from repro.util.tables import Table
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class PlannerConstraints:
+    """The search space and the requirement."""
+
+    deadline_hours: float
+    fleet_sizes: tuple[int, ...] = (2, 4, 8, 16, 32)
+    markets: tuple[InstanceMarket, ...] = (
+        InstanceMarket.ON_DEMAND,
+        InstanceMarket.SPOT,
+    )
+
+    def __post_init__(self) -> None:
+        check_positive("deadline_hours", self.deadline_hours)
+        if not self.fleet_sizes:
+            raise ValueError("need at least one fleet size")
+        if not self.markets:
+            raise ValueError("need at least one market")
+
+
+@dataclass(frozen=True)
+class PlanOption:
+    """One evaluated configuration."""
+
+    fleet_size: int
+    market: InstanceMarket
+    makespan_hours: float
+    cost_usd: float
+    meets_deadline: bool
+    utilization: float
+    n_interrupted: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.market.value}-x{self.fleet_size}"
+
+
+@dataclass
+class CampaignPlan:
+    """All evaluated options plus the recommendation."""
+
+    options: list[PlanOption]
+    deadline_hours: float
+    best: PlanOption | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.best is None:
+            feasible = [o for o in self.options if o.meets_deadline]
+            if feasible:
+                self.best = min(feasible, key=lambda o: (o.cost_usd, o.makespan_hours))
+
+    @property
+    def feasible(self) -> bool:
+        return self.best is not None
+
+    def to_table(self) -> str:
+        table = Table(
+            ["config", "makespan h", "cost $", "util", "intr", "deadline", "pick"],
+            title=f"Campaign plan (deadline {self.deadline_hours:.1f} h)",
+        )
+        for o in sorted(self.options, key=lambda o: o.cost_usd):
+            table.add_row(
+                [
+                    o.label,
+                    f"{o.makespan_hours:.2f}",
+                    f"{o.cost_usd:.2f}",
+                    f"{o.utilization:.2f}",
+                    o.n_interrupted,
+                    "meets" if o.meets_deadline else "MISSES",
+                    "<=== " if self.best is o else "",
+                ]
+            )
+        if not self.feasible:
+            return table.render() + "\nNO feasible option — raise the fleet cap or the deadline."
+        return table.render()
+
+
+def _evaluate(report: AtlasRunReport, deadline_hours: float,
+              fleet: int, market: InstanceMarket) -> PlanOption:
+    makespan_h = report.makespan_seconds / 3600.0
+    return PlanOption(
+        fleet_size=fleet,
+        market=market,
+        makespan_hours=makespan_h,
+        cost_usd=report.cost.total_usd,
+        meets_deadline=makespan_h <= deadline_hours,
+        utilization=report.mean_utilization,
+        n_interrupted=report.cost.n_interrupted,
+    )
+
+
+def plan_campaign(
+    jobs: list[AtlasJob],
+    constraints: PlannerConstraints,
+    *,
+    base_config: AtlasConfig | None = None,
+) -> CampaignPlan:
+    """Search the grid and recommend the cheapest deadline-meeting option.
+
+    ``base_config`` carries everything the planner does not vary (release,
+    instance type, early-stopping policy, seed); its scaling/market fields
+    are overridden per candidate.
+    """
+    if not jobs:
+        raise ValueError("no jobs to plan for")
+    base = base_config or AtlasConfig()
+    options: list[PlanOption] = []
+    for fleet in constraints.fleet_sizes:
+        for market in constraints.markets:
+            config = replace(
+                base,
+                market=market,
+                scaling=ScalingPolicy(
+                    max_size=fleet,
+                    messages_per_instance=base.scaling.messages_per_instance,
+                ),
+            )
+            report = run_atlas(jobs, config)
+            options.append(
+                _evaluate(report, constraints.deadline_hours, fleet, market)
+            )
+    return CampaignPlan(options=options, deadline_hours=constraints.deadline_hours)

@@ -1,0 +1,139 @@
+"""Right-sizing advisor (§III-A consequence).
+
+"Using a much smaller index allows us to use smaller and cheaper
+instances, reduces the initial overhead associated with downloading and
+loading index to shared memory."  This module turns an Ensembl release
+choice into an instance recommendation and quantifies both effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.ec2 import InstanceType, cheapest_fitting, instance_type
+from repro.genome.ensembl import EnsemblRelease, ReleaseSpec, release_spec
+from repro.perf.index_model import IndexModel
+from repro.perf.star_model import StarPerfModel
+from repro.perf.transfer import TransferModel
+from repro.util.units import Bytes, Duration
+
+
+@dataclass(frozen=True)
+class RightSizingChoice:
+    """Recommendation for one release."""
+
+    release: int
+    index_bytes: Bytes
+    memory_required_bytes: Bytes
+    instance: InstanceType
+    init_overhead_seconds: Duration  # index download + shm load
+    star_seconds_mean_file: Duration
+    hourly_usd: float
+
+    @property
+    def cost_per_mean_file_usd(self) -> float:
+        """On-demand cost of aligning one mean-size file on this choice."""
+        return self.star_seconds_mean_file / 3600.0 * self.hourly_usd
+
+
+class RightSizingAdvisor:
+    """Chooses instances from index memory footprints."""
+
+    def __init__(
+        self,
+        *,
+        index_model: IndexModel | None = None,
+        star_model: StarPerfModel | None = None,
+        transfer_model: TransferModel | None = None,
+        family: str = "r6a",
+        min_vcpus: int = 8,
+        memory_overhead_bytes: Bytes = 6e9,
+    ) -> None:
+        self.index_model = index_model or IndexModel()
+        self.star_model = star_model or StarPerfModel()
+        self.transfer_model = transfer_model or TransferModel()
+        self.family = family
+        self.min_vcpus = min_vcpus
+        self.memory_overhead_bytes = memory_overhead_bytes
+
+    def memory_required(self, spec: ReleaseSpec) -> Bytes:
+        """RAM needed: index resident in shared memory plus working set."""
+        return self.index_model.memory_required_bytes(
+            spec, overhead=self.memory_overhead_bytes
+        )
+
+    def init_overhead_seconds(self, spec: ReleaseSpec) -> Duration:
+        """Instance init phase: download index from S3 + load into shm."""
+        index_bytes = self.index_model.index_bytes(spec)
+        return self.transfer_model.s3_download_seconds(
+            index_bytes
+        ) + self.index_model.shm_load_seconds(spec)
+
+    def recommend(
+        self,
+        release: EnsemblRelease | int,
+        *,
+        mean_fastq_bytes: Bytes,
+    ) -> RightSizingChoice:
+        """Full recommendation for a release at a given workload size."""
+        spec = release_spec(release)
+        memory = self.memory_required(spec)
+        itype = cheapest_fitting(
+            memory, family=self.family, min_vcpus=self.min_vcpus
+        )
+        star_seconds = self.star_model.predict(
+            mean_fastq_bytes, spec, itype.vcpus
+        ).total_seconds
+        return RightSizingChoice(
+            release=spec.release,
+            index_bytes=self.index_model.index_bytes(spec),
+            memory_required_bytes=memory,
+            instance=itype,
+            init_overhead_seconds=self.init_overhead_seconds(spec),
+            star_seconds_mean_file=star_seconds,
+            hourly_usd=itype.on_demand_hourly_usd,
+        )
+
+    def compare(
+        self,
+        old: EnsemblRelease | int,
+        new: EnsemblRelease | int,
+        *,
+        mean_fastq_bytes: Bytes,
+    ) -> tuple[RightSizingChoice, RightSizingChoice, float]:
+        """(old_choice, new_choice, per-file cost ratio old/new)."""
+        a = self.recommend(old, mean_fastq_bytes=mean_fastq_bytes)
+        b = self.recommend(new, mean_fastq_bytes=mean_fastq_bytes)
+        return a, b, a.cost_per_mean_file_usd / b.cost_per_mean_file_usd
+
+    def fixed_instance_choice(
+        self,
+        release: EnsemblRelease | int,
+        instance_name: str,
+        *,
+        mean_fastq_bytes: Bytes,
+    ) -> RightSizingChoice:
+        """Evaluate a pinned instance type (e.g. the paper's r6a.4xlarge).
+
+        Raises ``ValueError`` when the index does not fit its RAM.
+        """
+        spec = release_spec(release)
+        itype = instance_type(instance_name)
+        memory = self.memory_required(spec)
+        if memory > itype.memory_bytes:
+            raise ValueError(
+                f"index for release {spec.release} needs "
+                f"{memory / 2**30:.1f} GiB; {itype.name} has {itype.memory_gib:.0f} GiB"
+            )
+        star_seconds = self.star_model.predict(
+            mean_fastq_bytes, spec, itype.vcpus
+        ).total_seconds
+        return RightSizingChoice(
+            release=spec.release,
+            index_bytes=self.index_model.index_bytes(spec),
+            memory_required_bytes=memory,
+            instance=itype,
+            init_overhead_seconds=self.init_overhead_seconds(spec),
+            star_seconds_mean_file=star_seconds,
+            hourly_usd=itype.on_demand_hourly_usd,
+        )

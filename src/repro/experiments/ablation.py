@@ -1,0 +1,115 @@
+"""Ablation: the early-stopping operating point (threshold, check fraction).
+
+The paper fixes (30% mapping rate, 10% of reads).  This harness sweeps
+both knobs over the corpus and reports, per point:
+
+* saving fraction (the Fig. 4 metric);
+* terminated-run count;
+* *false terminations* — runs the policy kills that would have finished
+  above the acceptance bar (atlas data lost; the paper's operating point
+  must have none);
+* *missed terminations* — runs that finish below the bar anyway (compute
+  wasted on data the atlas then discards).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.early_stopping import EarlyStoppingPolicy
+from repro.experiments.corpus import CorpusSpec
+from repro.experiments.fig4 import Fig4Result, run_fig4
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One (threshold, check_fraction) operating point's outcome."""
+
+    mapping_threshold: float
+    check_fraction: float
+    n_terminated: int
+    false_terminations: int
+    missed_terminations: int
+    saving_fraction: float
+
+    @property
+    def is_safe(self) -> bool:
+        """No accepted-quality run was killed."""
+        return self.false_terminations == 0
+
+
+@dataclass
+class AblationResult:
+    """The sweep grid."""
+
+    points: list[AblationPoint]
+    corpus_size: int
+
+    def point(
+        self, mapping_threshold: float, check_fraction: float
+    ) -> AblationPoint:
+        for p in self.points:
+            if (
+                abs(p.mapping_threshold - mapping_threshold) < 1e-9
+                and abs(p.check_fraction - check_fraction) < 1e-9
+            ):
+                return p
+        raise KeyError((mapping_threshold, check_fraction))
+
+    def to_table(self) -> str:
+        table = Table(
+            ["thresh", "check@", "terminated", "false", "missed", "saved %", "safe"],
+            title=f"Early-stopping ablation over {self.corpus_size} runs",
+        )
+        for p in self.points:
+            table.add_row(
+                [
+                    f"{100 * p.mapping_threshold:.0f}%",
+                    f"{100 * p.check_fraction:.0f}%",
+                    p.n_terminated,
+                    p.false_terminations,
+                    p.missed_terminations,
+                    f"{100 * p.saving_fraction:.1f}",
+                    "yes" if p.is_safe else "NO",
+                ]
+            )
+        return table.render()
+
+
+def _evaluate(result: Fig4Result) -> AblationPoint:
+    policy = result.policy
+    missed = sum(
+        1
+        for r in result.rows
+        if not r.terminated and r.terminal_rate < policy.mapping_threshold
+    )
+    savings = result.savings
+    return AblationPoint(
+        mapping_threshold=policy.mapping_threshold,
+        check_fraction=policy.check_fraction,
+        n_terminated=savings.n_terminated,
+        false_terminations=result.false_terminations,
+        missed_terminations=missed,
+        saving_fraction=savings.saving_fraction,
+    )
+
+
+def run_ablation(
+    *,
+    thresholds: tuple[float, ...] = (0.10, 0.20, 0.30, 0.40, 0.50),
+    check_fractions: tuple[float, ...] = (0.05, 0.10, 0.20, 0.30),
+    corpus_size: int = 1000,
+    seed: int = 0,
+) -> AblationResult:
+    """Sweep the policy grid over a fixed corpus (same seed every point)."""
+    spec = CorpusSpec(n_runs=corpus_size)
+    points: list[AblationPoint] = []
+    for threshold in thresholds:
+        for fraction in check_fractions:
+            policy = EarlyStoppingPolicy(
+                mapping_threshold=threshold, check_fraction=fraction
+            )
+            result = run_fig4(spec=spec, policy=policy, rng=seed)
+            points.append(_evaluate(result))
+    return AblationResult(points=points, corpus_size=corpus_size)

@@ -1,0 +1,152 @@
+"""Architecture experiment (§II, Fig. 2): end-to-end cloud campaign.
+
+The paper evaluates its architecture qualitatively (scalability,
+cost-efficiency, high utilization); this harness quantifies those claims
+on the DES substrate:
+
+* throughput scales ~linearly with the AutoScalingGroup ceiling until the
+  queue drains faster than instances can start;
+* spot cuts cost versus on-demand despite interruptions (SQS redelivery
+  makes interruptions safe);
+* the release-111 index lowers the per-instance init overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cloud.autoscaling import ScalingPolicy
+from repro.cloud.ec2 import InstanceMarket
+from repro.core.atlas import AtlasConfig, AtlasJob, AtlasRunReport, run_atlas
+from repro.experiments.corpus import CorpusSpec, generate_corpus
+from repro.genome.ensembl import EnsemblRelease
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration's campaign summary."""
+
+    label: str
+    max_fleet: int
+    market: str
+    release: int
+    makespan_hours: float
+    jobs_per_hour: float
+    cost_usd: float
+    cost_per_job_usd: float
+    mean_utilization: float
+    n_interrupted: int
+    init_overhead_seconds: float
+
+
+@dataclass
+class ArchitectureResult:
+    """All sweep points plus access to the underlying reports."""
+
+    points: list[SweepPoint]
+    reports: dict[str, AtlasRunReport]
+
+    def point(self, label: str) -> SweepPoint:
+        for p in self.points:
+            if p.label == label:
+                return p
+        raise KeyError(label)
+
+    def to_table(self) -> str:
+        table = Table(
+            [
+                "config",
+                "fleet<=",
+                "market",
+                "rel",
+                "makespan h",
+                "jobs/h",
+                "cost $",
+                "$/job",
+                "util",
+                "intr",
+            ],
+            title="Architecture sweep — throughput and cost",
+        )
+        for p in self.points:
+            table.add_row(
+                [
+                    p.label,
+                    p.max_fleet,
+                    p.market,
+                    p.release,
+                    f"{p.makespan_hours:.2f}",
+                    f"{p.jobs_per_hour:.1f}",
+                    f"{p.cost_usd:.2f}",
+                    f"{p.cost_per_job_usd:.3f}",
+                    f"{p.mean_utilization:.2f}",
+                    p.n_interrupted,
+                ]
+            )
+        return table.render()
+
+
+def _summarize(label: str, config: AtlasConfig, report: AtlasRunReport) -> SweepPoint:
+    return SweepPoint(
+        label=label,
+        max_fleet=config.scaling.max_size,
+        market=config.market.value,
+        release=int(config.release),
+        makespan_hours=report.makespan_seconds / 3600.0,
+        jobs_per_hour=report.throughput_jobs_per_hour,
+        cost_usd=report.cost.total_usd,
+        cost_per_job_usd=report.cost.total_usd / max(1, report.n_jobs),
+        mean_utilization=report.mean_utilization,
+        n_interrupted=report.cost.n_interrupted,
+        init_overhead_seconds=report.init_overhead_seconds,
+    )
+
+
+def make_jobs(n_jobs: int = 120, *, seed: int = 0) -> list[AtlasJob]:
+    """A scaled-down atlas workload with the corpus's class mix."""
+    spec = CorpusSpec(n_runs=n_jobs)
+    return generate_corpus(spec, rng=seed)
+
+
+def run_architecture_sweep(
+    *,
+    n_jobs: int = 120,
+    fleet_sizes: tuple[int, ...] = (2, 4, 8, 16),
+    seed: int = 0,
+) -> ArchitectureResult:
+    """Fleet-size scaling sweep, plus spot and release-108 variants."""
+    jobs = make_jobs(n_jobs, seed=seed)
+    points: list[SweepPoint] = []
+    reports: dict[str, AtlasRunReport] = {}
+
+    base = AtlasConfig(
+        release=EnsemblRelease.R111,
+        instance_name="r6a.2xlarge",
+        market=InstanceMarket.ON_DEMAND,
+        scaling=ScalingPolicy(max_size=8, messages_per_instance=4),
+        seed=seed,
+    )
+
+    for fleet in fleet_sizes:
+        config = replace(
+            base, scaling=ScalingPolicy(max_size=fleet, messages_per_instance=4)
+        )
+        label = f"ondemand-x{fleet}"
+        report = run_atlas(jobs, config)
+        reports[label] = report
+        points.append(_summarize(label, config, report))
+
+    spot_config = replace(base, market=InstanceMarket.SPOT)
+    report = run_atlas(jobs, spot_config)
+    reports["spot-x8"] = report
+    points.append(_summarize("spot-x8", spot_config, report))
+
+    # Release 108 variant: bigger index forces a bigger instance and a
+    # longer init phase, and alignment is ~12x slower.
+    r108_config = replace(base, release=EnsemblRelease.R108, instance_name="r6a.4xlarge")
+    report = run_atlas(jobs, r108_config)
+    reports["r108-x8"] = report
+    points.append(_summarize("r108-x8", r108_config, report))
+
+    return ArchitectureResult(points=points, reports=reports)

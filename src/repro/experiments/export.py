@@ -1,0 +1,138 @@
+"""JSON export of experiment results.
+
+Downstream tooling (plotting notebooks, CI dashboards, regression
+trackers) wants machine-readable results next to the human tables.  Each
+exporter flattens one result object into plain-JSON types; a shared
+envelope records what produced the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.atlas import AtlasRunReport
+from repro.experiments.fig3 import Fig3Result
+from repro.experiments.fig4 import Fig4Result
+
+
+def _envelope(kind: str, payload: dict[str, Any]) -> dict[str, Any]:
+    import repro
+
+    return {
+        "schema": f"repro/{kind}/v1",
+        "library_version": repro.__version__,
+        "paper": "Kica et al., CLUSTER 2024",
+        **payload,
+    }
+
+
+def fig3_to_dict(result: Fig3Result) -> dict[str, Any]:
+    """Flatten a Fig. 3 result (per-file rows + aggregates)."""
+    return _envelope(
+        "fig3",
+        {
+            "weighted_speedup": result.weighted_speedup,
+            "min_speedup": result.min_speedup,
+            "mean_mapping_delta": result.mean_mapping_delta,
+            "total_hours_r108": result.total_hours_r108,
+            "total_hours_r111": result.total_hours_r111,
+            "files": [
+                {
+                    "file_id": r.file_id,
+                    "fastq_bytes": r.fastq_bytes,
+                    "seconds_r108": r.seconds_r108,
+                    "seconds_r111": r.seconds_r111,
+                    "speedup": r.speedup,
+                    "mapping_rate_r108": r.mapping_rate_r108,
+                    "mapping_rate_r111": r.mapping_rate_r111,
+                }
+                for r in result.rows
+            ],
+        },
+    )
+
+
+def fig4_to_dict(result: Fig4Result) -> dict[str, Any]:
+    """Flatten a Fig. 4 replay (aggregates + terminated-run rows)."""
+    savings = result.savings
+    return _envelope(
+        "fig4",
+        {
+            "policy": {
+                "mapping_threshold": result.policy.mapping_threshold,
+                "check_fraction": result.policy.check_fraction,
+            },
+            "n_runs": savings.n_runs,
+            "n_terminated": savings.n_terminated,
+            "total_hours_if_full": savings.total_hours_if_full,
+            "total_hours_actual": savings.total_hours_actual,
+            "hours_saved": savings.hours_saved,
+            "saving_fraction": savings.saving_fraction,
+            "false_terminations": result.false_terminations,
+            "terminated_runs": [
+                {
+                    "accession": r.accession,
+                    "library": r.library,
+                    "fastq_bytes": r.fastq_bytes,
+                    "terminal_rate": r.terminal_rate,
+                    "stop_fraction": r.stop_fraction,
+                    "seconds_saved": r.seconds_saved,
+                }
+                for r in result.terminated_rows
+            ],
+        },
+    )
+
+
+def atlas_report_to_dict(report: AtlasRunReport) -> dict[str, Any]:
+    """Flatten a cloud campaign report (jobs + cost + metrics)."""
+    return _envelope(
+        "atlas",
+        {
+            "instance_type": report.instance.name,
+            "n_jobs": report.n_jobs,
+            "n_terminated": report.n_terminated,
+            "makespan_seconds": report.makespan_seconds,
+            "star_hours_actual": report.star_hours_actual,
+            "star_hours_if_full": report.star_hours_if_full,
+            "peak_fleet": report.peak_fleet,
+            "mean_utilization": report.mean_utilization,
+            "init_overhead_seconds": report.init_overhead_seconds,
+            "queue_redeliveries": report.queue_redeliveries,
+            "dead_lettered": report.dead_lettered,
+            "cost": {
+                "total_usd": report.cost.total_usd,
+                "compute_usd": report.cost.compute_usd,
+                "compute_seconds": report.cost.compute_seconds,
+                "n_instances": report.cost.n_instances,
+                "n_interrupted": report.cost.n_interrupted,
+            },
+            "jobs": [
+                {
+                    "accession": j.accession,
+                    "status": j.status.value,
+                    "library": j.library.value,
+                    "started_at": j.started_at,
+                    "finished_at": j.finished_at,
+                    "star_seconds": j.star_seconds,
+                    "star_seconds_if_full": j.star_seconds_if_full,
+                    "stop_fraction": j.stop_fraction,
+                    "instance_id": j.instance_id,
+                }
+                for j in report.jobs
+            ],
+            "metrics": {
+                name: {"times": ts.times, "values": ts.values}
+                for name, ts in report.metrics.items()
+            },
+        },
+    )
+
+
+def write_json(payload: dict[str, Any], path: Path | str) -> Path:
+    """Write an exported payload as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,170 @@
+"""Duplication sweep: the scaffold-duplication penalty, measured directly.
+
+The calibrated performance model maps a release's *duplication factor*
+(toplevel bases / chromosome bases) to alignment cost via difficulty =
+dup^α.  This experiment validates the underlying mechanism with the real
+aligner: build assemblies over one chromosome universe with increasing
+amounts of duplicated scaffold sequence (dup 1.0 → ~6), and measure
+
+* wall-clock alignment time (must increase with duplication),
+* mean seed hits per read (the mechanism: more copies ⇒ more candidate
+  loci per seed ⇒ more extension work),
+* mapping rate (must stay flat — the paper's <1% observation).
+
+Release 108 corresponds to dup ≈ 2.9 on this axis; release 111 to ≈ 1.01.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.align.index import genome_generate
+from repro.align.star import StarAligner, StarParameters
+from repro.genome.synth import GenomeUniverseSpec, assemble_release, make_universe
+from repro.reads.library import LibraryType, SampleProfile
+from repro.reads.simulator import ReadSimulator
+from repro.util.rng import derive_rng, ensure_rng
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class DuplicationPoint:
+    """Measurements at one duplication factor."""
+
+    duplication_factor: float
+    genome_bases: int
+    index_bytes: int
+    align_seconds: float
+    mapped_fraction: float
+    mean_seed_hits: float
+
+
+@dataclass
+class ScalingStudyResult:
+    """Alignment cost as a function of scaffold duplication."""
+
+    points: list[DuplicationPoint]
+    n_reads: int
+
+    @property
+    def baseline(self) -> DuplicationPoint:
+        """The duplication-free point (release-111-like)."""
+        return min(self.points, key=lambda p: p.duplication_factor)
+
+    def time_ratio(self, point: DuplicationPoint) -> float:
+        return point.align_seconds / self.baseline.align_seconds
+
+    @property
+    def time_ratios_increase(self) -> bool:
+        ordered = sorted(self.points, key=lambda p: p.duplication_factor)
+        times = [p.align_seconds for p in ordered]
+        return all(b >= a * 0.95 for a, b in zip(times, times[1:])) and (
+            times[-1] > 1.2 * times[0]
+        )
+
+    @property
+    def seed_hits_track_duplication(self) -> bool:
+        """Mean seed hits grow ~linearly with the duplication factor."""
+        ordered = sorted(self.points, key=lambda p: p.duplication_factor)
+        hits = [p.mean_seed_hits for p in ordered]
+        return all(b > a for a, b in zip(hits, hits[1:]))
+
+    @property
+    def max_mapping_delta(self) -> float:
+        rates = [p.mapped_fraction for p in self.points]
+        return max(rates) - min(rates)
+
+    def to_table(self) -> str:
+        table = Table(
+            ["dup factor", "genome bases", "index MB", "align s",
+             "time ratio", "seed hits/read", "mapped %"],
+            title="Duplication sweep — alignment cost vs scaffold duplication",
+        )
+        for p in sorted(self.points, key=lambda q: q.duplication_factor):
+            table.add_row(
+                [
+                    f"{p.duplication_factor:.2f}",
+                    p.genome_bases,
+                    f"{p.index_bytes / 1e6:.1f}",
+                    f"{p.align_seconds:.2f}",
+                    f"{self.time_ratio(p):.2f}x",
+                    f"{p.mean_seed_hits:.1f}",
+                    f"{100 * p.mapped_fraction:.1f}",
+                ]
+            )
+        return table.render() + (
+            "\nrelease 111 sits at dup≈1.01, release 108 at dup≈2.92 on this "
+            "axis;\nseed hits track duplication while the mapping rate stays "
+            "flat — the paper's mechanism."
+        )
+
+
+def _mean_seed_hits(index, reads) -> float:
+    from repro.align.seeds import maximal_mappable_prefix
+
+    total = 0
+    for record in reads:
+        total += maximal_mappable_prefix(index, record.sequence).n_hits
+    return total / max(1, len(reads))
+
+
+def run_scaling_study(
+    *,
+    duplication_factors: tuple[float, ...] = (1.0, 2.0, 3.0, 6.0),
+    n_reads: int = 200,
+    read_length: int = 80,
+    seed: int = 42,
+) -> ScalingStudyResult:
+    """Measure alignment cost at several scaffold-duplication levels."""
+    if any(f < 1.0 for f in duplication_factors):
+        raise ValueError("duplication factors must be >= 1.0")
+    root = ensure_rng(seed)
+    universe = make_universe(GenomeUniverseSpec(), derive_rng(root, "universe"))
+    chrom_bases = universe.chromosome_bases
+
+    # one read set, simulated against the clean chromosomes, shared by all
+    # points — as Fig. 3 aligns the same FASTQ against both indexes
+    clean = assemble_release(
+        universe, name="dup1.0", n_unlocalized=0, n_unplaced=0,
+        unlocalized_bases=0, unplaced_bases=0, rng=derive_rng(root, "clean"),
+    )
+    simulator = ReadSimulator(clean, universe.annotation)
+    sample = simulator.simulate(
+        SampleProfile(
+            LibraryType.BULK_POLYA, n_reads=n_reads, read_length=read_length
+        ),
+        rng=derive_rng(root, "reads"),
+    )
+
+    points: list[DuplicationPoint] = []
+    for factor in duplication_factors:
+        extra = int((factor - 1.0) * chrom_bases)
+        if extra <= 0:
+            assembly = clean
+        else:
+            assembly = assemble_release(
+                universe,
+                name=f"dup{factor:.1f}",
+                n_unlocalized=max(1, int(2 * factor)),
+                n_unplaced=max(1, int(10 * factor)),
+                unlocalized_bases=extra // 4,
+                unplaced_bases=extra - extra // 4,
+                rng=derive_rng(root, f"dup-{factor}"),
+            )
+        index = genome_generate(assembly, universe.annotation)
+        aligner = StarAligner(index, StarParameters(progress_every=10_000))
+        started = time.perf_counter()
+        result = aligner.run(sample.records)
+        elapsed = time.perf_counter() - started
+        points.append(
+            DuplicationPoint(
+                duplication_factor=assembly.total_length / chrom_bases,
+                genome_bases=assembly.total_length,
+                index_bytes=index.size_bytes(),
+                align_seconds=elapsed,
+                mapped_fraction=result.mapped_fraction,
+                mean_seed_hits=_mean_seed_hits(index, sample.records),
+            )
+        )
+    return ScalingStudyResult(points=points, n_reads=n_reads)

@@ -1,0 +1,70 @@
+"""Genome substrate: sequences, assemblies, Ensembl release model, FASTA, GTF.
+
+This package models exactly the genome-side facts the paper's §III-A
+optimization rests on:
+
+* an assembly is a set of contigs at different *assembly levels*
+  (chromosome / unlocalized scaffold / unplaced scaffold);
+* Ensembl's *toplevel* genome type includes all of them, while
+  *primary_assembly* drops alternates;
+* between releases 109 and 110 a large number of unlocalized sequences
+  were assigned to chromosome sites, shrinking the toplevel FASTA and
+  simplifying the STAR index.
+"""
+
+from repro.genome.alphabet import (
+    ALPHABET,
+    BASE_A,
+    BASE_C,
+    BASE_G,
+    BASE_N,
+    BASE_T,
+    decode,
+    encode,
+    gc_content,
+    random_sequence,
+    reverse_complement,
+)
+from repro.genome.annotation import Annotation, Exon, Gene, Strand, Transcript
+from repro.genome.ensembl import (
+    EnsemblRelease,
+    ReleaseSpec,
+    RELEASE_CATALOG,
+    build_release_assembly,
+    release_spec,
+)
+from repro.genome.fasta import read_fasta, write_fasta
+from repro.genome.gtf import read_gtf, write_gtf
+from repro.genome.model import Assembly, AssemblyLevel, Contig, SequenceRegion
+
+__all__ = [
+    "ALPHABET",
+    "Annotation",
+    "Assembly",
+    "AssemblyLevel",
+    "BASE_A",
+    "BASE_C",
+    "BASE_G",
+    "BASE_N",
+    "BASE_T",
+    "Contig",
+    "EnsemblRelease",
+    "Exon",
+    "Gene",
+    "RELEASE_CATALOG",
+    "ReleaseSpec",
+    "SequenceRegion",
+    "Strand",
+    "Transcript",
+    "build_release_assembly",
+    "decode",
+    "encode",
+    "gc_content",
+    "random_sequence",
+    "read_fasta",
+    "read_gtf",
+    "release_spec",
+    "reverse_complement",
+    "write_fasta",
+    "write_gtf",
+]

@@ -1,0 +1,154 @@
+"""Ensembl release catalog and release-view assembly builder.
+
+Two layers:
+
+* :data:`RELEASE_CATALOG` — full-scale facts per release used by the
+  analytical performance model (:mod:`repro.perf`): toplevel FASTA bases,
+  scaffold counts, release dates.  Numbers are a *synthetic but shaped*
+  model (documented in DESIGN.md): they are chosen so the derived
+  quantities match what the paper reports — a r108 STAR index of ~85 GiB,
+  a r111 index of ~29.5 GiB, and the large scaffold consolidation landing
+  between releases 109 and 110 (released 2023-04, as §III-A notes).
+
+* :func:`build_release_assembly` — laptop-scale synthetic assembly for a
+  release, sharing one :class:`~repro.genome.synth.GenomeUniverse` across
+  releases so that the *same reads* can be aligned against both (the
+  mini-Fig. 3 experiment).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.genome.model import Assembly
+from repro.genome.synth import GenomeUniverse, assemble_release
+from repro.util.rng import derive_rng, ensure_rng
+
+
+class EnsemblRelease(enum.IntEnum):
+    """Ensembl human genome releases covered by the catalog."""
+
+    R106 = 106
+    R107 = 107
+    R108 = 108
+    R109 = 109
+    R110 = 110
+    R111 = 111
+    R112 = 112
+
+
+@dataclass(frozen=True)
+class ReleaseSpec:
+    """Full-scale description of one Ensembl release's *toplevel* genome.
+
+    ``toplevel_bases`` is the total sequence in the toplevel FASTA; for
+    pre-110 releases it is dominated by unlocalized/unplaced scaffolds that
+    duplicate chromosome DNA, which is why it far exceeds the ~3.1 Gb of
+    placed chromosomes.
+    """
+
+    release: int
+    date: str  # first day of the release month, ISO
+    chromosome_bases: int
+    n_unlocalized: int
+    n_unplaced: int
+    unlocalized_bases: int
+    unplaced_bases: int
+
+    @property
+    def toplevel_bases(self) -> int:
+        """Total toplevel FASTA bases (chromosomes + all scaffolds)."""
+        return self.chromosome_bases + self.unlocalized_bases + self.unplaced_bases
+
+    @property
+    def scaffold_fraction(self) -> float:
+        """Fraction of toplevel bases contributed by scaffolds."""
+        return (self.unlocalized_bases + self.unplaced_bases) / self.toplevel_bases
+
+    @property
+    def duplication_factor(self) -> float:
+        """toplevel bases / chromosome bases — drives multi-mapping overhead."""
+        return self.toplevel_bases / self.chromosome_bases
+
+
+_CHROMOSOME_BASES = 3_050_000_000  # GRCh38 placed chromosomes, constant across releases
+
+# Scaffold-heavy era (≤109) vs consolidated era (≥110). Chosen so the index
+# model (≈10.2 bytes/base, repro.perf.index_model) reproduces the paper's
+# 85 GiB (r108) and 29.5 GiB (r111) index sizes.
+RELEASE_CATALOG: dict[EnsemblRelease, ReleaseSpec] = {
+    EnsemblRelease.R106: ReleaseSpec(
+        106, "2022-04-01", _CHROMOSOME_BASES, 4_100, 37_500, 1_640_000_000, 4_310_000_000
+    ),
+    EnsemblRelease.R107: ReleaseSpec(
+        107, "2022-07-01", _CHROMOSOME_BASES, 4_100, 37_400, 1_630_000_000, 4_280_000_000
+    ),
+    EnsemblRelease.R108: ReleaseSpec(
+        108, "2022-10-01", _CHROMOSOME_BASES, 4_050, 37_200, 1_620_000_000, 4_250_000_000
+    ),
+    EnsemblRelease.R109: ReleaseSpec(
+        109, "2023-02-01", _CHROMOSOME_BASES, 3_980, 36_900, 1_600_000_000, 4_200_000_000
+    ),
+    EnsemblRelease.R110: ReleaseSpec(
+        110, "2023-04-01", _CHROMOSOME_BASES, 42, 127, 5_200_000, 39_000_000
+    ),
+    EnsemblRelease.R111: ReleaseSpec(
+        111, "2024-01-01", _CHROMOSOME_BASES, 42, 127, 5_200_000, 38_000_000
+    ),
+    EnsemblRelease.R112: ReleaseSpec(
+        112, "2024-05-01", _CHROMOSOME_BASES, 42, 127, 5_200_000, 38_000_000
+    ),
+}
+
+
+def release_spec(release: EnsemblRelease | int) -> ReleaseSpec:
+    """Look up the catalog entry for a release (int or enum)."""
+    rel = EnsemblRelease(int(release))
+    return RELEASE_CATALOG[rel]
+
+
+def consolidation_boundary() -> tuple[EnsemblRelease, EnsemblRelease]:
+    """The release pair across which the scaffold consolidation happened."""
+    return (EnsemblRelease.R109, EnsemblRelease.R110)
+
+
+def build_release_assembly(
+    universe: GenomeUniverse,
+    release: EnsemblRelease | int,
+    *,
+    scale: float = 1e-5,
+    rng: np.random.Generator | int | None = None,
+) -> Assembly:
+    """Build a laptop-scale toplevel assembly for ``release``.
+
+    The chromosome part comes verbatim from ``universe`` so it is bitwise
+    identical across releases (as real placed chromosomes are).  Scaffold
+    *bases* are scaled so the mini-assembly preserves the release's
+    full-scale duplication factor (toplevel/chromosome base ratio) — the
+    quantity that drives both index size and multi-mapping cost; ``scale``
+    only thins the scaffold *count* so mini-assemblies don't carry tens of
+    thousands of tiny contigs.  The same ``rng`` must be passed for
+    different releases to get consistent scaffold sampling where specs
+    coincide.
+    """
+    spec = release_spec(release)
+    rng = ensure_rng(rng)
+    chrom_bases = universe.chromosome_bases
+    unloc_frac = spec.unlocalized_bases / spec.chromosome_bases
+    unpl_frac = spec.unplaced_bases / spec.chromosome_bases
+    n_unloc = max(1, int(round(spec.n_unlocalized * scale * 100))) if spec.unlocalized_bases else 0
+    n_unpl = max(1, int(round(spec.n_unplaced * scale * 100))) if spec.unplaced_bases else 0
+    unloc_bases = max(400, int(unloc_frac * chrom_bases))
+    unpl_bases = max(400, int(unpl_frac * chrom_bases))
+    return assemble_release(
+        universe,
+        name=f"GRCh38.r{spec.release}.toplevel",
+        n_unlocalized=n_unloc,
+        n_unplaced=n_unpl,
+        unlocalized_bases=unloc_bases,
+        unplaced_bases=unpl_bases,
+        rng=derive_rng(rng, f"release-{spec.release}"),
+    )

@@ -1,0 +1,167 @@
+"""Minimal GTF reader/writer for the :class:`~repro.genome.annotation.Annotation` model.
+
+Emits ``gene``/``transcript``/``exon`` features with the standard attribute
+keys (``gene_id``, ``transcript_id``, ``exon_number``, ``gene_name``), 1-based
+inclusive coordinates as GTF specifies, and parses them back losslessly.
+"""
+
+from __future__ import annotations
+
+import gzip
+import re
+from pathlib import Path
+
+from repro.genome.annotation import Annotation, Exon, Gene, Strand, Transcript
+from repro.genome.model import SequenceRegion
+
+_ATTR_RE = re.compile(r'(\w+)\s+"([^"]*)"')
+
+
+def _open_text(path: Path | str, mode: str):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def _attrs(**kwargs: str | int) -> str:
+    return " ".join(f'{k} "{v}";' for k, v in kwargs.items())
+
+
+def write_gtf(annotation: Annotation, path: Path | str, *, source: str = "repro") -> None:
+    """Write an annotation as GTF (1-based inclusive coordinates)."""
+    with _open_text(path, "w") as fh:
+        for gene in annotation:
+            fh.write(
+                "\t".join(
+                    [
+                        gene.contig,
+                        source,
+                        "gene",
+                        str(gene.start + 1),
+                        str(gene.end),
+                        ".",
+                        gene.strand.value,
+                        ".",
+                        _attrs(gene_id=gene.gene_id, gene_name=gene.name),
+                    ]
+                )
+                + "\n"
+            )
+            for t in gene.transcripts:
+                fh.write(
+                    "\t".join(
+                        [
+                            t.contig,
+                            source,
+                            "transcript",
+                            str(t.start + 1),
+                            str(t.end),
+                            ".",
+                            t.strand.value,
+                            ".",
+                            _attrs(
+                                gene_id=gene.gene_id,
+                                transcript_id=t.transcript_id,
+                                gene_name=gene.name,
+                            ),
+                        ]
+                    )
+                    + "\n"
+                )
+                for exon in t.exons:
+                    fh.write(
+                        "\t".join(
+                            [
+                                t.contig,
+                                source,
+                                "exon",
+                                str(exon.region.start + 1),
+                                str(exon.region.end),
+                                ".",
+                                t.strand.value,
+                                ".",
+                                _attrs(
+                                    gene_id=gene.gene_id,
+                                    transcript_id=t.transcript_id,
+                                    exon_number=exon.number,
+                                    gene_name=gene.name,
+                                ),
+                            ]
+                        )
+                        + "\n"
+                    )
+
+
+def read_gtf(path: Path | str) -> Annotation:
+    """Parse a GTF file produced by :func:`write_gtf` (or compatible).
+
+    Only ``gene``/``transcript``/``exon`` features are consumed; unknown
+    feature types and comment lines are skipped.
+    """
+    gene_meta: dict[str, dict] = {}
+    transcript_meta: dict[str, dict] = {}
+    exons: dict[str, list[Exon]] = {}
+    gene_order: list[str] = []
+
+    with _open_text(path, "r") as fh:
+        for raw in fh:
+            line = raw.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split("\t")
+            if len(fields) != 9:
+                raise ValueError(f"malformed GTF line: {line!r}")
+            contig, _source, feature, start, end, _score, strand, _frame, attr_text = fields
+            attrs = dict(_ATTR_RE.findall(attr_text))
+            start0 = int(start) - 1
+            end0 = int(end)
+            if feature == "gene":
+                gid = attrs["gene_id"]
+                gene_meta[gid] = {
+                    "name": attrs.get("gene_name", gid),
+                    "contig": contig,
+                    "strand": Strand(strand),
+                }
+                gene_order.append(gid)
+            elif feature == "transcript":
+                tid = attrs["transcript_id"]
+                transcript_meta[tid] = {
+                    "gene_id": attrs["gene_id"],
+                    "contig": contig,
+                    "strand": Strand(strand),
+                }
+                exons.setdefault(tid, [])
+            elif feature == "exon":
+                tid = attrs["transcript_id"]
+                number = int(attrs.get("exon_number", len(exons.get(tid, [])) + 1))
+                exons.setdefault(tid, []).append(
+                    Exon(SequenceRegion(contig, start0, end0), number)
+                )
+
+    transcripts_by_gene: dict[str, list[Transcript]] = {}
+    for tid, meta in transcript_meta.items():
+        transcript = Transcript(
+            transcript_id=tid,
+            gene_id=meta["gene_id"],
+            contig=meta["contig"],
+            strand=meta["strand"],
+            exons=exons.get(tid, []),
+        )
+        transcripts_by_gene.setdefault(meta["gene_id"], []).append(transcript)
+
+    genes: list[Gene] = []
+    for gid in gene_order:
+        meta = gene_meta[gid]
+        genes.append(
+            Gene(
+                gene_id=gid,
+                name=meta["name"],
+                contig=meta["contig"],
+                strand=meta["strand"],
+                transcripts=sorted(
+                    transcripts_by_gene.get(gid, []), key=lambda t: t.transcript_id
+                ),
+            )
+        )
+    return Annotation(genes=genes)

@@ -1,0 +1,198 @@
+"""Assembly model: contigs, assembly levels, and whole-assembly views.
+
+Mirrors the Ensembl vocabulary the paper relies on:
+
+* ``CHROMOSOME`` — placed, assembled chromosomes;
+* ``UNLOCALIZED`` — scaffolds known to belong to a chromosome but without a
+  fixed position (``*_random`` in UCSC naming);
+* ``UNPLACED`` — scaffolds not assigned to any chromosome (``chrUn_*``);
+* ``ALT`` — alternate loci, present in *toplevel* but not *primary_assembly*.
+
+The *toplevel* genome type = all of the above; *primary_assembly* drops the
+ALT contigs.  Between releases 109 and 110 Ensembl assigned many
+unlocalized/unplaced scaffolds to chromosome sites, which is exactly the
+transformation :mod:`repro.genome.ensembl` simulates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.genome.alphabet import decode, gc_content
+
+
+class AssemblyLevel(enum.Enum):
+    """Placement status of a contig within the assembly."""
+
+    CHROMOSOME = "chromosome"
+    UNLOCALIZED = "unlocalized"
+    UNPLACED = "unplaced"
+    ALT = "alt"
+
+    @property
+    def is_scaffold(self) -> bool:
+        """True for contigs that are not full chromosomes."""
+        return self is not AssemblyLevel.CHROMOSOME
+
+
+@dataclass(frozen=True)
+class SequenceRegion:
+    """A half-open interval ``[start, end)`` on a named contig."""
+
+    contig: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid region {self.contig}:{self.start}-{self.end}")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def overlaps(self, other: "SequenceRegion") -> bool:
+        """True when the two regions share at least one base on one contig."""
+        return (
+            self.contig == other.contig
+            and self.start < other.end
+            and other.start < self.end
+        )
+
+    def contains(self, other: "SequenceRegion") -> bool:
+        """True when ``other`` lies fully inside this region."""
+        return (
+            self.contig == other.contig
+            and self.start <= other.start
+            and other.end <= self.end
+        )
+
+
+@dataclass
+class Contig:
+    """One named sequence of the assembly with its placement level."""
+
+    name: str
+    sequence: np.ndarray
+    level: AssemblyLevel = AssemblyLevel.CHROMOSOME
+
+    def __post_init__(self) -> None:
+        self.sequence = np.asarray(self.sequence, dtype=np.uint8)
+        if self.sequence.ndim != 1:
+            raise ValueError("contig sequence must be one-dimensional")
+        if not self.name:
+            raise ValueError("contig name must be non-empty")
+
+    @property
+    def length(self) -> int:
+        return int(self.sequence.size)
+
+    @property
+    def gc(self) -> float:
+        return gc_content(self.sequence)
+
+    def subsequence(self, start: int, end: int) -> np.ndarray:
+        """Return bases of ``[start, end)`` (bounds-checked view)."""
+        if not 0 <= start <= end <= self.length:
+            raise IndexError(
+                f"[{start}, {end}) out of bounds for contig {self.name} of length {self.length}"
+            )
+        return self.sequence[start:end]
+
+    def to_string(self) -> str:
+        """Decode the full contig sequence (test/debug helper)."""
+        return decode(self.sequence)
+
+
+@dataclass
+class Assembly:
+    """An ordered collection of contigs — one Ensembl genome FASTA's worth.
+
+    ``name`` follows Ensembl conventions (e.g. ``GRCh38.r108.toplevel``);
+    ``contigs`` preserve file order, which the aligner's index relies on
+    for stable genome coordinates.
+    """
+
+    name: str
+    contigs: list[Contig] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.contigs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate contig names in assembly {self.name}")
+
+    def __len__(self) -> int:
+        return len(self.contigs)
+
+    def __iter__(self):
+        return iter(self.contigs)
+
+    @property
+    def total_length(self) -> int:
+        """Total bases across all contigs (the 'FASTA size' of the paper)."""
+        return sum(c.length for c in self.contigs)
+
+    @property
+    def contig_names(self) -> list[str]:
+        return [c.name for c in self.contigs]
+
+    def contig(self, name: str) -> Contig:
+        """Look up a contig by name; raises ``KeyError`` when absent."""
+        for c in self.contigs:
+            if c.name == name:
+                return c
+        raise KeyError(f"no contig named {name!r} in assembly {self.name}")
+
+    def add(self, contig: Contig) -> None:
+        """Append a contig, enforcing name uniqueness."""
+        if any(c.name == contig.name for c in self.contigs):
+            raise ValueError(f"contig {contig.name!r} already present")
+        self.contigs.append(contig)
+
+    def count_by_level(self) -> dict[AssemblyLevel, int]:
+        """Number of contigs at each assembly level."""
+        counts = {level: 0 for level in AssemblyLevel}
+        for c in self.contigs:
+            counts[c.level] += 1
+        return counts
+
+    def length_by_level(self) -> dict[AssemblyLevel, int]:
+        """Total bases at each assembly level."""
+        totals = {level: 0 for level in AssemblyLevel}
+        for c in self.contigs:
+            totals[c.level] += c.length
+        return totals
+
+    def toplevel(self) -> "Assembly":
+        """The *toplevel* genome type: every contig, including ALT loci."""
+        return Assembly(name=f"{self.name}.toplevel", contigs=list(self.contigs))
+
+    def primary_assembly(self) -> "Assembly":
+        """The *primary_assembly* genome type: toplevel minus ALT contigs."""
+        kept = [c for c in self.contigs if c.level is not AssemblyLevel.ALT]
+        return Assembly(name=f"{self.name}.primary_assembly", contigs=kept)
+
+    def fetch(self, region: SequenceRegion) -> np.ndarray:
+        """Extract the bases of ``region`` from the owning contig."""
+        return self.contig(region.contig).subsequence(region.start, region.end)
+
+    def concatenate(self) -> tuple[np.ndarray, np.ndarray, list[str]]:
+        """Concatenate all contigs into one array for indexing.
+
+        Returns ``(sequence, offsets, names)`` where ``offsets`` has
+        ``len(contigs) + 1`` entries and contig ``i`` occupies
+        ``sequence[offsets[i]:offsets[i+1]]``.
+        """
+        if not self.contigs:
+            return (
+                np.empty(0, dtype=np.uint8),
+                np.zeros(1, dtype=np.int64),
+                [],
+            )
+        arrays = [c.sequence for c in self.contigs]
+        lengths = np.array([a.size for a in arrays], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        return np.concatenate(arrays), offsets, self.contig_names

@@ -1,0 +1,218 @@
+"""Synthetic genome and annotation generation.
+
+Builds laptop-scale assemblies whose *structure* matches the mechanism the
+paper's §III-A optimization exploits: early Ensembl releases carry many
+unlocalized/unplaced scaffolds whose sequence duplicates chromosome
+segments (they are the same DNA, just not yet assigned a site), inflating
+the toplevel FASTA and the aligner index and producing spurious
+multi-mapping seed hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.genome.alphabet import BASE_N, random_sequence
+from repro.genome.annotation import Annotation, Exon, Gene, Strand, Transcript
+from repro.genome.model import Assembly, AssemblyLevel, Contig, SequenceRegion
+from repro.util.rng import derive_rng, ensure_rng
+
+
+@dataclass(frozen=True)
+class GenomeUniverseSpec:
+    """Parameters of the invariant part of the synthetic genome.
+
+    The "universe" is the chromosome set plus annotation — identical across
+    releases.  Releases differ only in which duplicated scaffolds they still
+    carry (see :func:`make_scaffolds`).
+    """
+
+    n_chromosomes: int = 4
+    chromosome_length: int = 30_000
+    genes_per_chromosome: int = 6
+    exons_per_transcript: int = 3
+    exon_length: int = 180
+    intron_length: int = 300
+    gc: float = 0.41
+
+    def __post_init__(self) -> None:
+        if self.n_chromosomes < 1:
+            raise ValueError("need at least one chromosome")
+        gene_span = (
+            self.exons_per_transcript * self.exon_length
+            + (self.exons_per_transcript - 1) * self.intron_length
+        )
+        needed = self.genes_per_chromosome * (gene_span + 200)
+        if self.chromosome_length < needed:
+            raise ValueError(
+                f"chromosome_length {self.chromosome_length} too short for "
+                f"{self.genes_per_chromosome} genes of span {gene_span}"
+            )
+
+
+@dataclass
+class GenomeUniverse:
+    """The release-invariant genome: chromosomes + annotation."""
+
+    chromosomes: list[Contig]
+    annotation: Annotation
+
+    @property
+    def chromosome_bases(self) -> int:
+        return sum(c.length for c in self.chromosomes)
+
+
+def make_universe(
+    spec: GenomeUniverseSpec, rng: np.random.Generator | int | None = None
+) -> GenomeUniverse:
+    """Generate chromosomes and a gene annotation deterministically from ``rng``."""
+    rng = ensure_rng(rng)
+    seq_rng = derive_rng(rng, "chromosome-sequences")
+    chromosomes = [
+        Contig(
+            name=str(i + 1),
+            sequence=random_sequence(spec.chromosome_length, seq_rng, gc=spec.gc),
+            level=AssemblyLevel.CHROMOSOME,
+        )
+        for i in range(spec.n_chromosomes)
+    ]
+    annotation = _make_annotation(spec, chromosomes, derive_rng(rng, "annotation"))
+    return GenomeUniverse(chromosomes=chromosomes, annotation=annotation)
+
+
+def _make_annotation(
+    spec: GenomeUniverseSpec,
+    chromosomes: list[Contig],
+    rng: np.random.Generator,
+) -> Annotation:
+    """Lay genes end-to-end with random gaps; one transcript per gene.
+
+    Deterministic layout (not rejection sampling) so annotation generation
+    never fails for valid specs.
+    """
+    gene_span = (
+        spec.exons_per_transcript * spec.exon_length
+        + (spec.exons_per_transcript - 1) * spec.intron_length
+    )
+    genes: list[Gene] = []
+    for chrom in chromosomes:
+        slack = chrom.length - spec.genes_per_chromosome * gene_span
+        max_gap = max(1, slack // (spec.genes_per_chromosome + 1))
+        cursor = int(rng.integers(0, max_gap))
+        for g in range(spec.genes_per_chromosome):
+            gene_id = f"ENSG{chrom.name}_{g:03d}"
+            strand = Strand.FORWARD if rng.random() < 0.5 else Strand.REVERSE
+            exons = []
+            pos = cursor
+            for e in range(spec.exons_per_transcript):
+                exons.append(
+                    Exon(
+                        SequenceRegion(chrom.name, pos, pos + spec.exon_length),
+                        number=e + 1,
+                    )
+                )
+                pos += spec.exon_length + spec.intron_length
+            transcript = Transcript(
+                transcript_id=f"ENST{chrom.name}_{g:03d}",
+                gene_id=gene_id,
+                contig=chrom.name,
+                strand=strand,
+                exons=exons,
+            )
+            genes.append(
+                Gene(
+                    gene_id=gene_id,
+                    name=f"GENE{chrom.name}_{g:03d}",
+                    contig=chrom.name,
+                    strand=strand,
+                    transcripts=[transcript],
+                )
+            )
+            cursor += gene_span + int(rng.integers(1, max_gap + 1))
+    return Annotation(genes=genes)
+
+
+def make_scaffolds(
+    universe: GenomeUniverse,
+    *,
+    n_scaffolds: int,
+    total_bases: int,
+    level: AssemblyLevel,
+    divergence: float = 0.005,
+    rng: np.random.Generator | int | None = None,
+    name_prefix: str = "KI",
+) -> list[Contig]:
+    """Create scaffolds that *duplicate* chromosome segments.
+
+    Each scaffold copies a random chromosome window and applies point
+    divergence — modelling sequences that a later release will recognise as
+    already-placed chromosome DNA.  This is what makes the old-release index
+    both bigger and slower (extra multi-mapping seed hits) while barely
+    changing the mapping rate, exactly the paper's observation.
+    """
+    if n_scaffolds <= 0:
+        return []
+    if total_bases <= 0:
+        raise ValueError("total_bases must be positive for n_scaffolds > 0")
+    rng = ensure_rng(rng)
+    # Split total_bases into n_scaffolds lognormal-ish chunks, min 200 bases.
+    weights = rng.lognormal(mean=0.0, sigma=0.8, size=n_scaffolds)
+    lengths = np.maximum((weights / weights.sum() * total_bases).astype(int), 200)
+    scaffolds: list[Contig] = []
+    for i, length in enumerate(lengths):
+        chrom = universe.chromosomes[int(rng.integers(0, len(universe.chromosomes)))]
+        length = min(int(length), chrom.length)
+        start = int(rng.integers(0, chrom.length - length + 1))
+        seq = chrom.sequence[start : start + length].copy()
+        if divergence > 0:
+            mask = rng.random(seq.size) < divergence
+            # substitute with a uniformly different base; leave Ns alone
+            subs = rng.integers(0, 4, size=int(mask.sum())).astype(np.uint8)
+            target = seq[mask]
+            collide = (subs == target) & (target != BASE_N)
+            subs[collide] = (subs[collide] + 1) % 4
+            keep_n = target == BASE_N
+            subs[keep_n] = BASE_N
+            seq[mask] = subs
+        scaffolds.append(
+            Contig(
+                name=f"{name_prefix}{270700 + i}.1",
+                sequence=seq,
+                level=level,
+            )
+        )
+    return scaffolds
+
+
+def assemble_release(
+    universe: GenomeUniverse,
+    *,
+    name: str,
+    n_unlocalized: int,
+    n_unplaced: int,
+    unlocalized_bases: int,
+    unplaced_bases: int,
+    rng: np.random.Generator | int | None = None,
+) -> Assembly:
+    """Compose a release view: invariant chromosomes + release-specific scaffolds."""
+    rng = ensure_rng(rng)
+    contigs: list[Contig] = list(universe.chromosomes)
+    contigs += make_scaffolds(
+        universe,
+        n_scaffolds=n_unlocalized,
+        total_bases=unlocalized_bases,
+        level=AssemblyLevel.UNLOCALIZED,
+        rng=derive_rng(rng, "unlocalized"),
+        name_prefix="GL",
+    )
+    contigs += make_scaffolds(
+        universe,
+        n_scaffolds=n_unplaced,
+        total_bases=unplaced_bases,
+        level=AssemblyLevel.UNPLACED,
+        rng=derive_rng(rng, "unplaced"),
+        name_prefix="KI",
+    )
+    return Assembly(name=name, contigs=contigs)

@@ -1,0 +1,22 @@
+"""Calibrated performance models.
+
+The mini-aligner in :mod:`repro.align` proves the *mechanisms* (index size
+tracks FASTA size; duplicated scaffolds create multimapping work; early
+stopping cuts scan time).  This package scales those mechanisms to the
+paper's workload sizes with analytical models whose constants are derived
+— transparently, in :mod:`repro.perf.calibration` — from the aggregate
+numbers the paper reports.  The cloud simulator consumes these models.
+"""
+
+from repro.perf.index_model import IndexModel
+from repro.perf.star_model import StarPerfModel, StarRuntimeBreakdown
+from repro.perf.targets import PAPER
+from repro.perf.transfer import TransferModel
+
+__all__ = [
+    "IndexModel",
+    "PAPER",
+    "StarPerfModel",
+    "StarRuntimeBreakdown",
+    "TransferModel",
+]

@@ -1,0 +1,54 @@
+"""Index size / build / load model.
+
+The STAR index stores, per genome base, the packed sequence plus an
+8-byte uncompressed suffix-array entry (the same layout as
+:class:`repro.align.index.GenomeIndex`), so its size is linear in
+toplevel FASTA bases.  The bytes-per-base constant is calibrated from the
+paper's 85 GiB @ release 108; the same constant then predicts release
+111's 29.5 GiB — a genuine cross-check, not a fit of both points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.genome.ensembl import EnsemblRelease, ReleaseSpec, release_spec
+from repro.perf.targets import PAPER
+from repro.util.units import Bytes, Duration
+from repro.util.validation import check_positive
+
+#: Calibrated from index_bytes_r108 / toplevel_bases(r108) ≈ 10.23 B/base.
+_R108_SPEC = release_spec(EnsemblRelease.R108)
+BYTES_PER_BASE: float = PAPER.index_bytes_r108 / _R108_SPEC.toplevel_bases
+
+
+@dataclass(frozen=True)
+class IndexModel:
+    """Analytical model of STAR index footprint and handling times."""
+
+    bytes_per_base: float = BYTES_PER_BASE
+    #: genomeGenerate throughput, bases/second/vCPU (suffix-array sort bound)
+    build_bases_per_second_per_vcpu: float = 1.1e6
+    #: sequential read into /dev/shm, bytes/second (NVMe-class local disk)
+    shm_load_bandwidth: float = 1.2e9
+
+    def index_bytes(self, spec: ReleaseSpec) -> Bytes:
+        """Predicted on-disk/in-memory index size for a release."""
+        return self.bytes_per_base * spec.toplevel_bases
+
+    def index_bytes_for_release(self, release: EnsemblRelease | int) -> Bytes:
+        return self.index_bytes(release_spec(release))
+
+    def memory_required_bytes(self, spec: ReleaseSpec, *, overhead: Bytes = 6e9) -> Bytes:
+        """RAM needed to run STAR: index in shared memory + working overhead."""
+        check_positive("overhead", overhead)
+        return self.index_bytes(spec) + overhead
+
+    def build_seconds(self, spec: ReleaseSpec, vcpus: int) -> Duration:
+        """genomeGenerate wall time on ``vcpus`` cores."""
+        check_positive("vcpus", vcpus)
+        return spec.toplevel_bases / (self.build_bases_per_second_per_vcpu * vcpus)
+
+    def shm_load_seconds(self, spec: ReleaseSpec) -> Duration:
+        """Time to load the index from local disk into shared memory."""
+        return self.index_bytes(spec) / self.shm_load_bandwidth

@@ -1,0 +1,82 @@
+"""Every number the paper reports, in one place.
+
+Benches compare their measured output against these targets, and
+:mod:`repro.perf.calibration` derives model constants from them.  Keeping
+them centralized means EXPERIMENTS.md, the benches, and the models can
+never drift apart on what the paper actually said.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import GIB, gib, hours
+
+
+@dataclass(frozen=True)
+class PaperTargets:
+    """Reported values from Kica et al., CLUSTER 2024."""
+
+    # §III-A — genome release experiment (Fig. 3 and test-configuration block)
+    fig3_n_files: int = 49
+    fig3_mean_fastq_bytes: float = gib(15.9)
+    fig3_total_fastq_bytes: float = gib(777)
+    index_bytes_r108: float = gib(85.0)
+    index_bytes_r111: float = gib(29.5)
+    fig3_weighted_speedup: float = 12.0  # "more than 12 times faster"
+    mapping_rate_max_delta: float = 0.01  # "<1% mean difference"
+    instance_type: str = "r6a.4xlarge"
+    instance_vcpus: int = 16
+    instance_ram_bytes: float = 128e9  # 128 GB
+
+    # §III-B — early stopping (Fig. 4)
+    early_stop_corpus_size: int = 1000
+    early_stop_terminated: int = 38
+    early_stop_mapping_threshold: float = 0.30
+    early_stop_check_fraction: float = 0.10
+    early_stop_total_hours: float = 155.8
+    early_stop_saved_hours: float = 30.4
+    early_stop_saving_fraction: float = 0.195  # "about 19.5% reduction"
+
+    # §II — atlas scope
+    atlas_min_files: int = 7216
+    atlas_total_sra_bytes: float = 17e12  # "17TB of SRA data"
+
+    @property
+    def index_size_ratio(self) -> float:
+        """85 GiB / 29.5 GiB ≈ 2.88 — the index shrink factor."""
+        return self.index_bytes_r108 / self.index_bytes_r111
+
+    @property
+    def mean_star_seconds(self) -> float:
+        """Mean per-run STAR time implied by the 1000-run corpus (≈9.3 min)."""
+        return hours(self.early_stop_total_hours) / self.early_stop_corpus_size
+
+    @property
+    def terminated_fraction(self) -> float:
+        """38 / 1000 = 3.8% of runs safely terminable."""
+        return self.early_stop_terminated / self.early_stop_corpus_size
+
+
+PAPER = PaperTargets()
+
+
+def summarize() -> str:
+    """Human-readable target sheet (printed by the benches)."""
+    p = PAPER
+    return "\n".join(
+        [
+            "Paper targets (Kica et al., CLUSTER 2024):",
+            f"  Fig3: {p.fig3_n_files} files, mean {p.fig3_mean_fastq_bytes / GIB:.1f} GiB, "
+            f"total {p.fig3_total_fastq_bytes / GIB:.0f} GiB",
+            f"  index: r108 {p.index_bytes_r108 / GIB:.1f} GiB vs r111 "
+            f"{p.index_bytes_r111 / GIB:.1f} GiB (ratio {p.index_size_ratio:.2f})",
+            f"  weighted speedup > {p.fig3_weighted_speedup:.0f}x, "
+            f"mapping-rate delta < {100 * p.mapping_rate_max_delta:.0f}%",
+            f"  Fig4: {p.early_stop_terminated}/{p.early_stop_corpus_size} runs terminated, "
+            f"{p.early_stop_saved_hours:.1f} h of {p.early_stop_total_hours:.1f} h saved "
+            f"({100 * p.early_stop_saving_fraction:.1f}%)",
+            f"  early-stop rule: abort if mapped% < {100 * p.early_stop_mapping_threshold:.0f}% "
+            f"after {100 * p.early_stop_check_fraction:.0f}% of reads",
+        ]
+    )

@@ -1,0 +1,54 @@
+"""Data-movement model: S3, NCBI, and local-disk transfer times.
+
+One instance's pipeline moves data four times: SRA download from NCBI
+(prefetch), FASTQ materialization (fasterq-dump, disk-bound), index
+download from S3 at init, and result upload to S3.  Bandwidths are
+per-instance effective rates, deliberately conservative for shared links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import Bytes, Duration
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Effective per-instance bandwidths (bytes/second)."""
+
+    #: S3 within-region GET/PUT throughput for large objects
+    s3_bandwidth: float = 600e6
+    #: NCBI SRA public download throughput (external, much slower)
+    ncbi_bandwidth: float = 60e6
+    #: local NVMe/EBS streaming write (fasterq-dump is I/O bound)
+    disk_bandwidth: float = 500e6
+    #: fixed per-request latency added to every transfer
+    request_latency_seconds: float = 0.2
+
+    def __post_init__(self) -> None:
+        check_positive("s3_bandwidth", self.s3_bandwidth)
+        check_positive("ncbi_bandwidth", self.ncbi_bandwidth)
+        check_positive("disk_bandwidth", self.disk_bandwidth)
+
+    def _time(self, size: Bytes, bandwidth: float) -> Duration:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        return self.request_latency_seconds + size / bandwidth
+
+    def s3_download_seconds(self, size: Bytes) -> Duration:
+        """GET an object of ``size`` bytes from S3 (e.g. the STAR index)."""
+        return self._time(size, self.s3_bandwidth)
+
+    def s3_upload_seconds(self, size: Bytes) -> Duration:
+        """PUT pipeline results to S3."""
+        return self._time(size, self.s3_bandwidth)
+
+    def prefetch_seconds(self, sra_bytes: Bytes) -> Duration:
+        """Download one SRA container from NCBI."""
+        return self._time(sra_bytes, self.ncbi_bandwidth)
+
+    def fasterq_dump_seconds(self, fastq_bytes: Bytes) -> Duration:
+        """Convert SRA → FASTQ; bounded by writing the FASTQ to disk."""
+        return self._time(fastq_bytes, self.disk_bandwidth)

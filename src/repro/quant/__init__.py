@@ -1,0 +1,30 @@
+"""Count normalization — pipeline step 4 (DESeq2).
+
+Implements DESeq2's median-of-ratios size-factor estimator and the
+normalized-count transform over a gene × sample count matrix, which is
+what the paper's pipeline feeds the Transcriptomics Atlas.
+"""
+
+from repro.quant.deseq2 import (
+    estimate_size_factors,
+    normalize_counts,
+    vst_like_transform,
+)
+from repro.quant.diffexp import (
+    DiffExpResult,
+    benjamini_hochberg,
+    estimate_dispersions,
+    wald_test,
+)
+from repro.quant.matrix import CountMatrix
+
+__all__ = [
+    "CountMatrix",
+    "DiffExpResult",
+    "benjamini_hochberg",
+    "estimate_dispersions",
+    "estimate_size_factors",
+    "normalize_counts",
+    "vst_like_transform",
+    "wald_test",
+]

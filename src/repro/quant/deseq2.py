@@ -1,0 +1,68 @@
+"""DESeq2-style normalization (Love, Huber, Anders 2014; Anders & Huber 2010).
+
+Implements the *median-of-ratios* size-factor estimator DESeq2 uses:
+
+    s_j = median_i ( K_ij / ( prod_j K_ij )^(1/m) )
+
+taken over genes with a strictly positive geometric mean, and normalized
+counts K_ij / s_j.  A simple variance-stabilizing log transform is also
+provided for downstream atlas use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.matrix import CountMatrix
+
+
+def estimate_size_factors(matrix: CountMatrix) -> np.ndarray:
+    """Median-of-ratios size factors, one per sample.
+
+    Genes with any zero count are excluded from the reference (their
+    geometric mean is zero), matching DESeq2's default behaviour.
+    Raises ``ValueError`` when no gene is usable — e.g. every gene has a
+    zero somewhere — since the estimator is undefined there.
+    """
+    counts = matrix.counts.astype(float)
+    positive = (counts > 0).all(axis=1)
+    if not positive.any():
+        raise ValueError(
+            "size factors undefined: no gene has positive counts in all samples"
+        )
+    ref = counts[positive]
+    log_geo_mean = np.log(ref).mean(axis=1, keepdims=True)
+    ratios = np.log(ref) - log_geo_mean
+    factors = np.exp(np.median(ratios, axis=0))
+    return factors
+
+
+def normalize_counts(
+    matrix: CountMatrix, size_factors: np.ndarray | None = None
+) -> np.ndarray:
+    """Normalized counts K_ij / s_j (float matrix, same shape)."""
+    if size_factors is None:
+        size_factors = estimate_size_factors(matrix)
+    size_factors = np.asarray(size_factors, dtype=float)
+    if size_factors.shape != (matrix.n_samples,):
+        raise ValueError(
+            f"expected {matrix.n_samples} size factors, got {size_factors.shape}"
+        )
+    if (size_factors <= 0).any():
+        raise ValueError("size factors must be positive")
+    return matrix.counts / size_factors[np.newaxis, :]
+
+
+def vst_like_transform(
+    matrix: CountMatrix, size_factors: np.ndarray | None = None
+) -> np.ndarray:
+    """``log2(normalized + 1)`` — the simple VST stand-in for atlas export."""
+    return np.log2(normalize_counts(matrix, size_factors) + 1.0)
+
+
+def cpm(matrix: CountMatrix) -> np.ndarray:
+    """Counts per million, the naive library-size normalization baseline."""
+    sizes = matrix.library_sizes().astype(float)
+    if (sizes == 0).any():
+        raise ValueError("cannot compute CPM with an all-zero sample")
+    return matrix.counts * 1e6 / sizes[np.newaxis, :]

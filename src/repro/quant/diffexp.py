@@ -1,0 +1,251 @@
+"""DESeq2-lite differential expression.
+
+The Transcriptomics Atlas's downstream purpose is comparing expression
+across conditions/tissues; this module implements the simplified core of
+DESeq2's test chain on top of the median-of-ratios normalization:
+
+1. per-gene negative-binomial dispersion by method of moments on
+   normalized counts, shrunk toward a fitted mean-dispersion trend
+   (DESeq2's ``fitType="parametric"``: α(μ) = a1/μ + a0);
+2. two-group Wald test on the log2 fold change with a delta-method
+   standard error from the NB variance μ + α μ²;
+3. Benjamini–Hochberg adjustment.
+
+It is deliberately the *documented simplification* of the real package
+(no GLM with covariates, no Cook's distance outlier handling, no
+independent filtering) — enough for the atlas's two-condition contrasts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quant.deseq2 import estimate_size_factors, normalize_counts
+from repro.quant.matrix import CountMatrix
+from repro.util.tables import Table
+
+
+def fit_dispersion_trend(
+    means: np.ndarray, dispersions: np.ndarray
+) -> tuple[float, float]:
+    """Fit α(μ) = a1/μ + a0 by trimmed least squares.
+
+    Genes in the top/bottom dispersion decile are excluded before the fit —
+    the cheap stand-in for DESeq2's iterative outlier-excluding gamma GLM,
+    needed because a handful of genuinely differential genes otherwise
+    drag the trend up for everyone.  Returns (a0, a1), clipped non-negative.
+    """
+    mask = (means > 1e-8) & (dispersions > 1e-8)
+    if mask.sum() < 3:
+        return 0.01, 1.0  # too little signal: DESeq2-ish defaults
+    x_all = 1.0 / means[mask]
+    y_all = dispersions[mask]
+    if y_all.size >= 10:
+        lo, hi = np.quantile(y_all, [0.10, 0.90])
+        keep = (y_all >= lo) & (y_all <= hi)
+        x_all, y_all = x_all[keep], y_all[keep]
+    design = np.column_stack([np.ones_like(x_all), x_all])
+    coef, *_ = np.linalg.lstsq(design, y_all, rcond=None)
+    a0, a1 = float(coef[0]), float(coef[1])
+    return max(a0, 1e-8), max(a1, 0.0)
+
+
+def estimate_dispersions(
+    matrix: CountMatrix,
+    size_factors: np.ndarray | None = None,
+    *,
+    shrinkage: float = 0.5,
+    groups: list[str] | None = None,
+) -> np.ndarray:
+    """Per-gene NB dispersions, shrunk toward the fitted trend.
+
+    Method-of-moments gene estimates (var − μ)/μ² are blended with the
+    parametric trend value with weight ``shrinkage`` — the linear-blend
+    stand-in for DESeq2's empirical-Bayes MAP step.
+
+    When ``groups`` labels each sample's condition, moments are taken
+    *within* groups and pooled by degrees of freedom, so genuine
+    between-condition differences do not masquerade as biological
+    dispersion (DESeq2 achieves the same via the fitted GLM means).
+    """
+    if not 0.0 <= shrinkage <= 1.0:
+        raise ValueError("shrinkage must be in [0, 1]")
+    normalized = normalize_counts(matrix, size_factors)
+    overall_means = normalized.mean(axis=1)
+
+    if groups is None:
+        group_masks = [np.ones(matrix.n_samples, dtype=bool)]
+    else:
+        if len(groups) != matrix.n_samples:
+            raise ValueError(
+                f"{len(groups)} group labels for {matrix.n_samples} samples"
+            )
+        group_masks = [
+            np.array([g == label for g in groups]) for label in sorted(set(groups))
+        ]
+
+    raw_num = np.zeros(matrix.n_genes)
+    raw_den = 0.0
+    for mask in group_masks:
+        n = int(mask.sum())
+        if n < 2:
+            continue
+        sub = normalized[:, mask]
+        mu = sub.mean(axis=1)
+        var = sub.var(axis=1, ddof=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            alpha = np.where(mu > 0, (var - mu) / mu**2, 0.0)
+        raw_num += (n - 1) * np.clip(alpha, 1e-8, 10.0)
+        raw_den += n - 1
+    if raw_den == 0:
+        raw = np.full(matrix.n_genes, 1e-8)
+    else:
+        raw = raw_num / raw_den
+
+    a0, a1 = fit_dispersion_trend(overall_means, raw)
+    trend = np.where(
+        overall_means > 0, a1 / np.maximum(overall_means, 1e-8) + a0, a0
+    )
+    return (1.0 - shrinkage) * raw + shrinkage * np.clip(trend, 1e-8, 10.0)
+
+
+@dataclass(frozen=True)
+class DiffExpRow:
+    """One gene's test result."""
+
+    gene_id: str
+    base_mean: float
+    log2_fold_change: float
+    lfc_se: float
+    wald_stat: float
+    p_value: float
+    p_adjusted: float
+
+    @property
+    def significant(self) -> bool:
+        return self.p_adjusted < 0.05
+
+
+@dataclass
+class DiffExpResult:
+    """All genes' results, ordered as the input matrix."""
+
+    rows: list[DiffExpRow]
+    condition_a: str
+    condition_b: str
+
+    def significant(self, alpha: float = 0.05) -> list[DiffExpRow]:
+        return [r for r in self.rows if r.p_adjusted < alpha]
+
+    def row(self, gene_id: str) -> DiffExpRow:
+        for r in self.rows:
+            if r.gene_id == gene_id:
+                return r
+        raise KeyError(gene_id)
+
+    def to_table(self, *, max_rows: int = 20) -> str:
+        table = Table(
+            ["gene", "baseMean", "log2FC", "SE", "Wald", "p", "padj"],
+            title=f"Differential expression: {self.condition_b} vs {self.condition_a}",
+        )
+        ordered = sorted(self.rows, key=lambda r: r.p_adjusted)
+        for r in ordered[:max_rows]:
+            table.add_row(
+                [
+                    r.gene_id,
+                    f"{r.base_mean:.1f}",
+                    f"{r.log2_fold_change:+.2f}",
+                    f"{r.lfc_se:.2f}",
+                    f"{r.wald_stat:+.2f}",
+                    f"{r.p_value:.2e}",
+                    f"{r.p_adjusted:.2e}",
+                ]
+            )
+        return table.render()
+
+
+def benjamini_hochberg(p_values: np.ndarray) -> np.ndarray:
+    """BH step-up adjusted p-values (monotone, clipped at 1)."""
+    p = np.asarray(p_values, dtype=float)
+    n = p.size
+    order = np.argsort(p)
+    ranked = p[order] * n / (np.arange(n) + 1)
+    # enforce monotonicity from the largest rank down
+    ranked = np.minimum.accumulate(ranked[::-1])[::-1]
+    adjusted = np.empty(n)
+    adjusted[order] = np.clip(ranked, 0.0, 1.0)
+    return adjusted
+
+
+def _normal_sf(z: np.ndarray) -> np.ndarray:
+    """Standard-normal survival function (scipy-backed)."""
+    from scipy.stats import norm
+
+    return norm.sf(z)
+
+
+def wald_test(
+    matrix: CountMatrix,
+    condition_labels: list[str],
+    *,
+    size_factors: np.ndarray | None = None,
+    pseudocount: float = 0.5,
+) -> DiffExpResult:
+    """Two-group Wald test on each gene.
+
+    ``condition_labels`` names each sample's group; exactly two distinct
+    labels are required.  The log2 fold change compares group B (the
+    lexicographically later label) to group A.
+    """
+    labels = list(condition_labels)
+    if len(labels) != matrix.n_samples:
+        raise ValueError(
+            f"{len(labels)} labels for {matrix.n_samples} samples"
+        )
+    groups = sorted(set(labels))
+    if len(groups) != 2:
+        raise ValueError(f"need exactly two conditions, got {groups}")
+    cond_a, cond_b = groups
+    mask_a = np.array([lab == cond_a for lab in labels])
+    mask_b = ~mask_a
+    if mask_a.sum() < 2 or mask_b.sum() < 2:
+        raise ValueError("each condition needs at least two samples")
+
+    if size_factors is None:
+        size_factors = estimate_size_factors(matrix)
+    normalized = normalize_counts(matrix, size_factors)
+    dispersions = estimate_dispersions(matrix, size_factors, groups=labels)
+
+    mean_a = normalized[:, mask_a].mean(axis=1) + pseudocount
+    mean_b = normalized[:, mask_b].mean(axis=1) + pseudocount
+    lfc = np.log2(mean_b / mean_a)
+
+    # delta method on log2 mean: Var(log2 μ̂) ≈ Var(μ̂) / (μ ln2)^2,
+    # with NB variance μ + α μ² per sample and 1/n from averaging
+    def group_se(mean: np.ndarray, n: int) -> np.ndarray:
+        var = (mean + dispersions * mean**2) / n
+        return np.sqrt(var) / (mean * np.log(2.0))
+
+    se = np.sqrt(
+        group_se(mean_a, int(mask_a.sum())) ** 2
+        + group_se(mean_b, int(mask_b.sum())) ** 2
+    )
+    wald = lfc / np.maximum(se, 1e-12)
+    p = 2.0 * _normal_sf(np.abs(wald))
+    padj = benjamini_hochberg(p)
+
+    rows = [
+        DiffExpRow(
+            gene_id=g,
+            base_mean=float(normalized[i].mean()),
+            log2_fold_change=float(lfc[i]),
+            lfc_se=float(se[i]),
+            wald_stat=float(wald[i]),
+            p_value=float(p[i]),
+            p_adjusted=float(padj[i]),
+        )
+        for i, g in enumerate(matrix.gene_ids)
+    ]
+    return DiffExpResult(rows=rows, condition_a=cond_a, condition_b=cond_b)

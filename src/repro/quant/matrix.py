@@ -1,0 +1,75 @@
+"""Gene × sample count matrix assembled from per-run GeneCounts outputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CountMatrix:
+    """Raw counts with named axes: rows are genes, columns are samples."""
+
+    gene_ids: list[str]
+    sample_ids: list[str]
+    counts: np.ndarray  # shape (n_genes, n_samples), non-negative ints
+
+    def __post_init__(self) -> None:
+        self.counts = np.asarray(self.counts)
+        if self.counts.shape != (len(self.gene_ids), len(self.sample_ids)):
+            raise ValueError(
+                f"counts shape {self.counts.shape} does not match "
+                f"{len(self.gene_ids)} genes x {len(self.sample_ids)} samples"
+            )
+        if (self.counts < 0).any():
+            raise ValueError("counts must be non-negative")
+        if len(set(self.gene_ids)) != len(self.gene_ids):
+            raise ValueError("duplicate gene ids")
+        if len(set(self.sample_ids)) != len(self.sample_ids):
+            raise ValueError("duplicate sample ids")
+
+    @property
+    def n_genes(self) -> int:
+        return len(self.gene_ids)
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.sample_ids)
+
+    def column(self, sample_id: str) -> np.ndarray:
+        """Counts vector of one sample."""
+        return self.counts[:, self.sample_ids.index(sample_id)]
+
+    def library_sizes(self) -> np.ndarray:
+        """Per-sample total counts."""
+        return self.counts.sum(axis=0)
+
+    @classmethod
+    def from_columns(
+        cls, columns: dict[str, dict[str, int]]
+    ) -> "CountMatrix":
+        """Assemble from {sample_id: {gene_id: count}} (GeneCounts vectors).
+
+        The gene set is the union across samples; missing entries are 0.
+        Gene and sample order are sorted for determinism.
+        """
+        if not columns:
+            raise ValueError("no samples provided")
+        sample_ids = sorted(columns)
+        gene_ids = sorted({g for col in columns.values() for g in col})
+        counts = np.zeros((len(gene_ids), len(sample_ids)), dtype=np.int64)
+        gene_pos = {g: i for i, g in enumerate(gene_ids)}
+        for j, sid in enumerate(sample_ids):
+            for g, v in columns[sid].items():
+                counts[gene_pos[g], j] = v
+        return cls(gene_ids=gene_ids, sample_ids=sample_ids, counts=counts)
+
+    def drop_all_zero_genes(self) -> "CountMatrix":
+        """Remove genes with zero counts in every sample."""
+        keep = self.counts.sum(axis=1) > 0
+        return CountMatrix(
+            gene_ids=[g for g, k in zip(self.gene_ids, keep) if k],
+            sample_ids=list(self.sample_ids),
+            counts=self.counts[keep],
+        )

@@ -1,0 +1,117 @@
+"""FASTQ record model and streaming I/O.
+
+Supports plain and gzipped files, Sanger (Phred+33) quality encoding, and
+both eager (`read_fastq`) and streaming (`iter_fastq`) parsing — STAR and
+``fasterq-dump`` both stream, and the aligner in :mod:`repro.align` does too.
+"""
+
+from __future__ import annotations
+
+import gzip
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.genome.alphabet import decode, encode
+
+PHRED_OFFSET = 33
+MAX_PHRED = 41
+
+
+@dataclass
+class FastqRecord:
+    """One read: identifier, encoded sequence, numeric Phred qualities."""
+
+    read_id: str
+    sequence: np.ndarray  # uint8 base codes
+    qualities: np.ndarray  # uint8 Phred scores (not ASCII)
+
+    def __post_init__(self) -> None:
+        self.sequence = np.asarray(self.sequence, dtype=np.uint8)
+        self.qualities = np.asarray(self.qualities, dtype=np.uint8)
+        if self.sequence.shape != self.qualities.shape:
+            raise ValueError(
+                f"read {self.read_id}: sequence length {self.sequence.size} != "
+                f"quality length {self.qualities.size}"
+            )
+
+    @property
+    def length(self) -> int:
+        return int(self.sequence.size)
+
+    @property
+    def sequence_str(self) -> str:
+        return decode(self.sequence)
+
+    @property
+    def quality_str(self) -> str:
+        return (self.qualities + PHRED_OFFSET).tobytes().decode("ascii")
+
+    @property
+    def mean_quality(self) -> float:
+        return float(self.qualities.mean()) if self.qualities.size else 0.0
+
+    @classmethod
+    def from_strings(cls, read_id: str, sequence: str, quality: str) -> "FastqRecord":
+        """Build a record from FASTQ text fields."""
+        q = np.frombuffer(quality.encode("ascii"), dtype=np.uint8)
+        if (q < PHRED_OFFSET).any():
+            raise ValueError(f"read {read_id}: quality characters below Phred+33 range")
+        return cls(read_id, encode(sequence), (q - PHRED_OFFSET).astype(np.uint8))
+
+
+def _open_text(path: Path | str, mode: str):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def iter_fastq(path: Path | str) -> Iterator[FastqRecord]:
+    """Stream records from a FASTQ file, validating 4-line framing."""
+    with _open_text(path, "r") as fh:
+        while True:
+            header = fh.readline()
+            if not header:
+                return
+            header = header.rstrip("\n")
+            if not header.startswith("@"):
+                raise ValueError(f"{path}: expected '@' header, got {header!r}")
+            sequence = fh.readline().rstrip("\n")
+            plus = fh.readline().rstrip("\n")
+            quality = fh.readline().rstrip("\n")
+            if not plus.startswith("+"):
+                raise ValueError(f"{path}: malformed separator line {plus!r}")
+            if len(sequence) != len(quality):
+                raise ValueError(
+                    f"{path}: sequence/quality length mismatch in {header!r}"
+                )
+            yield FastqRecord.from_strings(header[1:].split()[0], sequence, quality)
+
+
+def read_fastq(path: Path | str) -> list[FastqRecord]:
+    """Eagerly read a whole FASTQ file."""
+    return list(iter_fastq(path))
+
+
+def write_fastq(records: Iterable[FastqRecord], path: Path | str) -> int:
+    """Write records to a (gzipped if ``.gz``) FASTQ file; returns the count."""
+    n = 0
+    with _open_text(path, "w") as fh:
+        for rec in records:
+            fh.write(f"@{rec.read_id}\n{rec.sequence_str}\n+\n{rec.quality_str}\n")
+            n += 1
+    return n
+
+
+def fastq_byte_size(records: Iterable[FastqRecord]) -> int:
+    """Exact uncompressed FASTQ byte size of ``records`` without writing them."""
+    total = 0
+    for rec in records:
+        total += 1 + len(rec.read_id) + 1  # @id\n
+        total += rec.length + 1  # seq\n
+        total += 2  # +\n
+        total += rec.length + 1  # qual\n
+    return total

@@ -1,0 +1,58 @@
+"""Shared utilities: unit handling, deterministic RNG plumbing, reporting.
+
+These helpers are deliberately free of domain knowledge so every other
+subpackage can depend on them without import cycles.
+"""
+
+from repro.util.units import (
+    KIB,
+    MIB,
+    GIB,
+    TIB,
+    Bytes,
+    Duration,
+    Rate,
+    format_bytes,
+    format_duration,
+    gib,
+    hours,
+    mib,
+    minutes,
+    parse_bytes,
+    seconds,
+)
+from repro.util.rng import RngStream, derive_rng, ensure_rng
+from repro.util.tables import Table, format_table
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    require,
+)
+
+__all__ = [
+    "Bytes",
+    "Duration",
+    "GIB",
+    "KIB",
+    "MIB",
+    "Rate",
+    "RngStream",
+    "TIB",
+    "Table",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "derive_rng",
+    "ensure_rng",
+    "format_bytes",
+    "format_duration",
+    "format_table",
+    "gib",
+    "hours",
+    "mib",
+    "minutes",
+    "parse_bytes",
+    "require",
+    "seconds",
+]

@@ -1,0 +1,69 @@
+"""Plain-text table rendering for benchmark and experiment reports.
+
+Every bench in ``benchmarks/`` prints the rows/series the paper reports;
+this module gives them one consistent, dependency-free renderer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table.
+
+    >>> t = Table(["release", "index"], title="Index sizes")
+    >>> t.add_row(["108", "85.0 GiB"])
+    >>> t.add_row(["111", "29.5 GiB"])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    headers: Sequence[str]
+    title: str | None = None
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, row: Iterable[object]) -> None:
+        """Append a row; cells are stringified."""
+        cells = [str(cell) for cell in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """Render the table as aligned monospace text."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(self.title))
+        lines.append(fmt(list(self.headers)))
+        lines.append(fmt(["-" * w for w in widths]))
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Iterable[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """One-shot convenience wrapper around :class:`Table`."""
+    table = Table(headers, title=title)
+    for row in rows:
+        table.add_row(row)
+    return table.render()

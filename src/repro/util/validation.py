@@ -1,0 +1,34 @@
+"""Small argument-validation helpers used across the library.
+
+They exist so domain code can state its preconditions in one readable line
+and so error messages are uniform (name, got-value, constraint).
+"""
+
+from __future__ import annotations
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError`` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate ``value > 0`` and return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Validate ``value >= 0`` and return it."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Validate ``0 <= value <= 1`` and return it (mapping rates, thresholds)."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+    return value

@@ -1,0 +1,68 @@
+"""Extension and scoring tests."""
+
+import pytest
+
+from repro.align.extend import ScoringParams, ungapped_extend
+from repro.align.index import genome_generate
+from repro.genome.alphabet import encode
+from repro.genome.model import Assembly, Contig
+
+
+@pytest.fixture(scope="module")
+def index():
+    return genome_generate(
+        Assembly("m", [Contig("1", encode("ACGTACGTAC")), Contig("2", encode("GGGGNCCCC"))])
+    )
+
+
+class TestScoringParams:
+    def test_score(self):
+        s = ScoringParams()
+        assert s.score(matched=10, mismatched=2) == 8
+
+    def test_accepts_within_budget(self):
+        s = ScoringParams(max_mismatches=2, min_matched_fraction=0.5)
+        assert s.accepts(matched=8, mismatched=2, read_length=10)
+        assert not s.accepts(matched=8, mismatched=3, read_length=10)
+        assert not s.accepts(matched=4, mismatched=2, read_length=10)
+
+
+class TestUngappedExtend:
+    def test_perfect_match(self, index):
+        res = ungapped_extend(index, encode("ACGT"), 0, max_mismatches=0)
+        assert res.ok and res.mismatches == 0 and res.matched == 4
+
+    def test_counts_mismatches(self, index):
+        res = ungapped_extend(index, encode("ACCT"), 0, max_mismatches=2)
+        assert res.ok and res.mismatches == 1
+
+    def test_budget_exceeded(self, index):
+        res = ungapped_extend(index, encode("TTTT"), 0, max_mismatches=2)
+        assert not res.ok
+
+    def test_contig_boundary_fails(self, index):
+        # position 8 is contig "1" offset 8; a 4-long segment crosses into "2"
+        res = ungapped_extend(index, encode("ACGG"), 8, max_mismatches=4)
+        assert not res.ok
+
+    def test_off_end_fails(self, index):
+        res = ungapped_extend(index, encode("CCCCC"), 17, max_mismatches=5)
+        assert not res.ok
+
+    def test_genome_n_counts_as_mismatch(self, index):
+        # contig "2" starts at abs 10: GGGGNCCCC; align GGGGG over the N
+        res = ungapped_extend(index, encode("GGGGG"), 10, max_mismatches=1)
+        assert res.ok and res.mismatches == 1
+
+    def test_read_n_counts_as_mismatch(self, index):
+        res = ungapped_extend(index, encode("ACGN"), 0, max_mismatches=1)
+        assert res.ok and res.mismatches == 1
+
+    def test_n_vs_n_still_mismatch(self, index):
+        # genome N at abs position 14
+        res = ungapped_extend(index, encode("N"), 14, max_mismatches=1)
+        assert res.mismatches == 1
+
+    def test_empty_segment(self, index):
+        res = ungapped_extend(index, encode(""), 0, max_mismatches=0)
+        assert res.ok and res.length == 0

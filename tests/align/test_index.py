@@ -1,0 +1,116 @@
+"""Genome index tests."""
+
+import numpy as np
+import pytest
+
+from repro.align.index import GenomeIndex, genome_generate
+from repro.genome.alphabet import encode
+from repro.genome.model import Assembly, Contig
+
+
+@pytest.fixture(scope="module")
+def small_index():
+    asm = Assembly(
+        "mini",
+        [Contig("1", encode("ACGTACGTAC")), Contig("2", encode("TTTTGGGG"))],
+    )
+    return genome_generate(asm)
+
+
+class TestCoordinates:
+    def test_contig_of(self, small_index):
+        assert small_index.contig_of(0) == 0
+        assert small_index.contig_of(9) == 0
+        assert small_index.contig_of(10) == 1
+        assert small_index.contig_of(17) == 1
+
+    def test_contig_of_out_of_range(self, small_index):
+        with pytest.raises(IndexError):
+            small_index.contig_of(18)
+        with pytest.raises(IndexError):
+            small_index.contig_of(-1)
+
+    def test_roundtrip_coords(self, small_index):
+        for pos in range(small_index.n_bases):
+            contig, offset = small_index.to_contig_coords(pos)
+            assert small_index.to_absolute(contig, offset) == pos
+
+    def test_to_absolute_bounds(self, small_index):
+        with pytest.raises(IndexError):
+            small_index.to_absolute("1", 10)
+
+    def test_span_within_contig(self, small_index):
+        assert small_index.span_within_contig(0, 10)
+        assert not small_index.span_within_contig(5, 10)  # crosses boundary
+        assert small_index.span_within_contig(10, 8)
+        assert not small_index.span_within_contig(10, 9)  # off the end
+        assert not small_index.span_within_contig(0, 0)
+
+
+class TestSjdb:
+    def test_annotated_junctions_loaded(self, index_r111, universe):
+        expected = set(universe.annotation.splice_junctions())
+        assert index_r111.sjdb == expected
+        assert len(index_r111.sjdb) > 0
+
+    def test_is_annotated_junction(self, index_r111, universe):
+        contig, start, end = next(iter(index_r111.sjdb))
+        donor = index_r111.to_absolute(contig, start)
+        acceptor = index_r111.to_absolute(contig, end)
+        assert index_r111.is_annotated_junction(donor, acceptor)
+        assert not index_r111.is_annotated_junction(donor + 1, acceptor)
+
+
+class TestSize:
+    def test_size_dominated_by_suffix_array(self, small_index):
+        size = small_index.size_bytes()
+        assert size >= 9 * small_index.n_bases  # 1 (genome) + 8 (SA)
+
+    def test_index_size_tracks_genome_size(self, index_r108, index_r111):
+        """The §III-A mechanism: bigger FASTA -> proportionally bigger index."""
+        ratio = index_r108.size_bytes() / index_r111.size_bytes()
+        genome_ratio = index_r108.n_bases / index_r111.n_bases
+        assert ratio == pytest.approx(genome_ratio, rel=0.02)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, small_index, tmp_path):
+        path = tmp_path / "index.bin"
+        written = small_index.save(path)
+        assert written == path.stat().st_size
+        back = GenomeIndex.load(path)
+        assert back.assembly_name == small_index.assembly_name
+        assert np.array_equal(back.genome, small_index.genome)
+        assert np.array_equal(back.suffix_array, small_index.suffix_array)
+        assert back.names == small_index.names
+
+    def test_save_load_with_annotation(self, index_r111, tmp_path):
+        path = tmp_path / "full.bin"
+        index_r111.save(path)
+        back = GenomeIndex.load(path)
+        assert back.sjdb == index_r111.sjdb
+        assert back.annotation.gene_ids == index_r111.annotation.gene_ids
+
+
+class TestValidation:
+    def test_mismatched_sa_rejected(self):
+        genome = encode("ACGT")
+        with pytest.raises(ValueError):
+            GenomeIndex(
+                assembly_name="x",
+                genome=genome,
+                suffix_array=np.arange(3),
+                offsets=np.array([0, 4]),
+                names=["1"],
+            )
+
+    def test_bad_offsets_rejected(self):
+        genome = encode("ACGT")
+        with pytest.raises(ValueError):
+            GenomeIndex(
+                assembly_name="x",
+                genome=genome,
+                suffix_array=np.arange(4),
+                offsets=np.array([0, 4]),
+                names=["1", "2"],
+            )

@@ -1,0 +1,185 @@
+"""Paired-end alignment tests."""
+
+import numpy as np
+import pytest
+
+from repro.align.paired import (
+    PairedParameters,
+    PairedStarAligner,
+    PairStatus,
+)
+from repro.align.star import AlignmentOutcome, AlignmentStatus
+from repro.genome.alphabet import reverse_complement
+from repro.genome.annotation import Strand
+from repro.genome.model import SequenceRegion
+from repro.reads.fastq import FastqRecord
+from repro.reads.library import LibraryType
+from repro.reads.paired import PairedProfile, simulate_paired
+
+
+@pytest.fixture(scope="module")
+def paired_aligner(aligner_r111):
+    return PairedStarAligner(aligner_r111, PairedParameters(progress_every=50))
+
+
+@pytest.fixture(scope="module")
+def paired_sample(simulator):
+    return simulate_paired(
+        simulator,
+        PairedProfile(
+            LibraryType.BULK_POLYA, n_pairs=120, read_length=70,
+            insert_mean=250, insert_sd=30,
+        ),
+        rng=9,
+    )
+
+
+def rec(seq, rid="p/1"):
+    return FastqRecord(rid, seq, np.full(seq.size, 35, dtype=np.uint8))
+
+
+class TestSyntheticPairs:
+    def test_genomic_fr_pair_is_proper(self, index_r111, paired_aligner):
+        # mate1 forward at 5000, mate2 reverse-complement of 5400..5470
+        m1 = rec(index_r111.genome[5000:5070].copy(), "x/1")
+        m2 = rec(reverse_complement(index_r111.genome[5400:5470].copy()), "x/2")
+        outcome = paired_aligner.align_pair(m1, m2)
+        assert outcome.status is PairStatus.PROPER_PAIR
+        assert outcome.template_length == 470
+        assert outcome.pair_id == "x"
+
+    def test_same_strand_pair_is_discordant(self, index_r111, paired_aligner):
+        m1 = rec(index_r111.genome[5000:5070].copy(), "x/1")
+        m2 = rec(index_r111.genome[5400:5470].copy(), "x/2")
+        outcome = paired_aligner.align_pair(m1, m2)
+        assert outcome.status is PairStatus.DISCORDANT
+
+    def test_outward_facing_pair_is_discordant(self, index_r111, paired_aligner):
+        # reverse mate comes FIRST on the genome: RF orientation, not FR
+        m1 = rec(reverse_complement(index_r111.genome[5000:5070].copy()), "x/1")
+        m2 = rec(index_r111.genome[5400:5470].copy(), "x/2")
+        outcome = paired_aligner.align_pair(m1, m2)
+        assert outcome.status is PairStatus.DISCORDANT
+
+    def test_template_too_long_is_discordant(self, index_r111, paired_aligner):
+        m1 = rec(index_r111.genome[1000:1070].copy(), "x/1")
+        m2 = rec(reverse_complement(index_r111.genome[9000:9070].copy()), "x/2")
+        outcome = paired_aligner.align_pair(m1, m2)
+        assert outcome.status is PairStatus.DISCORDANT
+
+    def test_one_mate_unmapped(self, index_r111, paired_aligner):
+        rng = np.random.default_rng(0)
+        m1 = rec(index_r111.genome[1000:1070].copy(), "x/1")
+        m2 = rec(rng.integers(0, 4, size=70).astype(np.uint8), "x/2")
+        outcome = paired_aligner.align_pair(m1, m2)
+        assert outcome.status is PairStatus.ONE_MATE
+
+    def test_both_unmapped(self, paired_aligner):
+        rng = np.random.default_rng(1)
+        m1 = rec(rng.integers(0, 4, size=70).astype(np.uint8), "x/1")
+        m2 = rec(rng.integers(0, 4, size=70).astype(np.uint8), "x/2")
+        outcome = paired_aligner.align_pair(m1, m2)
+        assert outcome.status is PairStatus.UNMAPPED
+        assert not outcome.status.is_mapped
+
+
+class TestClassifyEdgeCases:
+    def test_classify_unmapped_pair(self, paired_aligner):
+        u = AlignmentOutcome("x", AlignmentStatus.UNMAPPED)
+        status, tlen = paired_aligner.classify_pair(u, u)
+        assert status is PairStatus.UNMAPPED and tlen is None
+
+    def test_classify_multimapped_mate(self, paired_aligner):
+        multi = AlignmentOutcome(
+            "x", AlignmentStatus.MULTIMAPPED, strand=Strand.FORWARD, n_loci=3,
+            blocks=(SequenceRegion("1", 0, 70),),
+        )
+        unique = AlignmentOutcome(
+            "x", AlignmentStatus.UNIQUE, strand=Strand.REVERSE, n_loci=1,
+            blocks=(SequenceRegion("1", 200, 270),),
+        )
+        status, _ = paired_aligner.classify_pair(multi, unique)
+        assert status is PairStatus.MULTIMAPPED
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PairedParameters(min_template=100, max_template=50)
+
+
+class TestPairedRun:
+    def test_bulk_sample_mostly_proper(self, paired_aligner, paired_sample):
+        result = paired_aligner.run(paired_sample.mate1, paired_sample.mate2)
+        assert result.proper_pair_fraction > 0.5
+        assert result.final.reads_processed == paired_sample.n_pairs
+
+    def test_template_length_distribution(self, paired_aligner, paired_sample):
+        result = paired_aligner.run(paired_sample.mate1, paired_sample.mate2)
+        tlens = result.template_lengths()
+        assert len(tlens) > 30
+        # genomic template = transcript insert + introns; with ~250bp
+        # inserts and 300bp introns the bulk sits between 70 and 1200
+        assert 70 <= min(tlens)
+        assert np.median(tlens) > 150
+
+    def test_truth_recovery(self, paired_aligner, paired_sample, universe):
+        result = paired_aligner.run(paired_sample.mate1, paired_sample.mate2)
+        gene_by_id = {g.gene_id: g for g in universe.annotation}
+        correct = total = 0
+        for outcome, truth in zip(result.outcomes, paired_sample.true_gene):
+            if truth is None or outcome.status is not PairStatus.PROPER_PAIR:
+                continue
+            total += 1
+            gene = gene_by_id[truth]
+            blocks = list(outcome.mate1.blocks) + list(outcome.mate2.blocks)
+            if any(
+                b.contig == gene.contig and b.start < gene.end and gene.start < b.end
+                for b in blocks
+            ):
+                correct += 1
+        assert total > 30
+        assert correct / total > 0.95
+
+    def test_single_cell_pairs_map_poorly(self, paired_aligner, simulator):
+        sc = simulate_paired(
+            simulator,
+            PairedProfile(
+                LibraryType.SINGLE_CELL_3P, n_pairs=100, read_length=70,
+                insert_mean=250,
+            ),
+            rng=10,
+        )
+        result = paired_aligner.run(sc.mate1, sc.mate2)
+        assert result.proper_pair_fraction < 0.3
+
+    def test_early_stop_monitor_plugs_in(self, paired_aligner, simulator):
+        from repro.core.early_stopping import EarlyStoppingPolicy, EarlyStopMonitor
+
+        sc = simulate_paired(
+            simulator,
+            PairedProfile(
+                LibraryType.SINGLE_CELL_3P, n_pairs=200, read_length=70,
+                insert_mean=250,
+            ),
+            rng=11,
+        )
+        monitor = EarlyStopMonitor(policy=EarlyStoppingPolicy(min_reads=40))
+        result = paired_aligner.run(sc.mate1, sc.mate2, monitor=monitor.hook)
+        assert result.aborted
+        assert monitor.aborted
+        assert result.final.reads_processed < 200
+
+    def test_gene_counts_count_pairs_once(self, paired_aligner, paired_sample):
+        result = paired_aligner.run(paired_sample.mate1, paired_sample.mate2)
+        gc = result.gene_counts
+        total_rows = (
+            gc.total_assigned()
+            + gc.n_no_feature["unstranded"]
+            + gc.n_ambiguous["unstranded"]
+            + gc.n_unmapped
+            + gc.n_multimapping
+        )
+        assert total_rows == paired_sample.n_pairs
+
+    def test_mate_length_mismatch_rejected(self, paired_aligner, paired_sample):
+        with pytest.raises(ValueError):
+            paired_aligner.run(paired_sample.mate1, paired_sample.mate2[:-1])

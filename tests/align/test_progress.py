@@ -1,0 +1,130 @@
+"""Log.progress.out / Log.final.out tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.align.progress import (
+    FinalLogStats,
+    PROGRESS_HEADER,
+    ProgressRecord,
+    parse_final_log,
+    read_progress_log,
+    write_final_log,
+    write_progress_log,
+)
+
+
+def record(processed=100, unique=60, multi=10, total=1000, t=12.5):
+    return ProgressRecord(
+        elapsed_seconds=t,
+        reads_processed=processed,
+        reads_total=total,
+        mapped_unique=unique,
+        mapped_multi=multi,
+    )
+
+
+class TestProgressRecord:
+    def test_fractions(self):
+        r = record()
+        assert r.mapped_reads == 70
+        assert r.mapped_fraction == pytest.approx(0.70)
+        assert r.processed_fraction == pytest.approx(0.10)
+
+    def test_zero_processed(self):
+        r = record(processed=0, unique=0, multi=0)
+        assert r.mapped_fraction == 0.0
+
+    def test_unknown_total(self):
+        r = record(total=0)
+        assert r.processed_fraction == 0.0
+
+    def test_mapped_exceeding_processed_rejected(self):
+        with pytest.raises(ValueError):
+            record(processed=50, unique=40, multi=20)
+
+    def test_processed_exceeding_total_rejected(self):
+        with pytest.raises(ValueError):
+            record(processed=2000, total=1000)
+
+    def test_line_roundtrip(self):
+        r = record()
+        assert ProgressRecord.from_line(r.to_line()) == r
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            ProgressRecord.from_line("1\t2\t3")
+
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_property_roundtrip(self, processed, unique, multi):
+        unique = min(unique, processed)
+        multi = min(multi, processed - unique)
+        r = ProgressRecord(
+            elapsed_seconds=1.0,
+            reads_processed=processed,
+            reads_total=2 * 10**6,
+            mapped_unique=unique,
+            mapped_multi=multi,
+        )
+        assert ProgressRecord.from_line(r.to_line()) == r
+
+
+class TestProgressLog:
+    def test_file_roundtrip(self, tmp_path):
+        records = [record(processed=p, unique=p // 2, multi=0) for p in (10, 20, 30)]
+        path = tmp_path / "Log.progress.out"
+        write_progress_log(records, path)
+        assert read_progress_log(path) == records
+        assert path.read_text().startswith(PROGRESS_HEADER)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "x.out"
+        path.write_text("wrong header\n")
+        with pytest.raises(ValueError):
+            read_progress_log(path)
+
+
+class TestFinalLog:
+    def make(self, **overrides) -> FinalLogStats:
+        base = dict(
+            reads_total=1000,
+            reads_processed=1000,
+            mapped_unique=700,
+            mapped_multi=100,
+            too_many_loci=20,
+            unmapped=180,
+            mismatch_rate=0.004,
+            spliced_reads=120,
+            elapsed_seconds=42.0,
+        )
+        base.update(overrides)
+        return FinalLogStats(**base)
+
+    def test_fractions(self):
+        s = self.make()
+        assert s.mapped_fraction == pytest.approx(0.8)
+        assert s.unique_fraction == pytest.approx(0.7)
+
+    def test_text_parse_roundtrip(self, tmp_path):
+        s = self.make()
+        path = tmp_path / "Log.final.out"
+        write_final_log(s, path)
+        parsed = parse_final_log(path.read_text())
+        assert parsed["Number of input reads"] == "1000"
+        assert parsed["Uniquely mapped reads number"] == "700"
+        assert parsed["Mapped reads %"] == "80.00%"
+        assert parsed["Run aborted by monitor"] == "no"
+
+    def test_aborted_flag_rendered(self):
+        parsed = parse_final_log(self.make(aborted=True).to_text())
+        assert parsed["Run aborted by monitor"] == "yes"
+
+    def test_zero_reads(self):
+        s = self.make(reads_processed=0, mapped_unique=0, mapped_multi=0,
+                      too_many_loci=0, unmapped=0)
+        assert s.mapped_fraction == 0.0

@@ -1,0 +1,110 @@
+"""Pseudo-aligner baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.align.pseudo import PseudoAligner, build_pseudo_index
+from repro.genome.alphabet import reverse_complement
+from repro.reads.fastq import FastqRecord
+from repro.reads.library import LibraryType, SampleProfile
+
+
+@pytest.fixture(scope="module")
+def pseudo_index(universe, assembly_r111):
+    return build_pseudo_index(assembly_r111, universe.annotation, k=21)
+
+
+@pytest.fixture(scope="module")
+def pseudo(pseudo_index):
+    return PseudoAligner(pseudo_index)
+
+
+def as_record(seq, rid="r"):
+    return FastqRecord(rid, seq, np.full(seq.size, 35, dtype=np.uint8))
+
+
+class TestIndex:
+    def test_covers_all_transcripts(self, pseudo_index, universe):
+        assert pseudo_index.n_transcripts == len(universe.annotation.transcripts)
+        assert set(pseudo_index.gene_ids) == {
+            t.gene_id for t in universe.annotation.transcripts
+        }
+
+    def test_kmer_map_nonempty(self, pseudo_index):
+        assert len(pseudo_index.kmer_map) > 1000
+
+    def test_size_bytes_positive(self, pseudo_index):
+        assert pseudo_index.size_bytes() > 0
+
+    def test_empty_annotation_rejected(self, assembly_r111):
+        from repro.genome.annotation import Annotation
+
+        with pytest.raises(ValueError):
+            build_pseudo_index(assembly_r111, Annotation([]))
+
+
+class TestAssign:
+    def test_transcript_read_assigned_to_gene(
+        self, pseudo, universe, assembly_r111
+    ):
+        t = universe.annotation.transcripts[0]
+        seq = t.spliced_sequence(assembly_r111)[:80]
+        a = pseudo.assign_read(as_record(seq))
+        assert a.mapped
+        assert a.gene_id == t.gene_id
+
+    def test_reverse_orientation_assigned(self, pseudo, universe, assembly_r111):
+        t = universe.annotation.transcripts[1]
+        seq = reverse_complement(t.spliced_sequence(assembly_r111)[:80])
+        a = pseudo.assign_read(as_record(seq))
+        assert a.mapped
+        assert a.gene_id == t.gene_id
+
+    def test_random_read_unmapped(self, pseudo):
+        rng = np.random.default_rng(1)
+        seq = rng.integers(0, 4, size=80).astype(np.uint8)
+        a = pseudo.assign_read(as_record(seq))
+        assert not a.mapped
+        assert a.gene_id is None
+
+
+class TestRun:
+    def test_mapping_rate_tracks_library(
+        self, pseudo, simulator
+    ):
+        bulk = simulator.simulate(
+            SampleProfile(LibraryType.BULK_POLYA, n_reads=150, read_length=80), rng=11
+        )
+        sc = simulator.simulate(
+            SampleProfile(LibraryType.SINGLE_CELL_3P, n_reads=150, read_length=80),
+            rng=12,
+        )
+        assert pseudo.run(bulk.records).mapped_fraction > 0.6
+        assert pseudo.run(sc.records).mapped_fraction < 0.3
+
+    def test_gene_counts_consistent(self, pseudo, simulator):
+        sample = simulator.simulate(
+            SampleProfile(LibraryType.BULK_POLYA, n_reads=100, read_length=80), rng=13
+        )
+        result = pseudo.run(sample.records)
+        assigned = sum(
+            1 for a in result.assignments if a.mapped and a.gene_id is not None
+        )
+        assert sum(result.gene_counts.values()) == assigned
+
+    def test_no_progress_interface(self, pseudo):
+        """The architectural contrast the paper draws: no progress stream."""
+        assert not hasattr(pseudo, "progress")
+        result = pseudo.run([])
+        assert not hasattr(result, "progress")
+        assert result.n_reads == 0
+
+
+class TestParameters:
+    def test_invalid_vote_fraction(self, pseudo_index):
+        with pytest.raises(ValueError):
+            PseudoAligner(pseudo_index, min_vote_fraction=0.0)
+
+    def test_invalid_stride(self, pseudo_index):
+        with pytest.raises(ValueError):
+            PseudoAligner(pseudo_index, kmer_stride=0)

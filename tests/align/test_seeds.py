@@ -1,0 +1,84 @@
+"""Maximal Mappable Prefix search tests."""
+
+import pytest
+
+from repro.align.index import genome_generate
+from repro.align.seeds import maximal_mappable_prefix, seed_decomposition
+from repro.genome.alphabet import encode
+from repro.genome.model import Assembly, Contig
+
+
+@pytest.fixture(scope="module")
+def index():
+    #         0123456789012345678901234
+    text = "ACGTACGTTTACGAAACGTGGGCC"
+    return genome_generate(Assembly("m", [Contig("1", encode(text))]))
+
+
+class TestMMP:
+    def test_full_read_match(self, index):
+        read = encode("ACGTACGT")
+        hit = maximal_mappable_prefix(index, read)
+        assert hit.length == 8
+        assert hit.positions == (0,)
+        assert hit.n_hits == 1
+
+    def test_prefix_stops_at_divergence(self, index):
+        # ACGTT occurs (pos 4..8: ACGTT? genome[4:9] = CGTTT no) — use explicit:
+        read = encode("ACGTACGAAA")  # matches genome[0:7]="ACGTACG", then 'A' vs 'T'
+        hit = maximal_mappable_prefix(index, read)
+        assert hit.length == 7
+        assert hit.positions == (0,)
+
+    def test_multiple_hits_sorted(self, index):
+        hit = maximal_mappable_prefix(index, encode("ACG"))
+        # the full MMP extends beyond "ACG" — force short read
+        assert hit.read_start == 0
+        assert list(hit.positions) == sorted(hit.positions)
+
+    def test_unmatchable_first_base(self, index):
+        # genome has no N
+        hit = maximal_mappable_prefix(index, encode("N"))
+        assert hit.length == 0
+        assert hit.n_hits == 0
+
+    def test_read_start_offset(self, index):
+        read = encode("NNACGT")
+        hit = maximal_mappable_prefix(index, read, read_start=2)
+        assert hit.read_start == 2
+        assert hit.length == 4
+
+    def test_max_hits_truncates_positions_not_count(self, index):
+        hit = maximal_mappable_prefix(index, encode("A"), max_hits=2)
+        assert len(hit.positions) == 2
+        assert hit.n_hits > 2
+
+    def test_mmp_is_maximal(self, index):
+        """No longer prefix of the read occurs in the genome."""
+        read = encode("ACGTTTACGZZ".replace("Z", "N"))
+        hit = maximal_mappable_prefix(index, read)
+        genome_text = "ACGTACGTTTACGAAACGTGGGCC"
+        prefix = "ACGTTTACG"[: hit.length]
+        assert prefix in genome_text
+        longer = "ACGTTTACGN"[: hit.length + 1]
+        assert longer not in genome_text
+
+
+class TestDecomposition:
+    def test_covers_read(self, index):
+        read = encode("ACGTACGTTTACGAAACGTGGGCC")
+        seeds = seed_decomposition(index, read)
+        assert seeds[0].length == read.size  # exact whole-genome read
+
+    def test_splits_on_mismatch(self, index):
+        read = encode("ACGTACGNTTACG")
+        seeds = seed_decomposition(index, read)
+        assert len(seeds) >= 2
+        assert seeds[0].length == 7
+        # next seed starts after the N was skipped or matched
+        assert seeds[1].read_start >= 7
+
+    def test_max_seeds_respected(self, index):
+        read = encode("N" * 30)
+        seeds = seed_decomposition(index, read, max_seeds=5)
+        assert len(seeds) == 5

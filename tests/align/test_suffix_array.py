@@ -1,0 +1,172 @@
+"""Suffix-array construction and search tests, with hypothesis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.suffix_array import (
+    build_suffix_array,
+    extend_interval,
+    occurrences,
+    sa_search,
+    verify_suffix_array,
+)
+from repro.genome.alphabet import encode
+
+dna = st.text(alphabet="ACGTN", min_size=0, max_size=120)
+
+
+class TestBuild:
+    def test_empty(self):
+        assert build_suffix_array(encode("")).size == 0
+
+    def test_single(self):
+        assert build_suffix_array(encode("A")).tolist() == [0]
+
+    def test_known_banana_like(self):
+        # "ACAACG": suffixes sorted → offsets 2(AACG) 0(ACAACG) 3(ACG) 1(CAACG) 4(CG) 5(G)
+        sa = build_suffix_array(encode("ACAACG"))
+        assert sa.tolist() == [2, 0, 3, 1, 4, 5]
+
+    def test_repetitive(self):
+        sa = build_suffix_array(encode("AAAA"))
+        # shorter suffixes sort first
+        assert sa.tolist() == [3, 2, 1, 0]
+
+    @given(dna)
+    @settings(max_examples=60)
+    def test_property_valid_suffix_array(self, s):
+        codes = encode(s)
+        sa = build_suffix_array(codes)
+        assert verify_suffix_array(codes, sa)
+
+    def test_large_random_is_permutation(self):
+        rng = np.random.default_rng(0)
+        seq = rng.integers(0, 4, size=20_000).astype(np.uint8)
+        sa = build_suffix_array(seq)
+        assert np.array_equal(np.sort(sa), np.arange(20_000))
+
+
+class TestSearch:
+    @pytest.fixture(scope="class")
+    def indexed(self):
+        text = "ACGTACGTTTACGAAACGT"
+        codes = encode(text)
+        return text, codes, build_suffix_array(codes)
+
+    def test_finds_all_occurrences(self, indexed):
+        text, codes, sa = indexed
+        hits = occurrences(codes, sa, encode("ACG"))
+        expected = [i for i in range(len(text) - 2) if text[i : i + 3] == "ACG"]
+        assert hits.tolist() == expected
+
+    def test_absent_pattern_empty(self, indexed):
+        _, codes, sa = indexed
+        lo, hi = sa_search(codes, sa, encode("GGGG"))
+        assert lo == hi
+
+    def test_full_text_match(self, indexed):
+        text, codes, sa = indexed
+        hits = occurrences(codes, sa, encode(text))
+        assert hits.tolist() == [0]
+
+    def test_empty_pattern_matches_everywhere(self, indexed):
+        text, codes, sa = indexed
+        lo, hi = sa_search(codes, sa, encode(""))
+        assert hi - lo == len(text)
+
+    @given(dna, st.integers(min_value=0, max_value=100), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=60)
+    def test_property_every_substring_found(self, s, start, length):
+        if not s:
+            return
+        start = start % len(s)
+        pattern = s[start : start + length]
+        if not pattern:
+            return
+        codes = encode(s)
+        sa = build_suffix_array(codes)
+        hits = occurrences(codes, sa, encode(pattern)).tolist()
+        expected = [
+            i for i in range(len(s) - len(pattern) + 1)
+            if s[i : i + len(pattern)] == pattern
+        ]
+        assert hits == expected
+
+
+class TestExtendInterval:
+    def test_narrowing_matches_search(self):
+        codes = encode("ACGTACGA")
+        sa = build_suffix_array(codes)
+        lo, hi = 0, sa.size
+        for depth, ch in enumerate(encode("ACG")):
+            lo, hi = extend_interval(codes, sa, lo, hi, depth, int(ch))
+        assert (lo, hi) == sa_search(codes, sa, encode("ACG"))
+
+    def test_empty_interval_stays_empty(self):
+        codes = encode("AAAA")
+        sa = build_suffix_array(codes)
+        lo, hi = extend_interval(codes, sa, 0, sa.size, 0, 3)  # 'T'
+        assert lo == hi
+
+
+class TestVerify:
+    def test_detects_bad_order(self):
+        codes = encode("ACGT")
+        sa = build_suffix_array(codes)
+        bad = sa[::-1].copy()
+        assert not verify_suffix_array(codes, bad)
+
+    def test_detects_non_permutation(self):
+        codes = encode("ACGT")
+        assert not verify_suffix_array(codes, np.zeros(4, dtype=np.int64))
+
+    def test_wrong_length(self):
+        codes = encode("ACGT")
+        assert not verify_suffix_array(codes, np.arange(3))
+
+
+class TestSearchContext:
+    """The fast-path context must agree exactly with the reference search."""
+
+    def test_extend_matches_reference(self):
+        from repro.align.suffix_array import SearchContext
+
+        rng = np.random.default_rng(3)
+        codes = rng.integers(0, 5, size=2000).astype(np.uint8)
+        sa = build_suffix_array(codes)
+        ctx = SearchContext(codes, sa)
+        for pattern_len in (1, 3, 8, 15):
+            for _ in range(30):
+                start = int(rng.integers(0, codes.size - pattern_len))
+                pattern = codes[start : start + pattern_len]
+                lo, hi = 0, sa.size
+                clo, chi = 0, ctx.n
+                for depth, ch in enumerate(pattern):
+                    lo, hi = extend_interval(codes, sa, lo, hi, depth, int(ch))
+                    clo, chi = ctx.extend(clo, chi, depth, int(ch))
+                    assert (clo, chi) == (lo, hi)
+
+    def test_first_bounds_cover_all_symbols(self):
+        from repro.align.suffix_array import SearchContext
+
+        codes = encode("ACGTNACGTN")
+        sa = build_suffix_array(codes)
+        ctx = SearchContext(codes, sa)
+        total = sum(
+            ctx.first_bounds[s + 1] - ctx.first_bounds[s] for s in range(5)
+        )
+        assert total == codes.size
+        # each symbol's bucket holds exactly its occurrence count
+        for s in range(5):
+            assert ctx.first_bounds[s + 1] - ctx.first_bounds[s] == int(
+                (codes == s).sum()
+            )
+
+    def test_empty_genome(self):
+        from repro.align.suffix_array import SearchContext
+
+        codes = encode("")
+        ctx = SearchContext(codes, build_suffix_array(codes))
+        assert ctx.extend(0, 0, 0, 2) == (0, 0)

@@ -1,0 +1,198 @@
+"""Worker agent tests: init, polling, work, interruption handling."""
+
+import pytest
+
+from repro.cloud.agent import WorkerAgent
+from repro.cloud.ec2 import Ec2Service, InstanceMarket, SpotModel, instance_type
+from repro.cloud.events import Simulation, Timeout
+from repro.cloud.sqs import SqsQueue
+
+
+def make_env(*, visibility=300.0, boot=10.0, spot_mean=None, rng=0):
+    sim = Simulation()
+    spot = SpotModel(mean_interruption_seconds=spot_mean or 6 * 3600)
+    ec2 = Ec2Service(sim, boot_seconds=boot, spot_model=spot, rng=rng)
+    queue = SqsQueue(sim, visibility_timeout=visibility)
+    return sim, ec2, queue
+
+
+def simple_init(init_seconds=30.0):
+    def init_work(agent):
+        yield Timeout(init_seconds)
+
+    return init_work
+
+
+def simple_work(work_seconds=100.0):
+    def process_message(agent, message):
+        yield Timeout(work_seconds)
+        return f"done:{message.body}"
+
+    return process_message
+
+
+class TestHappyPath:
+    def test_processes_all_messages(self):
+        sim, ec2, queue = make_env()
+        queue.send_batch(["a", "b", "c"])
+        inst = ec2.launch(instance_type("r6a.large"))
+        agent = WorkerAgent(
+            sim, inst, queue,
+            init_work=simple_init(), process_message=simple_work(),
+            on_stop=lambda a: ec2.terminate(a.instance),
+        )
+        sim.process(agent.run())
+        sim.run()
+        assert agent.stats.jobs_completed == 3
+        assert agent.results == ["done:a", "done:b", "done:c"]
+        assert queue.is_drained
+        assert agent.stats.stop_reason == "queue drained"
+        assert inst.state.value == "terminated"
+
+    def test_timing_accounting(self):
+        sim, ec2, queue = make_env(boot=10)
+        queue.send_batch(["a", "b"])
+        inst = ec2.launch(instance_type("r6a.large"))
+        agent = WorkerAgent(
+            sim, inst, queue,
+            init_work=simple_init(30), process_message=simple_work(100),
+        )
+        sim.process(agent.run())
+        sim.run()
+        assert agent.stats.init_seconds == pytest.approx(30)
+        assert agent.stats.busy_seconds == pytest.approx(200)
+        assert agent.stats.utilization > 0.5
+
+    def test_idle_polls_then_stop(self):
+        sim, ec2, queue = make_env()
+        inst = ec2.launch(instance_type("r6a.large"))
+        agent = WorkerAgent(
+            sim, inst, queue,
+            init_work=simple_init(1), process_message=simple_work(),
+            poll_interval=20, max_idle_polls=3,
+        )
+        sim.process(agent.run())
+        sim.run()
+        assert agent.stats.jobs_completed == 0
+        assert agent.stats.stop_reason == "queue drained"
+        # waited at least (max_idle_polls - 1) poll intervals
+        assert agent.stats.idle_seconds >= 40
+
+
+class TestInterruption:
+    def test_mid_job_interruption_releases_message(self):
+        # seed 4 draws a ~760 s spot life: warning fires well after init
+        # (boot 10 s + init 1 s) while the 100000 s job is in progress
+        sim, ec2, queue = make_env(visibility=10_000, spot_mean=200, rng=4)
+        queue.send_batch(["a"])
+        inst = ec2.launch(instance_type("r6a.large"), InstanceMarket.SPOT)
+        agent = WorkerAgent(
+            sim, inst, queue,
+            init_work=simple_init(1),
+            process_message=simple_work(100_000),  # longer than any spot life
+            on_stop=lambda a: ec2.terminate(a.instance),
+        )
+        sim.process(agent.run())
+        sim.run(until=5000)
+        assert agent.stats.jobs_interrupted == 1
+        assert agent.stats.jobs_completed == 0
+        # the message must be redeliverable quickly (released, not deleted)
+        assert queue.approximate_depth == 1 or queue.receive() is not None
+
+    def test_warning_drains_before_next_job(self):
+        sim, ec2, queue = make_env(spot_mean=400, rng=5)
+        queue.send_batch(["a"] * 50)
+        inst = ec2.launch(instance_type("r6a.large"), InstanceMarket.SPOT)
+        agent = WorkerAgent(
+            sim, inst, queue,
+            init_work=simple_init(1), process_message=simple_work(60),
+            on_stop=lambda a: ec2.terminate(a.instance),
+        )
+        sim.process(agent.run())
+        sim.run(until=50_000)
+        assert agent.stats.stop_reason in (
+            "spot interruption warning",
+            "spot interruption mid-job",
+        )
+        # it stopped well before the queue drained
+        assert agent.stats.jobs_completed < 50
+
+    def test_terminated_before_boot(self):
+        sim, ec2, queue = make_env(boot=100)
+        inst = ec2.launch(instance_type("r6a.large"))
+        agent = WorkerAgent(
+            sim, inst, queue,
+            init_work=simple_init(), process_message=simple_work(),
+        )
+        sim.process(agent.run())
+        ec2.terminate(inst)
+        sim.run()
+        assert agent.stats.stop_reason == "terminated before boot completed"
+        assert agent.stats.jobs_completed == 0
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        sim, ec2, queue = make_env()
+        inst = ec2.launch(instance_type("r6a.large"))
+        with pytest.raises(ValueError):
+            WorkerAgent(
+                sim, inst, queue,
+                init_work=simple_init(), process_message=simple_work(),
+                poll_interval=0,
+            )
+        with pytest.raises(ValueError):
+            WorkerAgent(
+                sim, inst, queue,
+                init_work=simple_init(), process_message=simple_work(),
+                max_idle_polls=0,
+            )
+
+
+class TestHeartbeat:
+    def test_long_job_not_redelivered(self):
+        """A job longer than the visibility timeout stays invisible."""
+        sim, ec2, queue = make_env(visibility=100)
+        queue.send_batch(["long"])
+        inst = ec2.launch(instance_type("r6a.large"))
+        agent = WorkerAgent(
+            sim, inst, queue,
+            init_work=simple_init(1), process_message=simple_work(1000),
+            on_stop=lambda a: ec2.terminate(a.instance),
+        )
+        sim.process(agent.run())
+        sim.run()
+        assert agent.stats.jobs_completed == 1
+        assert queue.total_expired_visibility == 0
+        assert queue.total_delivered == 1  # exactly once
+
+    def test_heartbeat_disabled_allows_expiry(self):
+        sim, ec2, queue = make_env(visibility=100)
+        queue.send_batch(["long"])
+        inst = ec2.launch(instance_type("r6a.large"))
+        agent = WorkerAgent(
+            sim, inst, queue,
+            init_work=simple_init(1), process_message=simple_work(1000),
+            heartbeat=False,
+            on_stop=lambda a: ec2.terminate(a.instance),
+        )
+        sim.process(agent.run())
+        sim.run()
+        # visibility expired mid-job: the message was redelivered and the
+        # same (only) agent processed it again after finishing the first
+        assert queue.total_expired_visibility >= 1
+
+    def test_heartbeat_timer_does_not_extend_simulation(self):
+        """A cancelled heartbeat must not inflate sim.now past the work."""
+        sim, ec2, queue = make_env(visibility=10_000)
+        queue.send_batch(["quick"])
+        inst = ec2.launch(instance_type("r6a.large"))
+        agent = WorkerAgent(
+            sim, inst, queue,
+            init_work=simple_init(1), process_message=simple_work(50),
+            on_stop=lambda a: ec2.terminate(a.instance),
+        )
+        sim.process(agent.run())
+        sim.run()
+        # boot 10 + init 1 + job 50 + idle polls << heartbeat period 5000
+        assert sim.now < 300

@@ -1,0 +1,147 @@
+"""AutoScalingGroup tests."""
+
+import pytest
+
+from repro.cloud.agent import WorkerAgent
+from repro.cloud.autoscaling import AutoScalingGroup, ScalingPolicy
+from repro.cloud.ec2 import Ec2Service, InstanceMarket, instance_type
+from repro.cloud.events import Simulation, Timeout
+from repro.cloud.sqs import SqsQueue
+
+
+def build(n_messages: int, policy: ScalingPolicy, *, work_seconds=100.0,
+          market=InstanceMarket.ON_DEMAND):
+    sim = Simulation()
+    ec2 = Ec2Service(sim, boot_seconds=10, rng=0)
+    queue = SqsQueue(sim, visibility_timeout=10_000)
+    queue.send_batch([f"job-{i}" for i in range(n_messages)])
+
+    def init_work(agent):
+        yield Timeout(5)
+
+    def process_message(agent, message):
+        yield Timeout(work_seconds)
+        return message.body
+
+    def make_agent(asg, instance):
+        return WorkerAgent(
+            sim, instance, queue,
+            init_work=init_work, process_message=process_message,
+            on_stop=lambda a: ec2.terminate(a.instance),
+        )
+
+    asg = AutoScalingGroup(
+        sim, ec2, queue,
+        itype=instance_type("r6a.large"),
+        market=market,
+        policy=policy,
+        make_agent=make_agent,
+    )
+    sim.process(asg.controller())
+    return sim, ec2, queue, asg
+
+
+class TestScalingPolicy:
+    def test_desired_capacity_clamped(self):
+        p = ScalingPolicy(min_size=1, max_size=8, messages_per_instance=4)
+        assert p.desired_capacity(0) == 1
+        assert p.desired_capacity(4) == 1
+        assert p.desired_capacity(5) == 2
+        assert p.desired_capacity(1000) == 8
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            ScalingPolicy(min_size=5, max_size=2)
+        with pytest.raises(ValueError):
+            ScalingPolicy(messages_per_instance=0)
+
+
+class TestFleet:
+    def test_all_jobs_complete(self):
+        sim, ec2, queue, asg = build(
+            20, ScalingPolicy(max_size=4, messages_per_instance=4)
+        )
+        sim.run()
+        assert asg.total_jobs_completed == 20
+        assert queue.is_drained
+        assert not ec2.alive()  # everything scaled in
+
+    def test_scale_out_follows_backlog(self):
+        sim, ec2, queue, asg = build(
+            40, ScalingPolicy(max_size=16, messages_per_instance=4)
+        )
+        sim.run()
+        assert asg.peak_fleet_size() == 10  # ceil(40/4)
+
+    def test_max_size_cap(self):
+        sim, ec2, queue, asg = build(
+            100, ScalingPolicy(max_size=3, messages_per_instance=1)
+        )
+        sim.run()
+        assert asg.peak_fleet_size() <= 3
+        assert asg.total_jobs_completed == 100
+
+    def test_more_instances_shorter_makespan(self):
+        times = {}
+        for fleet in (1, 4):
+            sim, *_ , asg = build(
+                16, ScalingPolicy(max_size=fleet, messages_per_instance=1)
+            )
+            sim.run()
+            times[fleet] = sim.now
+        assert times[4] < times[1] / 2
+
+    def test_requires_agent_factory(self):
+        sim = Simulation()
+        ec2 = Ec2Service(sim)
+        queue = SqsQueue(sim)
+        with pytest.raises(ValueError):
+            AutoScalingGroup(
+                sim, ec2, queue, itype=instance_type("r6a.large"), make_agent=None
+            )
+
+    def test_utilization_reported(self):
+        sim, ec2, queue, asg = build(
+            8, ScalingPolicy(max_size=2, messages_per_instance=4)
+        )
+        sim.run()
+        assert 0.0 < asg.mean_utilization() <= 1.0
+
+    def test_spot_interruptions_replaced_and_work_finishes(self):
+        sim = Simulation()
+        from repro.cloud.ec2 import SpotModel
+
+        ec2 = Ec2Service(
+            sim, boot_seconds=10,
+            spot_model=SpotModel(mean_interruption_seconds=1500), rng=7,
+        )
+        queue = SqsQueue(sim, visibility_timeout=10_000)
+        queue.send_batch([f"j{i}" for i in range(30)])
+
+        def init_work(agent):
+            yield Timeout(5)
+
+        def process_message(agent, message):
+            yield Timeout(200)
+            return message.body
+
+        def make_agent(asg, instance):
+            return WorkerAgent(
+                sim, instance, queue,
+                init_work=init_work, process_message=process_message,
+                on_stop=lambda a: ec2.terminate(a.instance),
+            )
+
+        asg = AutoScalingGroup(
+            sim, ec2, queue,
+            itype=instance_type("r6a.large"),
+            market=InstanceMarket.SPOT,
+            policy=ScalingPolicy(max_size=4, messages_per_instance=4),
+            make_agent=make_agent,
+        )
+        sim.process(asg.controller())
+        sim.run()
+        assert queue.is_drained
+        # every job was completed by someone despite interruptions
+        assert asg.total_jobs_completed >= 30
+        assert any(i.interrupted for i in ec2.instances)

@@ -1,0 +1,87 @@
+"""Cost accounting tests."""
+
+import pytest
+
+from repro.cloud.cost import CostAccountant, S3_PUT_USD_PER_1K
+from repro.cloud.ec2 import Ec2Service, InstanceMarket, SpotModel, instance_type
+from repro.cloud.events import Simulation
+from repro.cloud.s3 import S3Bucket
+
+
+def run_instance(market, seconds, *, spot=None):
+    sim = Simulation()
+    ec2 = Ec2Service(sim, boot_seconds=1, spot_model=spot or SpotModel(), rng=0)
+    inst = ec2.launch(instance_type("r6a.4xlarge"), market)
+    sim.run(until=1)
+    sim.run(until=1 + seconds)
+    ec2.terminate(inst)
+    return sim, ec2, inst
+
+
+class TestComputeBilling:
+    def test_on_demand_hourly(self):
+        sim, ec2, inst = run_instance(InstanceMarket.ON_DEMAND, 3600)
+        report = CostAccountant().bill_instances([inst], sim.now)
+        assert report.compute_usd == pytest.approx(0.9072, rel=1e-6)
+        assert report.on_demand_usd == report.compute_usd
+        assert report.spot_usd == 0.0
+        assert report.n_instances == 1
+
+    def test_spot_discount(self):
+        spot = SpotModel(discount=0.34, mean_interruption_seconds=1e9)
+        sim, ec2, inst = run_instance(InstanceMarket.SPOT, 3600, spot=spot)
+        report = CostAccountant(spot).bill_instances([inst], sim.now)
+        assert report.compute_usd == pytest.approx(0.34 * 0.9072, rel=1e-6)
+        assert report.spot_usd == report.compute_usd
+
+    def test_interrupted_flag_counted(self):
+        sim = Simulation()
+        ec2 = Ec2Service(
+            sim, boot_seconds=1,
+            spot_model=SpotModel(mean_interruption_seconds=100), rng=0,
+        )
+        instances = [
+            ec2.launch(instance_type("r6a.large"), InstanceMarket.SPOT)
+            for _ in range(5)
+        ]
+        sim.run(until=36000)
+        report = CostAccountant().bill_instances(instances, sim.now)
+        assert report.n_interrupted == 5
+
+    def test_per_instance_breakdown(self):
+        sim, ec2, inst = run_instance(InstanceMarket.ON_DEMAND, 100)
+        report = CostAccountant().bill_instances([inst], sim.now)
+        iid, itype, seconds, usd = report.per_instance[0]
+        assert iid == inst.instance_id
+        assert itype == "r6a.4xlarge"
+        assert seconds == pytest.approx(100)
+
+
+class TestS3Billing:
+    def test_request_charges(self):
+        b = S3Bucket("x")
+        for i in range(2000):
+            b.put(f"k{i}", 1, now=0.0)
+        requests, _ = CostAccountant().bill_s3([b])
+        assert requests == pytest.approx(2 * S3_PUT_USD_PER_1K)
+
+    def test_storage_charges_prorated(self):
+        b = S3Bucket("x")
+        b.put("k", 100e9, now=0.0)  # 100 GB
+        _, storage30 = CostAccountant().bill_s3([b], storage_days=30)
+        _, storage15 = CostAccountant().bill_s3([b], storage_days=15)
+        assert storage30 == pytest.approx(100 * 0.023)
+        assert storage15 == pytest.approx(storage30 / 2)
+
+
+class TestFullReport:
+    def test_total_and_text(self):
+        sim, ec2, inst = run_instance(InstanceMarket.ON_DEMAND, 3600)
+        bucket = S3Bucket("results")
+        bucket.put("a", 1e9, now=0.0)
+        report = CostAccountant().full_report([inst], [bucket], sim.now)
+        assert report.total_usd == pytest.approx(
+            report.compute_usd + report.s3_request_usd + report.s3_storage_usd
+        )
+        text = report.to_text()
+        assert "TOTAL" in text and "instance-hours" in text

@@ -1,0 +1,179 @@
+"""EC2 model tests: catalog, lifecycle, spot interruptions, billing units."""
+
+import pytest
+
+from repro.cloud.ec2 import (
+    Ec2Service,
+    INSTANCE_CATALOG,
+    InstanceMarket,
+    InstanceState,
+    SpotModel,
+    cheapest_fitting,
+    instance_type,
+)
+from repro.cloud.events import Simulation
+
+
+class TestCatalog:
+    def test_paper_instance_present(self):
+        it = instance_type("r6a.4xlarge")
+        assert it.vcpus == 16
+        assert it.memory_gib == pytest.approx(128)
+
+    def test_unknown_type_helpful_error(self):
+        with pytest.raises(KeyError, match="r6a"):
+            instance_type("x9.mega")
+
+    def test_family_parsed(self):
+        assert instance_type("m6a.xlarge").family == "m6a"
+
+    def test_price_scales_with_size_within_family(self):
+        sizes = ["large", "xlarge", "2xlarge", "4xlarge", "8xlarge"]
+        prices = [instance_type(f"r6a.{s}").on_demand_hourly_usd for s in sizes]
+        assert prices == sorted(prices)
+        assert prices[4] == pytest.approx(prices[0] * 16, rel=0.01)
+
+    def test_cheapest_fitting_by_memory(self):
+        # 29.5 GiB index + 6 GB overhead fits a 64 GiB r6a.2xlarge
+        choice = cheapest_fitting(29.5 * 2**30 + 6e9, family="r6a")
+        assert choice.name == "r6a.2xlarge"
+        # 85 GiB index + overhead needs the 128 GiB r6a.4xlarge
+        choice = cheapest_fitting(85 * 2**30 + 6e9, family="r6a")
+        assert choice.name == "r6a.4xlarge"
+
+    def test_cheapest_fitting_min_vcpus(self):
+        choice = cheapest_fitting(1e9, family="r6a", min_vcpus=16)
+        assert choice.vcpus >= 16
+
+    def test_cheapest_fitting_impossible(self):
+        with pytest.raises(ValueError):
+            cheapest_fitting(10e12, family="r6a")
+
+    def test_any_family(self):
+        choice = cheapest_fitting(1e9, family=None)
+        assert choice.name in INSTANCE_CATALOG
+
+
+class TestLifecycle:
+    def test_boot_delay(self):
+        sim = Simulation()
+        ec2 = Ec2Service(sim, boot_seconds=60)
+        inst = ec2.launch(instance_type("r6a.large"))
+        assert inst.state is InstanceState.PENDING
+        sim.run(until=59)
+        assert inst.state is InstanceState.PENDING
+        sim.run(until=61)
+        assert inst.state is InstanceState.RUNNING
+        assert inst.running_event.triggered
+
+    def test_terminate_idempotent(self):
+        sim = Simulation()
+        ec2 = Ec2Service(sim)
+        inst = ec2.launch(instance_type("r6a.large"))
+        ec2.terminate(inst)
+        ec2.terminate(inst)
+        assert inst.state is InstanceState.TERMINATED
+        assert inst.terminated_event.triggered
+
+    def test_terminate_before_boot(self):
+        sim = Simulation()
+        ec2 = Ec2Service(sim, boot_seconds=60)
+        inst = ec2.launch(instance_type("r6a.large"))
+        ec2.terminate(inst)
+        sim.run(until=120)
+        assert inst.state is InstanceState.TERMINATED  # boot does not resurrect
+
+    def test_running_and_alive_queries(self):
+        sim = Simulation()
+        ec2 = Ec2Service(sim, boot_seconds=10)
+        a = ec2.launch(instance_type("r6a.large"))
+        b = ec2.launch(instance_type("r6a.large"))
+        assert len(ec2.alive()) == 2 and len(ec2.running()) == 0
+        sim.run(until=11)
+        assert len(ec2.running()) == 2
+        ec2.terminate(a)
+        assert len(ec2.running()) == 1 and len(ec2.alive()) == 1
+        assert b in ec2.running()
+
+    def test_unique_ids(self):
+        sim = Simulation()
+        ec2 = Ec2Service(sim)
+        ids = {ec2.launch(instance_type("r6a.large")).instance_id for _ in range(10)}
+        assert len(ids) == 10
+
+
+class TestSpot:
+    def test_on_demand_never_interrupted(self):
+        sim = Simulation()
+        ec2 = Ec2Service(sim, rng=0)
+        inst = ec2.launch(instance_type("r6a.large"), InstanceMarket.ON_DEMAND)
+        sim.run(until=100 * 3600)
+        assert inst.is_running
+        assert not inst.interrupted
+
+    def test_spot_eventually_interrupted(self):
+        sim = Simulation()
+        spot = SpotModel(mean_interruption_seconds=600)
+        ec2 = Ec2Service(sim, spot_model=spot, rng=0)
+        instances = [
+            ec2.launch(instance_type("r6a.large"), InstanceMarket.SPOT)
+            for _ in range(10)
+        ]
+        sim.run(until=24 * 3600)
+        assert all(i.interrupted for i in instances)
+
+    def test_warning_precedes_interruption(self):
+        sim = Simulation()
+        spot = SpotModel(mean_interruption_seconds=600, warning_seconds=120)
+        ec2 = Ec2Service(sim, spot_model=spot, rng=1)
+        inst = ec2.launch(instance_type("r6a.large"), InstanceMarket.SPOT)
+        sim.run()
+        assert inst.interrupted
+        assert inst.interruption_warning.triggered
+        warned_at = inst.interruption_warning.value
+        assert warned_at <= inst.terminate_time
+        assert inst.terminate_time - warned_at <= 120 + 1e-6
+
+    def test_spot_price_discounted(self):
+        spot = SpotModel(discount=0.34)
+        it = instance_type("r6a.4xlarge")
+        assert spot.hourly_usd(it) == pytest.approx(0.34 * it.on_demand_hourly_usd)
+
+    def test_invalid_spot_model(self):
+        with pytest.raises(ValueError):
+            SpotModel(discount=0.0)
+        with pytest.raises(ValueError):
+            SpotModel(mean_interruption_seconds=0)
+
+
+class TestBilling:
+    def test_minimum_60s(self):
+        sim = Simulation()
+        ec2 = Ec2Service(sim, boot_seconds=1)
+        inst = ec2.launch(instance_type("r6a.large"))
+        sim.run(until=2)
+        ec2.terminate(inst)
+        assert inst.billed_seconds(sim.now) == 60.0
+
+    def test_per_second_after_minimum(self):
+        sim = Simulation()
+        ec2 = Ec2Service(sim, boot_seconds=1)
+        inst = ec2.launch(instance_type("r6a.large"))
+        sim.run(until=1)
+        sim.run(until=501)
+        assert inst.billed_seconds(sim.now) == pytest.approx(500.0)
+
+    def test_not_billed_before_running(self):
+        sim = Simulation()
+        ec2 = Ec2Service(sim, boot_seconds=100)
+        inst = ec2.launch(instance_type("r6a.large"))
+        sim.run(until=50)
+        assert inst.billed_seconds(sim.now) == 0.0
+
+    def test_rate_by_market(self):
+        sim = Simulation()
+        ec2 = Ec2Service(sim)
+        spot = SpotModel(discount=0.5)
+        od = ec2.launch(instance_type("r6a.large"), InstanceMarket.ON_DEMAND)
+        sp = ec2.launch(instance_type("r6a.large"), InstanceMarket.SPOT)
+        assert od.hourly_rate(spot) == pytest.approx(2 * sp.hourly_rate(spot))

@@ -1,0 +1,186 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.cloud.events import SimEvent, Simulation, Timeout
+
+
+class TestScheduling:
+    def test_call_later_order(self):
+        sim = Simulation()
+        log = []
+        sim.call_later(5, lambda: log.append("b"))
+        sim.call_later(1, lambda: log.append("a"))
+        sim.call_later(9, lambda: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 9
+
+    def test_fifo_tie_break(self):
+        sim = Simulation()
+        log = []
+        for i in range(5):
+            sim.call_later(3, lambda i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_cancel(self):
+        sim = Simulation()
+        log = []
+        handle = sim.call_later(1, lambda: log.append("x"))
+        handle.cancel()
+        assert handle.cancelled
+        sim.run()
+        assert log == []
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulation().call_later(-1, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulation()
+        log = []
+        sim.call_later(10, lambda: log.append("late"))
+        sim.run(until=5)
+        assert log == [] and sim.now == 5
+        sim.run()
+        assert log == ["late"]
+
+    def test_run_until_beyond_last_event(self):
+        sim = Simulation()
+        sim.call_later(1, lambda: None)
+        sim.run(until=100)
+        assert sim.now == 100
+
+    def test_runaway_guard(self):
+        sim = Simulation()
+
+        def reschedule():
+            sim.call_later(0.001, reschedule)
+
+        sim.call_later(0, reschedule)
+        with pytest.raises(RuntimeError, match="max_events"):
+            sim.run(max_events=100)
+
+
+class TestProcesses:
+    def test_timeout_sequencing(self):
+        sim = Simulation()
+        trace = []
+
+        def proc():
+            trace.append(("start", sim.now))
+            yield Timeout(3)
+            trace.append(("mid", sim.now))
+            yield Timeout(2)
+            trace.append(("end", sim.now))
+            return "result"
+
+        result = sim.run_process(proc())
+        assert result == "result"
+        assert trace == [("start", 0), ("mid", 3), ("end", 5)]
+
+    def test_event_wait(self):
+        sim = Simulation()
+        event = sim.event()
+        got = []
+
+        def waiter():
+            value = yield event
+            got.append((sim.now, value))
+
+        sim.process(waiter())
+        sim.call_later(7, lambda: event.succeed("payload"))
+        sim.run()
+        assert got == [(7, "payload")]
+
+    def test_wait_on_triggered_event_resumes_immediately(self):
+        sim = Simulation()
+        event = sim.event()
+        event.succeed(42)
+        got = []
+
+        def waiter():
+            value = yield event
+            got.append((sim.now, value))
+
+        sim.process(waiter())
+        sim.run()
+        assert got == [(0, 42)]
+
+    def test_double_succeed_rejected(self):
+        event = SimEvent()
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_process_waits_on_process(self):
+        sim = Simulation()
+
+        def child():
+            yield Timeout(4)
+            return "child-done"
+
+        def parent():
+            result = yield sim.process(child())
+            return (sim.now, result)
+
+        assert sim.run_process(parent()) == (4, "child-done")
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1)
+
+    def test_invalid_yield_type(self):
+        sim = Simulation()
+
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_deadlock_detected_by_run_process(self):
+        sim = Simulation()
+
+        def stuck():
+            yield SimEvent()  # nobody will ever succeed this
+
+        with pytest.raises(RuntimeError, match="did not finish"):
+            sim.run_process(stuck())
+
+    def test_multiple_waiters_all_woken(self):
+        sim = Simulation()
+        event = sim.event()
+        woken = []
+
+        def waiter(name):
+            yield event
+            woken.append(name)
+
+        for n in ("a", "b", "c"):
+            sim.process(waiter(n))
+        sim.call_later(1, lambda: event.succeed())
+        sim.run()
+        assert woken == ["a", "b", "c"]
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        def build():
+            sim = Simulation()
+            trace = []
+
+            def worker(name, delay):
+                yield Timeout(delay)
+                trace.append((name, sim.now))
+                yield Timeout(delay)
+                trace.append((name, sim.now))
+
+            for i in range(5):
+                sim.process(worker(f"w{i}", 1 + i * 0.5))
+            sim.run()
+            return trace
+
+        assert build() == build()

@@ -1,0 +1,163 @@
+"""Metrics collector and time-series tests."""
+
+import pytest
+
+from repro.cloud.events import Simulation, Timeout
+from repro.cloud.metrics import MetricsCollector, TimeSeries
+
+
+class TestTimeSeries:
+    def make(self) -> TimeSeries:
+        ts = TimeSeries("x")
+        for t, v in [(0, 5), (10, 3), (20, 3), (30, 0)]:
+            ts.append(t, v)
+        return ts
+
+    def test_basic_stats(self):
+        ts = self.make()
+        assert len(ts) == 4
+        assert ts.max == 5
+        assert ts.mean == pytest.approx(11 / 4)
+
+    def test_time_order_enforced(self):
+        ts = TimeSeries("x")
+        ts.append(5, 1)
+        with pytest.raises(ValueError):
+            ts.append(4, 1)
+
+    def test_value_at(self):
+        ts = self.make()
+        assert ts.value_at(-1) == 0.0
+        assert ts.value_at(0) == 5
+        assert ts.value_at(15) == 3
+        assert ts.value_at(100) == 0
+
+    def test_integral_step_function(self):
+        ts = self.make()
+        # 5*10 + 3*10 + 3*10 = 110
+        assert ts.integral() == pytest.approx(110.0)
+
+    def test_monotone_check(self):
+        ts = self.make()
+        assert ts.is_monotone_non_increasing()
+        ts2 = TimeSeries("y")
+        ts2.append(0, 1)
+        ts2.append(1, 2)
+        assert not ts2.is_monotone_non_increasing()
+        assert ts2.is_monotone_non_increasing(start=0.5)
+
+    def test_sparkline_width_and_levels(self):
+        ts = TimeSeries("z")
+        for i in range(200):
+            ts.append(i, i)
+        spark = ts.sparkline(width=50)
+        assert len(spark) == 50
+        assert spark[-1] == "█"
+
+    def test_sparkline_all_zero(self):
+        ts = TimeSeries("z")
+        ts.append(0, 0)
+        ts.append(1, 0)
+        assert set(ts.sparkline()) == {" "}
+
+    def test_empty_sparkline(self):
+        assert TimeSeries("e").sparkline() == ""
+
+
+class TestCollector:
+    def test_samples_on_period(self):
+        sim = Simulation()
+        state = {"v": 0.0}
+        collector = MetricsCollector(sim, period=10)
+        collector.register("v", lambda: state["v"])
+
+        def mutator():
+            for i in range(5):
+                yield Timeout(10)
+                state["v"] = i + 1
+
+        sim.process(collector.run(until=50))
+        sim.process(mutator())
+        sim.run()
+        ts = collector.series["v"]
+        assert len(ts) == 6  # t=0..50
+        assert ts.times == [0, 10, 20, 30, 40, 50]
+
+    def test_stop_ends_sampling(self):
+        sim = Simulation()
+        collector = MetricsCollector(sim, period=5)
+        collector.register("c", lambda: 1.0)
+        sim.process(collector.run())
+        sim.call_later(17, collector.stop)
+        sim.run()
+        # ticks at 0,5,10,15, then the 20-tick sees the stop flag
+        assert len(collector.series["c"]) == 4
+
+    def test_duplicate_gauge_rejected(self):
+        collector = MetricsCollector(Simulation(), period=1)
+        collector.register("x", lambda: 0)
+        with pytest.raises(ValueError):
+            collector.register("x", lambda: 0)
+
+    def test_report_renders_all_series(self):
+        sim = Simulation()
+        collector = MetricsCollector(sim, period=1)
+        collector.register("alpha", lambda: 3.0)
+        collector.register("beta", lambda: 1.0)
+        collector.sample_now()
+        text = collector.report()
+        assert "alpha" in text and "beta" in text and "peak=3.0" in text
+
+
+class TestAtlasIntegration:
+    def test_atlas_metrics_series(self):
+        from repro.cloud.autoscaling import ScalingPolicy
+        from repro.core.atlas import AtlasConfig, run_atlas
+        from repro.experiments.corpus import CorpusSpec, generate_corpus
+
+        jobs = generate_corpus(CorpusSpec(n_runs=30), rng=1)
+        report = run_atlas(
+            jobs,
+            AtlasConfig(
+                instance_name="r6a.2xlarge",
+                scaling=ScalingPolicy(max_size=4, messages_per_instance=4),
+                metrics_period=120.0,
+                seed=5,
+            ),
+        )
+        assert set(report.metrics) == {
+            "queue_depth", "in_flight", "fleet_running", "jobs_done",
+        }
+        depth = report.metrics["queue_depth"]
+        # queue starts full and drains to zero
+        assert depth.values[0] == 30
+        assert depth.values[-1] == 0
+        # jobs_done climbs to the total
+        done = report.metrics["jobs_done"]
+        assert done.values[-1] == 30
+        assert done.is_monotone_non_increasing() is False
+        # fleet-size integral ≈ billed instance-seconds (same campaign)
+        fleet_seconds = report.metrics["fleet_running"].integral()
+        assert fleet_seconds == pytest.approx(
+            report.cost.compute_seconds, rel=0.2
+        )
+
+    def test_atlas_without_metrics_unchanged(self):
+        from repro.cloud.autoscaling import ScalingPolicy
+        from repro.core.atlas import AtlasConfig, run_atlas
+        from repro.experiments.corpus import CorpusSpec, generate_corpus
+
+        jobs = generate_corpus(CorpusSpec(n_runs=20), rng=1)
+        config = AtlasConfig(
+            instance_name="r6a.2xlarge",
+            scaling=ScalingPolicy(max_size=4, messages_per_instance=4),
+            seed=5,
+        )
+        plain = run_atlas(jobs, config)
+        assert plain.metrics == {}
+        from dataclasses import replace
+
+        with_metrics = run_atlas(jobs, replace(config, metrics_period=60.0))
+        # metrics collection must not perturb campaign results
+        assert with_metrics.makespan_seconds == plain.makespan_seconds
+        assert with_metrics.n_jobs == plain.n_jobs

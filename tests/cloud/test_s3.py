@@ -1,0 +1,89 @@
+"""S3 model tests."""
+
+import pytest
+
+from repro.cloud.s3 import S3Bucket, S3Service
+
+
+class TestBucket:
+    def test_put_get(self):
+        b = S3Bucket("results")
+        b.put("a/counts.tab", 1000, now=5.0, payload={"g": 1})
+        obj = b.get("a/counts.tab")
+        assert obj.size_bytes == 1000
+        assert obj.stored_at == 5.0
+        assert obj.payload == {"g": 1}
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            S3Bucket("b").get("nope")
+
+    def test_overwrite(self):
+        b = S3Bucket("b")
+        b.put("k", 10, now=0.0)
+        b.put("k", 20, now=1.0)
+        assert b.get("k").size_bytes == 20
+        assert b.object_count == 1
+
+    def test_head_no_transfer_accounting(self):
+        b = S3Bucket("b")
+        b.put("k", 10, now=0.0)
+        assert b.head("k").size_bytes == 10
+        assert b.head("missing") is None
+        assert b.get_count == 0
+
+    def test_transfer_accounting(self):
+        b = S3Bucket("b")
+        b.put("k", 100, now=0.0)
+        b.get("k")
+        b.get("k")
+        assert b.put_count == 1
+        assert b.get_count == 2
+        assert b.bytes_in == 100
+        assert b.bytes_out == 200
+
+    def test_delete_idempotent(self):
+        b = S3Bucket("b")
+        b.put("k", 1, now=0.0)
+        assert b.delete("k")
+        assert not b.delete("k")
+        assert "k" not in b
+
+    def test_keys_prefix_listing(self):
+        b = S3Bucket("b")
+        for key in ("runs/a", "runs/b", "index/x"):
+            b.put(key, 1, now=0.0)
+        assert b.keys("runs/") == ["runs/a", "runs/b"]
+        assert len(b.keys()) == 3
+
+    def test_total_bytes(self):
+        b = S3Bucket("b")
+        b.put("a", 10, now=0.0)
+        b.put("b", 32, now=0.0)
+        assert b.total_bytes == 42
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            S3Bucket("b").put("k", -1, now=0.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            S3Bucket("")
+
+
+class TestService:
+    def test_create_and_lookup(self):
+        s3 = S3Service()
+        s3.create_bucket("x")
+        assert s3.bucket("x").name == "x"
+        assert s3.buckets() == ["x"]
+
+    def test_duplicate_bucket_rejected(self):
+        s3 = S3Service()
+        s3.create_bucket("x")
+        with pytest.raises(ValueError):
+            s3.create_bucket("x")
+
+    def test_missing_bucket_raises(self):
+        with pytest.raises(KeyError):
+            S3Service().bucket("nope")

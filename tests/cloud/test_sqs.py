@@ -1,0 +1,125 @@
+"""SQS semantics tests: visibility timeout, at-least-once, dead-lettering."""
+
+import pytest
+
+from repro.cloud.events import Simulation
+from repro.cloud.sqs import SqsQueue
+
+
+@pytest.fixture
+def sim():
+    return Simulation()
+
+
+class TestBasicFlow:
+    def test_send_receive_delete(self, sim):
+        q = SqsQueue(sim, visibility_timeout=10)
+        q.send("job-1")
+        msg = q.receive()
+        assert msg.body == "job-1"
+        assert q.approximate_depth == 0
+        assert q.inflight_count == 1
+        assert q.delete(msg.receipt_handle)
+        assert q.is_drained
+
+    def test_empty_receive(self, sim):
+        q = SqsQueue(sim)
+        assert q.receive() is None
+
+    def test_fifo_order_of_visible(self, sim):
+        q = SqsQueue(sim)
+        q.send_batch(["a", "b", "c"])
+        assert [q.receive().body for _ in range(3)] == ["a", "b", "c"]
+
+    def test_stale_receipt_delete_fails(self, sim):
+        q = SqsQueue(sim, visibility_timeout=5)
+        q.send("x")
+        msg = q.receive()
+        q.delete(msg.receipt_handle)
+        assert not q.delete(msg.receipt_handle)
+
+
+class TestVisibilityTimeout:
+    def test_message_returns_after_timeout(self, sim):
+        q = SqsQueue(sim, visibility_timeout=30)
+        q.send("x")
+        msg = q.receive()
+        assert q.receive() is None  # invisible while in flight
+        sim.run(until=31)
+        again = q.receive()
+        assert again is not None
+        assert again.body == "x"
+        assert again.receive_count == 2
+        assert q.total_expired_visibility == 1
+
+    def test_delete_before_timeout_prevents_redelivery(self, sim):
+        q = SqsQueue(sim, visibility_timeout=30)
+        q.send("x")
+        msg = q.receive()
+        q.delete(msg.receipt_handle)
+        sim.run(until=100)
+        assert q.receive() is None
+        assert q.total_expired_visibility == 0
+
+    def test_change_visibility_extends(self, sim):
+        q = SqsQueue(sim, visibility_timeout=10)
+        q.send("x")
+        msg = q.receive()
+        q.change_visibility(msg.receipt_handle, 50)
+        sim.run(until=20)
+        assert q.receive() is None  # still invisible at t=20
+        sim.run(until=61)
+        assert q.receive() is not None
+
+    def test_change_visibility_shortens(self, sim):
+        q = SqsQueue(sim, visibility_timeout=1000)
+        q.send("x")
+        msg = q.receive()
+        q.change_visibility(msg.receipt_handle, 1)
+        sim.run(until=2)
+        assert q.receive() is not None
+
+    def test_change_visibility_stale_receipt(self, sim):
+        q = SqsQueue(sim)
+        assert not q.change_visibility("r-bogus", 10)
+
+
+class TestDeadLetter:
+    def test_redrive_after_max_receives(self, sim):
+        dlq = SqsQueue(sim, name="dlq")
+        q = SqsQueue(sim, visibility_timeout=5, max_receive_count=2, dead_letter=dlq)
+        q.send("poison")
+        for _ in range(2):
+            msg = q.receive()
+            assert msg is not None
+            sim.run(until=sim.now + 6)  # let visibility expire
+        assert q.receive() is None  # gone to the DLQ
+        assert q.total_dead_lettered == 1
+        assert dlq.approximate_depth == 1
+        assert dlq.receive().body == "poison"
+
+    def test_no_dlq_drops_message(self, sim):
+        q = SqsQueue(sim, visibility_timeout=5, max_receive_count=1)
+        q.send("poison")
+        q.receive()
+        sim.run(until=6)
+        assert q.receive() is None
+        assert q.total_dead_lettered == 1
+
+
+class TestMetrics:
+    def test_counters(self, sim):
+        q = SqsQueue(sim, visibility_timeout=5)
+        q.send_batch(["a", "b"])
+        assert q.total_sent == 2
+        m = q.receive()
+        q.delete(m.receipt_handle)
+        assert q.total_delivered == 1
+        assert q.total_deleted == 1
+        assert not q.is_drained  # "b" still visible
+
+    def test_invalid_parameters(self, sim):
+        with pytest.raises(ValueError):
+            SqsQueue(sim, visibility_timeout=0)
+        with pytest.raises(ValueError):
+            SqsQueue(sim, max_receive_count=0)

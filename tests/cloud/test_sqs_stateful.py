@@ -1,0 +1,119 @@
+"""Stateful property test of the SQS model.
+
+Drives the queue through arbitrary interleavings of send / receive /
+delete / change-visibility / time-advance operations and checks the
+invariants the architecture depends on:
+
+* conservation — every sent message is exactly one of: visible, in
+  flight, deleted, or dead-lettered;
+* at-least-once — a message is never lost without being deleted or
+  dead-lettered;
+* no double-delivery while invisible — a receipt in flight is never
+  returned again before its visibility expires;
+* counter consistency.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.cloud.events import Simulation
+from repro.cloud.sqs import SqsQueue
+
+
+class SqsMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulation()
+        self.dlq = SqsQueue(self.sim, name="dlq", visibility_timeout=1e9)
+        self.queue = SqsQueue(
+            self.sim,
+            visibility_timeout=50.0,
+            max_receive_count=3,
+            dead_letter=self.dlq,
+        )
+        self.sent_bodies: list[int] = []
+        self.deleted_bodies: list[int] = []
+        self.next_body = 0
+        self.open_receipts: dict[str, int] = {}  # receipt -> body
+
+    receipts = Bundle("receipts")
+
+    @rule()
+    def send(self):
+        self.queue.send(self.next_body)
+        self.sent_bodies.append(self.next_body)
+        self.next_body += 1
+
+    @rule(target=receipts)
+    def receive(self):
+        msg = self.queue.receive()
+        if msg is None:
+            return ""
+        # a freshly received message must be one we sent and not deleted
+        assert msg.body in self.sent_bodies
+        assert msg.body not in self.deleted_bodies
+        # and must not currently be in flight under another receipt
+        assert msg.body not in self.open_receipts.values()
+        self.open_receipts[msg.receipt_handle] = msg.body
+        return msg.receipt_handle
+
+    @rule(receipt=receipts)
+    def delete(self, receipt):
+        if not receipt:
+            return
+        ok = self.queue.delete(receipt)
+        if receipt in self.open_receipts:
+            assert ok
+            self.deleted_bodies.append(self.open_receipts.pop(receipt))
+        else:
+            assert not ok  # stale receipts must be rejected
+
+    @rule(receipt=receipts, timeout=st.floats(min_value=1, max_value=200))
+    def change_visibility(self, receipt, timeout):
+        if not receipt:
+            return
+        ok = self.queue.change_visibility(receipt, timeout)
+        assert ok == (receipt in self.open_receipts)
+
+    @rule(delta=st.floats(min_value=0.1, max_value=120))
+    def advance_time(self, delta):
+        self.sim.run(until=self.sim.now + delta)
+        # visibility expiries may have returned in-flight messages
+        expired = [
+            r for r in self.open_receipts
+            if r not in self.queue._inflight
+        ]
+        for receipt in expired:
+            del self.open_receipts[receipt]
+
+    @invariant()
+    def conservation(self):
+        visible = self.queue.approximate_depth
+        in_flight = self.queue.inflight_count
+        deleted = len(self.deleted_bodies)
+        dead = self.dlq.approximate_depth + self.dlq.inflight_count
+        assert visible + in_flight + deleted + dead == len(self.sent_bodies)
+
+    @invariant()
+    def counters_consistent(self):
+        q = self.queue
+        assert q.total_deleted == len(self.deleted_bodies)
+        assert q.total_sent == len(self.sent_bodies)
+        assert q.total_delivered >= q.total_deleted
+        assert q.total_dead_lettered == self.dlq.total_sent
+
+    @invariant()
+    def tracked_receipts_match_queue(self):
+        assert set(self.open_receipts) == set(self.queue._inflight)
+
+
+TestSqsStateful = SqsMachine.TestCase
+TestSqsStateful.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,68 @@
+"""Shared fixtures: one mini genome universe and its derived artifacts.
+
+Expensive objects (suffix-array indexes, simulated samples) are
+session-scoped; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.align.index import GenomeIndex, genome_generate
+from repro.align.star import StarAligner, StarParameters
+from repro.genome.ensembl import EnsemblRelease, build_release_assembly
+from repro.genome.synth import GenomeUniverse, GenomeUniverseSpec, make_universe
+from repro.reads.library import LibraryType, SampleProfile
+from repro.reads.simulator import ReadSimulator, SimulatedSample
+
+
+@pytest.fixture(scope="session")
+def universe() -> GenomeUniverse:
+    return make_universe(GenomeUniverseSpec(), np.random.default_rng(42))
+
+
+@pytest.fixture(scope="session")
+def assembly_r111(universe):
+    return build_release_assembly(universe, EnsemblRelease.R111, rng=1)
+
+
+@pytest.fixture(scope="session")
+def assembly_r108(universe):
+    return build_release_assembly(universe, EnsemblRelease.R108, rng=1)
+
+
+@pytest.fixture(scope="session")
+def index_r111(universe, assembly_r111) -> GenomeIndex:
+    return genome_generate(assembly_r111, universe.annotation)
+
+
+@pytest.fixture(scope="session")
+def index_r108(universe, assembly_r108) -> GenomeIndex:
+    return genome_generate(assembly_r108, universe.annotation)
+
+
+@pytest.fixture(scope="session")
+def simulator(universe, assembly_r111) -> ReadSimulator:
+    return ReadSimulator(assembly_r111, universe.annotation)
+
+
+@pytest.fixture(scope="session")
+def bulk_sample(simulator) -> SimulatedSample:
+    return simulator.simulate(
+        SampleProfile(LibraryType.BULK_POLYA, n_reads=250, read_length=80),
+        rng=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def sc_sample(simulator) -> SimulatedSample:
+    return simulator.simulate(
+        SampleProfile(LibraryType.SINGLE_CELL_3P, n_reads=250, read_length=80),
+        rng=8,
+    )
+
+
+@pytest.fixture(scope="session")
+def aligner_r111(index_r111) -> StarAligner:
+    return StarAligner(index_r111, StarParameters(progress_every=50))

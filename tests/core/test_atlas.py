@@ -1,0 +1,152 @@
+"""Cloud atlas orchestration tests."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cloud.autoscaling import ScalingPolicy
+from repro.cloud.ec2 import InstanceMarket, SpotModel
+from repro.core.atlas import AtlasConfig, run_atlas
+from repro.core.early_stopping import EarlyStoppingPolicy
+from repro.core.pipeline import RunStatus
+from repro.experiments.corpus import CorpusSpec, generate_corpus
+from repro.genome.ensembl import EnsemblRelease
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    # ~50 jobs, ~2 single-cell
+    return generate_corpus(CorpusSpec(n_runs=50), rng=1)
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    return AtlasConfig(
+        release=EnsemblRelease.R111,
+        instance_name="r6a.2xlarge",
+        scaling=ScalingPolicy(max_size=4, messages_per_instance=4),
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def report(jobs, base_config):
+    return run_atlas(jobs, base_config)
+
+
+class TestBasicRun:
+    def test_all_jobs_processed_once(self, report, jobs):
+        assert report.n_jobs == len(jobs)
+        assert len({j.accession for j in report.jobs}) == len(jobs)
+
+    def test_single_cell_terminated(self, report):
+        terminated = [j for j in report.jobs if j.status is RunStatus.REJECTED_EARLY]
+        assert len(terminated) >= 1
+        assert all(j.library.is_single_cell for j in terminated)
+        assert all(j.stop_fraction == pytest.approx(0.10) for j in terminated)
+
+    def test_bulk_accepted(self, report):
+        accepted = [j for j in report.jobs if j.status is RunStatus.ACCEPTED]
+        assert len(accepted) > 40
+        assert all(not j.library.is_single_cell for j in accepted)
+
+    def test_star_hours_saved_positive(self, report):
+        assert report.star_hours_saved > 0
+        assert report.star_hours_actual < report.star_hours_if_full
+
+    def test_terminated_jobs_save_90pct_of_their_scan(self, report):
+        for j in report.jobs:
+            if j.status is RunStatus.REJECTED_EARLY:
+                assert j.star_seconds < 0.25 * j.star_seconds_if_full
+
+    def test_cost_positive_and_itemized(self, report):
+        assert report.cost.total_usd > 0
+        assert report.cost.compute_usd > 0
+        assert report.cost.n_instances >= report.peak_fleet
+
+    def test_utilization_high_for_on_demand(self, report):
+        assert report.mean_utilization > 0.7
+
+    def test_makespan_bounds(self, report):
+        # 50 jobs on <=4 instances: makespan must exceed the per-instance
+        # serial fraction but stay well under the serial total
+        serial_hours = sum(j.total_seconds for j in report.jobs) / 3600.0
+        assert report.makespan_seconds / 3600.0 < serial_hours
+        assert report.makespan_seconds / 3600.0 > serial_hours / 8
+
+
+class TestConfigVariants:
+    def test_no_early_stopping_runs_everything(self, jobs, base_config):
+        config = replace(base_config, early_stopping=None)
+        report = run_atlas(jobs, config)
+        assert report.n_terminated == 0
+        assert report.star_hours_saved == pytest.approx(0.0)
+
+    def test_early_stopping_reduces_star_hours(self, jobs, base_config):
+        with_es = run_atlas(jobs, base_config)
+        without = run_atlas(jobs, replace(base_config, early_stopping=None))
+        assert with_es.star_hours_actual < without.star_hours_actual
+
+    def test_r108_slower_and_needs_bigger_instance(self, jobs, base_config):
+        config = replace(
+            base_config, release=EnsemblRelease.R108, instance_name=None
+        )
+        report108 = run_atlas(jobs, config)
+        report111 = run_atlas(
+            jobs, replace(base_config, instance_name=None)
+        )
+        assert report108.instance.memory_gib > report111.instance.memory_gib
+        assert report108.star_hours_actual > 5 * report111.star_hours_actual
+        assert report108.init_overhead_seconds > 2 * report111.init_overhead_seconds
+
+    def test_right_sizing_resolution(self, base_config):
+        assert replace(base_config, instance_name=None).resolve_instance().name == (
+            "r6a.2xlarge"
+        )
+
+    def test_spot_cheaper(self, jobs, base_config):
+        spot_config = replace(
+            base_config,
+            market=InstanceMarket.SPOT,
+            spot_model=SpotModel(mean_interruption_seconds=8 * 3600),
+        )
+        spot = run_atlas(jobs, spot_config)
+        ondemand = run_atlas(jobs, base_config)
+        assert spot.cost.total_usd < 0.6 * ondemand.cost.total_usd
+        assert spot.n_jobs == ondemand.n_jobs  # nothing lost
+
+    def test_spot_interruption_work_conserved(self, jobs, base_config):
+        """Aggressive interruptions: every job still completes exactly once."""
+        config = replace(
+            base_config,
+            market=InstanceMarket.SPOT,
+            spot_model=SpotModel(mean_interruption_seconds=2000),
+            visibility_timeout=1800.0,
+        )
+        report = run_atlas(jobs, config)
+        assert report.n_jobs == len(jobs)
+        assert report.cost.n_interrupted > 0
+
+    def test_deterministic(self, jobs, base_config):
+        r1 = run_atlas(jobs, base_config)
+        r2 = run_atlas(jobs, base_config)
+        assert r1.makespan_seconds == r2.makespan_seconds
+        assert r1.cost.total_usd == pytest.approx(r2.cost.total_usd)
+
+    def test_empty_jobs_rejected(self, base_config):
+        with pytest.raises(ValueError):
+            run_atlas([], base_config)
+
+
+class TestScaling:
+    def test_bigger_fleet_faster(self, jobs, base_config):
+        small = run_atlas(
+            jobs,
+            replace(base_config, scaling=ScalingPolicy(max_size=2, messages_per_instance=4)),
+        )
+        large = run_atlas(
+            jobs,
+            replace(base_config, scaling=ScalingPolicy(max_size=8, messages_per_instance=4)),
+        )
+        assert large.makespan_seconds < small.makespan_seconds
+        assert large.peak_fleet > small.peak_fleet

@@ -1,0 +1,135 @@
+"""Early-stopping policy tests, including property-based guarantees."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.align.progress import ProgressRecord
+from repro.core.early_stopping import (
+    Decision,
+    EarlyStoppingPolicy,
+    EarlyStopMonitor,
+    replay_policy,
+)
+
+
+def record(processed, total, mapped):
+    return ProgressRecord(
+        elapsed_seconds=1.0,
+        reads_processed=processed,
+        reads_total=total,
+        mapped_unique=mapped,
+        mapped_multi=0,
+    )
+
+
+class TestPolicyDecide:
+    @pytest.fixture
+    def policy(self):
+        return EarlyStoppingPolicy()  # paper defaults: 30% @ 10%
+
+    def test_continues_before_checkpoint(self, policy):
+        # 5% processed, terrible rate: must abstain
+        assert policy.decide(record(500, 10_000, 10)) is Decision.CONTINUE
+
+    def test_aborts_low_rate_after_checkpoint(self, policy):
+        assert policy.decide(record(1000, 10_000, 100)) is Decision.ABORT
+
+    def test_continues_high_rate_after_checkpoint(self, policy):
+        assert policy.decide(record(1000, 10_000, 800)) is Decision.CONTINUE
+
+    def test_boundary_rate_continues(self, policy):
+        # exactly 30% is NOT below the threshold
+        assert policy.decide(record(1000, 10_000, 300)) is Decision.CONTINUE
+
+    def test_min_reads_guard(self, policy):
+        # tiny run: 50 reads is 50% of total but under min_reads=100
+        assert policy.decide(record(50, 100, 0)) is Decision.CONTINUE
+
+    def test_unknown_total_never_aborts(self, policy):
+        assert policy.decide(record(5000, 0, 0)) is Decision.CONTINUE
+
+    def test_accepts_final(self, policy):
+        assert policy.accepts_final(0.30)
+        assert policy.accepts_final(0.95)
+        assert not policy.accepts_final(0.29)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EarlyStoppingPolicy(mapping_threshold=1.5)
+        with pytest.raises(ValueError):
+            EarlyStoppingPolicy(check_fraction=-0.1)
+        with pytest.raises(ValueError):
+            EarlyStoppingPolicy(min_reads=-1)
+
+    @given(
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=0, max_value=1),
+    )
+    def test_property_decide_rate_consistency(self, mapped, processed):
+        """decide_rate aborts iff past checkpoint AND below threshold."""
+        policy = EarlyStoppingPolicy()
+        decision = policy.decide_rate(mapped, processed)
+        should_abort = (
+            processed >= policy.check_fraction
+            and mapped < policy.mapping_threshold
+        )
+        assert (decision is Decision.ABORT) == should_abort
+
+    @given(st.integers(min_value=100, max_value=10_000))
+    def test_property_abort_monotone_in_rate(self, processed):
+        """If a rate aborts, every lower rate at the same point aborts too."""
+        policy = EarlyStoppingPolicy(min_reads=1)
+        total = 10_000
+        decisions = [
+            policy.decide(record(processed, total, mapped))
+            for mapped in range(0, processed + 1, max(1, processed // 20))
+        ]
+        # once we see CONTINUE, no later (higher-rate) decision may be ABORT
+        seen_continue = False
+        for d in decisions:
+            if d is Decision.CONTINUE:
+                seen_continue = True
+            if seen_continue:
+                assert d is Decision.CONTINUE
+
+
+class TestMonitor:
+    def test_records_and_fires_once(self):
+        monitor = EarlyStopMonitor(policy=EarlyStoppingPolicy(min_reads=10))
+        assert monitor.hook(record(50, 1000, 45))  # 5% processed: continue
+        assert not monitor.hook(record(200, 1000, 10))  # 20%, 5% rate: abort
+        assert monitor.aborted
+        assert monitor.abort_record.reads_processed == 200
+        assert monitor.stop_fraction == pytest.approx(0.2)
+        assert len(monitor.records) == 2
+        assert monitor.decisions[-1] is Decision.ABORT
+
+    def test_never_fires_on_good_run(self):
+        monitor = EarlyStopMonitor()
+        for p in range(100, 1001, 100):
+            assert monitor.hook(record(p, 1000, int(p * 0.8)))
+        assert not monitor.aborted
+        assert monitor.stop_fraction is None
+
+
+class TestReplay:
+    def test_replay_finds_abort_point(self):
+        policy = EarlyStoppingPolicy(min_reads=10)
+        records = [
+            record(100, 1000, 80),
+            record(200, 1000, 30),  # 15% rate at 20% — abort here
+            record(300, 1000, 40),
+        ]
+        terminated, at = replay_policy(policy, records)
+        assert terminated
+        assert at.reads_processed == 200
+
+    def test_replay_clean_run(self):
+        policy = EarlyStoppingPolicy(min_reads=10)
+        records = [record(p, 1000, int(0.9 * p)) for p in (100, 500, 1000)]
+        terminated, at = replay_policy(policy, records)
+        assert not terminated and at is None
+
+    def test_replay_empty_log(self):
+        assert replay_policy(EarlyStoppingPolicy(), []) == (False, None)

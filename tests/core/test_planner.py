@@ -1,0 +1,124 @@
+"""Campaign planner tests."""
+
+import pytest
+
+from repro.cloud.ec2 import InstanceMarket
+from repro.core.atlas import AtlasConfig
+from repro.core.planner import (
+    CampaignPlan,
+    PlanOption,
+    PlannerConstraints,
+    plan_campaign,
+)
+from repro.experiments.corpus import CorpusSpec, generate_corpus
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    return generate_corpus(CorpusSpec(n_runs=40), rng=6)
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    return AtlasConfig(instance_name="r6a.2xlarge", seed=9)
+
+
+@pytest.fixture(scope="module")
+def plan(jobs, base_config):
+    return plan_campaign(
+        jobs,
+        PlannerConstraints(deadline_hours=6.0, fleet_sizes=(2, 4, 8)),
+        base_config=base_config,
+    )
+
+
+class TestGrid:
+    def test_all_candidates_evaluated(self, plan):
+        assert len(plan.options) == 6  # 3 fleets x 2 markets
+
+    def test_bigger_fleets_faster(self, plan):
+        by_label = {o.label: o for o in plan.options}
+        assert (
+            by_label["on_demand-x8"].makespan_hours
+            < by_label["on_demand-x4"].makespan_hours
+            < by_label["on_demand-x2"].makespan_hours
+        )
+
+    def test_spot_cheaper_per_fleet(self, plan):
+        by_label = {o.label: o for o in plan.options}
+        for fleet in (2, 4, 8):
+            assert (
+                by_label[f"spot-x{fleet}"].cost_usd
+                < by_label[f"on_demand-x{fleet}"].cost_usd
+            )
+
+
+class TestRecommendation:
+    def test_best_meets_deadline_and_is_cheapest(self, plan):
+        assert plan.feasible
+        assert plan.best.meets_deadline
+        for o in plan.options:
+            if o.meets_deadline:
+                assert plan.best.cost_usd <= o.cost_usd
+
+    def test_best_is_spot(self, plan):
+        """With spot allowed and a loose deadline, spot always wins on cost."""
+        assert plan.best.market is InstanceMarket.SPOT
+
+    def test_tight_deadline_forces_big_fleet(self, jobs, base_config):
+        loose = plan_campaign(
+            jobs,
+            PlannerConstraints(deadline_hours=24.0, fleet_sizes=(2, 8)),
+            base_config=base_config,
+        )
+        tight = plan_campaign(
+            jobs,
+            PlannerConstraints(deadline_hours=1.5, fleet_sizes=(2, 8)),
+            base_config=base_config,
+        )
+        assert tight.best is None or tight.best.fleet_size >= loose.best.fleet_size
+
+    def test_impossible_deadline_infeasible(self, jobs, base_config):
+        plan = plan_campaign(
+            jobs,
+            PlannerConstraints(deadline_hours=0.01, fleet_sizes=(2,)),
+            base_config=base_config,
+        )
+        assert not plan.feasible
+        assert "NO feasible option" in plan.to_table()
+
+    def test_on_demand_only_constraint(self, jobs, base_config):
+        plan = plan_campaign(
+            jobs,
+            PlannerConstraints(
+                deadline_hours=10.0,
+                fleet_sizes=(4,),
+                markets=(InstanceMarket.ON_DEMAND,),
+            ),
+            base_config=base_config,
+        )
+        assert plan.best.market is InstanceMarket.ON_DEMAND
+
+
+class TestValidation:
+    def test_constraints_validated(self):
+        with pytest.raises(ValueError):
+            PlannerConstraints(deadline_hours=0)
+        with pytest.raises(ValueError):
+            PlannerConstraints(deadline_hours=1, fleet_sizes=())
+        with pytest.raises(ValueError):
+            PlannerConstraints(deadline_hours=1, markets=())
+
+    def test_empty_jobs_rejected(self, base_config):
+        with pytest.raises(ValueError):
+            plan_campaign([], PlannerConstraints(deadline_hours=1))
+
+    def test_table_marks_pick(self, plan):
+        text = plan.to_table()
+        assert "<===" in text
+        assert "Campaign plan" in text
+
+    def test_explicit_best_preserved(self):
+        option = PlanOption(2, InstanceMarket.SPOT, 1.0, 5.0, True, 0.9, 0)
+        plan = CampaignPlan(options=[option], deadline_hours=2.0, best=option)
+        assert plan.best is option

@@ -1,0 +1,87 @@
+"""Mapping-trajectory model tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.trajectory import MappingTrajectory
+
+
+class TestRateAt:
+    def test_converges_to_terminal(self):
+        t = MappingTrajectory(terminal_rate=0.85, initial_rate=0.5, tau=0.02, wobble=0)
+        assert t.rate_at(1.0) == pytest.approx(0.85, abs=1e-6)
+
+    def test_starts_near_initial(self):
+        t = MappingTrajectory(terminal_rate=0.85, initial_rate=0.5, tau=0.05, wobble=0)
+        assert t.rate_at(0.0) == pytest.approx(0.5)
+
+    def test_monotone_approach_without_wobble(self):
+        t = MappingTrajectory(terminal_rate=0.9, initial_rate=0.3, tau=0.05, wobble=0)
+        rates = [t.rate_at(f / 20) for f in range(21)]
+        assert rates == sorted(rates)
+
+    def test_bounded_with_wobble(self):
+        t = MappingTrajectory(
+            terminal_rate=0.99, initial_rate=0.99, wobble=0.05, phase=1.0
+        )
+        for f in range(0, 101):
+            assert 0.0 <= t.rate_at(f / 100) <= 1.0
+
+    def test_out_of_range_fraction_rejected(self):
+        t = MappingTrajectory(terminal_rate=0.5, initial_rate=0.5)
+        with pytest.raises(ValueError):
+            t.rate_at(1.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MappingTrajectory(terminal_rate=1.5, initial_rate=0.5)
+        with pytest.raises(ValueError):
+            MappingTrajectory(terminal_rate=0.5, initial_rate=0.5, tau=0)
+        with pytest.raises(ValueError):
+            MappingTrajectory(terminal_rate=0.5, initial_rate=0.5, wobble=-1)
+
+    @given(
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=0, max_value=1),
+    )
+    def test_property_rate_always_valid(self, terminal, initial, f):
+        t = MappingTrajectory(terminal_rate=terminal, initial_rate=initial)
+        assert 0.0 <= t.rate_at(f) <= 1.0
+
+
+class TestProgressSynthesis:
+    def test_snapshot_count_and_totals(self):
+        t = MappingTrajectory(terminal_rate=0.8, initial_rate=0.7)
+        records = t.to_progress_records(total_reads=10_000, n_snapshots=20)
+        assert len(records) == 20
+        assert records[-1].reads_processed == 10_000
+        assert all(r.reads_total == 10_000 for r in records)
+
+    def test_snapshots_track_trajectory(self):
+        t = MappingTrajectory(
+            terminal_rate=0.12, initial_rate=0.2, tau=0.02, wobble=0
+        )
+        records = t.to_progress_records(total_reads=100_000)
+        for r in records:
+            assert r.mapped_fraction == pytest.approx(
+                t.rate_at(r.processed_fraction), abs=0.01
+            )
+
+    def test_elapsed_monotone(self):
+        t = MappingTrajectory(terminal_rate=0.5, initial_rate=0.5)
+        records = t.to_progress_records(total_reads=1000)
+        times = [r.elapsed_seconds for r in records]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_single_cell_trajectory_trips_default_policy(self):
+        """End-to-end: a 12%-terminal trajectory must abort at ~10%."""
+        from repro.core.early_stopping import EarlyStoppingPolicy, replay_policy
+
+        t = MappingTrajectory(terminal_rate=0.12, initial_rate=0.15, wobble=0.003)
+        records = t.to_progress_records(total_reads=50_000)
+        terminated, at = replay_policy(EarlyStoppingPolicy(), records)
+        assert terminated
+        assert at.processed_fraction == pytest.approx(0.10, abs=0.01)

@@ -1,0 +1,59 @@
+"""Early-stopping ablation tests."""
+
+import pytest
+
+from repro.experiments.ablation import run_ablation
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_ablation(
+        thresholds=(0.20, 0.30, 0.50),
+        check_fractions=(0.10, 0.30),
+        corpus_size=300,
+        seed=0,
+    )
+
+
+class TestOperatingPoint:
+    def test_paper_point_is_safe(self, result):
+        p = result.point(0.30, 0.10)
+        assert p.is_safe
+        assert p.false_terminations == 0
+        assert p.n_terminated == round(300 * 0.038)
+
+    def test_saving_decreases_with_later_checkpoint(self, result):
+        early = result.point(0.30, 0.10)
+        late = result.point(0.30, 0.30)
+        assert late.saving_fraction < early.saving_fraction
+
+    def test_very_high_threshold_kills_good_runs(self, result):
+        """A 50% bar terminates bulk runs whose terminal rate is 35-50% —
+        but in this corpus bulk terminal rates can reach that band, so the
+        point is flagged unsafe OR terminates more runs."""
+        aggressive = result.point(0.50, 0.10)
+        conservative = result.point(0.30, 0.10)
+        assert aggressive.n_terminated >= conservative.n_terminated
+
+    def test_low_threshold_misses_nothing_extra(self, result):
+        """At a 20% bar, single-cell runs above 20% terminal rate complete
+        but are rejected at the final check — counted as 'missed'."""
+        p = result.point(0.20, 0.10)
+        assert p.missed_terminations >= 0
+        assert p.n_terminated + p.missed_terminations >= result.point(
+            0.30, 0.10
+        ).n_terminated - result.point(0.30, 0.10).false_terminations - 5
+
+    def test_grid_complete(self, result):
+        assert len(result.points) == 6
+
+    def test_unknown_point_raises(self, result):
+        with pytest.raises(KeyError):
+            result.point(0.99, 0.99)
+
+
+class TestRendering:
+    def test_table(self, result):
+        text = result.to_table()
+        assert "ablation" in text
+        assert "saved %" in text

@@ -1,0 +1,68 @@
+"""Architecture sweep tests — §II's scalability/cost/utilization claims."""
+
+import pytest
+
+from repro.experiments.architecture import make_jobs, run_architecture_sweep
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_architecture_sweep(n_jobs=60, fleet_sizes=(2, 4, 8), seed=0)
+
+
+class TestScaling:
+    def test_throughput_scales_with_fleet(self, result):
+        t2 = result.point("ondemand-x2").jobs_per_hour
+        t4 = result.point("ondemand-x4").jobs_per_hour
+        t8 = result.point("ondemand-x8").jobs_per_hour
+        assert t4 > 1.6 * t2
+        assert t8 > 1.6 * t4
+
+    def test_makespan_shrinks(self, result):
+        assert (
+            result.point("ondemand-x8").makespan_hours
+            < result.point("ondemand-x4").makespan_hours
+            < result.point("ondemand-x2").makespan_hours
+        )
+
+    def test_cost_roughly_flat_across_fleet(self, result):
+        """Same work, more instances: cost/job stays within ~25%."""
+        costs = [
+            result.point(f"ondemand-x{n}").cost_per_job_usd for n in (2, 4, 8)
+        ]
+        assert max(costs) / min(costs) < 1.25
+
+    def test_utilization_high(self, result):
+        for n in (2, 4, 8):
+            assert result.point(f"ondemand-x{n}").mean_utilization > 0.8
+
+
+class TestSpotAndRelease:
+    def test_spot_cheaper_than_on_demand(self, result):
+        spot = result.point("spot-x8")
+        od = result.point("ondemand-x8")
+        assert spot.cost_usd < 0.6 * od.cost_usd
+
+    def test_spot_small_makespan_penalty(self, result):
+        spot = result.point("spot-x8")
+        od = result.point("ondemand-x8")
+        assert spot.makespan_hours < 2.0 * od.makespan_hours
+
+    def test_r108_much_slower_and_pricier(self, result):
+        r108 = result.point("r108-x8")
+        r111 = result.point("ondemand-x8")
+        assert r108.makespan_hours > 4 * r111.makespan_hours
+        assert r108.cost_usd > 5 * r111.cost_usd
+        assert r108.init_overhead_seconds > 2 * r111.init_overhead_seconds
+
+
+class TestWorkload:
+    def test_make_jobs_mix(self):
+        jobs = make_jobs(100, seed=1)
+        assert len(jobs) == 100
+        assert sum(1 for j in jobs if j.library.is_single_cell) == 4
+
+    def test_table_renders(self, result):
+        text = result.to_table()
+        assert "Architecture sweep" in text
+        assert "spot-x8" in text

@@ -1,0 +1,50 @@
+"""Config-table harness tests — the §III-A test-configuration block."""
+
+import pytest
+
+from repro.experiments.config_table import memory_fit_matrix, run_config_table
+from repro.perf.targets import PAPER
+from repro.util.units import GIB
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_config_table()
+
+
+class TestIndexSizes:
+    def test_r108_85gib(self, result):
+        assert result.predicted_r108_bytes / GIB == pytest.approx(85.0, rel=0.01)
+
+    def test_r111_29_5gib(self, result):
+        assert result.predicted_r111_bytes / GIB == pytest.approx(29.5, rel=0.02)
+
+    def test_all_catalog_releases_present(self, result):
+        assert [r.release for r in result.rows] == [106, 107, 108, 109, 110, 111, 112]
+
+    def test_cheapest_instance_shrinks_after_consolidation(self, result):
+        assert result.row(109).smallest_instance == "r6a.4xlarge"
+        assert result.row(110).smallest_instance == "r6a.2xlarge"
+        assert result.row(109).hourly_usd > result.row(110).hourly_usd
+
+
+class TestRendering:
+    def test_table_mentions_paper_config(self, result):
+        text = result.to_table()
+        assert "r6a.4xlarge" in text
+        assert "49 FASTQ files" in text
+        assert "15.9 GiB" in text
+        assert "777 GiB" in text
+
+    def test_memory_fit_matrix(self):
+        text = memory_fit_matrix()
+        lines = text.splitlines()
+        assert any("r6a.4xlarge" in line and "yes" in line for line in lines)
+        # r6a.large (16 GiB) hosts nothing
+        large_row = next(line for line in lines if "r6a.large" in line)
+        assert "yes" not in large_row
+
+
+class TestConsistencyWithTargets:
+    def test_paper_sheet_used(self, result):
+        assert result.targets is PAPER

@@ -1,0 +1,91 @@
+"""Corpus generator tests — the calibrated 1000-run workload."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.corpus import (
+    CorpusSpec,
+    calibrate_scan_means,
+    corpus_class_counts,
+    generate_corpus,
+)
+from repro.perf.star_model import StarPerfModel
+from repro.perf.targets import PAPER
+from repro.reads.library import LibraryType
+
+
+class TestCalibration:
+    def test_single_cell_much_larger(self):
+        means = calibrate_scan_means()
+        assert means.size_ratio > 5  # SC runs dominate per-run compute
+
+    def test_anchors_reproduced_exactly(self):
+        """Plugging the calibrated means back reproduces both paper anchors."""
+        means = calibrate_scan_means()
+        model = StarPerfModel()
+        setup = model.setup_seconds
+        n_sc = PAPER.early_stop_terminated
+        n_bulk = PAPER.early_stop_corpus_size - n_sc
+        total = n_bulk * (setup + means.bulk_seconds) + n_sc * (
+            setup + means.single_cell_seconds
+        )
+        saved = n_sc * (1 - PAPER.early_stop_check_fraction) * means.single_cell_seconds
+        assert total / 3600 == pytest.approx(PAPER.early_stop_total_hours, rel=1e-6)
+        assert saved / 3600 == pytest.approx(PAPER.early_stop_saved_hours, rel=1e-6)
+
+
+class TestGenerate:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_corpus(CorpusSpec(), rng=0)
+
+    def test_size_and_mix(self, corpus):
+        assert len(corpus) == 1000
+        counts = corpus_class_counts(corpus)
+        assert counts[LibraryType.SINGLE_CELL_3P] == 38
+        assert counts[LibraryType.BULK_POLYA] + counts[LibraryType.BULK_TOTAL] == 962
+
+    def test_accessions_unique(self, corpus):
+        assert len({j.accession for j in corpus}) == 1000
+
+    def test_class_separation_clean(self, corpus):
+        """Paper: exactly the single-cell runs are below the 30% bar."""
+        for job in corpus:
+            if job.library.is_single_cell:
+                assert job.terminal_mapping_rate < 0.30
+            else:
+                assert job.terminal_mapping_rate > 0.30
+
+    def test_single_cell_files_larger(self, corpus):
+        sc = np.mean(
+            [j.fastq_bytes for j in corpus if j.library.is_single_cell]
+        )
+        bulk = np.mean(
+            [j.fastq_bytes for j in corpus if not j.library.is_single_cell]
+        )
+        assert sc > 4 * bulk
+
+    def test_sra_smaller_than_fastq(self, corpus):
+        assert all(j.sra_bytes < j.fastq_bytes for j in corpus)
+
+    def test_reads_consistent_with_bytes(self, corpus):
+        for job in corpus[:50]:
+            assert job.n_reads == max(1000, int(job.fastq_bytes / 250.0))
+
+    def test_deterministic(self):
+        a = generate_corpus(CorpusSpec(n_runs=50), rng=3)
+        b = generate_corpus(CorpusSpec(n_runs=50), rng=3)
+        assert [(j.accession, j.fastq_bytes, j.library) for j in a] == [
+            (j.accession, j.fastq_bytes, j.library) for j in b
+        ]
+
+    def test_small_corpus_scales_mix(self):
+        corpus = generate_corpus(CorpusSpec(n_runs=100), rng=0)
+        counts = corpus_class_counts(corpus)
+        assert counts[LibraryType.SINGLE_CELL_3P] == 4  # round(100 * 0.038)
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            CorpusSpec(n_runs=0)
+        with pytest.raises(ValueError):
+            CorpusSpec(single_cell_fraction=1.5)

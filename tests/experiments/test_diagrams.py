@@ -1,0 +1,66 @@
+"""Diagram (Figs. 1-2) tests — structure derived from the implementation."""
+
+from repro.experiments.diagrams import (
+    PIPELINE_STEPS,
+    architecture_diagram,
+    diagrams_report,
+    pipeline_diagram,
+)
+
+
+class TestPipelineDiagram:
+    def test_four_steps_in_order(self):
+        text = pipeline_diagram()
+        positions = [text.index(tool) for _, tool in PIPELINE_STEPS]
+        assert positions == sorted(positions)
+        assert len(PIPELINE_STEPS) == 4
+
+    def test_tools_match_pipeline_implementation(self):
+        """The diagram's tools are the ones the code actually calls."""
+        import inspect
+
+        from repro.core import pipeline as pipeline_module
+
+        source = inspect.getsource(pipeline_module)
+        assert "prefetch(" in source
+        assert "fasterq_dump(" in source
+        assert "aligner.run(" in source
+        assert "estimate_size_factors" in source
+        text = pipeline_diagram()
+        for tool in ("prefetch", "fasterq-dump", "STAR", "DESeq2"):
+            assert tool in text
+
+    def test_early_stopping_annotation_toggle(self):
+        assert "early-stopping monitor" in pipeline_diagram(early_stopping=True)
+        assert "early-stopping monitor" not in pipeline_diagram(early_stopping=False)
+
+
+class TestArchitectureDiagram:
+    def test_live_numbers_r111(self):
+        text = architecture_diagram(111)
+        assert "29.5 GiB" in text
+        assert "r6a.2xlarge" in text
+
+    def test_live_numbers_r108(self):
+        text = architecture_diagram(108, instance_name="r6a.4xlarge")
+        assert "85.0 GiB" in text
+        assert "r6a.4xlarge" in text
+        assert "16 vCPU / 128 GiB" in text
+
+    def test_all_services_present(self):
+        text = architecture_diagram()
+        for service in ("SQS", "EC2", "S3", "AutoScalingGroup", "NCBI SRA"):
+            assert service in text
+        assert "visibility timeout" in text
+        assert "/dev/shm" in text
+
+    def test_report_contains_both_figures(self):
+        text = diagrams_report()
+        assert "Fig. 1" in text
+        assert text.count("Fig. 2") == 2
+
+    def test_cli_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["diagrams"]) == 0
+        assert "Fig. 1" in capsys.readouterr().out

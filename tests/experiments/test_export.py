@@ -1,0 +1,73 @@
+"""JSON export tests."""
+
+import json
+
+import pytest
+
+from repro.cloud.autoscaling import ScalingPolicy
+from repro.core.atlas import AtlasConfig, run_atlas
+from repro.experiments.corpus import CorpusSpec, generate_corpus
+from repro.experiments.export import (
+    atlas_report_to_dict,
+    fig3_to_dict,
+    fig4_to_dict,
+    write_json,
+)
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+
+
+class TestFig3Export:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return fig3_to_dict(run_fig3(rng=0))
+
+    def test_schema_and_aggregates(self, payload):
+        assert payload["schema"] == "repro/fig3/v1"
+        assert 8 < payload["weighted_speedup"] < 16
+        assert len(payload["files"]) == 49
+
+    def test_json_serializable(self, payload):
+        text = json.dumps(payload)
+        assert json.loads(text)["paper"].startswith("Kica")
+
+    def test_per_file_consistency(self, payload):
+        for row in payload["files"]:
+            assert row["speedup"] == pytest.approx(
+                row["seconds_r108"] / row["seconds_r111"]
+            )
+
+
+class TestFig4Export:
+    def test_aggregates_match_result(self):
+        result = run_fig4(spec=CorpusSpec(n_runs=300), rng=1)
+        payload = fig4_to_dict(result)
+        assert payload["n_terminated"] == result.savings.n_terminated
+        assert len(payload["terminated_runs"]) == result.savings.n_terminated
+        assert payload["policy"]["mapping_threshold"] == 0.30
+        json.dumps(payload)  # must be serializable
+
+
+class TestAtlasExport:
+    def test_full_roundtrip_to_disk(self, tmp_path):
+        jobs = generate_corpus(CorpusSpec(n_runs=25), rng=2)
+        report = run_atlas(
+            jobs,
+            AtlasConfig(
+                instance_name="r6a.2xlarge",
+                scaling=ScalingPolicy(max_size=4, messages_per_instance=4),
+                metrics_period=300.0,
+                seed=2,
+            ),
+        )
+        payload = atlas_report_to_dict(report)
+        path = write_json(payload, tmp_path / "atlas.json")
+        back = json.loads(path.read_text())
+        assert back["n_jobs"] == 25
+        assert len(back["jobs"]) == 25
+        assert back["cost"]["total_usd"] == pytest.approx(report.cost.total_usd)
+        assert set(back["metrics"]) == {
+            "queue_depth", "in_flight", "fleet_running", "jobs_done",
+        }
+        # statuses serialized as plain strings
+        assert all(isinstance(j["status"], str) for j in back["jobs"])

@@ -1,0 +1,63 @@
+"""Fig. 3 harness tests — the shape claims of §III-A."""
+
+import pytest
+
+from repro.experiments.fig3 import run_fig3, sample_fig3_file_sizes
+from repro.perf.targets import PAPER
+from repro.util.units import GIB
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig3(rng=0)
+
+
+class TestFileSizes:
+    def test_count_mean_total(self):
+        sizes = sample_fig3_file_sizes(rng=0)
+        assert sizes.size == 49
+        assert sizes.sum() == pytest.approx(PAPER.fig3_total_fastq_bytes)
+        assert sizes.mean() == pytest.approx(PAPER.fig3_mean_fastq_bytes, rel=0.01)
+
+    def test_spread_realistic(self):
+        sizes = sample_fig3_file_sizes(rng=0)
+        assert sizes.max() > 2 * sizes.min()
+
+
+class TestShapeClaims:
+    def test_r111_wins_every_file(self, result):
+        assert all(r.seconds_r111 < r.seconds_r108 for r in result.rows)
+        assert result.min_speedup > 5
+
+    def test_weighted_speedup_in_band(self, result):
+        """Paper: 'more than 12 times faster on average (weighted by FASTQ
+        size)'.  Accept the DESIGN.md band 8-16x."""
+        assert 8.0 < result.weighted_speedup < 16.0
+        assert result.weighted_speedup == pytest.approx(12.0, rel=0.15)
+
+    def test_mapping_delta_below_1pct(self, result):
+        assert result.mean_mapping_delta < PAPER.mapping_rate_max_delta
+        assert all(r.mapping_delta < 0.02 for r in result.rows)
+
+    def test_total_hours_ordering(self, result):
+        assert result.total_hours_r108 > 10 * result.total_hours_r111
+
+    def test_row_count(self, result):
+        assert len(result.rows) == PAPER.fig3_n_files
+
+
+class TestRendering:
+    def test_table_contains_series(self, result):
+        text = result.to_table()
+        assert "Fig. 3" in text
+        assert "weighted mean speedup" in text
+        assert f"total={PAPER.fig3_total_fastq_bytes / GIB:.0f} GiB" in text
+
+    def test_max_rows_limits(self, result):
+        text = result.to_table(max_rows=3)
+        assert text.count("F0") <= 4  # F01..F03 plus maybe summary noise
+
+    def test_deterministic(self):
+        a = run_fig3(rng=5)
+        b = run_fig3(rng=5)
+        assert a.weighted_speedup == b.weighted_speedup

@@ -1,0 +1,90 @@
+"""Fig. 4 harness tests — the early-stopping replay of §III-B."""
+
+import pytest
+
+from repro.core.early_stopping import EarlyStoppingPolicy
+from repro.experiments.corpus import CorpusSpec
+from repro.experiments.fig4 import run_fig4
+from repro.perf.targets import PAPER
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig4(rng=0)
+
+
+class TestShapeClaims:
+    def test_terminated_count_matches_paper(self, result):
+        """38 of 1000 runs terminated."""
+        savings = result.savings
+        assert savings.n_runs == 1000
+        assert savings.n_terminated == PAPER.early_stop_terminated
+
+    def test_all_terminated_single_cell(self, result):
+        assert result.savings.all_terminated_single_cell()
+        assert all(r.library == "single_cell_3p" for r in result.terminated_rows)
+
+    def test_no_false_terminations(self, result):
+        assert result.false_terminations == 0
+
+    def test_saving_fraction_in_band(self, result):
+        """Paper: ~19.5% (30.4 h of 155.8 h).  DESIGN.md band: 15-25%."""
+        savings = result.savings
+        assert 0.15 < savings.saving_fraction < 0.25
+        assert savings.total_hours_if_full == pytest.approx(
+            PAPER.early_stop_total_hours, rel=0.10
+        )
+        assert savings.hours_saved == pytest.approx(
+            PAPER.early_stop_saved_hours, rel=0.25
+        )
+
+    def test_termination_at_10pct(self, result):
+        for row in result.terminated_rows:
+            assert row.stop_fraction == pytest.approx(0.10, abs=0.02)
+
+    def test_saved_time_is_unscanned_fraction(self, result):
+        from repro.perf.star_model import StarPerfModel
+
+        setup = StarPerfModel().setup_seconds
+        for row in result.terminated_rows:
+            assert row.seconds_saved == pytest.approx(
+                (1 - row.stop_fraction) * (row.star_seconds_full - setup),
+                rel=0.01,
+            )
+
+
+class TestPolicyVariants:
+    def test_lower_threshold_terminates_fewer_or_equal(self):
+        base = run_fig4(
+            spec=CorpusSpec(n_runs=200),
+            policy=EarlyStoppingPolicy(mapping_threshold=0.30),
+            rng=1,
+        )
+        strict = run_fig4(
+            spec=CorpusSpec(n_runs=200),
+            policy=EarlyStoppingPolicy(mapping_threshold=0.05),
+            rng=1,
+        )
+        assert strict.savings.n_terminated <= base.savings.n_terminated
+
+    def test_later_checkpoint_saves_less(self):
+        early = run_fig4(
+            spec=CorpusSpec(n_runs=200),
+            policy=EarlyStoppingPolicy(check_fraction=0.10),
+            rng=1,
+        )
+        late = run_fig4(
+            spec=CorpusSpec(n_runs=200),
+            policy=EarlyStoppingPolicy(check_fraction=0.50),
+            rng=1,
+        )
+        assert late.savings.hours_saved < early.savings.hours_saved
+        assert late.savings.n_terminated == early.savings.n_terminated
+
+
+class TestRendering:
+    def test_table_contains_aggregates(self, result):
+        text = result.to_table()
+        assert "Fig. 4" in text
+        assert "terminated early: 38" in text
+        assert "single_cell_3p: 38" in text

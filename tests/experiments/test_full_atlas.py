@@ -1,0 +1,64 @@
+"""Full-atlas projection tests (scaled down for speed)."""
+
+import pytest
+
+from repro.experiments.full_atlas import make_full_atlas_jobs, run_full_atlas
+from repro.perf.targets import PAPER
+
+
+class TestWorkload:
+    def test_scope_matches_paper(self):
+        jobs = make_full_atlas_jobs(n_files=500, total_sra_bytes=1e12, seed=0)
+        assert len(jobs) == 500
+        assert sum(j.sra_bytes for j in jobs) == pytest.approx(1e12, rel=1e-6)
+
+    def test_default_scope_is_papers(self):
+        jobs = make_full_atlas_jobs(seed=0)
+        assert len(jobs) == PAPER.atlas_min_files == 7216
+        assert sum(j.sra_bytes for j in jobs) == pytest.approx(
+            PAPER.atlas_total_sra_bytes, rel=1e-6
+        )
+
+    def test_rescale_preserves_class_structure(self):
+        jobs = make_full_atlas_jobs(n_files=500, total_sra_bytes=1e12, seed=0)
+        sc = [j for j in jobs if j.library.is_single_cell]
+        assert len(sc) == round(500 * 0.038)
+        # single-cell files stay the big ones after rescale
+        import numpy as np
+
+        bulk_mean = np.mean([j.fastq_bytes for j in jobs if not j.library.is_single_cell])
+        sc_mean = np.mean([j.fastq_bytes for j in sc])
+        assert sc_mean > 4 * bulk_mean
+
+
+class TestProjection:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_full_atlas(n_files=400, fleet=16, seed=0)
+
+    def test_all_variants_complete_all_files(self, result):
+        for report in result.reports.values():
+            assert report.n_jobs == 400
+
+    def test_optimized_cheapest_and_fast(self, result):
+        optimized = result.report("optimized (r111+ES, spot x32)")
+        unoptimized = result.report("unoptimized (r108, on-demand x32)")
+        assert optimized.cost.total_usd < unoptimized.cost.total_usd / 20
+        assert optimized.makespan_seconds < unoptimized.makespan_seconds / 3
+
+    def test_early_stopping_contribution(self, result):
+        optimized = result.report("optimized (r111+ES, spot x32)")
+        no_es = result.report("no early stopping")
+        saving = 1 - optimized.star_hours_actual / no_es.star_hours_actual
+        assert 0.10 < saving < 0.30
+        assert optimized.n_terminated == round(400 * 0.038)
+
+    def test_spot_contribution(self, result):
+        optimized = result.report("optimized (r111+ES, spot x32)")
+        on_demand = result.report("on-demand")
+        assert optimized.cost.total_usd < 0.55 * on_demand.cost.total_usd
+
+    def test_table_renders(self, result):
+        text = result.to_table()
+        assert "Full atlas projection" in text
+        assert "cheaper" in text

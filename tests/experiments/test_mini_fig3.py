@@ -1,0 +1,42 @@
+"""Mini-Fig. 3 tests — real-aligner validation of the release mechanisms."""
+
+import pytest
+
+from repro.experiments.mini_fig3 import run_mini_fig3
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_mini_fig3(n_reads=250, seed=42)
+
+
+class TestMechanisms:
+    def test_index_ratio_matches_paper(self, result):
+        """85/29.5 ≈ 2.88; the mini assemblies preserve that ratio."""
+        assert result.index_ratio == pytest.approx(2.88, rel=0.1)
+
+    def test_r108_alignment_slower(self, result):
+        assert result.time_ratio > 1.2
+
+    def test_mapping_rates_nearly_identical(self, result):
+        assert result.mapping_delta < 0.01
+
+    def test_r108_trades_unique_for_multi(self, result):
+        """Duplicated scaffolds convert unique hits into multimappers."""
+        assert result.r108.multimapped > result.r111.multimapped
+        assert result.r108.unique < result.r111.unique
+        # but total mapped stays the same (the <1% delta above)
+        assert result.r108.unique + result.r108.multimapped == pytest.approx(
+            result.r111.unique + result.r111.multimapped, abs=5
+        )
+
+    def test_genome_sizes_ordered(self, result):
+        assert result.r108.genome_bases > 2 * result.r111.genome_bases
+
+
+class TestRendering:
+    def test_table(self, result):
+        text = result.to_table()
+        assert "Mini-Fig. 3" in text
+        assert "index ratio" in text
+        assert "108" in text and "111" in text

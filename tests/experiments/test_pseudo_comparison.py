@@ -1,0 +1,75 @@
+"""EXT-PSEUDO tests: early stopping's applicability to other aligners."""
+
+import pytest
+
+from repro.experiments.corpus import CorpusSpec
+from repro.experiments.pseudo_comparison import (
+    run_pseudo_comparison,
+    run_transferability,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_pseudo_comparison(spec=CorpusSpec(n_runs=300), rng=0)
+
+
+class TestCorpusLevel:
+    def test_pseudo_faster_than_star(self, result):
+        assert result.variant("pseudo-stock").total_hours < (
+            0.3 * result.variant("star-no-early-stop").total_hours
+        )
+
+    def test_stock_pseudo_cannot_terminate(self, result):
+        stock = result.variant("pseudo-stock")
+        assert not stock.supports_early_stop
+        assert stock.n_terminated == 0
+        assert stock.wasted_hours > 0
+
+    def test_progress_stream_recovers_waste(self, result):
+        stock = result.variant("pseudo-stock")
+        extended = result.variant("pseudo-with-progress")
+        assert extended.total_hours < stock.total_hours
+        assert extended.n_terminated == result.variant("star-early-stop").n_terminated
+        assert extended.wasted_hours < stock.wasted_hours
+
+    def test_recoverable_fraction_matches_star_saving(self, result):
+        """Early stopping saves a similar *fraction* for any linear-scan
+        aligner — the finding transfers by construction of the mechanism."""
+        star_saving = 1 - (
+            result.variant("star-early-stop").total_hours
+            / result.variant("star-no-early-stop").total_hours
+        )
+        assert result.pseudo_recoverable_fraction == pytest.approx(
+            star_saving, abs=0.05
+        )
+
+    def test_useful_hours_preserved(self, result):
+        """Early stopping removes only wasted compute, never useful work."""
+        with_es = result.variant("star-early-stop")
+        without = result.variant("star-no-early-stop")
+        assert with_es.useful_hours == pytest.approx(without.useful_hours, rel=0.05)
+
+    def test_table_renders(self, result):
+        text = result.to_table()
+        assert "pseudo-stock" in text
+        assert "quantified" in text
+
+
+class TestTransferability:
+    @pytest.fixture(scope="class")
+    def transfer(self):
+        return run_transferability(n_reads=250, seed=11)
+
+    def test_both_aligners_separate_classes(self, transfer):
+        assert transfer.star_separates
+        assert transfer.pseudo_separates
+
+    def test_rates_in_expected_bands(self, transfer):
+        assert transfer.star_bulk_rate > 0.6
+        assert transfer.pseudo_bulk_rate > 0.6
+        assert transfer.star_sc_rate < 0.3
+        assert transfer.pseudo_sc_rate < 0.3
+
+    def test_table(self, transfer):
+        assert "Salmon-like" in transfer.to_table()

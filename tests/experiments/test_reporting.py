@@ -1,0 +1,48 @@
+"""Consolidated-report tests."""
+
+import pytest
+
+from repro.experiments.reporting import ReportScale, generate_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(seed=0, scale=ReportScale.quick())
+
+
+class TestReport:
+    def test_all_sections_present(self, report_text):
+        for section in (
+            "Fig. 3",
+            "Fig. 4",
+            "Test configuration",
+            "Mini-Fig. 3",
+            "Architecture sweep",
+            "Ablation",
+            "EXT-PSEUDO",
+            "EXT-HPC",
+        ):
+            assert section in report_text
+
+    def test_calibration_included(self, report_text):
+        assert "bytes/base" in report_text
+        assert "predicted r111 index" in report_text
+
+    def test_headline_numbers_present(self, report_text):
+        assert "85.0 GiB" in report_text
+        assert "29.5 GiB" in report_text
+        assert "weighted mean speedup" in report_text
+
+    def test_quick_scale_values(self):
+        scale = ReportScale.quick()
+        assert scale.corpus_size < ReportScale().corpus_size
+        assert scale.architecture_jobs < ReportScale().architecture_jobs
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.md"
+        assert main(["report", "--quick", "--output", str(out)]) == 0
+        assert out.exists()
+        assert "Reproduction report" in out.read_text()
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,48 @@
+"""Duplication-sweep tests."""
+
+import pytest
+
+from repro.experiments.scaling_study import run_scaling_study
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_scaling_study(
+        duplication_factors=(1.0, 2.0, 4.0), n_reads=120, seed=42
+    )
+
+
+class TestMechanism:
+    def test_time_grows_with_duplication(self, result):
+        assert result.time_ratios_increase
+        top = max(result.points, key=lambda p: p.duplication_factor)
+        assert result.time_ratio(top) > 1.3
+
+    def test_seed_hits_track_duplication(self, result):
+        assert result.seed_hits_track_duplication
+        ordered = sorted(result.points, key=lambda p: p.duplication_factor)
+        # hits scale roughly with dup factor (each window copied ~dup times)
+        ratio = ordered[-1].mean_seed_hits / ordered[0].mean_seed_hits
+        dup_ratio = ordered[-1].duplication_factor / ordered[0].duplication_factor
+        assert ratio == pytest.approx(dup_ratio, rel=0.35)
+
+    def test_mapping_rate_flat(self, result):
+        assert result.max_mapping_delta < 0.01
+
+    def test_index_size_linear_in_genome(self, result):
+        for p in result.points:
+            assert p.index_bytes == pytest.approx(9 * p.genome_bases, rel=0.05)
+
+    def test_baseline_is_duplication_free(self, result):
+        assert result.baseline.duplication_factor == pytest.approx(1.0, abs=0.01)
+
+
+class TestValidation:
+    def test_sub_one_factor_rejected(self):
+        with pytest.raises(ValueError):
+            run_scaling_study(duplication_factors=(0.5,))
+
+    def test_table_renders(self, result):
+        text = result.to_table()
+        assert "Duplication sweep" in text
+        assert "seed hits" in text

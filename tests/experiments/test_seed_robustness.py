@@ -1,0 +1,53 @@
+"""Seed-robustness: the shape claims hold for every seed, not one lucky one.
+
+EXPERIMENTS.md asserts the bands hold across seeds; this suite enforces
+it for a spread of seeds at reduced corpus scale (the full-scale single
+seed is covered by the benches).
+"""
+
+import pytest
+
+from repro.experiments.corpus import CorpusSpec
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+
+SEEDS = [0, 1, 2, 3, 7]
+
+
+class TestFig3AcrossSeeds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_weighted_speedup_band(self, seed):
+        result = run_fig3(rng=seed)
+        assert 8.0 < result.weighted_speedup < 16.0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_no_crossover_any_seed(self, seed):
+        result = run_fig3(rng=seed)
+        assert result.min_speedup > 1.0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_mapping_delta_band(self, seed):
+        assert run_fig3(rng=seed).mean_mapping_delta < 0.01
+
+
+class TestFig4AcrossSeeds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_saving_band_and_safety(self, seed):
+        result = run_fig4(spec=CorpusSpec(n_runs=400), rng=seed)
+        savings = result.savings
+        # 400-run corpus: 15 single-cell runs expected (3.8%)
+        assert savings.n_terminated == round(400 * 0.038)
+        assert savings.all_terminated_single_cell()
+        assert result.false_terminations == 0
+        assert 0.10 < savings.saving_fraction < 0.30
+
+    def test_saving_fraction_concentrates(self):
+        """Across seeds the saving stays in a tight band around ~19%."""
+        fractions = [
+            run_fig4(spec=CorpusSpec(n_runs=400), rng=seed).savings.saving_fraction
+            for seed in SEEDS
+        ]
+        spread = max(fractions) - min(fractions)
+        assert spread < 0.10
+        mean = sum(fractions) / len(fractions)
+        assert 0.14 < mean < 0.25

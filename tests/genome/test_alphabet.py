@@ -1,0 +1,148 @@
+"""Alphabet encoding tests, including property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.genome.alphabet import (
+    BASE_N,
+    complement,
+    decode,
+    encode,
+    gc_content,
+    hamming_distance,
+    kmer_codes,
+    random_sequence,
+    reverse_complement,
+)
+
+dna = st.text(alphabet="ACGTN", max_size=200)
+dna_nonempty = st.text(alphabet="ACGT", min_size=1, max_size=200)
+
+
+class TestEncodeDecode:
+    @given(dna)
+    def test_roundtrip(self, s):
+        assert decode(encode(s)) == s
+
+    def test_lowercase_accepted(self):
+        assert decode(encode("acgt")) == "ACGT"
+
+    def test_invalid_chars_become_n(self):
+        assert decode(encode("AXGZ")) == "ANGN"
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            decode(np.array([7], dtype=np.uint8))
+
+
+class TestComplement:
+    @given(dna)
+    def test_revcomp_is_involution(self, s):
+        codes = encode(s)
+        assert decode(reverse_complement(reverse_complement(codes))) == s
+
+    def test_known_complement(self):
+        assert decode(complement(encode("ACGTN"))) == "TGCAN"
+
+    def test_known_revcomp(self):
+        assert decode(reverse_complement(encode("AACG"))) == "CGTT"
+
+    @given(dna_nonempty)
+    def test_revcomp_preserves_gc(self, s):
+        codes = encode(s)
+        assert gc_content(codes) == pytest.approx(
+            gc_content(reverse_complement(codes))
+        )
+
+
+class TestGcContent:
+    def test_empty_is_zero(self):
+        assert gc_content(encode("")) == 0.0
+
+    def test_all_n_is_zero(self):
+        assert gc_content(encode("NNN")) == 0.0
+
+    def test_half_gc(self):
+        assert gc_content(encode("ACGT")) == pytest.approx(0.5)
+
+    def test_n_excluded_from_denominator(self):
+        assert gc_content(encode("GCNN")) == pytest.approx(1.0)
+
+
+class TestRandomSequence:
+    def test_length(self):
+        rng = np.random.default_rng(0)
+        assert random_sequence(123, rng).size == 123
+
+    def test_gc_targeted(self):
+        rng = np.random.default_rng(0)
+        seq = random_sequence(50_000, rng, gc=0.41)
+        assert gc_content(seq) == pytest.approx(0.41, abs=0.01)
+
+    def test_n_fraction(self):
+        rng = np.random.default_rng(0)
+        seq = random_sequence(50_000, rng, n_fraction=0.1)
+        assert (seq == BASE_N).mean() == pytest.approx(0.1, abs=0.01)
+
+    def test_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            random_sequence(-1, np.random.default_rng(0))
+
+    def test_bad_gc_raises(self):
+        with pytest.raises(ValueError):
+            random_sequence(10, np.random.default_rng(0), gc=1.5)
+
+
+class TestHamming:
+    def test_zero_for_identical(self):
+        a = encode("ACGT")
+        assert hamming_distance(a, a) == 0
+
+    def test_counts_mismatches(self):
+        assert hamming_distance(encode("AAAA"), encode("AATT")) == 2
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hamming_distance(encode("AA"), encode("AAA"))
+
+
+class TestKmerCodes:
+    def test_count(self):
+        assert kmer_codes(encode("ACGTACGT"), 3).size == 6
+
+    def test_identical_kmers_share_code(self):
+        codes = kmer_codes(encode("ACGACG"), 3)
+        assert codes[0] == codes[3]
+
+    def test_distinct_kmers_differ(self):
+        codes = kmer_codes(encode("AACGT"), 2)
+        assert len(set(codes.tolist())) == 4
+
+    def test_n_windows_marked(self):
+        codes = kmer_codes(encode("ACNGT"), 2)
+        assert codes[1] == -1 and codes[2] == -1
+        assert codes[0] >= 0 and codes[3] >= 0
+
+    def test_too_short_returns_empty(self):
+        assert kmer_codes(encode("AC"), 5).size == 0
+
+    @pytest.mark.parametrize("k", [0, 32])
+    def test_k_bounds(self, k):
+        with pytest.raises(ValueError):
+            kmer_codes(encode("ACGT"), k)
+
+    @given(
+        st.text(alphabet="ACGT", min_size=1, max_size=40),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_codes_match_string_kmers(self, s, k):
+        if len(s) < k:
+            return
+        codes = kmer_codes(encode(s), k)
+        kmers = [s[i : i + k] for i in range(len(s) - k + 1)]
+        # equal codes <=> equal k-mer strings (N-free input)
+        for i in range(len(kmers)):
+            for j in range(len(kmers)):
+                assert (codes[i] == codes[j]) == (kmers[i] == kmers[j])

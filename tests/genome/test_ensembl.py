@@ -1,0 +1,89 @@
+"""Ensembl release catalog and release-view builder tests."""
+
+import numpy as np
+import pytest
+
+from repro.genome.ensembl import (
+    EnsemblRelease,
+    RELEASE_CATALOG,
+    build_release_assembly,
+    consolidation_boundary,
+    release_spec,
+)
+from repro.genome.model import AssemblyLevel
+
+
+class TestCatalog:
+    def test_all_enum_members_present(self):
+        assert set(RELEASE_CATALOG) == set(EnsemblRelease)
+
+    def test_release_spec_accepts_int_and_enum(self):
+        assert release_spec(108) is release_spec(EnsemblRelease.R108)
+
+    def test_unknown_release_rejected(self):
+        with pytest.raises(ValueError):
+            release_spec(99)
+
+    def test_consolidation_between_109_and_110(self):
+        """The paper: 'especially 109 and 110' — scaffold bases collapse there."""
+        r109 = release_spec(109)
+        r110 = release_spec(110)
+        assert r109.unplaced_bases > 50 * r110.unplaced_bases
+        assert r109.n_unplaced > 100 * r110.n_unplaced
+        assert consolidation_boundary() == (EnsemblRelease.R109, EnsemblRelease.R110)
+
+    def test_chromosome_bases_constant_across_releases(self):
+        bases = {spec.chromosome_bases for spec in RELEASE_CATALOG.values()}
+        assert len(bases) == 1
+
+    def test_duplication_factor_matches_paper_index_ratio(self):
+        """dup(108)/dup(111) must track the 85/29.5 GiB index ratio."""
+        ratio = release_spec(108).toplevel_bases / release_spec(111).toplevel_bases
+        assert ratio == pytest.approx(85.0 / 29.5, rel=0.02)
+
+    def test_release_110_dated_april_2023(self):
+        """§III-A: 'Version 110 has been released on 04.2023'."""
+        assert release_spec(110).date == "2023-04-01"
+
+    def test_scaffold_fraction_monotone_at_boundary(self):
+        assert release_spec(109).scaffold_fraction > 0.5
+        assert release_spec(110).scaffold_fraction < 0.05
+
+
+class TestBuildReleaseAssembly:
+    def test_chromosomes_identical_across_releases(self, universe):
+        a108 = build_release_assembly(universe, 108, rng=1)
+        a111 = build_release_assembly(universe, 111, rng=1)
+        for chrom in universe.chromosomes:
+            assert np.array_equal(
+                a108.contig(chrom.name).sequence, a111.contig(chrom.name).sequence
+            )
+
+    def test_r108_much_bigger_than_r111(self, assembly_r108, assembly_r111):
+        ratio = assembly_r108.total_length / assembly_r111.total_length
+        # must preserve the full-scale duplication ratio (~2.88)
+        assert ratio == pytest.approx(
+            release_spec(108).duplication_factor
+            / release_spec(111).duplication_factor,
+            rel=0.1,
+        )
+
+    def test_r108_scaffold_heavy(self, assembly_r108):
+        counts = assembly_r108.count_by_level()
+        assert counts[AssemblyLevel.UNPLACED] >= 10
+        assert counts[AssemblyLevel.UNLOCALIZED] >= 1
+
+    def test_r111_scaffold_light(self, assembly_r111):
+        counts = assembly_r111.count_by_level()
+        assert counts[AssemblyLevel.UNPLACED] <= 2
+        assert counts[AssemblyLevel.UNLOCALIZED] <= 2
+
+    def test_names_follow_release(self, assembly_r108, assembly_r111):
+        assert assembly_r108.name == "GRCh38.r108.toplevel"
+        assert assembly_r111.name == "GRCh38.r111.toplevel"
+
+    def test_deterministic_given_seed(self, universe):
+        a = build_release_assembly(universe, 110, rng=3)
+        b = build_release_assembly(universe, 110, rng=3)
+        assert a.contig_names == b.contig_names
+        assert a.total_length == b.total_length

@@ -1,0 +1,86 @@
+"""FASTA I/O round-trip tests."""
+
+import pytest
+
+from repro.genome.alphabet import decode, encode
+from repro.genome.fasta import (
+    fasta_bytes,
+    read_fasta,
+    read_fasta_bytes,
+    write_fasta,
+)
+from repro.genome.model import Assembly, AssemblyLevel, Contig
+
+
+@pytest.fixture
+def assembly():
+    return Assembly(
+        "GRCh38.r111.toplevel",
+        [
+            Contig("1", encode("ACGT" * 40)),
+            Contig("KI270711.1", encode("GGCC" * 5), AssemblyLevel.UNPLACED),
+            Contig("GL000195.1", encode("TTAA" * 3), AssemblyLevel.UNLOCALIZED),
+        ],
+    )
+
+
+class TestRoundtripFile:
+    def test_sequences_preserved(self, assembly, tmp_path):
+        path = tmp_path / "genome.fa"
+        write_fasta(assembly, path)
+        back = read_fasta(path, name=assembly.name)
+        assert back.contig_names == assembly.contig_names
+        for a, b in zip(assembly, back):
+            assert decode(a.sequence) == decode(b.sequence)
+
+    def test_levels_preserved(self, assembly, tmp_path):
+        path = tmp_path / "genome.fa"
+        write_fasta(assembly, path)
+        back = read_fasta(path)
+        assert back.contig("KI270711.1").level is AssemblyLevel.UNPLACED
+        assert back.contig("GL000195.1").level is AssemblyLevel.UNLOCALIZED
+        assert back.contig("1").level is AssemblyLevel.CHROMOSOME
+
+    def test_gzip_roundtrip(self, assembly, tmp_path):
+        path = tmp_path / "genome.fa.gz"
+        write_fasta(assembly, path)
+        back = read_fasta(path)
+        assert back.total_length == assembly.total_length
+
+    def test_line_wrapping(self, assembly, tmp_path):
+        path = tmp_path / "genome.fa"
+        write_fasta(assembly, path)
+        data_lines = [
+            line
+            for line in path.read_text().splitlines()
+            if line and not line.startswith(">")
+        ]
+        assert max(len(line) for line in data_lines) <= 60
+
+
+class TestRoundtripBytes:
+    def test_bytes_roundtrip(self, assembly):
+        back = read_fasta_bytes(fasta_bytes(assembly), name=assembly.name)
+        assert back.total_length == assembly.total_length
+        assert back.contig_names == assembly.contig_names
+
+
+class TestForeignFasta:
+    def test_plain_headers_default_chromosome(self, tmp_path):
+        path = tmp_path / "plain.fa"
+        path.write_text(">chr1 some description\nACGT\nACGT\n")
+        asm = read_fasta(path)
+        assert asm.contig_names == ["chr1"]
+        assert asm.contig("chr1").level is AssemblyLevel.CHROMOSOME
+        assert asm.total_length == 8
+
+    def test_data_before_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.fa"
+        path.write_text("ACGT\n>late\nACGT\n")
+        with pytest.raises(ValueError):
+            read_fasta(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.fa"
+        path.write_text(">a\nAC\n\nGT\n")
+        assert read_fasta(path).total_length == 4

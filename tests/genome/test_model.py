@@ -1,0 +1,131 @@
+"""Assembly model tests."""
+
+import numpy as np
+import pytest
+
+from repro.genome.alphabet import encode
+from repro.genome.model import Assembly, AssemblyLevel, Contig, SequenceRegion
+
+
+def contig(name: str, seq: str, level=AssemblyLevel.CHROMOSOME) -> Contig:
+    return Contig(name, encode(seq), level)
+
+
+class TestSequenceRegion:
+    def test_length(self):
+        assert SequenceRegion("1", 10, 25).length == 15
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            SequenceRegion("1", 5, 4)
+        with pytest.raises(ValueError):
+            SequenceRegion("1", -1, 4)
+
+    def test_overlaps(self):
+        a = SequenceRegion("1", 0, 10)
+        assert a.overlaps(SequenceRegion("1", 9, 20))
+        assert not a.overlaps(SequenceRegion("1", 10, 20))  # half-open
+        assert not a.overlaps(SequenceRegion("2", 0, 10))
+
+    def test_contains(self):
+        outer = SequenceRegion("1", 0, 100)
+        assert outer.contains(SequenceRegion("1", 10, 20))
+        assert not outer.contains(SequenceRegion("1", 90, 101))
+        assert not outer.contains(SequenceRegion("2", 10, 20))
+
+
+class TestContig:
+    def test_basic_properties(self):
+        c = contig("1", "ACGTACGT")
+        assert c.length == 8
+        assert c.gc == pytest.approx(0.5)
+        assert c.to_string() == "ACGTACGT"
+
+    def test_subsequence_bounds(self):
+        c = contig("1", "ACGT")
+        assert c.subsequence(1, 3).tolist() == encode("CG").tolist()
+        with pytest.raises(IndexError):
+            c.subsequence(2, 5)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            contig("", "ACGT")
+
+    def test_2d_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            Contig("1", np.zeros((2, 2), dtype=np.uint8))
+
+    def test_scaffold_levels(self):
+        assert not AssemblyLevel.CHROMOSOME.is_scaffold
+        assert AssemblyLevel.UNPLACED.is_scaffold
+        assert AssemblyLevel.UNLOCALIZED.is_scaffold
+        assert AssemblyLevel.ALT.is_scaffold
+
+
+class TestAssembly:
+    def make(self) -> Assembly:
+        return Assembly(
+            "GRCh38.test",
+            [
+                contig("1", "ACGTACGTAA"),
+                contig("KI1.1", "TTTT", AssemblyLevel.UNPLACED),
+                contig("GL1.1", "GGGG", AssemblyLevel.UNLOCALIZED),
+                contig("ALT1", "CCCC", AssemblyLevel.ALT),
+            ],
+        )
+
+    def test_total_length(self):
+        assert self.make().total_length == 22
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Assembly("x", [contig("1", "AC"), contig("1", "GT")])
+
+    def test_add_enforces_uniqueness(self):
+        asm = self.make()
+        with pytest.raises(ValueError):
+            asm.add(contig("1", "AC"))
+
+    def test_lookup(self):
+        asm = self.make()
+        assert asm.contig("KI1.1").level is AssemblyLevel.UNPLACED
+        with pytest.raises(KeyError):
+            asm.contig("nope")
+
+    def test_count_by_level(self):
+        counts = self.make().count_by_level()
+        assert counts[AssemblyLevel.CHROMOSOME] == 1
+        assert counts[AssemblyLevel.UNPLACED] == 1
+        assert counts[AssemblyLevel.ALT] == 1
+
+    def test_length_by_level(self):
+        lengths = self.make().length_by_level()
+        assert lengths[AssemblyLevel.CHROMOSOME] == 10
+        assert lengths[AssemblyLevel.UNLOCALIZED] == 4
+
+    def test_primary_assembly_drops_alt(self):
+        primary = self.make().primary_assembly()
+        assert "ALT1" not in primary.contig_names
+        assert len(primary) == 3
+
+    def test_toplevel_keeps_everything(self):
+        toplevel = self.make().toplevel()
+        assert len(toplevel) == 4
+        assert toplevel.name.endswith(".toplevel")
+
+    def test_fetch(self):
+        asm = self.make()
+        got = asm.fetch(SequenceRegion("1", 2, 6))
+        assert got.tolist() == encode("GTAC").tolist()
+
+    def test_concatenate_offsets(self):
+        seq, offsets, names = self.make().concatenate()
+        assert seq.size == 22
+        assert offsets.tolist() == [0, 10, 14, 18, 22]
+        assert names == ["1", "KI1.1", "GL1.1", "ALT1"]
+
+    def test_concatenate_empty(self):
+        seq, offsets, names = Assembly("empty").concatenate()
+        assert seq.size == 0
+        assert offsets.tolist() == [0]
+        assert names == []

@@ -1,0 +1,171 @@
+"""Synthetic genome generation tests."""
+
+import numpy as np
+import pytest
+
+from repro.genome.alphabet import hamming_distance
+from repro.genome.model import AssemblyLevel
+from repro.genome.synth import (
+    GenomeUniverseSpec,
+    assemble_release,
+    make_scaffolds,
+    make_universe,
+)
+
+
+class TestUniverseSpec:
+    def test_defaults_valid(self):
+        GenomeUniverseSpec()
+
+    def test_too_short_chromosome_rejected(self):
+        with pytest.raises(ValueError):
+            GenomeUniverseSpec(chromosome_length=100)
+
+    def test_zero_chromosomes_rejected(self):
+        with pytest.raises(ValueError):
+            GenomeUniverseSpec(n_chromosomes=0)
+
+
+class TestMakeUniverse:
+    def test_deterministic(self):
+        u1 = make_universe(GenomeUniverseSpec(), 42)
+        u2 = make_universe(GenomeUniverseSpec(), 42)
+        assert np.array_equal(u1.chromosomes[0].sequence, u2.chromosomes[0].sequence)
+        assert u1.annotation.gene_ids == u2.annotation.gene_ids
+
+    def test_shape(self):
+        spec = GenomeUniverseSpec(n_chromosomes=3, genes_per_chromosome=4)
+        u = make_universe(spec, 0)
+        assert len(u.chromosomes) == 3
+        assert len(u.annotation) == 12
+        assert u.chromosome_bases == 3 * spec.chromosome_length
+
+    def test_genes_within_chromosomes(self):
+        u = make_universe(GenomeUniverseSpec(), 1)
+        lengths = {c.name: c.length for c in u.chromosomes}
+        for gene in u.annotation:
+            assert gene.end <= lengths[gene.contig]
+            assert gene.start >= 0
+
+    def test_genes_do_not_overlap_within_chromosome(self):
+        u = make_universe(GenomeUniverseSpec(), 2)
+        for chrom in u.chromosomes:
+            genes = u.annotation.genes_on(chrom.name)
+            for a, b in zip(genes, genes[1:]):
+                assert a.end <= b.start
+
+    def test_transcripts_have_expected_exons(self):
+        spec = GenomeUniverseSpec(exons_per_transcript=3)
+        u = make_universe(spec, 3)
+        for t in u.annotation.transcripts:
+            assert len(t.exons) == 3
+            assert t.spliced_length == 3 * spec.exon_length
+
+
+class TestMakeScaffolds:
+    def test_zero_scaffolds(self, universe):
+        assert make_scaffolds(
+            universe, n_scaffolds=0, total_bases=0, level=AssemblyLevel.UNPLACED
+        ) == []
+
+    def test_count_and_level(self, universe):
+        scaffolds = make_scaffolds(
+            universe,
+            n_scaffolds=5,
+            total_bases=10_000,
+            level=AssemblyLevel.UNLOCALIZED,
+            rng=0,
+        )
+        assert len(scaffolds) == 5
+        assert all(s.level is AssemblyLevel.UNLOCALIZED for s in scaffolds)
+
+    def test_total_bases_approximate(self, universe):
+        scaffolds = make_scaffolds(
+            universe,
+            n_scaffolds=8,
+            total_bases=20_000,
+            level=AssemblyLevel.UNPLACED,
+            rng=0,
+        )
+        total = sum(s.length for s in scaffolds)
+        assert 0.7 * 20_000 <= total <= 1.3 * 20_000
+
+    def test_scaffolds_duplicate_chromosome_segments(self, universe):
+        """With zero divergence, each scaffold is an exact chromosome window."""
+        scaffolds = make_scaffolds(
+            universe,
+            n_scaffolds=4,
+            total_bases=8000,
+            level=AssemblyLevel.UNPLACED,
+            divergence=0.0,
+            rng=1,
+        )
+        chrom_bytes = [c.sequence.tobytes() for c in universe.chromosomes]
+        for s in scaffolds:
+            assert any(s.sequence.tobytes() in cb for cb in chrom_bytes)
+
+    def test_divergence_mutates_a_few_bases(self, universe):
+        """Single scaffold, same rng: divergence changes ~1% of bases.
+
+        (With one scaffold the window draw happens before any divergence
+        draw, so the exact and diverged scaffolds copy the same window.)
+        """
+        exact = make_scaffolds(
+            universe, n_scaffolds=1, total_bases=4000,
+            level=AssemblyLevel.UNPLACED, divergence=0.0, rng=7,
+        )[0]
+        diverged = make_scaffolds(
+            universe, n_scaffolds=1, total_bases=4000,
+            level=AssemblyLevel.UNPLACED, divergence=0.01, rng=7,
+        )[0]
+        assert exact.length == diverged.length
+        diff = hamming_distance(exact.sequence, diverged.sequence)
+        assert 0 < diff < 0.05 * exact.length
+
+    def test_invalid_total_bases(self, universe):
+        with pytest.raises(ValueError):
+            make_scaffolds(
+                universe, n_scaffolds=2, total_bases=0, level=AssemblyLevel.UNPLACED
+            )
+
+    def test_deterministic(self, universe):
+        a = make_scaffolds(
+            universe, n_scaffolds=3, total_bases=3000,
+            level=AssemblyLevel.UNPLACED, rng=5,
+        )
+        b = make_scaffolds(
+            universe, n_scaffolds=3, total_bases=3000,
+            level=AssemblyLevel.UNPLACED, rng=5,
+        )
+        for x, y in zip(a, b):
+            assert np.array_equal(x.sequence, y.sequence)
+
+
+class TestAssembleRelease:
+    def test_composition(self, universe):
+        asm = assemble_release(
+            universe,
+            name="test",
+            n_unlocalized=2,
+            n_unplaced=3,
+            unlocalized_bases=2000,
+            unplaced_bases=3000,
+            rng=0,
+        )
+        counts = asm.count_by_level()
+        assert counts[AssemblyLevel.CHROMOSOME] == len(universe.chromosomes)
+        assert counts[AssemblyLevel.UNLOCALIZED] == 2
+        assert counts[AssemblyLevel.UNPLACED] == 3
+
+    def test_chromosomes_shared_with_universe(self, universe):
+        asm = assemble_release(
+            universe,
+            name="test",
+            n_unlocalized=1,
+            n_unplaced=1,
+            unlocalized_bases=500,
+            unplaced_bases=500,
+            rng=0,
+        )
+        for chrom in universe.chromosomes:
+            assert np.array_equal(asm.contig(chrom.name).sequence, chrom.sequence)

@@ -1,0 +1,135 @@
+"""Cross-module integration tests.
+
+These exercise whole slices of the system the way the examples do:
+genome → index → reads → SRA → pipeline → DESeq2, and corpus → cloud
+atlas → analytics — asserting cross-layer consistency rather than unit
+behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.align.counts import read_counts_tab
+from repro.align.progress import parse_final_log, read_progress_log
+from repro.align.star import StarAligner, StarParameters
+from repro.core.early_stopping import EarlyStoppingPolicy
+from repro.core.pipeline import (
+    PipelineConfig,
+    RunStatus,
+    TranscriptomicsAtlasPipeline,
+)
+from repro.quant.deseq2 import estimate_size_factors
+from repro.reads.library import LibraryType, SampleProfile
+from repro.reads.sra import SraArchive, SraRepository
+
+
+@pytest.fixture(scope="module")
+def populated_repo(simulator):
+    repo = SraRepository()
+    specs = [
+        ("SRRE00001", LibraryType.BULK_POLYA, 180),
+        ("SRRE00002", LibraryType.BULK_POLYA, 220),
+        ("SRRE00003", LibraryType.BULK_TOTAL, 200),
+        ("SRRE00004", LibraryType.SINGLE_CELL_3P, 200),
+    ]
+    for i, (acc, lib, n) in enumerate(specs):
+        sample = simulator.simulate(
+            SampleProfile(lib, n_reads=n, read_length=80),
+            rng=500 + i,
+            read_id_prefix=acc,
+        )
+        repo.deposit(SraArchive(acc, lib, sample.records))
+    return repo
+
+
+class TestLocalEndToEnd:
+    @pytest.fixture(scope="class")
+    def finished_pipeline(self, populated_repo, aligner_r111, tmp_path_factory):
+        workspace = tmp_path_factory.mktemp("atlas")
+        pipeline = TranscriptomicsAtlasPipeline(
+            populated_repo,
+            aligner_r111,
+            workspace,
+            config=PipelineConfig(early_stopping=EarlyStoppingPolicy(min_reads=20)),
+        )
+        pipeline.run_batch(sorted(populated_repo.accessions()))
+        return pipeline, workspace
+
+    def test_status_split(self, finished_pipeline):
+        pipeline, _ = finished_pipeline
+        statuses = {r.accession: r.status for r in pipeline.results}
+        assert statuses["SRRE00004"] is RunStatus.REJECTED_EARLY
+        assert all(
+            statuses[acc] is RunStatus.ACCEPTED
+            for acc in ("SRRE00001", "SRRE00002", "SRRE00003")
+        )
+
+    def test_on_disk_artifacts_parse_back(self, finished_pipeline):
+        """Files written by the pipeline round-trip through the parsers."""
+        _, workspace = finished_pipeline
+        star_dir = workspace / "SRRE00001" / "star"
+        progress = read_progress_log(star_dir / "Log.progress.out")
+        assert progress[-1].reads_processed == 180
+        final = parse_final_log((star_dir / "Log.final.out").read_text())
+        assert final["Number of input reads"] == "180"
+        specials, genes = read_counts_tab(star_dir / "ReadsPerGene.out.tab")
+        assert specials["N_unmapped"] >= 0
+        assert len(genes) == 24  # universe: 4 chromosomes x 6 genes
+
+    def test_progress_log_consistent_with_final(self, finished_pipeline):
+        _, workspace = finished_pipeline
+        star_dir = workspace / "SRRE00002" / "star"
+        progress = read_progress_log(star_dir / "Log.progress.out")
+        final = parse_final_log((star_dir / "Log.final.out").read_text())
+        assert progress[-1].mapped_unique == int(
+            final["Uniquely mapped reads number"]
+        )
+
+    def test_aborted_run_wrote_partial_outputs(self, finished_pipeline):
+        _, workspace = finished_pipeline
+        star_dir = workspace / "SRRE00004" / "star"
+        final = parse_final_log((star_dir / "Log.final.out").read_text())
+        assert final["Run aborted by monitor"] == "yes"
+        assert int(final["Number of reads processed"]) < 200
+
+    def test_deseq2_on_real_counts(self, finished_pipeline):
+        pipeline, _ = finished_pipeline
+        matrix, factors, normalized = pipeline.normalize()
+        assert matrix.n_samples == 3
+        assert np.exp(np.mean(np.log(factors))) == pytest.approx(1.0, abs=0.25)
+        # normalized matrix preserves shape and non-negativity
+        assert normalized.shape == matrix.counts.shape
+        assert (normalized >= 0).all()
+
+
+class TestCountsFeedDeseq2Directly:
+    def test_gene_counts_to_size_factors(self, aligner_r111, simulator):
+        """GeneCounts vectors from two real runs feed the estimator."""
+        from repro.quant.matrix import CountMatrix
+
+        columns = {}
+        for i in range(2):
+            sample = simulator.simulate(
+                SampleProfile(
+                    LibraryType.BULK_POLYA, n_reads=150 + 100 * i, read_length=80
+                ),
+                rng=700 + i,
+            )
+            result = aligner_r111.run(sample.records)
+            columns[f"s{i}"] = result.gene_counts.column_vector()
+        matrix = CountMatrix.from_columns(columns).drop_all_zero_genes()
+        factors = estimate_size_factors(matrix)
+        # deeper sample gets the larger size factor
+        assert factors[1] > factors[0]
+
+
+class TestDeterministicAlignment:
+    def test_same_reads_same_outcome_across_instances(
+        self, index_r111, bulk_sample
+    ):
+        a1 = StarAligner(index_r111, StarParameters(progress_every=100))
+        a2 = StarAligner(index_r111, StarParameters(progress_every=100))
+        r1 = a1.run(bulk_sample.records, clock=lambda: 0.0)
+        r2 = a2.run(bulk_sample.records, clock=lambda: 0.0)
+        assert [o.status for o in r1.outcomes] == [o.status for o in r2.outcomes]
+        assert r1.gene_counts.to_tab() == r2.gene_counts.to_tab()

@@ -1,0 +1,121 @@
+"""System-level property tests.
+
+Hypothesis drives whole cloud campaigns through randomized configurations
+and asserts the invariants the architecture is designed around:
+
+* work conservation — at-least-once SQS delivery + drain-on-warning means
+  no job is ever lost, whatever the interruption pattern;
+* early stopping only removes compute, never completed useful work;
+* determinism — a seed fully determines a campaign.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.autoscaling import ScalingPolicy
+from repro.cloud.ec2 import InstanceMarket, SpotModel
+from repro.core.atlas import AtlasConfig, run_atlas
+from repro.core.pipeline import RunStatus
+from repro.experiments.corpus import CorpusSpec, generate_corpus
+
+# small corpora keep each example fast; shape invariants don't need scale
+_jobs_cache: dict[tuple[int, int], list] = {}
+
+
+def corpus(n: int, seed: int):
+    key = (n, seed)
+    if key not in _jobs_cache:
+        _jobs_cache[key] = generate_corpus(CorpusSpec(n_runs=n), rng=seed)
+    return _jobs_cache[key]
+
+
+class TestWorkConservation:
+    @given(
+        n_jobs=st.integers(min_value=5, max_value=30),
+        seed=st.integers(min_value=0, max_value=50),
+        mtbi_hours=st.floats(min_value=0.5, max_value=8.0),
+        fleet=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_no_job_lost_under_any_interruption_pattern(
+        self, n_jobs, seed, mtbi_hours, fleet
+    ):
+        jobs = corpus(n_jobs, seed % 5)
+        report = run_atlas(
+            jobs,
+            AtlasConfig(
+                instance_name="r6a.2xlarge",
+                market=InstanceMarket.SPOT,
+                spot_model=SpotModel(
+                    mean_interruption_seconds=mtbi_hours * 3600
+                ),
+                scaling=ScalingPolicy(max_size=fleet, messages_per_instance=4),
+                max_receive_count=50,
+                seed=seed,
+            ),
+        )
+        assert report.n_jobs == len(jobs)
+        assert {j.accession for j in report.jobs} == {j.accession for j in jobs}
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic_given_seed(self, seed):
+        jobs = corpus(15, 1)
+        config = AtlasConfig(
+            instance_name="r6a.2xlarge",
+            market=InstanceMarket.SPOT,
+            scaling=ScalingPolicy(max_size=4, messages_per_instance=4),
+            seed=seed,
+        )
+        a = run_atlas(jobs, config)
+        b = run_atlas(jobs, config)
+        assert a.makespan_seconds == b.makespan_seconds
+        assert a.cost.total_usd == pytest.approx(b.cost.total_usd)
+        assert [j.status for j in a.jobs] == [j.status for j in b.jobs]
+
+
+class TestEarlyStoppingInvariants:
+    @given(
+        seed=st.integers(min_value=0, max_value=30),
+        n_jobs=st.integers(min_value=10, max_value=40),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_early_stop_never_increases_star_hours(self, seed, n_jobs):
+        from dataclasses import replace
+
+        jobs = corpus(n_jobs, seed % 5)
+        base = AtlasConfig(
+            instance_name="r6a.2xlarge",
+            scaling=ScalingPolicy(max_size=4, messages_per_instance=4),
+            seed=seed,
+        )
+        with_es = run_atlas(jobs, base)
+        without = run_atlas(jobs, replace(base, early_stopping=None))
+        assert with_es.star_hours_actual <= without.star_hours_actual + 1e-9
+        # accepted jobs are identical — early stopping only touches rejects
+        accepted_with = {
+            j.accession for j in with_es.jobs if j.status is RunStatus.ACCEPTED
+        }
+        accepted_without = {
+            j.accession for j in without.jobs if j.status is RunStatus.ACCEPTED
+        }
+        assert accepted_with == accepted_without
+
+    @given(seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=10, deadline=None)
+    def test_terminated_jobs_below_threshold(self, seed):
+        jobs = corpus(30, seed % 5)
+        report = run_atlas(
+            jobs,
+            AtlasConfig(
+                instance_name="r6a.2xlarge",
+                scaling=ScalingPolicy(max_size=4, messages_per_instance=4),
+                seed=seed,
+            ),
+        )
+        by_accession = {j.accession: j for j in jobs}
+        for record in report.jobs:
+            if record.status is RunStatus.REJECTED_EARLY:
+                job = by_accession[record.accession]
+                assert job.trajectory.terminal_rate < 0.30

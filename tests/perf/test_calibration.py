@@ -1,0 +1,37 @@
+"""Calibration tests: constants derived, held-out checks pass."""
+
+import pytest
+
+from repro.perf.calibration import calibrate, solve_alpha, solve_bytes_per_base
+from repro.perf.targets import PAPER
+
+
+class TestSolvers:
+    def test_bytes_per_base_plausible(self):
+        """STAR-like layout: ~1 byte genome + 8 byte SA + overhead ≈ 10."""
+        assert 9.0 < solve_bytes_per_base() < 12.0
+
+    def test_alpha_superlinear(self):
+        """Multimapping cost grows faster than genome size (α > 1)."""
+        alpha = solve_alpha()
+        assert 2.0 < alpha < 3.0
+
+
+class TestCalibrationReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return calibrate()
+
+    def test_held_out_r111_index_within_2pct(self, report):
+        assert abs(report.r111_index_residual) < 0.02
+
+    def test_predicted_speedup_hits_target(self, report):
+        assert report.predicted_speedup == pytest.approx(
+            PAPER.fig3_weighted_speedup, rel=0.02
+        )
+
+    def test_text_contains_provenance(self, report):
+        text = report.to_text()
+        assert "bytes/base" in text
+        assert "alpha" in text
+        assert "residual" in text

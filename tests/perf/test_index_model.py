@@ -1,0 +1,87 @@
+"""Index model tests — the 85/29.5 GiB reproduction."""
+
+import pytest
+
+from repro.genome.ensembl import EnsemblRelease, release_spec
+from repro.perf.index_model import IndexModel
+from repro.perf.targets import PAPER
+from repro.util.units import GIB
+
+
+@pytest.fixture(scope="module")
+def model():
+    return IndexModel()
+
+
+class TestIndexSize:
+    def test_r108_fits_calibration(self, model):
+        assert model.index_bytes_for_release(108) == pytest.approx(
+            PAPER.index_bytes_r108, rel=1e-6
+        )
+
+    def test_r111_held_out_prediction(self, model):
+        """r111 was NOT fit; the linear model must still land on 29.5 GiB."""
+        predicted = model.index_bytes_for_release(111)
+        assert predicted == pytest.approx(PAPER.index_bytes_r111, rel=0.02)
+
+    def test_monotone_in_genome_size(self, model):
+        sizes = [
+            model.index_bytes_for_release(r)
+            for r in (EnsemblRelease.R108, EnsemblRelease.R110, EnsemblRelease.R111)
+        ]
+        assert sizes[0] > sizes[1] >= sizes[2]
+
+    def test_consolidation_shrinks_index_3x(self, model):
+        ratio = model.index_bytes_for_release(109) / model.index_bytes_for_release(110)
+        assert 2.5 < ratio < 3.3
+
+
+class TestMemoryRequirement:
+    def test_includes_overhead(self, model):
+        spec = release_spec(111)
+        base = model.index_bytes(spec)
+        assert model.memory_required_bytes(spec, overhead=6e9) == pytest.approx(
+            base + 6e9
+        )
+
+    def test_r108_needs_big_instance(self, model):
+        """85 GiB + overhead exceeds 64 GiB but fits 128 GB — the paper's
+        r6a.4xlarge choice."""
+        need = model.memory_required_bytes(release_spec(108))
+        assert need > 64 * GIB
+        assert need < 128 * GIB
+
+    def test_r111_fits_half_size_instance(self, model):
+        need = model.memory_required_bytes(release_spec(111))
+        assert need < 64 * GIB
+
+    def test_invalid_overhead(self, model):
+        with pytest.raises(ValueError):
+            model.memory_required_bytes(release_spec(111), overhead=0)
+
+
+class TestTimes:
+    def test_build_time_scales_with_genome(self, model):
+        t108 = model.build_seconds(release_spec(108), vcpus=16)
+        t111 = model.build_seconds(release_spec(111), vcpus=16)
+        assert t108 / t111 == pytest.approx(
+            release_spec(108).toplevel_bases / release_spec(111).toplevel_bases
+        )
+
+    def test_build_time_scales_with_vcpus(self, model):
+        spec = release_spec(111)
+        assert model.build_seconds(spec, 16) == pytest.approx(
+            model.build_seconds(spec, 8) / 2
+        )
+
+    def test_shm_load_r111_under_a_minute(self, model):
+        """§III-A: smaller index 'reduces the initial overhead ... loading
+        index to shared memory' — at NVMe rates 29.5 GiB is <1 min."""
+        assert model.shm_load_seconds(release_spec(111)) < 60
+        assert model.shm_load_seconds(release_spec(108)) > model.shm_load_seconds(
+            release_spec(111)
+        )
+
+    def test_invalid_vcpus(self, model):
+        with pytest.raises(ValueError):
+            model.build_seconds(release_spec(111), 0)

@@ -1,0 +1,116 @@
+"""STAR performance model tests — the 12x reproduction."""
+
+import numpy as np
+import pytest
+
+from repro.genome.ensembl import EnsemblRelease, release_spec
+from repro.perf.star_model import (
+    StarPerfModel,
+    early_stop_time_saved,
+    weighted_mean_speedup,
+)
+from repro.perf.targets import PAPER
+from repro.util.units import gib
+
+
+@pytest.fixture(scope="module")
+def model():
+    return StarPerfModel()
+
+
+class TestPredict:
+    def test_r108_vs_r111_speedup_at_mean_file(self, model):
+        s = model.speedup(
+            PAPER.fig3_mean_fastq_bytes, 108, 111, PAPER.instance_vcpus
+        )
+        assert s == pytest.approx(PAPER.fig3_weighted_speedup, rel=0.02)
+
+    def test_time_linear_in_fastq_size(self, model):
+        t1 = model.predict(gib(10), 111, 16).scan_seconds
+        t2 = model.predict(gib(20), 111, 16).scan_seconds
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_setup_constant(self, model):
+        b1 = model.predict(gib(1), 111, 16)
+        b2 = model.predict(gib(100), 111, 16)
+        assert b1.setup_seconds == b2.setup_seconds == model.setup_seconds
+
+    def test_thread_scaling_and_saturation(self, model):
+        t8 = model.predict(gib(10), 111, 8).scan_seconds
+        t16 = model.predict(gib(10), 111, 16).scan_seconds
+        t64 = model.predict(gib(10), 111, 64).scan_seconds
+        assert t8 == pytest.approx(2 * t16)
+        # saturates at vcpu_saturation (32)
+        assert t64 == pytest.approx(
+            model.predict(gib(10), 111, 32).scan_seconds
+        )
+
+    def test_scanned_fraction_scales_scan_only(self, model):
+        full = model.predict(gib(10), 111, 16, scanned_fraction=1.0)
+        tenth = model.predict(gib(10), 111, 16, scanned_fraction=0.1)
+        assert tenth.scan_seconds == pytest.approx(0.1 * full.scan_seconds)
+        assert tenth.setup_seconds == full.setup_seconds
+        assert tenth.full_scan_seconds == pytest.approx(full.scan_seconds)
+
+    def test_mean_run_time_near_corpus_mean(self, model):
+        """Paper: 155.8 h / 1000 runs ≈ 9.3 min.  The model at the Fig. 3
+        mean file should be the same order (±50%)."""
+        t = model.predict(
+            PAPER.fig3_mean_fastq_bytes, 111, PAPER.instance_vcpus
+        ).total_seconds
+        assert 0.5 * PAPER.mean_star_seconds < t < 1.5 * PAPER.mean_star_seconds
+
+    def test_noise_reproducible_and_centered(self, model):
+        times = [
+            model.predict(gib(10), 111, 16, rng=np.random.default_rng(i)).scan_seconds
+            for i in range(300)
+        ]
+        deterministic = model.predict(gib(10), 111, 16).scan_seconds
+        assert np.mean(times) == pytest.approx(deterministic, rel=0.03)
+        again = model.predict(
+            gib(10), 111, 16, rng=np.random.default_rng(0)
+        ).scan_seconds
+        assert again == times[0]
+
+    def test_invalid_inputs(self, model):
+        with pytest.raises(ValueError):
+            model.predict(0, 111, 16)
+        with pytest.raises(ValueError):
+            model.predict(gib(1), 111, 0)
+        with pytest.raises(ValueError):
+            model.predict(gib(1), 111, 16, scanned_fraction=1.5)
+
+
+class TestDifficulty:
+    def test_difficulty_ordering(self, model):
+        d108 = model.difficulty(release_spec(108))
+        d110 = model.difficulty(release_spec(110))
+        d111 = model.difficulty(release_spec(111))
+        assert d108 > d110 >= d111 > 1.0
+
+    def test_throughput_inverse_to_difficulty(self, model):
+        spec108, spec111 = release_spec(108), release_spec(111)
+        ratio = model.throughput(spec111, 16) / model.throughput(spec108, 16)
+        assert ratio == pytest.approx(
+            model.difficulty(spec108) / model.difficulty(spec111)
+        )
+
+
+class TestAggregates:
+    def test_weighted_mean_speedup_near_target(self, model):
+        rng = np.random.default_rng(0)
+        sizes = rng.lognormal(0, 0.6, size=49)
+        sizes = sizes / sizes.mean() * PAPER.fig3_mean_fastq_bytes
+        s = weighted_mean_speedup(
+            model, sizes, EnsemblRelease.R108, EnsemblRelease.R111, 16
+        )
+        assert 10.0 < s < 14.0
+
+    def test_weighted_mean_empty_rejected(self, model):
+        with pytest.raises(ValueError):
+            weighted_mean_speedup(model, np.array([]), 108, 111, 16)
+
+    def test_early_stop_time_saved(self, model):
+        full = model.predict(gib(100), 111, 16)
+        saved = early_stop_time_saved(full, 0.10)
+        assert saved == pytest.approx(0.9 * full.scan_seconds)

@@ -1,0 +1,44 @@
+"""Paper-target sheet tests."""
+
+import pytest
+
+from repro.perf.targets import PAPER, summarize
+from repro.util.units import GIB
+
+
+class TestTargets:
+    def test_index_ratio(self):
+        assert PAPER.index_size_ratio == pytest.approx(85.0 / 29.5)
+
+    def test_mean_star_seconds(self):
+        # 155.8 h over 1000 runs ≈ 9.35 min per run
+        assert PAPER.mean_star_seconds == pytest.approx(560.88, rel=1e-3)
+
+    def test_terminated_fraction(self):
+        assert PAPER.terminated_fraction == pytest.approx(0.038)
+
+    def test_saving_consistency(self):
+        """30.4 of 155.8 hours is indeed ~19.5%."""
+        assert PAPER.early_stop_saved_hours / PAPER.early_stop_total_hours == (
+            pytest.approx(PAPER.early_stop_saving_fraction, abs=0.002)
+        )
+
+    def test_fig3_mean_total_consistency(self):
+        """49 files x 15.9 GiB ≈ 777 GiB (within a file's worth)."""
+        implied_total = PAPER.fig3_n_files * PAPER.fig3_mean_fastq_bytes
+        assert implied_total == pytest.approx(PAPER.fig3_total_fastq_bytes, rel=0.01)
+
+    def test_instance_shape(self):
+        assert PAPER.instance_vcpus == 16
+        assert PAPER.instance_ram_bytes == pytest.approx(128e9)
+
+    def test_summary_mentions_key_numbers(self):
+        text = summarize()
+        assert "85.0 GiB" in text
+        assert "29.5 GiB" in text
+        assert "38/1000" in text
+        assert "19.5%" in text
+
+    def test_index_sizes_in_gib(self):
+        assert PAPER.index_bytes_r108 / GIB == pytest.approx(85.0)
+        assert PAPER.index_bytes_r111 / GIB == pytest.approx(29.5)

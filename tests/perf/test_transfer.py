@@ -1,0 +1,45 @@
+"""Transfer model tests."""
+
+import pytest
+
+from repro.perf.transfer import TransferModel
+from repro.util.units import gib
+
+
+@pytest.fixture
+def model():
+    return TransferModel()
+
+
+class TestTransferModel:
+    def test_s3_download_index(self, model):
+        # 29.5 GiB at 600 MB/s ≈ 53 s (+latency)
+        t = model.s3_download_seconds(gib(29.5))
+        assert 45 < t < 75
+
+    def test_bigger_index_longer_download(self, model):
+        assert model.s3_download_seconds(gib(85)) > 2.5 * model.s3_download_seconds(
+            gib(29.5)
+        )
+
+    def test_ncbi_slower_than_s3(self, model):
+        size = gib(5)
+        assert model.prefetch_seconds(size) > 5 * model.s3_download_seconds(size)
+
+    def test_latency_floor(self, model):
+        assert model.s3_upload_seconds(0) == pytest.approx(
+            model.request_latency_seconds
+        )
+
+    def test_negative_size_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.s3_download_seconds(-1)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            TransferModel(s3_bandwidth=0)
+
+    def test_fasterq_dump_disk_bound(self, model):
+        t = model.fasterq_dump_seconds(gib(15.9))
+        expected = gib(15.9) / model.disk_bandwidth
+        assert t == pytest.approx(expected + model.request_latency_seconds)

@@ -1,0 +1,127 @@
+"""DESeq2 median-of-ratios tests, including property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.deseq2 import (
+    cpm,
+    estimate_size_factors,
+    normalize_counts,
+    vst_like_transform,
+)
+from repro.quant.matrix import CountMatrix
+
+
+def make_matrix(counts: np.ndarray) -> CountMatrix:
+    n_genes, n_samples = counts.shape
+    return CountMatrix(
+        gene_ids=[f"g{i}" for i in range(n_genes)],
+        sample_ids=[f"s{j}" for j in range(n_samples)],
+        counts=counts,
+    )
+
+
+class TestSizeFactors:
+    def test_identical_samples_unit_factors(self):
+        counts = np.tile(np.array([[10], [100], [7]]), (1, 3))
+        factors = estimate_size_factors(make_matrix(counts))
+        assert factors == pytest.approx([1.0, 1.0, 1.0])
+
+    def test_scaled_sample_detected(self):
+        base = np.array([10, 100, 7, 55, 23])
+        counts = np.column_stack([base, 2 * base])
+        factors = estimate_size_factors(make_matrix(counts))
+        # factors are relative; their ratio must be exactly the depth ratio
+        assert factors[1] / factors[0] == pytest.approx(2.0)
+
+    def test_geometric_mean_normalized(self):
+        """DESeq2 convention: log size factors are centered (geomean ≈ 1)."""
+        rng = np.random.default_rng(0)
+        counts = rng.poisson(50, size=(200, 4)) + 1
+        factors = estimate_size_factors(make_matrix(counts))
+        assert np.exp(np.mean(np.log(factors))) == pytest.approx(1.0, abs=0.05)
+
+    def test_zero_genes_excluded(self):
+        counts = np.array([[0, 10], [10, 10], [20, 20], [5, 5]])
+        factors = estimate_size_factors(make_matrix(counts))
+        # the zero-containing gene must not poison the estimate
+        assert np.all(np.isfinite(factors))
+        assert factors[1] / factors[0] == pytest.approx(1.0)
+
+    def test_all_genes_have_zero_raises(self):
+        counts = np.array([[0, 10], [10, 0]])
+        with pytest.raises(ValueError):
+            estimate_size_factors(make_matrix(counts))
+
+    def test_robust_to_outlier_gene(self):
+        """Median-of-ratios ignores one wildly differential gene (unlike CPM)."""
+        base = np.full(99, 50)
+        counts = np.column_stack(
+            [np.append(base, 50), np.append(base, 50_000)]
+        )
+        factors = estimate_size_factors(make_matrix(counts))
+        assert factors[1] / factors[0] == pytest.approx(1.0, rel=0.01)
+
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.floats(min_value=0.2, max_value=5.0),
+    )
+    @settings(max_examples=30)
+    def test_property_scale_equivariance(self, n_samples, scale):
+        """Scaling one sample scales its factor *relative to the others*.
+
+        Absolute factors are geometric-mean-normalized, so only factor
+        ratios are identifiable — the DESeq2 convention.
+        """
+        rng = np.random.default_rng(42)
+        counts = rng.poisson(40, size=(100, n_samples)) + 1
+        f1 = estimate_size_factors(make_matrix(counts))
+        scaled = counts.astype(float).copy()
+        scaled[:, 0] = np.round(scaled[:, 0] * scale) + 1
+        f2 = estimate_size_factors(make_matrix(scaled.astype(int)))
+        assert (f2[0] / f2[1]) / (f1[0] / f1[1]) == pytest.approx(scale, rel=0.15)
+
+
+class TestNormalize:
+    def test_normalization_removes_depth(self):
+        base = np.array([10, 100, 7, 55, 23])
+        counts = np.column_stack([base, 3 * base])
+        m = make_matrix(counts)
+        normalized = normalize_counts(m)
+        assert normalized[:, 0] == pytest.approx(normalized[:, 1])
+
+    def test_explicit_factors(self):
+        m = make_matrix(np.array([[10, 20]]))
+        out = normalize_counts(m, np.array([1.0, 2.0]))
+        assert out.tolist() == [[10.0, 10.0]]
+
+    def test_wrong_factor_count_rejected(self):
+        m = make_matrix(np.array([[10, 20]]))
+        with pytest.raises(ValueError):
+            normalize_counts(m, np.array([1.0]))
+
+    def test_nonpositive_factors_rejected(self):
+        m = make_matrix(np.array([[10, 20]]))
+        with pytest.raises(ValueError):
+            normalize_counts(m, np.array([1.0, 0.0]))
+
+
+class TestTransforms:
+    def test_vst_monotone(self):
+        m = make_matrix(np.array([[0, 10], [5, 5], [100, 100]]))
+        out = vst_like_transform(m, np.array([1.0, 1.0]))
+        assert out[0, 0] < out[0, 1]
+        assert out[0, 0] == pytest.approx(0.0)
+
+    def test_cpm_sums_to_million(self):
+        rng = np.random.default_rng(1)
+        m = make_matrix(rng.poisson(30, size=(50, 3)) + 1)
+        out = cpm(m)
+        assert out.sum(axis=0) == pytest.approx([1e6, 1e6, 1e6])
+
+    def test_cpm_zero_sample_rejected(self):
+        m = make_matrix(np.array([[0, 1]]))
+        with pytest.raises(ValueError):
+            cpm(m)

@@ -1,0 +1,158 @@
+"""Differential-expression tests (DESeq2-lite)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.diffexp import (
+    benjamini_hochberg,
+    estimate_dispersions,
+    fit_dispersion_trend,
+    wald_test,
+)
+from repro.quant.matrix import CountMatrix
+
+
+def make_matrix(counts: np.ndarray) -> CountMatrix:
+    n_genes, n_samples = counts.shape
+    return CountMatrix(
+        gene_ids=[f"g{i}" for i in range(n_genes)],
+        sample_ids=[f"s{j}" for j in range(n_samples)],
+        counts=counts,
+    )
+
+
+def nb_counts(rng, mean, dispersion, size):
+    """Draw NB counts with the (mean, dispersion) parametrization."""
+    if dispersion <= 0:
+        return rng.poisson(mean, size=size)
+    r = 1.0 / dispersion
+    p = r / (r + mean)
+    return rng.negative_binomial(r, p, size=size)
+
+
+class TestBenjaminiHochberg:
+    def test_uniform_identity_for_single(self):
+        assert benjamini_hochberg(np.array([0.03]))[0] == pytest.approx(0.03)
+
+    def test_known_example(self):
+        p = np.array([0.01, 0.04, 0.03, 0.005])
+        adj = benjamini_hochberg(p)
+        # sorted: .005,.01,.03,.04 -> adj .02,.02,.04,.04
+        assert adj[3] == pytest.approx(0.02)
+        assert adj[0] == pytest.approx(0.02)
+        assert adj[2] == pytest.approx(0.04)
+        assert adj[1] == pytest.approx(0.04)
+
+    def test_monotone_and_bounded(self):
+        rng = np.random.default_rng(0)
+        p = rng.random(200)
+        adj = benjamini_hochberg(p)
+        assert (adj <= 1.0).all() and (adj >= p - 1e-12).all()
+        order = np.argsort(p)
+        assert (np.diff(adj[order]) >= -1e-12).all()
+
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_property_adjusted_ge_raw(self, p_list):
+        p = np.array(p_list)
+        adj = benjamini_hochberg(p)
+        assert (adj >= p - 1e-12).all()
+        assert (adj <= 1.0 + 1e-12).all()
+
+
+class TestDispersions:
+    def test_poisson_data_low_dispersion(self):
+        rng = np.random.default_rng(1)
+        counts = rng.poisson(100, size=(300, 8))
+        disp = estimate_dispersions(make_matrix(counts), shrinkage=0.0)
+        assert np.median(disp) < 0.05
+
+    def test_overdispersed_data_detected(self):
+        rng = np.random.default_rng(2)
+        counts = nb_counts(rng, 100.0, 0.5, size=(300, 8))
+        disp = estimate_dispersions(make_matrix(counts), shrinkage=0.0)
+        assert np.median(disp) == pytest.approx(0.5, rel=0.4)
+
+    def test_shrinkage_pulls_to_trend(self):
+        rng = np.random.default_rng(3)
+        counts = nb_counts(rng, 50.0, 0.2, size=(200, 6))
+        raw = estimate_dispersions(make_matrix(counts), shrinkage=0.0)
+        shrunk = estimate_dispersions(make_matrix(counts), shrinkage=0.9)
+        assert np.var(shrunk) < np.var(raw)
+
+    def test_trend_fit_positive(self):
+        means = np.array([10.0, 100.0, 1000.0])
+        disps = np.array([0.5, 0.1, 0.05])
+        a0, a1 = fit_dispersion_trend(means, disps)
+        assert a0 > 0 and a1 >= 0
+
+    def test_invalid_shrinkage(self):
+        with pytest.raises(ValueError):
+            estimate_dispersions(make_matrix(np.ones((3, 3), dtype=int)), shrinkage=2)
+
+
+class TestWaldTest:
+    def make_two_group(self, lfc_genes=10, n_genes=200, n_per_group=5, seed=0):
+        """Null genes plus a block of genuinely 4x-changed genes."""
+        rng = np.random.default_rng(seed)
+        base = nb_counts(rng, 100.0, 0.05, size=(n_genes, 2 * n_per_group))
+        counts = base.copy()
+        counts[:lfc_genes, n_per_group:] = nb_counts(
+            rng, 400.0, 0.05, size=(lfc_genes, n_per_group)
+        )
+        labels = ["ctrl"] * n_per_group + ["treat"] * n_per_group
+        return make_matrix(counts), labels
+
+    def test_detects_true_changes(self):
+        matrix, labels = self.make_two_group()
+        result = wald_test(matrix, labels)
+        hits = {r.gene_id for r in result.significant()}
+        true = {f"g{i}" for i in range(10)}
+        assert len(true & hits) >= 9  # high power at 4x / n=5
+
+    def test_false_positive_rate_controlled(self):
+        matrix, labels = self.make_two_group(lfc_genes=0, seed=1)
+        result = wald_test(matrix, labels)
+        assert len(result.significant()) <= 4  # ~FDR on 200 null genes
+
+    def test_lfc_sign_and_magnitude(self):
+        matrix, labels = self.make_two_group()
+        result = wald_test(matrix, labels)
+        changed = result.row("g0")
+        assert changed.log2_fold_change == pytest.approx(2.0, abs=0.5)
+        null = result.row("g150")
+        assert abs(null.log2_fold_change) < 0.5
+
+    def test_condition_ordering(self):
+        matrix, labels = self.make_two_group()
+        result = wald_test(matrix, labels)
+        assert result.condition_a == "ctrl"
+        assert result.condition_b == "treat"
+
+    def test_depth_confound_removed(self):
+        """Doubling one group's sequencing depth must not create hits."""
+        rng = np.random.default_rng(4)
+        base = nb_counts(rng, 100.0, 0.05, size=(200, 10))
+        counts = base.copy()
+        counts[:, 5:] *= 2  # pure library-size effect
+        result = wald_test(
+            make_matrix(counts), ["a"] * 5 + ["b"] * 5
+        )
+        assert len(result.significant()) <= 4
+
+    def test_input_validation(self):
+        matrix, labels = self.make_two_group()
+        with pytest.raises(ValueError):
+            wald_test(matrix, labels[:-1])
+        with pytest.raises(ValueError):
+            wald_test(matrix, ["x"] * matrix.n_samples)
+        with pytest.raises(ValueError):
+            wald_test(matrix, ["a"] + ["b"] * (matrix.n_samples - 1))
+
+    def test_table_renders(self):
+        matrix, labels = self.make_two_group()
+        text = wald_test(matrix, labels).to_table(max_rows=5)
+        assert "treat vs ctrl" in text
+        assert "log2FC" in text

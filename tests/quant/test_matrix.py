@@ -1,0 +1,67 @@
+"""CountMatrix tests."""
+
+import numpy as np
+import pytest
+
+from repro.quant.matrix import CountMatrix
+
+
+def matrix() -> CountMatrix:
+    return CountMatrix(
+        gene_ids=["g1", "g2", "g3"],
+        sample_ids=["s1", "s2"],
+        counts=np.array([[10, 20], [0, 0], [5, 1]]),
+    )
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CountMatrix(["g1"], ["s1", "s2"], np.zeros((2, 2)))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CountMatrix(["g1"], ["s1"], np.array([[-1]]))
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            CountMatrix(["g1", "g1"], ["s1"], np.zeros((2, 1)))
+        with pytest.raises(ValueError):
+            CountMatrix(["g1"], ["s1", "s1"], np.zeros((1, 2)))
+
+
+class TestAccessors:
+    def test_column(self):
+        assert matrix().column("s2").tolist() == [20, 0, 1]
+
+    def test_library_sizes(self):
+        assert matrix().library_sizes().tolist() == [15, 21]
+
+    def test_dims(self):
+        m = matrix()
+        assert m.n_genes == 3 and m.n_samples == 2
+
+
+class TestFromColumns:
+    def test_union_of_genes(self):
+        m = CountMatrix.from_columns(
+            {"s1": {"g1": 5, "g2": 1}, "s2": {"g2": 2, "g3": 7}}
+        )
+        assert m.gene_ids == ["g1", "g2", "g3"]
+        assert m.sample_ids == ["s1", "s2"]
+        assert m.counts.tolist() == [[5, 0], [1, 2], [0, 7]]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CountMatrix.from_columns({})
+
+    def test_deterministic_order(self):
+        m1 = CountMatrix.from_columns({"b": {"g": 1}, "a": {"g": 2}})
+        assert m1.sample_ids == ["a", "b"]
+
+
+class TestDropAllZero:
+    def test_drops_only_zero_rows(self):
+        m = matrix().drop_all_zero_genes()
+        assert m.gene_ids == ["g1", "g3"]
+        assert m.counts.shape == (2, 2)

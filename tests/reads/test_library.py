@@ -1,0 +1,94 @@
+"""Library metadata tests."""
+
+import pytest
+
+from repro.reads.library import (
+    LibraryType,
+    MAPPING_RATE_PROFILES,
+    MappingRateProfile,
+    SampleProfile,
+    SraRunMetadata,
+)
+
+
+class TestLibraryType:
+    def test_single_cell_flag(self):
+        assert LibraryType.SINGLE_CELL_3P.is_single_cell
+        assert not LibraryType.BULK_POLYA.is_single_cell
+        assert not LibraryType.BULK_TOTAL.is_single_cell
+
+    def test_profiles_cover_all_types(self):
+        assert set(MAPPING_RATE_PROFILES) == set(LibraryType)
+
+    def test_single_cell_profile_below_threshold(self):
+        """The paper's premise: single-cell maps below the 30% bar, bulk above."""
+        assert MAPPING_RATE_PROFILES[LibraryType.SINGLE_CELL_3P].mean < 0.30
+        assert MAPPING_RATE_PROFILES[LibraryType.BULK_POLYA].mean > 0.30
+        assert MAPPING_RATE_PROFILES[LibraryType.BULK_TOTAL].mean > 0.30
+
+
+class TestMappingRateProfile:
+    def test_valid(self):
+        MappingRateProfile(mean=0.5, spread=0.1)
+
+    def test_invalid_mean(self):
+        with pytest.raises(ValueError):
+            MappingRateProfile(mean=1.5, spread=0.1)
+
+    def test_invalid_spread(self):
+        with pytest.raises(ValueError):
+            MappingRateProfile(mean=0.5, spread=0.0)
+
+
+class TestSampleProfile:
+    def test_default_offtarget_from_profile(self):
+        p = SampleProfile(LibraryType.BULK_POLYA, n_reads=100)
+        assert p.effective_offtarget_fraction == pytest.approx(1.0 - 0.90)
+
+    def test_explicit_offtarget_wins(self):
+        p = SampleProfile(
+            LibraryType.BULK_POLYA, n_reads=100, offtarget_fraction=0.5
+        )
+        assert p.effective_offtarget_fraction == 0.5
+
+    def test_single_cell_mostly_offtarget(self):
+        p = SampleProfile(LibraryType.SINGLE_CELL_3P, n_reads=100)
+        assert p.effective_offtarget_fraction > 0.7
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_reads": 0},
+            {"n_reads": 10, "read_length": 0},
+            {"n_reads": 10, "error_rate": 1.5},
+            {"n_reads": 10, "offtarget_fraction": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SampleProfile(LibraryType.BULK_POLYA, **kwargs)
+
+
+class TestSraRunMetadata:
+    def make(self, **overrides) -> SraRunMetadata:
+        base = dict(
+            accession="SRR1",
+            library=LibraryType.BULK_POLYA,
+            n_reads=1000,
+            read_length=100,
+            sra_bytes=5000,
+            fastq_bytes=25000,
+        )
+        base.update(overrides)
+        return SraRunMetadata(**base)
+
+    def test_total_bases(self):
+        assert self.make().total_bases == 100_000
+
+    def test_empty_accession_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(accession="")
+
+    def test_nonpositive_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(sra_bytes=0)

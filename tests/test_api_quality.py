@@ -1,0 +1,76 @@
+"""API-quality meta tests: documentation and export hygiene.
+
+A downstream user's first contact with the library is `help()` and tab
+completion; these tests keep that surface intact as the codebase grows.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.rsplit(".", 1)[-1].startswith("_")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module_name} lacks a module docstring"
+    )
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-exports documented at their origin
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+    assert not undocumented, f"{module_name}: undocumented public API {undocumented}"
+
+
+def _packages_with_all():
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        if hasattr(module, "__all__"):
+            yield module_name, module
+
+
+@pytest.mark.parametrize(
+    "module_name,module",
+    list(_packages_with_all()),
+    ids=[name for name, _ in _packages_with_all()],
+)
+def test_all_entries_resolve_and_are_sorted(module_name, module):
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name!r}"
+    assert list(module.__all__) == sorted(module.__all__), (
+        f"{module_name}.__all__ is not sorted"
+    )
+
+
+def test_top_level_api_importable():
+    from repro import (  # noqa: F401
+        AtlasConfig,
+        EarlyStoppingPolicy,
+        TranscriptomicsAtlasPipeline,
+        run_fig3,
+        run_fig4,
+    )
+
+
+def test_version_present():
+    assert repro.__version__

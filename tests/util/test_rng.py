@@ -1,0 +1,58 @@
+"""Deterministic RNG plumbing tests."""
+
+import numpy as np
+
+from repro.util.rng import derive_rng, ensure_rng, spawn_streams
+
+
+class TestEnsureRng:
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(5).integers(0, 1000, size=10)
+        b = ensure_rng(5).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestDeriveRng:
+    def test_same_seed_same_key_same_stream(self):
+        a = derive_rng(3, "reads").integers(0, 10**9, size=5)
+        b = derive_rng(3, "reads").integers(0, 10**9, size=5)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        a = derive_rng(3, "reads").integers(0, 10**9, size=20)
+        b = derive_rng(3, "errors").integers(0, 10**9, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_children_insensitive_to_sibling_consumption(self):
+        # consuming one child stream must not perturb a later-derived sibling
+        parent1 = ensure_rng(9)
+        child_a1 = derive_rng(parent1, "a")
+        _ = child_a1.integers(0, 10, size=100)  # consume heavily
+        child_b1 = derive_rng(parent1, "b")
+
+        parent2 = ensure_rng(9)
+        _child_a2 = derive_rng(parent2, "a")  # not consumed at all
+        child_b2 = derive_rng(parent2, "b")
+        assert np.array_equal(
+            child_b1.integers(0, 10**9, size=5),
+            child_b2.integers(0, 10**9, size=5),
+        )
+
+
+class TestSpawnStreams:
+    def test_all_keys_present(self):
+        streams = spawn_streams(0, ["x", "y", "z"])
+        assert set(streams) == {"x", "y", "z"}
+
+    def test_streams_independent(self):
+        streams = spawn_streams(0, ["x", "y"])
+        a = streams["x"].integers(0, 10**9, size=10)
+        b = streams["y"].integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)

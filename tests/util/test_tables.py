@@ -1,0 +1,51 @@
+"""Table renderer tests."""
+
+import pytest
+
+from repro.util.tables import Table, format_table
+
+
+class TestTable:
+    def test_renders_header_and_rows(self):
+        t = Table(["a", "bb"])
+        t.add_row([1, 2])
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert lines[2].split() == ["1", "2"]
+
+    def test_title_underlined(self):
+        t = Table(["x"], title="My Table")
+        out = t.render().splitlines()
+        assert out[0] == "My Table"
+        assert out[1] == "=" * len("My Table")
+
+    def test_column_alignment(self):
+        t = Table(["name", "v"])
+        t.add_row(["longvalue", 1])
+        t.add_row(["s", 22])
+        lines = t.render().splitlines()
+        # the second column starts at the same offset in all rows
+        offsets = {line.index(c) for line, c in zip(lines[2:], ["1", "2"])}
+        assert len(offsets) == 1
+
+    def test_wrong_cell_count_raises(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_str_equals_render(self):
+        t = Table(["a"])
+        t.add_row(["x"])
+        assert str(t) == t.render()
+
+
+class TestFormatTable:
+    def test_one_shot(self):
+        out = format_table(["k", "v"], [["a", 1], ["b", 2]], title="T")
+        assert "T" in out
+        assert "a" in out and "2" in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["k"], [])
+        assert "k" in out

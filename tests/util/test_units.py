@@ -1,0 +1,93 @@
+"""Unit-conversion and formatting tests."""
+
+import math
+
+import pytest
+
+from repro.util.units import (
+    GIB,
+    format_bytes,
+    format_duration,
+    gib,
+    hours,
+    mib,
+    minutes,
+    parse_bytes,
+    to_gib,
+    to_hours,
+    transfer_time,
+)
+
+
+class TestConversions:
+    def test_gib_roundtrip(self):
+        assert to_gib(gib(29.5)) == pytest.approx(29.5)
+
+    def test_gib_is_binary(self):
+        assert gib(1) == 2**30
+
+    def test_mib(self):
+        assert mib(1) == 2**20
+
+    def test_hours_roundtrip(self):
+        assert to_hours(hours(155.8)) == pytest.approx(155.8)
+
+    def test_minutes(self):
+        assert minutes(2) == 120.0
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("85 GiB", 85 * GIB),
+            ("85GiB", 85 * GIB),
+            ("29.5 gib", 29.5 * GIB),
+            ("1 KB", 1000),
+            ("1 KiB", 1024),
+            ("17 TB", 17e12),
+            ("512", 512),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_bytes(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("text", ["", "GiB", "12 XB", "1.2.3 GB"])
+    def test_invalid_raises(self, text):
+        with pytest.raises(ValueError):
+            parse_bytes(text)
+
+    def test_roundtrip_with_format(self):
+        assert parse_bytes(format_bytes(gib(85))) == pytest.approx(gib(85))
+
+
+class TestFormat:
+    def test_format_bytes_gib(self):
+        assert format_bytes(gib(85)) == "85.0 GiB"
+
+    def test_format_bytes_small(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_format_bytes_negative(self):
+        assert format_bytes(-gib(1)) == "-1.0 GiB"
+
+    def test_format_duration_hours(self):
+        assert format_duration(hours(1) + 125) == "1h 02m 05s"
+
+    def test_format_duration_subsecond(self):
+        assert format_duration(1.5) == "1.50s"
+
+    def test_format_duration_minutes(self):
+        assert format_duration(65) == "1m 05s"
+
+    def test_format_duration_inf(self):
+        assert format_duration(math.inf) == "inf"
+
+
+class TestTransferTime:
+    def test_basic(self):
+        assert transfer_time(1000, 100) == pytest.approx(10.0)
+
+    def test_zero_bandwidth_raises(self):
+        with pytest.raises(ValueError):
+            transfer_time(1000, 0)

@@ -1,0 +1,49 @@
+"""Validation helper tests."""
+
+import pytest
+
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never")
+
+    def test_fails_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestCheckPositive:
+    def test_returns_value(self):
+        assert check_positive("x", 3.5) == 3.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.001])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", bad)
+
+
+class TestCheckNonNegative:
+    def test_zero_ok(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1e-9)
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("ok", [0.0, 0.3, 1.0])
+    def test_accepts(self, ok):
+        assert check_fraction("f", ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 2])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_fraction("f", bad)
