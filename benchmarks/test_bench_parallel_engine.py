@@ -1,0 +1,133 @@
+"""PAR-ENGINE bench: serial vs shared-memory multiprocess alignment.
+
+Measures the read throughput of the serial :class:`StarAligner` against
+the :class:`~repro.align.engine.ParallelStarAligner` at increasing worker
+counts on the same corpus, verifies the parallel results are identical,
+and records everything to ``BENCH_parallel.json`` at the repo root.
+
+The ≥2.5× speedup acceptance bar for 4 workers only holds where 4 cores
+exist, so the assertion is gated on ``os.cpu_count()``; the JSON record
+always includes the host's core count so downstream readers can judge
+the numbers.
+
+Also runnable directly (the CI smoke path)::
+
+    PYTHONPATH=src python benchmarks/test_bench_parallel_engine.py --workers 2
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.align.engine import ParallelStarAligner
+from repro.align.index import genome_generate
+from repro.align.star import StarAligner, StarParameters
+from repro.genome.ensembl import EnsemblRelease, build_release_assembly
+from repro.genome.synth import GenomeUniverseSpec, make_universe
+from repro.reads.library import LibraryType, SampleProfile
+from repro.reads.simulator import ReadSimulator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_parallel.json"
+READ_LENGTH = 80
+
+
+def _corpus(n_reads: int):
+    rng = np.random.default_rng(42)
+    universe = make_universe(GenomeUniverseSpec(), rng)
+    assembly = build_release_assembly(universe, EnsemblRelease.R111, rng=1)
+    index = genome_generate(assembly, universe.annotation)
+    simulator = ReadSimulator(assembly, universe.annotation)
+    sample = simulator.simulate(
+        SampleProfile(
+            LibraryType.BULK_POLYA, n_reads=n_reads, read_length=READ_LENGTH
+        ),
+        rng=7,
+    )
+    return index, sample.records
+
+
+def measure(worker_counts=(2, 4), n_reads: int = 800) -> dict:
+    """Time serial vs parallel runs; returns the JSON-ready record."""
+    index, records = _corpus(n_reads)
+    parameters = StarParameters(progress_every=200)
+
+    serial_aligner = StarAligner(index, parameters)
+    started = time.perf_counter()
+    serial = serial_aligner.run(records)
+    serial_seconds = time.perf_counter() - started
+
+    record = {
+        "n_reads": n_reads,
+        "read_length": READ_LENGTH,
+        "genome_bases": index.n_bases,
+        "cpu_count": os.cpu_count(),
+        "serial": {
+            "seconds": serial_seconds,
+            "reads_per_second": n_reads / serial_seconds,
+        },
+        "parallel": [],
+    }
+    for workers in worker_counts:
+        with ParallelStarAligner(index, parameters, workers=workers) as engine:
+            engine.run(records[:64])  # warm the pool; steady-state timing
+            started = time.perf_counter()
+            parallel = engine.run(records)
+            seconds = time.perf_counter() - started
+            shared_bytes = engine.shared_bytes
+        assert parallel.outcomes == serial.outcomes, (
+            f"{workers}-worker outcomes diverged from serial"
+        )
+        record["parallel"].append(
+            {
+                "workers": workers,
+                "seconds": seconds,
+                "reads_per_second": n_reads / seconds,
+                "speedup": serial_seconds / seconds,
+                "shared_index_bytes": shared_bytes,
+            }
+        )
+    return record
+
+
+def test_bench_parallel_engine(once):
+    record = once(measure)
+    OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+
+    print()
+    print(json.dumps(record, indent=2))
+    print(f"wrote {OUTPUT}")
+
+    by_workers = {p["workers"]: p for p in record["parallel"]}
+    # every configuration produced identical results (asserted in measure);
+    # throughput numbers must at least be sane
+    for p in record["parallel"]:
+        assert p["reads_per_second"] > 0
+        assert p["shared_index_bytes"] >= 9 * record["genome_bases"]
+
+    # the ISSUE acceptance bar needs 4 real cores to be physical
+    if (os.cpu_count() or 1) >= 4 and 4 in by_workers:
+        assert by_workers[4]["speedup"] >= 2.5, by_workers[4]
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[2, 4],
+        help="worker counts to benchmark against the serial baseline",
+    )
+    parser.add_argument("--reads", type=int, default=800)
+    args = parser.parse_args()
+
+    result = measure(worker_counts=tuple(args.workers), n_reads=args.reads)
+    OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    print(f"wrote {OUTPUT}")

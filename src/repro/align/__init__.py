@@ -17,7 +17,13 @@ paper's optimizations touch:
   conclusions note — does *not* expose a progress mapping rate.
 """
 
-from repro.align.counts import GeneCounts, STRAND_COLUMNS
+from repro.align.counts import GeneCounts, GeneCountsPartial, STRAND_COLUMNS
+from repro.align.engine import (
+    ParallelStarAligner,
+    SharedIndexBlocks,
+    SharedIndexSpec,
+    attach_shared_index,
+)
 from repro.align.extend import ScoringParams, ungapped_extend
 from repro.align.index import GenomeIndex, genome_generate
 from repro.align.paired import (
@@ -51,12 +57,14 @@ __all__ = [
     "AlignmentOutcome",
     "AlignmentStatus",
     "GeneCounts",
+    "GeneCountsPartial",
     "GenomeIndex",
     "PairStatus",
     "PairedOutcome",
     "PairedParameters",
     "PairedRunResult",
     "PairedStarAligner",
+    "ParallelStarAligner",
     "PseudoAligner",
     "PseudoIndex",
     "RunAborted",
@@ -64,9 +72,12 @@ __all__ = [
     "SamRecord",
     "ScoringParams",
     "SeedHit",
+    "SharedIndexBlocks",
+    "SharedIndexSpec",
     "StarAligner",
     "StarParameters",
     "StarRunResult",
+    "attach_shared_index",
     "build_suffix_array",
     "genome_generate",
     "maximal_mappable_prefix",

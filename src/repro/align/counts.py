@@ -21,6 +21,24 @@ STRAND_COLUMNS = ("unstranded", "forward", "reverse")
 _SPECIAL_ROWS = ("N_unmapped", "N_multimapping", "N_noFeature", "N_ambiguous")
 
 
+@dataclass(frozen=True)
+class GeneCountsPartial:
+    """Compact, annotation-free snapshot of one batch's gene counts.
+
+    Worker processes in :mod:`repro.align.engine` count their batch locally
+    and ship this partial back (only non-zero genes) instead of the whole
+    :class:`GeneCounts`, whose ``annotation`` would be re-pickled per batch.
+    Merging partials batch-by-batch in read order reproduces exactly the
+    counts a serial run accumulates.
+    """
+
+    n_unmapped: int
+    n_multimapping: int
+    n_no_feature: dict[str, int]
+    n_ambiguous: dict[str, int]
+    gene_counts: dict[str, dict[str, int]]
+
+
 @dataclass
 class GeneCounts:
     """Accumulator for gene-level counts over one alignment run."""
@@ -79,6 +97,34 @@ class GeneCounts:
             self.n_ambiguous[column] += 1
         else:
             self.counts[genes[0].gene_id][column] += 1
+
+    # -- partials (parallel engine) ------------------------------------------
+
+    def to_partial(self) -> GeneCountsPartial:
+        """Extract the non-zero state as an annotation-free partial."""
+        return GeneCountsPartial(
+            n_unmapped=self.n_unmapped,
+            n_multimapping=self.n_multimapping,
+            n_no_feature=dict(self.n_no_feature),
+            n_ambiguous=dict(self.n_ambiguous),
+            gene_counts={
+                gene_id: dict(row)
+                for gene_id, row in self.counts.items()
+                if any(row[c] for c in STRAND_COLUMNS)
+            },
+        )
+
+    def merge_partial(self, partial: GeneCountsPartial) -> None:
+        """Add one batch's partial into this accumulator."""
+        self.n_unmapped += partial.n_unmapped
+        self.n_multimapping += partial.n_multimapping
+        for c in STRAND_COLUMNS:
+            self.n_no_feature[c] += partial.n_no_feature[c]
+            self.n_ambiguous[c] += partial.n_ambiguous[c]
+        for gene_id, row in partial.gene_counts.items():
+            mine = self.counts[gene_id]
+            for c in STRAND_COLUMNS:
+                mine[c] += row[c]
 
     # -- reporting -----------------------------------------------------------
 

@@ -1,0 +1,586 @@
+"""Shared-memory parallel alignment engine.
+
+The paper's instance architecture (§II, Fig. 2) keeps one copy of the
+STAR index in ``/dev/shm`` and fans alignment work out to every core.
+This module reproduces both levers for the in-process aligner:
+
+* :class:`SharedIndexBlocks` publishes a :class:`~repro.align.index.
+  GenomeIndex`'s two big arrays — the genome (1 byte/base) and the
+  suffix array (8 bytes/base) — into POSIX shared memory once.  Worker
+  processes *attach* to the blocks and wrap them in zero-copy numpy
+  views instead of each receiving a ~9 byte/base pickle;
+
+* :class:`ParallelStarAligner` shards a read stream into batches,
+  dispatches them to a persistent worker pool, and merges the per-batch
+  results **deterministically in read order**, so the merged
+  :class:`~repro.align.star.StarRunResult` is identical to what the
+  serial :class:`~repro.align.star.StarAligner` produces — outcomes,
+  progress snapshots, final stats, and gene counts alike.
+
+The early-stopping contract survives parallelism: the monitor hook sees
+merged :class:`~repro.align.progress.ProgressRecord` values in read
+order at exactly the serial cadence, and an abort stops the merge at the
+same read the serial loop would have stopped at, cancels every batch not
+yet dispatched, and abandons the (bounded) in-flight window.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import weakref
+from collections import deque
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from multiprocessing.pool import AsyncResult, Pool
+from pathlib import Path
+
+import numpy as np
+
+from repro.align.counts import GeneCounts, GeneCountsPartial
+from repro.align.index import GenomeIndex
+from repro.align.paired import (
+    PairedOutcome,
+    PairedParameters,
+    PairedRunResult,
+    PairedStarAligner,
+    PairStatus,
+)
+from repro.align.progress import FinalLogStats, ProgressRecord
+from repro.align.star import (
+    AlignmentOutcome,
+    AlignmentStatus,
+    ProgressMonitorHook,
+    StarAligner,
+    StarParameters,
+    StarRunResult,
+)
+from repro.genome.annotation import Annotation
+from repro.reads.fastq import FastqRecord
+
+__all__ = [
+    "ParallelStarAligner",
+    "SharedIndexBlocks",
+    "SharedIndexSpec",
+    "attach_shared_index",
+]
+
+
+# --------------------------------------------------------------------------
+# shared-memory publication
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SharedIndexSpec:
+    """Everything a worker needs to reconstruct the index.
+
+    The two block names point at the shared-memory copies of the big
+    arrays; the remaining fields (contig table, annotation, sjdb) are
+    small and travel with the spec itself.
+    """
+
+    genome_block: str
+    suffix_block: str
+    n_bases: int
+    assembly_name: str
+    names: list[str]
+    offsets: np.ndarray
+    annotation: Annotation | None
+    sjdb: set[tuple[str, int, int]]
+
+
+def attach_shared_index(spec: SharedIndexSpec) -> tuple[GenomeIndex, list]:
+    """Attach to published blocks and build a zero-copy :class:`GenomeIndex`.
+
+    Returns the index plus the block handles, which the caller must keep
+    alive for as long as the index is used (the numpy views borrow their
+    buffers).
+
+    Attaching re-registers the block names with the resource tracker.
+    Pool workers share their parent's tracker process, where registration
+    is idempotent (a set), so the parent's single ``unlink`` on shutdown
+    leaves the tracker clean — no "leaked shared_memory" warnings and no
+    per-worker unregister gymnastics.
+    """
+    genome_shm = shared_memory.SharedMemory(name=spec.genome_block)
+    suffix_shm = shared_memory.SharedMemory(name=spec.suffix_block)
+    genome = np.ndarray((spec.n_bases,), dtype=np.uint8, buffer=genome_shm.buf)
+    suffix = np.ndarray((spec.n_bases,), dtype=np.int64, buffer=suffix_shm.buf)
+    index = GenomeIndex(
+        assembly_name=spec.assembly_name,
+        genome=genome,
+        suffix_array=suffix,
+        offsets=spec.offsets,
+        names=list(spec.names),
+        annotation=spec.annotation,
+        sjdb=spec.sjdb,
+    )
+    return index, [genome_shm, suffix_shm]
+
+
+class SharedIndexBlocks:
+    """Owner of the shared-memory copies of one index's big arrays.
+
+    Create in the parent, hand :attr:`spec` to workers, and call
+    :meth:`close` (or rely on the garbage-collection finalizer) to
+    release the segments.  Closing is idempotent.
+    """
+
+    def __init__(self, index: GenomeIndex) -> None:
+        genome = np.ascontiguousarray(index.genome, dtype=np.uint8)
+        suffix = np.ascontiguousarray(index.suffix_array, dtype=np.int64)
+        # shared_memory rejects zero-sized segments; a degenerate empty
+        # index still gets valid (1-byte) blocks and n_bases=0 views.
+        self._genome_shm = shared_memory.SharedMemory(
+            create=True, size=max(1, genome.nbytes)
+        )
+        self._suffix_shm = shared_memory.SharedMemory(
+            create=True, size=max(1, suffix.nbytes)
+        )
+        np.ndarray(genome.shape, dtype=np.uint8, buffer=self._genome_shm.buf)[
+            :
+        ] = genome
+        np.ndarray(suffix.shape, dtype=np.int64, buffer=self._suffix_shm.buf)[
+            :
+        ] = suffix
+        self.spec = SharedIndexSpec(
+            genome_block=self._genome_shm.name,
+            suffix_block=self._suffix_shm.name,
+            n_bases=index.n_bases,
+            assembly_name=index.assembly_name,
+            names=list(index.names),
+            offsets=np.asarray(index.offsets, dtype=np.int64).copy(),
+            annotation=index.annotation,
+            sjdb=index.sjdb,
+        )
+        self._finalizer = weakref.finalize(
+            self, _release_blocks, self._genome_shm, self._suffix_shm
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes resident in shared memory."""
+        return self._genome_shm.size + self._suffix_shm.size
+
+    def close(self) -> None:
+        """Release both segments (close + unlink); safe to call twice."""
+        self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+
+def _release_blocks(*blocks: shared_memory.SharedMemory) -> None:
+    for shm in blocks:
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+# --------------------------------------------------------------------------
+# worker side
+# --------------------------------------------------------------------------
+
+#: Per-worker state, populated by :func:`_init_worker`.  Module-global so
+#: batch functions dispatched through the pool can reach it.
+_WORKER: dict = {}
+
+
+def _init_worker(
+    spec: SharedIndexSpec,
+    parameters: StarParameters,
+    paired_parameters: PairedParameters,
+) -> None:
+    index, handles = attach_shared_index(spec)
+    aligner = StarAligner(index, parameters)
+    # Build the search context now (bytes genome + list suffix array):
+    # paying it at init keeps the first batch's latency flat.
+    index.search_context  # noqa: B018 - intentional warm-up
+    _WORKER["aligner"] = aligner
+    _WORKER["paired"] = PairedStarAligner(aligner, paired_parameters)
+    _WORKER["handles"] = handles
+
+
+def _quant_enabled(aligner: StarAligner) -> bool:
+    return (
+        aligner.parameters.quant_gene_counts
+        and aligner.index.annotation is not None
+    )
+
+
+def _align_batch(
+    records: list[FastqRecord],
+) -> tuple[list[AlignmentOutcome], GeneCountsPartial | None]:
+    """Align one single-end batch; returns outcomes + a counts partial."""
+    aligner: StarAligner = _WORKER["aligner"]
+    counts = (
+        GeneCounts(aligner.index.annotation) if _quant_enabled(aligner) else None
+    )
+    outcomes = []
+    for record in records:
+        outcome = aligner.align_read(record)
+        outcomes.append(outcome)
+        if counts is not None:
+            _count_outcome(counts, outcome)
+    return outcomes, counts.to_partial() if counts is not None else None
+
+
+def _align_batch_paired(
+    batch: tuple[list[FastqRecord], list[FastqRecord]],
+) -> tuple[list[PairedOutcome], GeneCountsPartial | None]:
+    """Align one paired batch; returns pair outcomes + a counts partial."""
+    paired: PairedStarAligner = _WORKER["paired"]
+    quant = (
+        paired.parameters.quant_gene_counts
+        and paired.aligner.index.annotation is not None
+    )
+    counts = GeneCounts(paired.aligner.index.annotation) if quant else None
+    outcomes = []
+    for r1, r2 in zip(*batch):
+        outcome = paired.align_pair(r1, r2)
+        outcomes.append(outcome)
+        if counts is not None:
+            _count_paired_outcome(counts, outcome)
+    return outcomes, counts.to_partial() if counts is not None else None
+
+
+def _count_outcome(counts: GeneCounts, outcome: AlignmentOutcome) -> None:
+    """The serial run loop's per-read GeneCounts bookkeeping, verbatim."""
+    if outcome.status is AlignmentStatus.UNIQUE:
+        counts.record_unique(list(outcome.blocks), outcome.strand)
+    elif outcome.status in (
+        AlignmentStatus.MULTIMAPPED,
+        AlignmentStatus.TOO_MANY_LOCI,
+    ):
+        counts.record_multimapped()
+    else:
+        counts.record_unmapped()
+
+
+def _count_paired_outcome(counts: GeneCounts, outcome: PairedOutcome) -> None:
+    """The paired run loop's per-pair GeneCounts bookkeeping, verbatim."""
+    if outcome.status is PairStatus.PROPER_PAIR:
+        blocks = list(outcome.mate1.blocks) + list(outcome.mate2.blocks)
+        counts.record_unique(blocks, outcome.mate1.strand)
+    elif outcome.status is PairStatus.ONE_MATE:
+        unique = (
+            outcome.mate1
+            if outcome.mate1.status is AlignmentStatus.UNIQUE
+            else outcome.mate2
+        )
+        counts.record_unique(list(unique.blocks), unique.strand)
+    elif outcome.status in (PairStatus.DISCORDANT, PairStatus.MULTIMAPPED):
+        counts.record_multimapped()
+    else:
+        counts.record_unmapped()
+
+
+# --------------------------------------------------------------------------
+# parent side
+# --------------------------------------------------------------------------
+
+
+class ParallelStarAligner:
+    """Multiprocess drop-in for :class:`~repro.align.star.StarAligner.run`.
+
+    The engine owns a :class:`SharedIndexBlocks` publication and a
+    persistent worker pool; both are created lazily on the first
+    :meth:`run` (or eagerly via :meth:`start`/``with``) and reused across
+    runs, mirroring the paper's load-index-once-per-instance design.
+
+    ``batch_size`` reads are pickled per task; the index is never
+    re-sent.  Results are merged strictly in read order, so outputs —
+    including the ``Log.progress.out`` cadence the early-stopping monitor
+    consumes — are identical to a serial run's.  When the monitor aborts,
+    batches not yet dispatched are cancelled and at most
+    ``max_inflight`` already-dispatched batches are discarded.
+    """
+
+    def __init__(
+        self,
+        index: GenomeIndex,
+        parameters: StarParameters | None = None,
+        *,
+        workers: int = 2,
+        batch_size: int = 64,
+        max_inflight: int | None = None,
+        paired_parameters: PairedParameters | None = None,
+        mp_context: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.index = index
+        self.parameters = parameters or StarParameters()
+        self.paired_parameters = paired_parameters or PairedParameters()
+        self.workers = workers
+        self.batch_size = batch_size
+        self.max_inflight = max_inflight or 2 * workers
+        self.mp_context = mp_context
+        self._blocks: SharedIndexBlocks | None = None
+        self._pool: Pool | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ParallelStarAligner":
+        """Publish the index and spin up the worker pool (idempotent)."""
+        if self._pool is None:
+            self._blocks = SharedIndexBlocks(self.index)
+            ctx = mp.get_context(self.mp_context)
+            self._pool = ctx.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(
+                    self._blocks.spec,
+                    self.parameters,
+                    self.paired_parameters,
+                ),
+            )
+        return self
+
+    def close(self) -> None:
+        """Tear down the pool and release the shared-memory blocks."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        if self._blocks is not None:
+            self._blocks.close()
+            self._blocks = None
+
+    def __enter__(self) -> "ParallelStarAligner":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def shared_bytes(self) -> int:
+        """Bytes currently published to shared memory (0 when stopped)."""
+        return self._blocks.nbytes if self._blocks is not None else 0
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _ordered_results(self, fn: Callable, payloads: list) -> Iterator:
+        """Yield ``fn(payload)`` results in payload order.
+
+        Keeps at most ``max_inflight`` batches dispatched.  If the caller
+        stops consuming (early abort), the remaining payloads are never
+        submitted and in-flight results are abandoned — the pool stays
+        usable for subsequent runs.
+        """
+        pool = self.start()._pool
+        assert pool is not None
+        inflight: deque[AsyncResult] = deque()
+        nxt = 0
+        while nxt < len(payloads) or inflight:
+            while nxt < len(payloads) and len(inflight) < self.max_inflight:
+                inflight.append(pool.apply_async(fn, (payloads[nxt],)))
+                nxt += 1
+            yield inflight.popleft().get()
+
+    # -- single-end ------------------------------------------------------------
+
+    def run(
+        self,
+        records: Iterable[FastqRecord],
+        *,
+        reads_total: int | None = None,
+        monitor: ProgressMonitorHook | None = None,
+        out_dir: Path | str | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> StarRunResult:
+        """Parallel equivalent of :meth:`StarAligner.run` (same signature)."""
+        params = self.parameters
+        records = list(records)
+        total = reads_total if reads_total is not None else len(records)
+        started = clock()
+
+        outcomes: list[AlignmentOutcome] = []
+        progress: list[ProgressRecord] = []
+        quant = params.quant_gene_counts and self.index.annotation is not None
+        counts = GeneCounts(self.index.annotation) if quant else None
+        unique = multi = too_many = unmapped = spliced_n = 0
+        mismatch_bases = 0
+        aligned_bases = 0
+        aborted = False
+
+        def snapshot() -> ProgressRecord:
+            return ProgressRecord(
+                elapsed_seconds=max(0.0, clock() - started),
+                reads_processed=len(outcomes),
+                reads_total=total,
+                mapped_unique=unique,
+                mapped_multi=multi,
+            )
+
+        batches = [
+            records[i : i + self.batch_size]
+            for i in range(0, len(records), self.batch_size)
+        ]
+        for batch, (batch_outcomes, partial) in zip(
+            batches, self._ordered_results(_align_batch, batches)
+        ):
+            consumed = 0
+            for record, outcome in zip(batch, batch_outcomes):
+                outcomes.append(outcome)
+                consumed += 1
+                if outcome.status is AlignmentStatus.UNIQUE:
+                    unique += 1
+                    if outcome.spliced:
+                        spliced_n += 1
+                    mismatch_bases += outcome.mismatches
+                    aligned_bases += record.length
+                elif outcome.status is AlignmentStatus.MULTIMAPPED:
+                    multi += 1
+                elif outcome.status is AlignmentStatus.TOO_MANY_LOCI:
+                    too_many += 1
+                else:
+                    unmapped += 1
+                if len(outcomes) % params.progress_every == 0:
+                    rec = snapshot()
+                    progress.append(rec)
+                    if monitor is not None and not monitor(rec):
+                        aborted = True
+                        break
+            if counts is not None:
+                if consumed == len(batch_outcomes) and partial is not None:
+                    counts.merge_partial(partial)
+                else:
+                    # the abort truncated this batch mid-way: recount just
+                    # the consumed prefix so counts match the serial run
+                    for outcome in batch_outcomes[:consumed]:
+                        _count_outcome(counts, outcome)
+            if aborted:
+                break
+
+        final_snapshot = snapshot()
+        if not progress or progress[-1].reads_processed != len(outcomes):
+            progress.append(final_snapshot)
+            if not aborted and monitor is not None and not monitor(final_snapshot):
+                aborted = True
+
+        final = FinalLogStats(
+            reads_total=total,
+            reads_processed=len(outcomes),
+            mapped_unique=unique,
+            mapped_multi=multi,
+            too_many_loci=too_many,
+            unmapped=unmapped,
+            mismatch_rate=(mismatch_bases / aligned_bases) if aligned_bases else 0.0,
+            spliced_reads=spliced_n,
+            elapsed_seconds=max(0.0, clock() - started),
+            aborted=aborted,
+        )
+        result = StarRunResult(
+            outcomes=outcomes,
+            progress=progress,
+            final=final,
+            gene_counts=counts,
+            aborted=aborted,
+        )
+        if out_dir is not None:
+            result.write_outputs(out_dir)
+        return result
+
+    # -- paired-end --------------------------------------------------------------
+
+    def run_paired(
+        self,
+        mate1: list[FastqRecord],
+        mate2: list[FastqRecord],
+        *,
+        monitor: ProgressMonitorHook | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> PairedRunResult:
+        """Parallel equivalent of :meth:`PairedStarAligner.run`."""
+        if len(mate1) != len(mate2):
+            raise ValueError("mate lists must have equal length")
+        params = self.paired_parameters
+        total = len(mate1)
+        started = clock()
+        outcomes: list[PairedOutcome] = []
+        progress: list[ProgressRecord] = []
+        quant = params.quant_gene_counts and self.index.annotation is not None
+        counts = GeneCounts(self.index.annotation) if quant else None
+        proper = one_mate = discordant = multi = unmapped = 0
+        aborted = False
+
+        def snapshot() -> ProgressRecord:
+            return ProgressRecord(
+                elapsed_seconds=max(0.0, clock() - started),
+                reads_processed=len(outcomes),
+                reads_total=total,
+                mapped_unique=proper + one_mate + discordant,
+                mapped_multi=multi,
+            )
+
+        batches = [
+            (mate1[i : i + self.batch_size], mate2[i : i + self.batch_size])
+            for i in range(0, total, self.batch_size)
+        ]
+        for batch_outcomes, partial in self._ordered_results(
+            _align_batch_paired, batches
+        ):
+            consumed = 0
+            for outcome in batch_outcomes:
+                outcomes.append(outcome)
+                consumed += 1
+                if outcome.status is PairStatus.PROPER_PAIR:
+                    proper += 1
+                elif outcome.status is PairStatus.ONE_MATE:
+                    one_mate += 1
+                elif outcome.status is PairStatus.DISCORDANT:
+                    discordant += 1
+                elif outcome.status is PairStatus.MULTIMAPPED:
+                    multi += 1
+                else:
+                    unmapped += 1
+                if len(outcomes) % params.progress_every == 0:
+                    rec = snapshot()
+                    progress.append(rec)
+                    if monitor is not None and not monitor(rec):
+                        aborted = True
+                        break
+            if counts is not None:
+                if consumed == len(batch_outcomes) and partial is not None:
+                    counts.merge_partial(partial)
+                else:
+                    for outcome in batch_outcomes[:consumed]:
+                        _count_paired_outcome(counts, outcome)
+            if aborted:
+                break
+
+        final_snapshot = snapshot()
+        if not progress or progress[-1].reads_processed != len(outcomes):
+            progress.append(final_snapshot)
+            if not aborted and monitor is not None and not monitor(final_snapshot):
+                aborted = True
+
+        final = FinalLogStats(
+            reads_total=total,
+            reads_processed=len(outcomes),
+            mapped_unique=proper + one_mate + discordant,
+            mapped_multi=multi,
+            too_many_loci=0,
+            unmapped=unmapped,
+            mismatch_rate=0.0,
+            spliced_reads=sum(
+                o.mate1.spliced or o.mate2.spliced for o in outcomes
+            ),
+            elapsed_seconds=max(0.0, clock() - started),
+            aborted=aborted,
+        )
+        return PairedRunResult(
+            outcomes=outcomes,
+            progress=progress,
+            final=final,
+            gene_counts=counts,
+            aborted=aborted,
+        )

@@ -43,6 +43,10 @@ class GenomeIndex:
         if self.suffix_array.size != self.genome.size:
             raise ValueError("suffix array length must equal genome length")
         self._search_context = None
+        # name -> ordinal cache: to_absolute/junction_key are called per
+        # aligned block, and list.index is O(n_contigs) — ruinous on
+        # scaffold-heavy releases like r108.
+        self._name_to_ordinal = {name: i for i, name in enumerate(self.names)}
 
     @property
     def search_context(self):
@@ -77,7 +81,10 @@ class GenomeIndex:
 
     def to_absolute(self, contig: str, offset: int) -> int:
         """Map (contig name, local offset) to an absolute genome position."""
-        c = self.names.index(contig)
+        try:
+            c = self._name_to_ordinal[contig]
+        except KeyError:
+            raise ValueError(f"{contig!r} is not in assembly {self.assembly_name}")
         length = int(self.offsets[c + 1] - self.offsets[c])
         if not 0 <= offset < length:
             raise IndexError(f"offset {offset} outside contig {contig} of {length}")
@@ -94,11 +101,12 @@ class GenomeIndex:
 
     def junction_key(self, donor_abs: int, acceptor_abs: int) -> tuple[str, int, int]:
         """Normalize an absolute junction to the (contig, start, end) sjdb key."""
-        contig, donor_local = self.to_contig_coords(donor_abs)
-        contig2, acceptor_local = self.to_contig_coords(acceptor_abs)
-        if contig != contig2:
+        c1 = self.contig_of(donor_abs)
+        c2 = self.contig_of(acceptor_abs)
+        if c1 != c2:
             raise ValueError("junction endpoints on different contigs")
-        return (contig, donor_local, acceptor_local)
+        base = int(self.offsets[c1])
+        return (self.names[c1], donor_abs - base, acceptor_abs - base)
 
     def is_annotated_junction(self, donor_abs: int, acceptor_abs: int) -> bool:
         """Whether the intron ``[donor_abs, acceptor_abs)`` is in the sjdb."""
@@ -109,18 +117,29 @@ class GenomeIndex:
 
     # -- size accounting ---------------------------------------------------
 
-    def size_bytes(self) -> int:
+    def size_bytes(self, *, include_search_context: bool = False) -> int:
         """Approximate in-memory index footprint (what gets loaded to /dev/shm).
 
         genome: 1 byte/base; suffix array: 8 bytes/base; offsets and sjdb
         are negligible but counted for honesty.
+
+        ``include_search_context=True`` additionally accounts the
+        :class:`~repro.align.suffix_array.SearchContext` the aligner builds
+        before its first query — a ``bytes`` copy of the genome plus the
+        suffix array as a Python list (8-byte slot + ~32-byte int object
+        per position) — which roughly quintuples the resident footprint
+        and is what instance right-sizing must budget for.
         """
-        return int(
+        size = int(
             self.genome.nbytes
             + self.suffix_array.nbytes
             + self.offsets.nbytes
             + 24 * len(self.sjdb)
         )
+        if include_search_context:
+            size += self.n_bases  # genome_bytes copy
+            size += self.n_bases * (8 + 32)  # sa_list slots + int objects
+        return size
 
     # -- persistence -------------------------------------------------------
 

@@ -41,6 +41,7 @@ def maximal_mappable_prefix(
     *,
     read_start: int = 0,
     max_hits: int = 50,
+    read_list: list[int] | None = None,
 ) -> SeedHit:
     """Longest exact match of ``read[read_start:]`` prefixes in the genome.
 
@@ -49,9 +50,14 @@ def maximal_mappable_prefix(
     symbol does not occur.  Uses the index's precomputed
     :class:`~repro.align.suffix_array.SearchContext` (C-speed element
     access + first-symbol table), the aligner's measured hot path.
+
+    ``read_list`` lets callers that re-seed the same read repeatedly (the
+    aligner queries each orientation up to twice) pay the numpy→list
+    conversion once instead of per call.
     """
     ctx = index.search_context
-    read_list = read.tolist()
+    if read_list is None:
+        read_list = read.tolist()
     lo, hi = 0, ctx.n
     depth = 0
     best = (0, lo, hi)
@@ -70,7 +76,11 @@ def maximal_mappable_prefix(
     if length == 0:
         return SeedHit(read_start=read_start, length=0, positions=(), n_hits=0)
     n_hits = hi - lo
-    shown = sorted(ctx.sa_list[lo : min(hi, lo + max_hits)])
+    # one slice materializes every shown position; sorting is skipped for
+    # the common unique-hit case
+    shown = ctx.sa_list[lo : min(hi, lo + max_hits)]
+    if len(shown) > 1:
+        shown.sort()
     return SeedHit(
         read_start=read_start,
         length=length,
@@ -95,8 +105,11 @@ def seed_decomposition(
     seeds: list[SeedHit] = []
     pos = 0
     n = int(read.size)
+    read_list = read.tolist()
     while pos < n and len(seeds) < max_seeds:
-        seed = maximal_mappable_prefix(index, read, read_start=pos, max_hits=max_hits)
+        seed = maximal_mappable_prefix(
+            index, read, read_start=pos, max_hits=max_hits, read_list=read_list
+        )
         seeds.append(seed)
         pos += seed.length if seed.length > 0 else 1
     return seeds

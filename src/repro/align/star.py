@@ -171,6 +171,10 @@ class StarAligner:
     def align_read(self, record: FastqRecord) -> AlignmentOutcome:
         """Align one read on both strands; classify per STAR's rules."""
         fwd = record.sequence
+        if fwd.size == 0:
+            # zero-length reads (aggressive trimming, malformed FASTQ) can
+            # never seed: skip the reverse complement and candidate search
+            return AlignmentOutcome(record.read_id, AlignmentStatus.UNMAPPED)
         rev = reverse_complement(fwd)
         fwd_cands = self._align_oriented(fwd)
         rev_cands = self._align_oriented(rev)
@@ -220,8 +224,12 @@ class StarAligner:
         params = self.parameters
         scoring = params.scoring
         n = int(read.size)
+        # one numpy->list conversion per orientation, shared by the prefix
+        # seed and the error-bridge re-seed below
+        read_list = read.tolist()
         seed = maximal_mappable_prefix(
-            self.index, read, max_hits=params.seed_multimap_nmax
+            self.index, read, max_hits=params.seed_multimap_nmax,
+            read_list=read_list,
         )
         candidates: list[_Candidate] = []
         if seed.length == 0:
@@ -274,6 +282,7 @@ class StarAligner:
                     read,
                     read_start=bridge_start,
                     max_hits=params.seed_multimap_nmax,
+                    read_list=read_list,
                 )
                 for q in second.positions:
                     p = q - bridge_start

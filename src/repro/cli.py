@@ -4,7 +4,7 @@ Usage::
 
     python -m repro fig3 [--seed N] [--rows K]
     python -m repro fig4 [--seed N] [--threshold 0.3] [--check 0.1]
-    python -m repro mini-fig3 [--reads N]
+    python -m repro mini-fig3 [--reads N] [--workers N]
     python -m repro config-table
     python -m repro calibrate
     python -m repro architecture [--jobs N]
@@ -46,7 +46,10 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
 def _cmd_mini_fig3(args: argparse.Namespace) -> int:
     from repro.experiments.mini_fig3 import run_mini_fig3
 
-    print(run_mini_fig3(n_reads=args.reads, seed=args.seed).to_table())
+    result = run_mini_fig3(
+        n_reads=args.reads, seed=args.seed, workers=args.workers
+    )
+    print(result.to_table())
     return 0
 
 
@@ -219,6 +222,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("mini-fig3", help="Fig. 3 mechanisms with the real aligner")
     p.add_argument("--reads", type=int, default=400)
     p.add_argument("--seed", type=int, default=42)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="alignment worker processes (>1 uses the shared-memory engine)",
+    )
     p.set_defaults(fn=_cmd_mini_fig3)
 
     p = sub.add_parser("config-table", help="index sizes per Ensembl release")

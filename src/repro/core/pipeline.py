@@ -19,12 +19,15 @@ structure in the cloud simulation.
 from __future__ import annotations
 
 import enum
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
+from repro.align.engine import ParallelStarAligner
 from repro.align.star import StarAligner, StarRunResult
 from repro.core.early_stopping import EarlyStoppingPolicy, EarlyStopMonitor
 from repro.quant.deseq2 import estimate_size_factors, normalize_counts
@@ -95,6 +98,19 @@ class PipelineConfig:
     write_outputs: bool = True
     #: optional QC trimming between fasterq-dump and STAR
     trim: "TrimConfig | None" = None
+    #: alignment worker processes; >1 routes the STAR step through the
+    #: shared-memory :class:`~repro.align.engine.ParallelStarAligner`
+    #: (the index is published to shared memory once per pipeline and
+    #: reused across accessions, as the paper's instances do)
+    workers: int = 1
+    #: reads per batch dispatched to an alignment worker
+    align_batch_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.align_batch_size < 1:
+            raise ValueError("align_batch_size must be >= 1")
 
 
 class TranscriptomicsAtlasPipeline:
@@ -114,11 +130,53 @@ class TranscriptomicsAtlasPipeline:
         self.workspace.mkdir(parents=True, exist_ok=True)
         self.config = config or PipelineConfig()
         self.results: list[PipelineResult] = []
+        self._engine: ParallelStarAligner | None = None
+        self._engine_lock = threading.Lock()
+
+    # -- parallel engine lifecycle -------------------------------------------
+
+    def _get_engine(self) -> ParallelStarAligner | None:
+        """The shared alignment engine (None when ``config.workers == 1``).
+
+        Created on first use and kept for the pipeline's lifetime so the
+        shared-memory index publication and worker pool are paid once,
+        not per accession.  Thread-safe for parallel ``run_batch``.
+        """
+        if self.config.workers <= 1:
+            return None
+        with self._engine_lock:
+            if self._engine is None:
+                self._engine = ParallelStarAligner(
+                    self.aligner.index,
+                    self.aligner.parameters,
+                    workers=self.config.workers,
+                    batch_size=self.config.align_batch_size,
+                ).start()
+            return self._engine
+
+    def close(self) -> None:
+        """Release the worker pool and shared-memory blocks (idempotent)."""
+        with self._engine_lock:
+            if self._engine is not None:
+                self._engine.close()
+                self._engine = None
+
+    def __enter__(self) -> "TranscriptomicsAtlasPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- single accession --------------------------------------------------
 
     def run_accession(self, accession: str) -> PipelineResult:
         """Execute all four steps for one accession."""
+        result = self._execute_accession(accession)
+        self.results.append(result)
+        return result
+
+    def _execute_accession(self, accession: str) -> PipelineResult:
+        """All four steps, without touching shared pipeline state."""
         cfg = self.config
         work = self.workspace / accession
         work.mkdir(parents=True, exist_ok=True)
@@ -142,20 +200,25 @@ class TranscriptomicsAtlasPipeline:
             else None
         )
         hook = monitor.hook if monitor is not None else None
+        engine = self._get_engine()
         trim_stats = None
         if paired:
-            from repro.align.paired import PairedStarAligner
-
             mate1 = list(iter_fastq(fastq_path))
             mate2 = list(iter_fastq(fastq_path_2))
-            star_result = PairedStarAligner(self.aligner).run(
-                mate1, mate2, monitor=hook
-            )
+            if engine is not None:
+                star_result = engine.run_paired(mate1, mate2, monitor=hook)
+            else:
+                from repro.align.paired import PairedStarAligner
+
+                star_result = PairedStarAligner(self.aligner).run(
+                    mate1, mate2, monitor=hook
+                )
         else:
             records = list(iter_fastq(fastq_path))
             if cfg.trim is not None:
                 records, trim_stats = ReadTrimmer(cfg.trim).trim(records)
-            star_result = self.aligner.run(
+            aligner = engine if engine is not None else self.aligner
+            star_result = aligner.run(
                 records,
                 monitor=hook,
                 out_dir=(work / "star") if cfg.write_outputs else None,
@@ -189,12 +252,28 @@ class TranscriptomicsAtlasPipeline:
             trim_stats=trim_stats,
             paired=paired,
         )
-        self.results.append(result)
         return result
 
-    def run_batch(self, accessions: list[str]) -> list[PipelineResult]:
-        """Run several accessions sequentially (one instance's view)."""
-        return [self.run_accession(a) for a in accessions]
+    def run_batch(
+        self, accessions: list[str], *, max_parallel: int = 1
+    ) -> list[PipelineResult]:
+        """Run several accessions (one instance's view).
+
+        ``max_parallel > 1`` overlaps accessions with a thread pool: the
+        prefetch/dump steps are I/O-shaped and the alignment step hands
+        its CPU work to the engine's worker *processes*, so threads only
+        coordinate.  Results (and ``self.results``) keep the submission
+        order regardless of completion order, so downstream count
+        matrices are reproducible.
+        """
+        if max_parallel < 1:
+            raise ValueError("max_parallel must be >= 1")
+        if max_parallel == 1 or len(accessions) <= 1:
+            return [self.run_accession(a) for a in accessions]
+        with ThreadPoolExecutor(max_workers=max_parallel) as pool:
+            results = list(pool.map(self._execute_accession, accessions))
+        self.results.extend(results)
+        return results
 
     # -- step 4: joint normalization -----------------------------------------
 

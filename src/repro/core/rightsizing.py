@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.align.index import GenomeIndex
 from repro.cloud.ec2 import InstanceType, cheapest_fitting, instance_type
 from repro.genome.ensembl import EnsemblRelease, ReleaseSpec, release_spec
 from repro.perf.index_model import IndexModel
@@ -60,6 +61,27 @@ class RightSizingAdvisor:
         """RAM needed: index resident in shared memory plus working set."""
         return self.index_model.memory_required_bytes(
             spec, overhead=self.memory_overhead_bytes
+        )
+
+    def measured_memory_required(self, index: GenomeIndex) -> Bytes:
+        """RAM budget for running the in-process aligner on a *concrete* index.
+
+        Unlike :meth:`memory_required` (the paper-calibrated analytic
+        model), this accounts the measured index plus the per-process
+        search context the aligner builds before its first query — the
+        number a too-small instance actually OOMs against.
+        """
+        return (
+            index.size_bytes(include_search_context=True)
+            + self.memory_overhead_bytes
+        )
+
+    def measured_instance(self, index: GenomeIndex) -> InstanceType:
+        """Cheapest instance whose RAM fits :meth:`measured_memory_required`."""
+        return cheapest_fitting(
+            self.measured_memory_required(index),
+            family=self.family,
+            min_vcpus=self.min_vcpus,
         )
 
     def init_overhead_seconds(self, spec: ReleaseSpec) -> Duration:

@@ -1,0 +1,276 @@
+"""Parallel engine tests: serial/parallel equivalence, shm lifecycle, abort.
+
+The equivalence tests pin the clock (``lambda: 0.0``) so every rendered
+artifact — Log.final.out, ReadsPerGene.out.tab, SAM — must be *byte*
+identical between the serial aligner and the multiprocess engine.
+"""
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.align.engine import (
+    ParallelStarAligner,
+    SharedIndexBlocks,
+    attach_shared_index,
+)
+from repro.align.paired import PairedParameters, PairedStarAligner
+from repro.align.sam import write_paired_sam
+from repro.align.star import StarAligner, StarParameters
+from repro.core.early_stopping import EarlyStoppingPolicy, EarlyStopMonitor
+from repro.reads.library import LibraryType
+from repro.reads.paired import PairedProfile, simulate_paired
+
+
+def frozen() -> float:
+    return 0.0
+
+
+@pytest.fixture(scope="module")
+def engine(index_r111):
+    """One 2-worker engine shared by the module (pool start is the slow part)."""
+    with ParallelStarAligner(
+        index_r111,
+        StarParameters(progress_every=50),
+        workers=2,
+        batch_size=64,
+        paired_parameters=PairedParameters(progress_every=50),
+    ) as eng:
+        yield eng
+
+
+@pytest.fixture(scope="module")
+def paired_sample(simulator):
+    return simulate_paired(
+        simulator,
+        PairedProfile(
+            LibraryType.BULK_POLYA,
+            n_pairs=120,
+            read_length=70,
+            insert_mean=250,
+            insert_sd=30,
+        ),
+        rng=9,
+    )
+
+
+class TestSerialParallelEquivalence:
+    def test_single_end_byte_identical(
+        self, engine, aligner_r111, bulk_sample, sc_sample, index_r111, tmp_path
+    ):
+        # mixed corpus: well-mapping bulk reads plus poorly-mapping 3' reads
+        records = list(bulk_sample.records) + list(sc_sample.records)
+        serial = aligner_r111.run(records, clock=frozen)
+        par = engine.run(records, clock=frozen)
+
+        assert par.outcomes == serial.outcomes
+        assert par.progress == serial.progress
+        assert par.final.to_text() == serial.final.to_text()
+        assert par.gene_counts.to_tab() == serial.gene_counts.to_tab()
+
+        serial.write_sam(records, index_r111, tmp_path / "serial.sam")
+        par.write_sam(records, index_r111, tmp_path / "par.sam")
+        assert (tmp_path / "par.sam").read_bytes() == (
+            tmp_path / "serial.sam"
+        ).read_bytes()
+
+    def test_paired_byte_identical(
+        self, engine, aligner_r111, paired_sample, index_r111, tmp_path
+    ):
+        mate1, mate2 = paired_sample.mate1, paired_sample.mate2
+        serial = PairedStarAligner(
+            aligner_r111, PairedParameters(progress_every=50)
+        ).run(mate1, mate2, clock=frozen)
+        par = engine.run_paired(mate1, mate2, clock=frozen)
+
+        assert par.outcomes == serial.outcomes
+        assert par.progress == serial.progress
+        assert par.final.to_text() == serial.final.to_text()
+        assert par.gene_counts.to_tab() == serial.gene_counts.to_tab()
+
+        write_paired_sam(
+            mate1, mate2, serial.outcomes, index_r111, tmp_path / "serial.sam"
+        )
+        write_paired_sam(
+            mate1, mate2, par.outcomes, index_r111, tmp_path / "par.sam"
+        )
+        assert (tmp_path / "par.sam").read_bytes() == (
+            tmp_path / "serial.sam"
+        ).read_bytes()
+
+    def test_early_stopped_run_identical(
+        self, engine, aligner_r111, bulk_sample, index_r111, tmp_path
+    ):
+        # an unreachable threshold forces the monitor to abort mid-run
+        policy = EarlyStoppingPolicy(
+            mapping_threshold=0.99, check_fraction=0.1, min_reads=10
+        )
+        records = bulk_sample.records
+        serial = aligner_r111.run(
+            records, monitor=EarlyStopMonitor(policy=policy).hook, clock=frozen
+        )
+        assert serial.aborted  # precondition: the policy really fires
+
+        seen: list[int] = []
+        hook = EarlyStopMonitor(policy=policy).hook
+
+        def recording_hook(rec):
+            seen.append(rec.reads_processed)
+            return hook(rec)
+
+        par = engine.run(records, monitor=recording_hook, clock=frozen)
+
+        assert par.aborted
+        assert par.outcomes == serial.outcomes
+        assert par.progress == serial.progress
+        assert par.final.to_text() == serial.final.to_text()
+        assert par.gene_counts.to_tab() == serial.gene_counts.to_tab()
+        # the monitor saw merged snapshots in read order, serial cadence
+        assert seen == [r.reads_processed for r in serial.progress]
+
+        # an aborted run still writes the processed prefix's SAM
+        serial.write_sam(records, index_r111, tmp_path / "serial.sam")
+        par.write_sam(records, index_r111, tmp_path / "par.sam")
+        assert (tmp_path / "par.sam").read_bytes() == (
+            tmp_path / "serial.sam"
+        ).read_bytes()
+
+    def test_early_stopped_paired_identical(
+        self, engine, aligner_r111, paired_sample
+    ):
+        mate1, mate2 = paired_sample.mate1, paired_sample.mate2
+        policy = EarlyStoppingPolicy(
+            mapping_threshold=0.99, check_fraction=0.1, min_reads=10
+        )
+        serial = PairedStarAligner(
+            aligner_r111, PairedParameters(progress_every=50)
+        ).run(mate1, mate2, monitor=EarlyStopMonitor(policy=policy).hook, clock=frozen)
+        par = engine.run_paired(
+            mate1, mate2, monitor=EarlyStopMonitor(policy=policy).hook, clock=frozen
+        )
+        assert serial.aborted and par.aborted
+        assert par.outcomes == serial.outcomes
+        assert par.progress == serial.progress
+        assert par.final.to_text() == serial.final.to_text()
+
+    def test_empty_corpus(self, engine, aligner_r111):
+        serial = aligner_r111.run([], clock=frozen)
+        par = engine.run([], clock=frozen)
+        assert par.outcomes == serial.outcomes == []
+        assert par.progress == serial.progress
+        assert par.final.to_text() == serial.final.to_text()
+
+    @pytest.mark.parametrize("batch_size", [1, 7])
+    def test_batch_boundaries(
+        self, index_r111, aligner_r111, bulk_sample, batch_size
+    ):
+        # batch sizes that do not divide the corpus (and progress_every)
+        records = bulk_sample.records[:60]
+        serial = aligner_r111.run(records, clock=frozen)
+        with ParallelStarAligner(
+            index_r111,
+            StarParameters(progress_every=50),
+            workers=2,
+            batch_size=batch_size,
+        ) as eng:
+            par = eng.run(records, clock=frozen)
+        assert par.outcomes == serial.outcomes
+        assert par.progress == serial.progress
+        assert par.gene_counts.to_tab() == serial.gene_counts.to_tab()
+
+
+class TestAbortAndReuse:
+    def test_abort_then_reuse(self, engine, aligner_r111, bulk_sample):
+        records = bulk_sample.records
+        always_abort = lambda rec: False  # noqa: E731
+        serial = aligner_r111.run(records, monitor=always_abort, clock=frozen)
+        par = engine.run(records, monitor=always_abort, clock=frozen)
+        assert par.aborted
+        assert par.outcomes == serial.outcomes
+        assert par.final.to_text() == serial.final.to_text()
+
+        # the pool survives the abort: a fresh full run on the same engine
+        full_serial = aligner_r111.run(records, clock=frozen)
+        full_par = engine.run(records, clock=frozen)
+        assert full_par.outcomes == full_serial.outcomes
+        assert full_par.final.to_text() == full_serial.final.to_text()
+
+
+class TestSharedMemoryLifecycle:
+    def test_blocks_released_after_close(self, index_r111, bulk_sample):
+        # two consecutive engine sessions in one process: each must release
+        # its segments on exit (no resource-tracker leaks, no stale names)
+        records = bulk_sample.records[:60]
+        for _ in range(2):
+            eng = ParallelStarAligner(
+                index_r111, StarParameters(progress_every=50), workers=2
+            )
+            with eng:
+                spec = eng._blocks.spec
+                assert eng.shared_bytes >= index_r111.n_bases * 9
+                eng.run(records, clock=frozen)
+            assert eng.shared_bytes == 0
+            for name in (spec.genome_block, spec.suffix_block):
+                with pytest.raises(FileNotFoundError):
+                    shared_memory.SharedMemory(name=name)
+
+    def test_blocks_close_idempotent(self, index_r111):
+        blocks = SharedIndexBlocks(index_r111)
+        assert not blocks.closed
+        blocks.close()
+        blocks.close()
+        assert blocks.closed
+
+    def test_attach_is_zero_copy_and_equivalent(
+        self, index_r111, aligner_r111, bulk_sample
+    ):
+        blocks = SharedIndexBlocks(index_r111)
+        attached, handles = attach_shared_index(blocks.spec)
+        try:
+            # views borrow the shm buffers, they do not own copies
+            assert not attached.genome.flags.owndata
+            assert not attached.suffix_array.flags.owndata
+            assert np.array_equal(attached.genome, index_r111.genome)
+            assert np.array_equal(
+                attached.suffix_array, index_r111.suffix_array
+            )
+            worker = StarAligner(attached, aligner_r111.parameters)
+            for record in bulk_sample.records[:5]:
+                assert worker.align_read(record) == aligner_r111.align_read(
+                    record
+                )
+        finally:
+            # drop the numpy views before closing the exporting segments
+            del worker, attached
+            for shm in handles:
+                shm.close()
+            blocks.close()
+
+
+class TestValidation:
+    def test_bad_constructor_args(self, index_r111):
+        with pytest.raises(ValueError):
+            ParallelStarAligner(index_r111, workers=0)
+        with pytest.raises(ValueError):
+            ParallelStarAligner(index_r111, batch_size=0)
+
+    def test_unequal_mate_lists_rejected(self, engine, paired_sample):
+        with pytest.raises(ValueError):
+            engine.run_paired(paired_sample.mate1, paired_sample.mate2[:-1])
+
+    def test_run_starts_lazily_and_close_releases(
+        self, index_r111, aligner_r111, bulk_sample
+    ):
+        records = bulk_sample.records[:50]
+        eng = ParallelStarAligner(
+            index_r111, StarParameters(progress_every=50), workers=2
+        )
+        assert eng.shared_bytes == 0  # nothing published before first run
+        try:
+            par = eng.run(records, clock=frozen)
+        finally:
+            eng.close()
+        serial = aligner_r111.run(records, clock=frozen)
+        assert par.outcomes == serial.outcomes
+        assert eng.shared_bytes == 0

@@ -39,6 +39,18 @@ class TestCoordinates:
         with pytest.raises(IndexError):
             small_index.to_absolute("1", 10)
 
+    def test_to_absolute_unknown_contig(self, small_index):
+        with pytest.raises(ValueError, match="mini"):
+            small_index.to_absolute("chrMT", 0)
+
+    def test_to_absolute_matches_offsets_table(self, small_index):
+        # the cached name->ordinal map must agree with a linear scan
+        for ordinal, name in enumerate(small_index.names):
+            assert (
+                small_index.to_absolute(name, 0)
+                == small_index.offsets[ordinal]
+            )
+
     def test_span_within_contig(self, small_index):
         assert small_index.span_within_contig(0, 10)
         assert not small_index.span_within_contig(5, 10)  # crosses boundary
@@ -71,6 +83,12 @@ class TestSize:
         ratio = index_r108.size_bytes() / index_r111.size_bytes()
         genome_ratio = index_r108.n_bases / index_r111.n_bases
         assert ratio == pytest.approx(genome_ratio, rel=0.02)
+
+    def test_search_context_accounting(self, small_index):
+        base = small_index.size_bytes()
+        full = small_index.size_bytes(include_search_context=True)
+        # bytes-genome copy (1 B/base) + list slots and int objects (8+32)
+        assert full - base == 41 * small_index.n_bases
 
 
 class TestPersistence:

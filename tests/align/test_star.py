@@ -54,6 +54,15 @@ class TestSingleRead:
         assert outcome.status is AlignmentStatus.UNIQUE
         assert outcome.mismatches == 1
 
+    def test_zero_length_read_unmapped(self, aligner_r111):
+        # aggressive trimming can leave empty reads; they must classify
+        # as UNMAPPED instead of crashing the seed search
+        outcome = aligner_r111.align_read(
+            as_record(np.array([], dtype=np.uint8), "empty")
+        )
+        assert outcome.status is AlignmentStatus.UNMAPPED
+        assert outcome.read_id == "empty"
+
     def test_random_read_unmapped(self, aligner_r111):
         rng = np.random.default_rng(0)
         read = rng.integers(0, 4, size=80).astype(np.uint8)

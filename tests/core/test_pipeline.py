@@ -222,3 +222,66 @@ class TestPairedAccession:
         result = pipeline.run_accession("SRRPE901")
         assert result.paired
         assert result.status is RunStatus.REJECTED_EARLY
+
+
+class TestParallelPipeline:
+    ACCESSIONS = ["SRR1000001", "SRR1000002", "SRR1000003"]
+
+    def test_workers_config_validated(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(workers=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(align_batch_size=0)
+
+    def test_parallel_matches_serial(
+        self, repository, aligner_r111, tmp_path
+    ):
+        serial = TranscriptomicsAtlasPipeline(
+            repository,
+            aligner_r111,
+            tmp_path / "serial",
+            config=PipelineConfig(early_stopping=EarlyStoppingPolicy(min_reads=20)),
+        )
+        serial_results = serial.run_batch(self.ACCESSIONS)
+
+        with TranscriptomicsAtlasPipeline(
+            repository,
+            aligner_r111,
+            tmp_path / "par",
+            config=PipelineConfig(
+                early_stopping=EarlyStoppingPolicy(min_reads=20), workers=2
+            ),
+        ) as parallel:
+            par_results = parallel.run_batch(self.ACCESSIONS, max_parallel=2)
+
+        assert [r.accession for r in par_results] == self.ACCESSIONS
+        assert parallel.results == par_results  # submission order kept
+        for s, p in zip(serial_results, par_results):
+            assert p.status is s.status
+            assert p.counts == s.counts
+            assert p.star_result.outcomes == s.star_result.outcomes
+            assert (
+                p.star_result.final.mapped_unique
+                == s.star_result.final.mapped_unique
+            )
+
+    def test_engine_shared_across_accessions_and_closed(
+        self, repository, aligner_r111, tmp_path
+    ):
+        pipeline = TranscriptomicsAtlasPipeline(
+            repository,
+            aligner_r111,
+            tmp_path,
+            config=PipelineConfig(
+                early_stopping=EarlyStoppingPolicy(min_reads=20), workers=2
+            ),
+        )
+        pipeline.run_accession("SRR1000001")
+        engine = pipeline._engine
+        assert engine is not None and engine.shared_bytes > 0
+        pipeline.run_accession("SRR1000002")
+        assert pipeline._engine is engine  # one publication per pipeline
+        pipeline.close()
+        assert pipeline._engine is None
+        assert engine.shared_bytes == 0
+        pipeline.close()  # idempotent

@@ -39,6 +39,22 @@ class TestRecommend:
         assert choice.memory_required_bytes > choice.index_bytes
 
 
+class TestMeasured:
+    def test_measured_memory_includes_search_context(self, advisor, index_r111):
+        measured = advisor.measured_memory_required(index_r111)
+        assert measured == (
+            index_r111.size_bytes(include_search_context=True)
+            + advisor.memory_overhead_bytes
+        )
+        assert measured > index_r111.size_bytes() + advisor.memory_overhead_bytes
+
+    def test_measured_instance_fits(self, advisor, index_r111):
+        instance = advisor.measured_instance(index_r111)
+        assert instance.memory_gib * 2**30 >= advisor.measured_memory_required(
+            index_r111
+        )
+
+
 class TestFixedInstance:
     def test_paper_instance_hosts_both(self, advisor):
         for release in (108, 111):
