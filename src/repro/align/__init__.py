@@ -17,6 +17,14 @@ paper's optimizations touch:
   conclusions note — does *not* expose a progress mapping rate.
 """
 
+from repro.align.backend import (
+    AlignerBackend,
+    EngineBackend,
+    PairedAlignerBackend,
+    ReadBatch,
+    SerialAlignerBackend,
+    resolve_backend,
+)
 from repro.align.counts import GeneCounts, GeneCountsPartial, STRAND_COLUMNS
 from repro.align.engine import (
     ParallelStarAligner,
@@ -33,6 +41,7 @@ from repro.align.paired import (
     PairedStarAligner,
     PairStatus,
 )
+from repro.align.outcome import AlignmentOutcome
 from repro.align.pseudo import PseudoAligner, PseudoIndex
 from repro.align.sam import (
     SamRecord,
@@ -44,8 +53,8 @@ from repro.align.sam import (
 )
 from repro.align.seeds import SeedHit, maximal_mappable_prefix
 from repro.align.star import (
-    AlignmentOutcome,
     AlignmentStatus,
+    ReadAlignment,
     RunAborted,
     StarAligner,
     StarParameters,
@@ -54,12 +63,15 @@ from repro.align.star import (
 from repro.align.suffix_array import build_suffix_array, sa_search
 
 __all__ = [
+    "AlignerBackend",
     "AlignmentOutcome",
     "AlignmentStatus",
+    "EngineBackend",
     "GeneCounts",
     "GeneCountsPartial",
     "GenomeIndex",
     "PairStatus",
+    "PairedAlignerBackend",
     "PairedOutcome",
     "PairedParameters",
     "PairedRunResult",
@@ -67,11 +79,14 @@ __all__ = [
     "ParallelStarAligner",
     "PseudoAligner",
     "PseudoIndex",
+    "ReadAlignment",
+    "ReadBatch",
     "RunAborted",
     "STRAND_COLUMNS",
     "SamRecord",
     "ScoringParams",
     "SeedHit",
+    "SerialAlignerBackend",
     "SharedIndexBlocks",
     "SharedIndexSpec",
     "StarAligner",
@@ -82,6 +97,7 @@ __all__ = [
     "genome_generate",
     "maximal_mappable_prefix",
     "parse_sam",
+    "resolve_backend",
     "sa_search",
     "to_paired_sam_lines",
     "to_sam_line",

@@ -1,0 +1,165 @@
+"""One aligner-backend interface over the three ways a run can execute.
+
+The pipeline used to branch inline over serial single-end
+(:class:`~repro.align.star.StarAligner`), serial paired
+(:class:`~repro.align.paired.PairedStarAligner`), and the shared-memory
+engine (:class:`~repro.align.engine.ParallelStarAligner`) — three call
+shapes to wrap every time a cross-cutting concern (retries, fault
+injection, timing) touched the STAR step.  :class:`AlignerBackend`
+collapses them to a single ``align(reads) -> AlignmentOutcome`` surface,
+and :func:`resolve_backend` is the one place that knows which concrete
+backend a given accession should use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+from repro.align.paired import PairedStarAligner
+
+if TYPE_CHECKING:
+    from repro.align.engine import ParallelStarAligner
+    from repro.align.outcome import AlignmentOutcome
+    from repro.align.star import ProgressMonitorHook, StarAligner
+    from repro.reads.fastq import FastqRecord
+
+__all__ = [
+    "AlignerBackend",
+    "EngineBackend",
+    "PairedAlignerBackend",
+    "ReadBatch",
+    "SerialAlignerBackend",
+    "resolve_backend",
+]
+
+
+@dataclass(frozen=True)
+class ReadBatch:
+    """One accession's reads: single-end records, or both mate lists."""
+
+    records: list[FastqRecord]
+    mate2: list[FastqRecord] | None = None
+
+    @property
+    def paired(self) -> bool:
+        return self.mate2 is not None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __post_init__(self) -> None:
+        if self.mate2 is not None and len(self.mate2) != len(self.records):
+            raise ValueError("mate lists must have equal length")
+
+
+@runtime_checkable
+class AlignerBackend(Protocol):
+    """Anything that can run one accession's alignment end to end."""
+
+    #: short label used in failure records and reports
+    name: str
+
+    def align(
+        self,
+        reads: ReadBatch,
+        *,
+        monitor: ProgressMonitorHook | None = None,
+        out_dir: Path | str | None = None,
+    ) -> AlignmentOutcome:
+        """Align ``reads``; honour the monitor's abort, write outputs if asked."""
+        ...
+
+
+class SerialAlignerBackend:
+    """In-process single-end alignment via :class:`StarAligner`."""
+
+    name = "serial"
+
+    def __init__(self, aligner: StarAligner) -> None:
+        self.aligner = aligner
+
+    def align(
+        self,
+        reads: ReadBatch,
+        *,
+        monitor: ProgressMonitorHook | None = None,
+        out_dir: Path | str | None = None,
+    ) -> AlignmentOutcome:
+        if reads.paired:
+            raise ValueError("serial single-end backend got paired reads")
+        return self.aligner.run(reads.records, monitor=monitor, out_dir=out_dir)
+
+
+class PairedAlignerBackend:
+    """In-process paired-end alignment via :class:`PairedStarAligner`.
+
+    ``out_dir`` is accepted for interface uniformity but unused: paired
+    runs keep their results in memory, as the pipeline always has.
+    """
+
+    name = "paired"
+
+    def __init__(self, paired_aligner: PairedStarAligner) -> None:
+        self.paired_aligner = paired_aligner
+
+    def align(
+        self,
+        reads: ReadBatch,
+        *,
+        monitor: ProgressMonitorHook | None = None,
+        out_dir: Path | str | None = None,
+    ) -> AlignmentOutcome:
+        if not reads.paired:
+            raise ValueError("paired backend got single-end reads")
+        assert reads.mate2 is not None
+        return self.paired_aligner.run(reads.records, reads.mate2, monitor=monitor)
+
+
+class EngineBackend:
+    """Shared-memory multi-process alignment via :class:`ParallelStarAligner`.
+
+    Handles both library layouts — the engine already exposes matching
+    ``run`` / ``run_paired`` entry points.
+    """
+
+    name = "engine"
+
+    def __init__(self, engine: ParallelStarAligner) -> None:
+        self.engine = engine
+
+    def align(
+        self,
+        reads: ReadBatch,
+        *,
+        monitor: ProgressMonitorHook | None = None,
+        out_dir: Path | str | None = None,
+    ) -> AlignmentOutcome:
+        if reads.paired:
+            assert reads.mate2 is not None
+            return self.engine.run_paired(reads.records, reads.mate2, monitor=monitor)
+        return self.engine.run(reads.records, monitor=monitor, out_dir=out_dir)
+
+
+def resolve_backend(
+    config: Any,
+    aligner: StarAligner,
+    engine: ParallelStarAligner | None = None,
+    *,
+    paired: bool = False,
+) -> AlignerBackend:
+    """Pick the backend for one accession.
+
+    ``config`` is the pipeline-level options bundle (duck-typed so this
+    module stays import-light); backend-selection knobs added there are
+    honoured here, keeping call sites branch-free.  A live ``engine``
+    wins (it serves both layouts from one worker pool); otherwise the
+    library layout picks the serial backend.
+    """
+    if engine is not None:
+        return EngineBackend(engine)
+    if paired:
+        parameters = getattr(config, "paired_parameters", None)
+        return PairedAlignerBackend(PairedStarAligner(aligner, parameters))
+    return SerialAlignerBackend(aligner)

@@ -27,13 +27,16 @@ yet dispatched, and abandons the (bounded) in-flight window.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import signal
+import threading
 import time
 import weakref
 from collections import deque
 from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from multiprocessing.pool import AsyncResult, Pool
+from multiprocessing.pool import TERMINATE, AsyncResult, Pool
 from pathlib import Path
 
 import numpy as np
@@ -49,7 +52,7 @@ from repro.align.paired import (
 )
 from repro.align.progress import FinalLogStats, ProgressRecord
 from repro.align.star import (
-    AlignmentOutcome,
+    ReadAlignment,
     AlignmentStatus,
     ProgressMonitorHook,
     StarAligner,
@@ -60,6 +63,7 @@ from repro.genome.annotation import Annotation
 from repro.reads.fastq import FastqRecord
 
 __all__ = [
+    "EngineHealth",
     "ParallelStarAligner",
     "SharedIndexBlocks",
     "SharedIndexSpec",
@@ -213,11 +217,14 @@ def _quant_enabled(aligner: StarAligner) -> bool:
     )
 
 
-def _align_batch(
-    records: list[FastqRecord],
-) -> tuple[list[AlignmentOutcome], GeneCountsPartial | None]:
-    """Align one single-end batch; returns outcomes + a counts partial."""
-    aligner: StarAligner = _WORKER["aligner"]
+def _align_records(
+    aligner: StarAligner, records: list[FastqRecord]
+) -> tuple[list[ReadAlignment], GeneCountsPartial | None]:
+    """Align one single-end batch with a given aligner (pure; no globals).
+
+    Shared by pool workers and the parent's serial fallback, so a batch
+    produces identical results wherever it runs.
+    """
     counts = (
         GeneCounts(aligner.index.annotation) if _quant_enabled(aligner) else None
     )
@@ -230,11 +237,11 @@ def _align_batch(
     return outcomes, counts.to_partial() if counts is not None else None
 
 
-def _align_batch_paired(
+def _align_pairs(
+    paired: PairedStarAligner,
     batch: tuple[list[FastqRecord], list[FastqRecord]],
 ) -> tuple[list[PairedOutcome], GeneCountsPartial | None]:
-    """Align one paired batch; returns pair outcomes + a counts partial."""
-    paired: PairedStarAligner = _WORKER["paired"]
+    """Align one paired batch with a given paired aligner (pure; no globals)."""
     quant = (
         paired.parameters.quant_gene_counts
         and paired.aligner.index.annotation is not None
@@ -249,7 +256,21 @@ def _align_batch_paired(
     return outcomes, counts.to_partial() if counts is not None else None
 
 
-def _count_outcome(counts: GeneCounts, outcome: AlignmentOutcome) -> None:
+def _align_batch(
+    records: list[FastqRecord],
+) -> tuple[list[ReadAlignment], GeneCountsPartial | None]:
+    """Pool entry point: align one single-end batch with the worker aligner."""
+    return _align_records(_WORKER["aligner"], records)
+
+
+def _align_batch_paired(
+    batch: tuple[list[FastqRecord], list[FastqRecord]],
+) -> tuple[list[PairedOutcome], GeneCountsPartial | None]:
+    """Pool entry point: align one paired batch with the worker aligner."""
+    return _align_pairs(_WORKER["paired"], batch)
+
+
+def _count_outcome(counts: GeneCounts, outcome: ReadAlignment) -> None:
     """The serial run loop's per-read GeneCounts bookkeeping, verbatim."""
     if outcome.status is AlignmentStatus.UNIQUE:
         counts.record_unique(list(outcome.blocks), outcome.strand)
@@ -285,6 +306,46 @@ def _count_paired_outcome(counts: GeneCounts, outcome: PairedOutcome) -> None:
 # --------------------------------------------------------------------------
 
 
+@dataclass
+class EngineHealth:
+    """Failure/recovery accounting for one engine's lifetime.
+
+    ``degraded`` flips when the worker pool became unusable and the
+    engine switched to computing batches serially in the parent — runs
+    still complete (identical output, serial speed).
+    """
+
+    worker_failures: int = 0
+    redispatched_batches: int = 0
+    serial_fallback_batches: int = 0
+    pool_restarts: int = 0
+    degraded: bool = False
+
+
+class _LocalResult:
+    """An already-computed batch result quacking like an AsyncResult."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def ready(self) -> bool:
+        return True
+
+    def get(self, timeout: float | None = None):
+        return self.value
+
+
+@dataclass
+class _Inflight:
+    """One dispatched batch: payload kept so it can be re-dispatched."""
+
+    payload: object
+    result: "AsyncResult | _LocalResult"
+    attempts: int = 1
+
+
 class ParallelStarAligner:
     """Multiprocess drop-in for :class:`~repro.align.star.StarAligner.run`.
 
@@ -311,11 +372,20 @@ class ParallelStarAligner:
         max_inflight: int | None = None,
         paired_parameters: PairedParameters | None = None,
         mp_context: str | None = None,
+        health_interval: float = 0.1,
+        max_batch_retries: int = 3,
+        stall_timeout: float = 5.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if health_interval <= 0:
+            raise ValueError("health_interval must be positive")
+        if max_batch_retries < 1:
+            raise ValueError("max_batch_retries must be >= 1")
+        if stall_timeout <= 0:
+            raise ValueError("stall_timeout must be positive")
         self.index = index
         self.parameters = parameters or StarParameters()
         self.paired_parameters = paired_parameters or PairedParameters()
@@ -323,36 +393,96 @@ class ParallelStarAligner:
         self.batch_size = batch_size
         self.max_inflight = max_inflight or 2 * workers
         self.mp_context = mp_context
+        #: how often the merge loop re-checks worker liveness while waiting
+        self.health_interval = health_interval
+        #: dispatch attempts per batch before it is computed in the parent
+        self.max_batch_retries = max_batch_retries
+        #: after a worker failure, how long re-dispatched work may sit
+        #: with no completions before the pool is declared wedged
+        self.stall_timeout = stall_timeout
+        self.health = EngineHealth()
         self._blocks: SharedIndexBlocks | None = None
         self._pool: Pool | None = None
+        self._worker_pids: set[int] = set()
+        self._local: StarAligner | None = None
+        self._local_paired: PairedStarAligner | None = None
+        #: a worker was killed/lost since the last (re)start — arms the
+        #: stall detector (healthy pools never pay stall bookkeeping)
+        self._suspect = False
+        self._dispatch_lock = threading.Lock()
+        self._active_runs = 0
 
     # -- lifecycle -----------------------------------------------------------
+
+    def _spawn_pool(self) -> Pool:
+        """Create a worker pool attached to the already-published blocks."""
+        ctx = mp.get_context(self.mp_context)
+        return ctx.Pool(
+            processes=self.workers,
+            initializer=_init_worker,
+            initargs=(
+                self._blocks.spec,
+                self.parameters,
+                self.paired_parameters,
+            ),
+        )
 
     def start(self) -> "ParallelStarAligner":
         """Publish the index and spin up the worker pool (idempotent)."""
         if self._pool is None:
             self._blocks = SharedIndexBlocks(self.index)
-            ctx = mp.get_context(self.mp_context)
-            self._pool = ctx.Pool(
-                processes=self.workers,
-                initializer=_init_worker,
-                initargs=(
-                    self._blocks.spec,
-                    self.parameters,
-                    self.paired_parameters,
-                ),
-            )
+            self._pool = self._spawn_pool()
+            self._worker_pids = {p.pid for p in self._pool._pool}
+            self._suspect = False
         return self
+
+    def _teardown_pool(self, pool: Pool) -> None:
+        """Terminate a pool, surviving SIGKILLed workers.
+
+        A worker SIGKILLed mid-queue-operation dies *holding* whichever
+        POSIX semaphore it had acquired (process death does not release
+        them) and may leave a half-read byte stream in the task pipe, so
+        every graceful path through ``Pool.terminate`` — the task-queue
+        drain, the result-queue sentinel put — can block forever on a
+        lock no live process will ever release.  When any worker was
+        lost, bypass the graceful machinery entirely: defuse the
+        finalizer (it would rerun — and hang — the same drain at
+        interpreter exit), stop the maintenance threads, and SIGKILL
+        what's left.  Handler threads are daemons, so any parked on a
+        dead semaphore are simply abandoned with the pool.
+        """
+        if not self._suspect and all(p.is_alive() for p in pool._pool):
+            pool.terminate()
+            pool.join()
+            return
+        pool._terminate.cancel()
+        for handler in (
+            pool._worker_handler,
+            pool._task_handler,
+            pool._result_handler,
+        ):
+            handler._state = TERMINATE
+        try:
+            pool._change_notifier.put(None)
+        except Exception:
+            pass
+        pool._worker_handler.join(timeout=1.0)
+        for proc in pool._pool:
+            if proc.is_alive():
+                proc.kill()
+        for proc in pool._pool:
+            proc.join(timeout=1.0)
 
     def close(self) -> None:
         """Tear down the pool and release the shared-memory blocks."""
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            self._teardown_pool(self._pool)
             self._pool = None
         if self._blocks is not None:
             self._blocks.close()
             self._blocks = None
+        self._worker_pids = set()
+        self._suspect = False
 
     def __enter__(self) -> "ParallelStarAligner":
         return self.start()
@@ -365,7 +495,189 @@ class ParallelStarAligner:
         """Bytes currently published to shared memory (0 when stopped)."""
         return self._blocks.nbytes if self._blocks is not None else 0
 
+    # -- fault injection / introspection ---------------------------------------
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of currently live pool workers (empty when stopped)."""
+        if self._pool is None:
+            return []
+        return [p.pid for p in self._pool._pool if p.is_alive()]
+
+    def kill_worker(self, index: int = 0) -> int:
+        """SIGKILL one live worker (chaos testing); returns its pid.
+
+        The merge loop notices the death, re-dispatches whatever that
+        worker had in flight, and keeps going — callers observe nothing
+        but latency.
+        """
+        pids = self.start().worker_pids()
+        if not pids:
+            raise RuntimeError("no live workers to kill")
+        pid = pids[index % len(pids)]
+        os.kill(pid, signal.SIGKILL)
+        # arm the stall detector: depending on what the worker was doing
+        # when it died, the pool may be wedged rather than self-healing
+        self._suspect = True
+        return pid
+
     # -- dispatch ------------------------------------------------------------
+
+    def _local_aligner(self) -> StarAligner:
+        """The parent-process serial aligner used for fallback batches."""
+        if self._local is None:
+            self._local = StarAligner(self.index, self.parameters)
+        return self._local
+
+    def _local_paired_aligner(self) -> PairedStarAligner:
+        if self._local_paired is None:
+            self._local_paired = PairedStarAligner(
+                self._local_aligner(), self.paired_parameters
+            )
+        return self._local_paired
+
+    def _local_equivalent(self, fn: Callable) -> Callable:
+        """The in-parent function computing exactly what ``fn`` computes
+        in a worker — same pure batch helper, different aligner instance,
+        byte-identical results."""
+        if fn is _align_batch:
+            return lambda payload: _align_records(self._local_aligner(), payload)
+        return lambda payload: _align_pairs(self._local_paired_aligner(), payload)
+
+    def _workers_changed(self) -> bool:
+        """True when the worker set lost a member since the last snapshot."""
+        if self._pool is None:
+            return True
+        procs = list(self._pool._pool)
+        pids = {p.pid for p in procs}
+        changed = pids != self._worker_pids or any(
+            not p.is_alive() for p in procs
+        )
+        if changed:
+            self._worker_pids = pids
+        return changed
+
+    def _submit(self, fn: Callable, local_fn: Callable, payload, attempts=1):
+        """Dispatch one batch to the pool, or compute it locally when
+        the engine is degraded / the pool refuses work."""
+        if not self.health.degraded and self._pool is not None:
+            try:
+                return _Inflight(
+                    payload, self._pool.apply_async(fn, (payload,)), attempts
+                )
+            except Exception:
+                self.health.degraded = True
+        self.health.serial_fallback_batches += 1
+        return _Inflight(payload, _LocalResult(local_fn(payload)), attempts)
+
+    def _recover_inflight(
+        self, fn: Callable, local_fn: Callable, inflight: "deque[_Inflight]"
+    ) -> None:
+        """A worker died: re-dispatch every batch not yet completed.
+
+        The pool auto-respawns workers (same initializer, so the shared
+        index re-attaches); a batch that keeps failing past
+        ``max_batch_retries`` is computed in the parent instead, and if
+        the pool refuses new work the engine degrades to serial-in-parent
+        for everything still pending.  Duplicate execution (the old task
+        may still complete elsewhere) is harmless — batches are pure, and
+        the superseded AsyncResult is simply never read.
+        """
+        self.health.worker_failures += 1
+        self._suspect = True
+        for entry in inflight:
+            if isinstance(entry.result, _LocalResult) or entry.result.ready():
+                continue
+            entry.attempts += 1
+            if entry.attempts > self.max_batch_retries or self.health.degraded:
+                self.health.serial_fallback_batches += 1
+                entry.result = _LocalResult(local_fn(entry.payload))
+                continue
+            try:
+                entry.result = self._pool.apply_async(fn, (entry.payload,))
+                self.health.redispatched_batches += 1
+            except Exception:
+                self.health.degraded = True
+                self.health.serial_fallback_batches += 1
+                entry.result = _LocalResult(local_fn(entry.payload))
+
+    def _localize_inflight(
+        self, local_fn: Callable, inflight: "deque[_Inflight]"
+    ) -> None:
+        """Compute every not-yet-ready in-flight batch in the parent."""
+        for entry in inflight:
+            if isinstance(entry.result, _LocalResult) or entry.result.ready():
+                continue
+            self.health.serial_fallback_batches += 1
+            entry.result = _LocalResult(local_fn(entry.payload))
+
+    def _degrade_pool(
+        self, local_fn: Callable, inflight: "deque[_Inflight]"
+    ) -> None:
+        """Declare the pool wedged: serial fallback for everything pending.
+
+        A worker SIGKILLed while blocked reading the shared task queue
+        dies holding the queue's read lock, which wedges the whole pool —
+        respawned workers block on the dead process's lock and no task is
+        ever picked up again.  Re-dispatch cannot fix that, so once
+        re-dispatched work stalls past ``stall_timeout`` the engine stops
+        trusting the pool: pending batches are computed in the parent
+        (identical output, serial speed) and the pool is rebuilt when the
+        last active run finishes.
+        """
+        self.health.degraded = True
+        self._localize_inflight(local_fn, inflight)
+
+    def _await_head(
+        self,
+        fn: Callable,
+        local_fn: Callable,
+        head: _Inflight,
+        inflight: "deque[_Inflight]",
+    ):
+        """Block until the oldest in-flight batch has a value.
+
+        Waits in ``health_interval`` slices: a timeout is the cue to
+        re-check worker liveness, because a batch whose worker was
+        SIGKILLed will never complete on its original AsyncResult.  After
+        a worker loss, time spent waiting with no completions and no
+        further worker churn accumulates toward ``stall_timeout``; hitting
+        it means the pool is wedged and the run degrades to serial.
+        """
+        stalled = 0.0
+        while True:
+            if isinstance(head.result, _LocalResult):
+                return head.result.value
+            try:
+                return head.result.get(timeout=self.health_interval)
+            except mp.TimeoutError:
+                with self._dispatch_lock:
+                    if self._workers_changed():
+                        self._recover_inflight(fn, local_fn, inflight)
+                        stalled = 0.0
+                        continue
+                    if self.health.degraded:
+                        # another run's merge loop already condemned the
+                        # pool; stop waiting on it immediately
+                        self._localize_inflight(local_fn, inflight)
+                        continue
+                    if self._suspect:
+                        stalled += self.health_interval
+                        if stalled >= self.stall_timeout:
+                            self._degrade_pool(local_fn, inflight)
+
+    def _restart_pool(self) -> None:
+        """Replace a wedged pool with a fresh one (call with lock held).
+
+        The shared-memory blocks outlive the pool, so the rebuild is just
+        process spawn + re-attach — the index is never re-published.
+        """
+        if self._pool is not None:
+            self._teardown_pool(self._pool)
+        self._pool = self._spawn_pool()
+        self._worker_pids = {p.pid for p in self._pool._pool}
+        self._suspect = False
+        self.health.degraded = False
+        self.health.pool_restarts += 1
 
     def _ordered_results(self, fn: Callable, payloads: list) -> Iterator:
         """Yield ``fn(payload)`` results in payload order.
@@ -373,17 +685,36 @@ class ParallelStarAligner:
         Keeps at most ``max_inflight`` batches dispatched.  If the caller
         stops consuming (early abort), the remaining payloads are never
         submitted and in-flight results are abandoned — the pool stays
-        usable for subsequent runs.
+        usable for subsequent runs.  Worker deaths are absorbed by
+        re-dispatch / serial fallback (see :meth:`_recover_inflight`), a
+        wedged pool by degradation (see :meth:`_degrade_pool`) — so the
+        stream of results is identical no matter what failed.  When the
+        pool was condemned, the last run to finish rebuilds it, keeping
+        the engine usable afterwards.
         """
-        pool = self.start()._pool
-        assert pool is not None
-        inflight: deque[AsyncResult] = deque()
-        nxt = 0
-        while nxt < len(payloads) or inflight:
-            while nxt < len(payloads) and len(inflight) < self.max_inflight:
-                inflight.append(pool.apply_async(fn, (payloads[nxt],)))
-                nxt += 1
-            yield inflight.popleft().get()
+        self.start()
+        local_fn = self._local_equivalent(fn)
+        with self._dispatch_lock:
+            self._active_runs += 1
+        try:
+            inflight: deque[_Inflight] = deque()
+            nxt = 0
+            while nxt < len(payloads) or inflight:
+                while nxt < len(payloads) and len(inflight) < self.max_inflight:
+                    inflight.append(self._submit(fn, local_fn, payloads[nxt]))
+                    nxt += 1
+                value = self._await_head(fn, local_fn, inflight[0], inflight)
+                inflight.popleft()
+                yield value
+        finally:
+            with self._dispatch_lock:
+                self._active_runs -= 1
+                if (
+                    self.health.degraded
+                    and self._active_runs == 0
+                    and self._pool is not None
+                ):
+                    self._restart_pool()
 
     # -- single-end ------------------------------------------------------------
 
@@ -402,7 +733,7 @@ class ParallelStarAligner:
         total = reads_total if reads_total is not None else len(records)
         started = clock()
 
-        outcomes: list[AlignmentOutcome] = []
+        outcomes: list[ReadAlignment] = []
         progress: list[ProgressRecord] = []
         quant = params.quant_gene_counts and self.index.annotation is not None
         counts = GeneCounts(self.index.annotation) if quant else None
@@ -424,41 +755,46 @@ class ParallelStarAligner:
             records[i : i + self.batch_size]
             for i in range(0, len(records), self.batch_size)
         ]
-        for batch, (batch_outcomes, partial) in zip(
-            batches, self._ordered_results(_align_batch, batches)
-        ):
-            consumed = 0
-            for record, outcome in zip(batch, batch_outcomes):
-                outcomes.append(outcome)
-                consumed += 1
-                if outcome.status is AlignmentStatus.UNIQUE:
-                    unique += 1
-                    if outcome.spliced:
-                        spliced_n += 1
-                    mismatch_bases += outcome.mismatches
-                    aligned_bases += record.length
-                elif outcome.status is AlignmentStatus.MULTIMAPPED:
-                    multi += 1
-                elif outcome.status is AlignmentStatus.TOO_MANY_LOCI:
-                    too_many += 1
-                else:
-                    unmapped += 1
-                if len(outcomes) % params.progress_every == 0:
-                    rec = snapshot()
-                    progress.append(rec)
-                    if monitor is not None and not monitor(rec):
-                        aborted = True
-                        break
-            if counts is not None:
-                if consumed == len(batch_outcomes) and partial is not None:
-                    counts.merge_partial(partial)
-                else:
-                    # the abort truncated this batch mid-way: recount just
-                    # the consumed prefix so counts match the serial run
-                    for outcome in batch_outcomes[:consumed]:
-                        _count_outcome(counts, outcome)
-            if aborted:
-                break
+        # closed explicitly so the pool-restart finalizer in
+        # _ordered_results runs before this method returns, not at GC time
+        results_iter = self._ordered_results(_align_batch, batches)
+        try:
+            for batch, (batch_outcomes, partial) in zip(batches, results_iter):
+                consumed = 0
+                for record, outcome in zip(batch, batch_outcomes):
+                    outcomes.append(outcome)
+                    consumed += 1
+                    if outcome.status is AlignmentStatus.UNIQUE:
+                        unique += 1
+                        if outcome.spliced:
+                            spliced_n += 1
+                        mismatch_bases += outcome.mismatches
+                        aligned_bases += record.length
+                    elif outcome.status is AlignmentStatus.MULTIMAPPED:
+                        multi += 1
+                    elif outcome.status is AlignmentStatus.TOO_MANY_LOCI:
+                        too_many += 1
+                    else:
+                        unmapped += 1
+                    if len(outcomes) % params.progress_every == 0:
+                        rec = snapshot()
+                        progress.append(rec)
+                        if monitor is not None and not monitor(rec):
+                            aborted = True
+                            break
+                if counts is not None:
+                    if consumed == len(batch_outcomes) and partial is not None:
+                        counts.merge_partial(partial)
+                    else:
+                        # the abort truncated this batch mid-way: recount
+                        # just the consumed prefix so counts match the
+                        # serial run
+                        for outcome in batch_outcomes[:consumed]:
+                            _count_outcome(counts, outcome)
+                if aborted:
+                    break
+        finally:
+            results_iter.close()
 
         final_snapshot = snapshot()
         if not progress or progress[-1].reads_processed != len(outcomes):
@@ -525,37 +861,39 @@ class ParallelStarAligner:
             (mate1[i : i + self.batch_size], mate2[i : i + self.batch_size])
             for i in range(0, total, self.batch_size)
         ]
-        for batch_outcomes, partial in self._ordered_results(
-            _align_batch_paired, batches
-        ):
-            consumed = 0
-            for outcome in batch_outcomes:
-                outcomes.append(outcome)
-                consumed += 1
-                if outcome.status is PairStatus.PROPER_PAIR:
-                    proper += 1
-                elif outcome.status is PairStatus.ONE_MATE:
-                    one_mate += 1
-                elif outcome.status is PairStatus.DISCORDANT:
-                    discordant += 1
-                elif outcome.status is PairStatus.MULTIMAPPED:
-                    multi += 1
-                else:
-                    unmapped += 1
-                if len(outcomes) % params.progress_every == 0:
-                    rec = snapshot()
-                    progress.append(rec)
-                    if monitor is not None and not monitor(rec):
-                        aborted = True
-                        break
-            if counts is not None:
-                if consumed == len(batch_outcomes) and partial is not None:
-                    counts.merge_partial(partial)
-                else:
-                    for outcome in batch_outcomes[:consumed]:
-                        _count_paired_outcome(counts, outcome)
-            if aborted:
-                break
+        results_iter = self._ordered_results(_align_batch_paired, batches)
+        try:
+            for batch_outcomes, partial in results_iter:
+                consumed = 0
+                for outcome in batch_outcomes:
+                    outcomes.append(outcome)
+                    consumed += 1
+                    if outcome.status is PairStatus.PROPER_PAIR:
+                        proper += 1
+                    elif outcome.status is PairStatus.ONE_MATE:
+                        one_mate += 1
+                    elif outcome.status is PairStatus.DISCORDANT:
+                        discordant += 1
+                    elif outcome.status is PairStatus.MULTIMAPPED:
+                        multi += 1
+                    else:
+                        unmapped += 1
+                    if len(outcomes) % params.progress_every == 0:
+                        rec = snapshot()
+                        progress.append(rec)
+                        if monitor is not None and not monitor(rec):
+                            aborted = True
+                            break
+                if counts is not None:
+                    if consumed == len(batch_outcomes) and partial is not None:
+                        counts.merge_partial(partial)
+                    else:
+                        for outcome in batch_outcomes[:consumed]:
+                            _count_paired_outcome(counts, outcome)
+                if aborted:
+                    break
+        finally:
+            results_iter.close()
 
         final_snapshot = snapshot()
         if not progress or progress[-1].reads_processed != len(outcomes):

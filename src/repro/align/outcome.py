@@ -1,0 +1,50 @@
+"""The run-result surface shared by every whole-run alignment backend.
+
+:class:`~repro.align.star.StarRunResult` (single-end) and
+:class:`~repro.align.paired.PairedRunResult` (paired-end) used to share
+their consumer-facing surface only *by convention* — the pipeline, the
+early-stopping monitor plumbing, and the parallel engine all relied on a
+code comment promising that both "expose ``final``, ``aborted``,
+``gene_counts`` and ``mapped_fraction``".  :class:`AlignmentOutcome`
+states that contract as a structural :class:`~typing.Protocol`, so new
+backends (and the resilience layer that wraps them) are typed against
+one interface instead of a union of concrete classes.
+
+Naming note: through v0 the name ``AlignmentOutcome`` referred to the
+*per-read* classification record; that class is now
+:class:`~repro.align.star.ReadAlignment`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:
+    from repro.align.counts import GeneCounts
+    from repro.align.progress import FinalLogStats, ProgressRecord
+
+__all__ = ["AlignmentOutcome"]
+
+
+@runtime_checkable
+class AlignmentOutcome(Protocol):
+    """What one accession's completed (or aborted) alignment run exposes.
+
+    Structural — any object with these members satisfies it; both
+    :class:`~repro.align.star.StarRunResult` and
+    :class:`~repro.align.paired.PairedRunResult` do.
+    """
+
+    #: STAR's ``Log.final.out`` aggregate statistics
+    final: FinalLogStats
+    #: ``Log.progress.out`` snapshots, in read order
+    progress: list[ProgressRecord]
+    #: ``ReadsPerGene.out.tab`` counts, or None when quantification is off
+    gene_counts: GeneCounts | None
+    #: True when the early-stopping monitor terminated the run
+    aborted: bool
+
+    @property
+    def mapped_fraction(self) -> float:
+        """Final mapping rate — the atlas acceptance-bar input."""
+        ...

@@ -21,7 +21,7 @@ import time
 from repro.align.counts import GeneCounts
 from repro.align.progress import FinalLogStats, ProgressRecord
 from repro.align.star import (
-    AlignmentOutcome,
+    ReadAlignment,
     AlignmentStatus,
     StarAligner,
 )
@@ -74,8 +74,8 @@ class PairedOutcome:
 
     pair_id: str
     status: PairStatus
-    mate1: AlignmentOutcome
-    mate2: AlignmentOutcome
+    mate1: ReadAlignment
+    mate2: ReadAlignment
     template_length: int | None = None
 
     @property
@@ -119,7 +119,7 @@ class PairedRunResult:
         ]
 
 
-def _span(outcome: AlignmentOutcome) -> tuple[int, int] | None:
+def _span(outcome: ReadAlignment) -> tuple[int, int] | None:
     """(start, end) of an outcome's footprint on its contig."""
     if not outcome.blocks:
         return None
@@ -138,7 +138,7 @@ class PairedStarAligner:
         self.parameters = parameters or PairedParameters()
 
     def classify_pair(
-        self, m1: AlignmentOutcome, m2: AlignmentOutcome
+        self, m1: ReadAlignment, m2: ReadAlignment
     ) -> tuple[PairStatus, int | None]:
         """Pair two mate outcomes into a status and template length."""
         u1 = m1.status is AlignmentStatus.UNIQUE

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.align.index import GenomeIndex
-from repro.align.star import AlignmentOutcome, AlignmentStatus
+from repro.align.star import ReadAlignment, AlignmentStatus
 from repro.genome.annotation import Strand
 from repro.reads.fastq import FastqRecord
 
@@ -64,7 +64,7 @@ def _mapq(status: AlignmentStatus, n_loci: int) -> int:
     return 0
 
 
-def cigar_for(outcome: AlignmentOutcome, read_length: int) -> str:
+def cigar_for(outcome: ReadAlignment, read_length: int) -> str:
     """CIGAR string for one outcome.
 
     Contiguous reads are ``<L>M``; two-block spliced reads are
@@ -94,7 +94,7 @@ def sam_header(index: GenomeIndex, *, program: str = "repro-star") -> str:
     return "\n".join(lines) + "\n"
 
 
-def to_sam_line(record: FastqRecord, outcome: AlignmentOutcome) -> str:
+def to_sam_line(record: FastqRecord, outcome: ReadAlignment) -> str:
     """Render one read's alignment as a SAM line."""
     if outcome.status.is_mapped and outcome.blocks:
         flag = FLAG_REVERSE if outcome.strand is Strand.REVERSE else 0
@@ -118,7 +118,7 @@ def to_sam_line(record: FastqRecord, outcome: AlignmentOutcome) -> str:
 
 def write_sam(
     records: list[FastqRecord],
-    outcomes: list[AlignmentOutcome],
+    outcomes: list[ReadAlignment],
     index: GenomeIndex,
     path: Path | str,
 ) -> int:

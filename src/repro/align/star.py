@@ -78,7 +78,7 @@ class StarParameters:
 
 
 @dataclass(frozen=True)
-class AlignmentOutcome:
+class ReadAlignment:
     """Result of aligning one read."""
 
     read_id: str
@@ -110,7 +110,7 @@ class RunAborted(Exception):
 class StarRunResult:
     """Everything a run produces (STAR's output directory, in-memory)."""
 
-    outcomes: list[AlignmentOutcome]
+    outcomes: list[ReadAlignment]
     progress: list[ProgressRecord]
     final: FinalLogStats
     gene_counts: GeneCounts | None
@@ -168,13 +168,13 @@ class StarAligner:
 
     # -- single read ---------------------------------------------------------
 
-    def align_read(self, record: FastqRecord) -> AlignmentOutcome:
+    def align_read(self, record: FastqRecord) -> ReadAlignment:
         """Align one read on both strands; classify per STAR's rules."""
         fwd = record.sequence
         if fwd.size == 0:
             # zero-length reads (aggressive trimming, malformed FASTQ) can
             # never seed: skip the reverse complement and candidate search
-            return AlignmentOutcome(record.read_id, AlignmentStatus.UNMAPPED)
+            return ReadAlignment(record.read_id, AlignmentStatus.UNMAPPED)
         rev = reverse_complement(fwd)
         fwd_cands = self._align_oriented(fwd)
         rev_cands = self._align_oriented(rev)
@@ -183,7 +183,7 @@ class StarAligner:
         for cand in fwd_cands + rev_cands:
             best_score = max(best_score, cand.score)
         if best_score < 0:
-            return AlignmentOutcome(record.read_id, AlignmentStatus.UNMAPPED)
+            return ReadAlignment(record.read_id, AlignmentStatus.UNMAPPED)
 
         best_fwd = [c for c in fwd_cands if c.score == best_score]
         best_rev = [c for c in rev_cands if c.score == best_score]
@@ -193,7 +193,7 @@ class StarAligner:
         }
         n_loci = len(loci)
         if n_loci > self.parameters.multimap_nmax:
-            return AlignmentOutcome(
+            return ReadAlignment(
                 record.read_id, AlignmentStatus.TOO_MANY_LOCI, n_loci=n_loci
             )
         status = (
@@ -208,7 +208,7 @@ class StarAligner:
             contig, local = self.index.to_contig_coords(start)
             blocks.append(SequenceRegion(contig, local, local + (end - start)))
         blocks = tuple(blocks)
-        return AlignmentOutcome(
+        return ReadAlignment(
             read_id=record.read_id,
             status=status,
             strand=strand,
@@ -342,7 +342,7 @@ class StarAligner:
         total = reads_total if reads_total is not None else len(records)
         started = clock()
 
-        outcomes: list[AlignmentOutcome] = []
+        outcomes: list[ReadAlignment] = []
         progress: list[ProgressRecord] = []
         counts = (
             GeneCounts(self.index.annotation)

@@ -12,6 +12,8 @@ Usage::
     python -m repro pseudo [--seed N]
     python -m repro hpc [--jobs N] [--nodes N]
     python -m repro atlas [--jobs N] [--spot] [--release 111] [--fleet 8]
+                          [--retries 3] [--fault-plan SPEC]
+    python -m repro chaos [--accessions N] [--workers N] [--fault-plan SPEC]
 
 Every command prints the same rows/series the paper reports and exits 0.
 """
@@ -121,6 +123,7 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
     from repro.cloud.autoscaling import ScalingPolicy
     from repro.cloud.ec2 import InstanceMarket
     from repro.core.atlas import AtlasConfig, run_atlas
+    from repro.core.resilience import FaultPlan, RetryPolicy
     from repro.experiments.corpus import CorpusSpec, generate_corpus
     from repro.genome.ensembl import EnsemblRelease
     from repro.util.tables import Table
@@ -130,6 +133,14 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
         release=EnsemblRelease(args.release),
         market=InstanceMarket.SPOT if args.spot else InstanceMarket.ON_DEMAND,
         scaling=ScalingPolicy(max_size=args.fleet, messages_per_instance=4),
+        retry=RetryPolicy(
+            max_attempts=args.retries, base_delay=30.0, max_delay=600.0
+        ),
+        fault_plan=(
+            FaultPlan.parse(args.fault_plan)
+            if args.fault_plan is not None
+            else None
+        ),
         seed=args.seed,
     )
     report = run_atlas(jobs, config)
@@ -149,9 +160,31 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
     table.add_row(["peak fleet", report.peak_fleet])
     table.add_row(["mean utilization", f"{report.mean_utilization:.2f}"])
     table.add_row(["spot interruptions", report.cost.n_interrupted])
+    table.add_row(["job retries", report.total_retries])
+    table.add_row(["jobs failed", report.n_failed])
     table.add_row(["total cost", f"${report.cost.total_usd:.2f}"])
     print(table.render())
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.core.resilience import RetryPolicy
+    from repro.experiments.chaos import ChaosSpec, run_chaos
+
+    result = run_chaos(
+        ChaosSpec(
+            n_accessions=args.accessions,
+            workers=args.workers,
+            max_parallel=args.max_parallel,
+            seed=args.seed,
+            fault_plan_text=args.fault_plan,
+            retry=RetryPolicy(
+                max_attempts=args.retries, base_delay=0.01, max_delay=0.05
+            ),
+        )
+    )
+    print(result.to_table())
+    return 0 if result.passed else 1
 
 
 def _cmd_full_atlas(args: argparse.Namespace) -> int:
@@ -285,7 +318,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--release", type=int, default=111, choices=range(106, 113))
     p.add_argument("--fleet", type=int, default=8)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="max attempts per job (RetryPolicy.max_attempts)",
+    )
+    p.add_argument(
+        "--fault-plan",
+        type=str,
+        default=None,
+        help="scripted faults, e.g. 'prefetch:SRR9000001:transient*2'",
+    )
     p.set_defaults(fn=_cmd_atlas)
+
+    p = sub.add_parser(
+        "chaos", help="fault-injected pipeline run vs fault-free reference"
+    )
+    p.add_argument("--accessions", type=int, default=12)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="alignment worker processes (>1 also kills an engine worker)",
+    )
+    p.add_argument("--max-parallel", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--retries", type=int, default=3)
+    p.add_argument(
+        "--fault-plan",
+        type=str,
+        default=None,
+        help="override the default scripted fault plan",
+    )
+    p.set_defaults(fn=_cmd_chaos)
 
     return parser
 

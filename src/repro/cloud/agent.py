@@ -16,11 +16,15 @@ from __future__ import annotations
 
 from collections.abc import Callable, Generator
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.cloud.ec2 import EC2Instance
 from repro.cloud.events import AnyOf, SimEvent, Simulation, Timeout
 from repro.cloud.sqs import Message, SqsQueue
+
+if TYPE_CHECKING:
+    from repro.core.resilience import RetryPolicy
+    from repro.util.rng import RngStream
 
 #: init hook: ``init_work(agent)`` → generator yielding sim waits
 InitWork = Callable[["WorkerAgent"], Generator]
@@ -37,6 +41,9 @@ class AgentStats:
     idle_seconds: float = 0.0
     jobs_completed: int = 0
     jobs_interrupted: int = 0
+    jobs_failed: int = 0
+    jobs_retried: int = 0
+    init_retries: int = 0
     stopped_at: float | None = None
     stop_reason: str = ""
 
@@ -62,6 +69,10 @@ class WorkerAgent:
         max_idle_polls: int = 3,
         heartbeat: bool = True,
         on_stop: Callable[["WorkerAgent"], None] | None = None,
+        retry: "RetryPolicy | None" = None,
+        retry_rng: "RngStream | None" = None,
+        on_failure: Callable[["WorkerAgent", Message, BaseException], None]
+        | None = None,
     ) -> None:
         if poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
@@ -76,8 +87,17 @@ class WorkerAgent:
         self.max_idle_polls = max_idle_polls
         self.heartbeat = heartbeat
         self.on_stop = on_stop
+        #: retry policy for exceptions raised by ``process_message``; the
+        #: same :class:`~repro.core.resilience.RetryPolicy` type the local
+        #: pipeline uses — backoff delays become simulated waits here
+        self.retry = retry
+        self.retry_rng = retry_rng
+        self.on_failure = on_failure
         self.stats = AgentStats()
         self.results: list[Any] = []
+        #: attempt number of the message currently being processed (1-based);
+        #: ``process_message`` may read it to report retries in its records
+        self.current_attempt = 0
 
     # -- helpers -----------------------------------------------------------
 
@@ -158,6 +178,50 @@ class WorkerAgent:
         if state.get("handle") is not None:
             state["handle"].cancel()
 
+    def _with_retry(
+        self, make_work: Callable[[], Generator], *, counter: str
+    ) -> Generator:
+        """Drive fresh ``make_work()`` generators under the retry policy.
+
+        Exceptions raised by the work are retried with the policy's
+        backoff, spent as *simulated* waits (raced against termination
+        like any other wait, so a spot kill during backoff still
+        interrupts).  Permanent faults and exhausted budgets return
+        ``("failed", exc)``; ``counter`` names the :class:`AgentStats`
+        field that tallies retries.  The heartbeat (when one is running)
+        survives retries because the receipt is unchanged.
+        """
+        terminated = self.instance.terminated_event
+        attempt = 0
+        while True:
+            attempt += 1
+            self.current_attempt = attempt
+            try:
+                return (yield from self._interruptible(make_work()))
+            except Exception as exc:
+                from repro.core.resilience import PermanentFault
+
+                if (
+                    self.retry is None
+                    or isinstance(exc, PermanentFault)
+                    or not self.retry.should_retry(attempt)
+                ):
+                    return ("failed", exc)
+                setattr(
+                    self.stats, counter, getattr(self.stats, counter) + 1
+                )
+                delay = self.retry.delay_for(attempt, self.retry_rng)
+                if delay > 0:
+                    winner, _ = yield AnyOf(
+                        self.sim.timeout_event(delay), terminated
+                    )
+                    if (
+                        winner is terminated
+                        or not self.instance.is_running
+                        or self.interruption_pending
+                    ):
+                        return ("interrupted", None)
+
     # -- the loop -------------------------------------------------------------
 
     def run(self) -> Generator:
@@ -169,10 +233,17 @@ class WorkerAgent:
             return self.stats
 
         init_started = self.sim.now
-        status, _ = yield from self._interruptible(self.init_work(self))
+        status, _ = yield from self._with_retry(
+            lambda: self.init_work(self), counter="init_retries"
+        )
         self.stats.init_seconds = self.sim.now - init_started
         if status == "interrupted":
             self._stopped("interrupted during init")
+            return self.stats
+        if status == "failed":
+            # the instance can't become useful (e.g. the index download
+            # keeps failing); stop it and let the ASG replace the capacity
+            self._stopped("init failed")
             return self.stats
 
         idle_polls = 0
@@ -194,8 +265,9 @@ class WorkerAgent:
             busy_started = self.sim.now
             receipt = message.receipt_handle
             heartbeat_state = self._start_heartbeat(receipt)
-            status, result = yield from self._interruptible(
-                self.process_message(self, message)
+            status, result = yield from self._with_retry(
+                lambda: self.process_message(self, message),
+                counter="jobs_retried",
             )
             self._stop_heartbeat(heartbeat_state)
             self.stats.busy_seconds += self.sim.now - busy_started
@@ -208,6 +280,15 @@ class WorkerAgent:
                 self.stats.jobs_interrupted += 1
                 self._stopped("spot interruption mid-job")
                 return self.stats
+            if status == "failed":
+                # Permanent fault or exhausted retry budget: this job will
+                # fail identically anywhere, so delete it (don't let it
+                # poison the queue via redelivery) and keep polling.
+                self.queue.delete(receipt)
+                self.stats.jobs_failed += 1
+                if self.on_failure is not None:
+                    self.on_failure(self, message, result)
+                continue
             self.queue.delete(receipt)
             self.stats.jobs_completed += 1
             self.results.append(result)

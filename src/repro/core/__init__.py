@@ -29,8 +29,21 @@ from repro.core.planner import (
 from repro.core.pipeline import (
     PipelineConfig,
     PipelineResult,
+    RunStatus,
     StepTiming,
     TranscriptomicsAtlasPipeline,
+)
+from repro.core.resilience import (
+    FailureRecord,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    PermanentFault,
+    RetryLedger,
+    RetryPolicy,
+    StepFailed,
+    TransientFault,
+    run_with_retry,
 )
 from repro.core.rightsizing import RightSizingAdvisor, RightSizingChoice
 from repro.core.trajectory import MappingTrajectory
@@ -44,18 +57,29 @@ __all__ = [
     "EarlyStopMonitor",
     "EarlyStopSavings",
     "EarlyStoppingPolicy",
+    "FailureRecord",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
     "HpcConfig",
     "HpcRunReport",
     "MappingTrajectory",
+    "PermanentFault",
     "PipelineConfig",
     "PipelineResult",
     "PlannerConstraints",
+    "RetryLedger",
+    "RetryPolicy",
     "RightSizingAdvisor",
     "RightSizingChoice",
+    "RunStatus",
+    "StepFailed",
     "StepTiming",
     "TranscriptomicsAtlasPipeline",
+    "TransientFault",
     "compute_savings",
     "plan_campaign",
     "run_atlas",
     "run_hpc",
+    "run_with_retry",
 ]

@@ -34,6 +34,7 @@ from repro.cloud.s3 import S3Service
 from repro.cloud.sqs import SqsQueue
 from repro.core.early_stopping import Decision, EarlyStoppingPolicy
 from repro.core.pipeline import RunStatus
+from repro.core.resilience import FaultPlan, RetryPolicy
 from repro.core.trajectory import MappingTrajectory
 from repro.genome.ensembl import EnsemblRelease, release_spec
 from repro.perf.index_model import IndexModel
@@ -91,6 +92,13 @@ class AtlasConfig:
     #: trajectory checkpoints the monitor sees per run
     n_progress_snapshots: int = 20
     memory_overhead_bytes: float = 6e9
+    #: per-job retry policy — the same type the local pipeline uses;
+    #: backoff delays are spent as simulated time on the worker
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(base_delay=30.0, max_delay=600.0)
+    )
+    #: scripted fault injection (prefetch / fasterq_dump / s3_* steps)
+    fault_plan: FaultPlan | None = None
     seed: int = 0
 
     def resolve_instance(self) -> InstanceType:
@@ -117,6 +125,10 @@ class JobRecord:
     star_seconds_if_full: float
     stop_fraction: float | None
     instance_id: str
+    #: retries this job consumed before its terminal status
+    retries: int = 0
+    #: repr of the final error for FAILED jobs, else empty
+    failure: str = ""
 
     @property
     def total_seconds(self) -> float:
@@ -162,6 +174,14 @@ class AtlasRunReport:
     @property
     def n_terminated(self) -> int:
         return sum(1 for j in self.jobs if j.status is RunStatus.REJECTED_EARLY)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for j in self.jobs if j.status is RunStatus.FAILED)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(j.retries for j in self.jobs)
 
     @property
     def throughput_jobs_per_hour(self) -> float:
@@ -253,16 +273,31 @@ def run_atlas(jobs: list[AtlasJob], config: AtlasConfig) -> AtlasRunReport:
         job.accession: derive_rng(job_rng_root, job.accession)
         for job in jobs
     }
+    # derived after "spot"/"jobs" so enabling retries never perturbs the
+    # spot-interruption or per-job noise streams of an existing campaign
+    retry_rng = derive_rng(rng, "retries")
+    fault_plan = config.fault_plan
+
+    def check_fault(step: str, key: str) -> None:
+        if fault_plan is not None:
+            fault_plan.check(step, key)
+
+    # started_at spans every attempt of a message, not just the last one:
+    # retry backoff and failed attempts are real simulated time the job cost
+    first_started: dict[str, float] = {}
 
     def init_work(agent: WorkerAgent):
+        check_fault("s3_download", agent.instance.instance_id)
         index_bucket.get(index_key)
         yield Timeout(transfer.s3_download_seconds(index_bytes))
         yield Timeout(index_model.shm_load_seconds(spec))
 
     def process_message(agent: WorkerAgent, message):
         job: AtlasJob = message.body
-        started = sim.now
+        started = first_started.setdefault(message.message_id, sim.now)
+        check_fault("prefetch", job.accession)
         yield Timeout(transfer.prefetch_seconds(job.sra_bytes))
+        check_fault("fasterq_dump", job.accession)
         yield Timeout(transfer.fasterq_dump_seconds(job.fastq_bytes))
         actual, full, stop_fraction, status = simulate_star_step(
             job, config, itype.vcpus, job_seeds[job.accession]
@@ -270,6 +305,7 @@ def run_atlas(jobs: list[AtlasJob], config: AtlasConfig) -> AtlasRunReport:
         yield Timeout(actual)
         if status is RunStatus.ACCEPTED:
             yield Timeout(config.normalize_seconds)
+            check_fault("s3_upload", job.accession)
             yield Timeout(transfer.s3_upload_seconds(config.result_bytes))
             results_bucket.put(
                 f"{job.accession}/ReadsPerGene.out.tab",
@@ -286,9 +322,31 @@ def run_atlas(jobs: list[AtlasJob], config: AtlasConfig) -> AtlasRunReport:
             star_seconds_if_full=full,
             stop_fraction=stop_fraction,
             instance_id=agent.instance.instance_id,
+            retries=agent.current_attempt - 1,
         )
+        first_started.pop(message.message_id, None)
         records.append(record)
         return record
+
+    def on_failure(agent: WorkerAgent, message, exc: BaseException) -> None:
+        """Retry budget exhausted (or permanent fault): keep a FAILED record
+        so the report still has one row per submitted accession."""
+        job: AtlasJob = message.body
+        records.append(
+            JobRecord(
+                accession=job.accession,
+                status=RunStatus.FAILED,
+                library=job.library,
+                started_at=first_started.pop(message.message_id, sim.now),
+                finished_at=sim.now,
+                star_seconds=0.0,
+                star_seconds_if_full=0.0,
+                stop_fraction=None,
+                instance_id=agent.instance.instance_id,
+                retries=agent.current_attempt - 1,
+                failure=repr(exc),
+            )
+        )
 
     def make_agent(asg: AutoScalingGroup, instance) -> WorkerAgent:
         return WorkerAgent(
@@ -298,6 +356,9 @@ def run_atlas(jobs: list[AtlasJob], config: AtlasConfig) -> AtlasRunReport:
             init_work=init_work,
             process_message=process_message,
             on_stop=lambda a: ec2.terminate(a.instance),
+            retry=config.retry,
+            retry_rng=retry_rng,
+            on_failure=on_failure,
         )
 
     asg = AutoScalingGroup(

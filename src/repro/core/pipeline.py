@@ -7,9 +7,16 @@ Four steps per SRA accession:
    ``_1``/``_2`` files, detected from the container magic as the real
    tool does);
 3. STAR alignment with ``--quantMode GeneCounts`` — monitored by the
-   early-stopping policy; paired runs go through the pairing façade;
+   early-stopping policy; executed through whichever
+   :class:`~repro.align.backend.AlignerBackend` fits the accession;
 4. DESeq2 count normalization — per-sample counts are collected and
    normalized jointly with median-of-ratios once the batch completes.
+
+Every step runs under the :mod:`repro.core.resilience` layer: transient
+failures are retried with backoff, permanent ones produce a
+:class:`~repro.core.resilience.FailureRecord` on a ``FAILED`` result
+instead of aborting the batch — one result per accession, always, in
+submission order.
 
 This class is the *local* (workstation/HPC) embodiment the paper's
 conclusions mention; :mod:`repro.core.atlas` embeds the same step
@@ -27,14 +34,25 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.align.backend import ReadBatch, resolve_backend
 from repro.align.engine import ParallelStarAligner
-from repro.align.star import StarAligner, StarRunResult
+from repro.align.outcome import AlignmentOutcome
+from repro.align.star import StarAligner
 from repro.core.early_stopping import EarlyStoppingPolicy, EarlyStopMonitor
+from repro.core.resilience import (
+    FailureRecord,
+    FaultPlan,
+    RetryLedger,
+    RetryPolicy,
+    StepFailed,
+    run_with_retry,
+)
 from repro.quant.deseq2 import estimate_size_factors, normalize_counts
 from repro.quant.matrix import CountMatrix
 from repro.reads.fastq import iter_fastq
 from repro.reads.sra import SraRepository, fasterq_dump, prefetch
 from repro.reads.trim import ReadTrimmer, TrimConfig, TrimStats
+from repro.util.rng import derive_rng
 
 
 class RunStatus(enum.Enum):
@@ -43,6 +61,7 @@ class RunStatus(enum.Enum):
     ACCEPTED = "accepted"
     REJECTED_EARLY = "rejected_early"  # aborted by the monitor
     REJECTED_FINAL = "rejected_final"  # completed but below the acceptance bar
+    FAILED = "failed"  # a step exhausted its retry policy
 
     @property
     def produced_counts(self) -> bool:
@@ -51,7 +70,7 @@ class RunStatus(enum.Enum):
 
 @dataclass(frozen=True)
 class StepTiming:
-    """Wall-clock seconds per pipeline step."""
+    """Wall-clock seconds per pipeline step (retries included)."""
 
     prefetch: float
     fasterq_dump: float
@@ -69,16 +88,21 @@ class PipelineResult:
     accession: str
     status: RunStatus
     timing: StepTiming
-    #: single-end StarRunResult or paired PairedRunResult — both expose
-    #: ``final``, ``aborted``, ``gene_counts`` and ``mapped_fraction``
-    star_result: StarRunResult
+    #: the run-level result (None only when ``status is FAILED``)
+    star_result: AlignmentOutcome | None
     fastq_bytes: int
     counts: dict[str, int] | None = None
     trim_stats: TrimStats | None = None
     paired: bool = False
+    #: populated when ``status is FAILED``: which step died, and how
+    failure: FailureRecord | None = None
+    #: retries spent across this accession's steps
+    retries: int = 0
 
     @property
     def mapped_fraction(self) -> float:
+        if self.star_result is None:
+            return 0.0
         return self.star_result.mapped_fraction
 
 
@@ -105,6 +129,17 @@ class PipelineConfig:
     workers: int = 1
     #: reads per batch dispatched to an alignment worker
     align_batch_size: int = 64
+    #: seconds of no-progress after a worker loss before the engine
+    #: declares its pool wedged and degrades to serial (then rebuilds it)
+    engine_stall_timeout: float = 5.0
+    #: retry/backoff/deadline policy applied to every step
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(base_delay=0.05, max_delay=2.0)
+    )
+    #: scripted fault injection (chaos testing); None = no faults
+    fault_plan: FaultPlan | None = None
+    #: seed for the per-accession backoff-jitter streams
+    retry_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -130,8 +165,10 @@ class TranscriptomicsAtlasPipeline:
         self.workspace.mkdir(parents=True, exist_ok=True)
         self.config = config or PipelineConfig()
         self.results: list[PipelineResult] = []
+        self.retry_ledger = RetryLedger()
         self._engine: ParallelStarAligner | None = None
         self._engine_lock = threading.Lock()
+        self._results_lock = threading.Lock()
 
     # -- parallel engine lifecycle -------------------------------------------
 
@@ -151,6 +188,7 @@ class TranscriptomicsAtlasPipeline:
                     self.aligner.parameters,
                     workers=self.config.workers,
                     batch_size=self.config.align_batch_size,
+                    stall_timeout=self.config.engine_stall_timeout,
                 ).start()
             return self._engine
 
@@ -172,58 +210,150 @@ class TranscriptomicsAtlasPipeline:
     def run_accession(self, accession: str) -> PipelineResult:
         """Execute all four steps for one accession."""
         result = self._execute_accession(accession)
-        self.results.append(result)
+        with self._results_lock:
+            self.results.append(result)
         return result
 
     def _execute_accession(self, accession: str) -> PipelineResult:
-        """All four steps, without touching shared pipeline state."""
+        """All four steps, without touching shared pipeline state.
+
+        Never raises: a step that exhausts its retry policy (or any
+        unexpected internal error) is converted to a ``FAILED`` result
+        carrying a :class:`FailureRecord`, so batch runs keep every
+        other accession's work.
+        """
         cfg = self.config
         work = self.workspace / accession
         work.mkdir(parents=True, exist_ok=True)
+        rng = derive_rng(cfg.retry_seed, f"retry:{accession}")
+        timings = {"prefetch": 0.0, "fasterq_dump": 0.0, "star": 0.0}
+        retries = {"n": 0}
+        state = {"paired": False, "fastq_bytes": 0}
 
-        t0 = time.monotonic()
-        sra_path = prefetch(self.repository, accession, work)
-        t1 = time.monotonic()
+        def on_retry(step: str, attempt: int, exc: BaseException, delay: float):
+            retries["n"] += 1
+            self.retry_ledger.record(step)
+
+        def attempt(step: str, timing_key: str, fn):
+            started = time.monotonic()
+            try:
+                return run_with_retry(
+                    fn,
+                    policy=cfg.retry,
+                    step=step,
+                    key=accession,
+                    rng=rng,
+                    on_retry=on_retry,
+                )
+            finally:
+                timings[timing_key] += time.monotonic() - started
+
+        try:
+            return self._run_steps(accession, work, attempt, state, timings, retries)
+        except StepFailed as exc:
+            failure = exc.record
+        except Exception as exc:  # defensive: isolate unexpected errors too
+            failure = FailureRecord(
+                step="internal",
+                key=accession,
+                attempts=1,
+                elapsed_seconds=0.0,
+                error=repr(exc),
+                error_chain=[repr(exc)],
+            )
+        return PipelineResult(
+            accession=accession,
+            status=RunStatus.FAILED,
+            timing=StepTiming(**timings),
+            star_result=None,
+            fastq_bytes=state["fastq_bytes"],
+            paired=state["paired"],
+            failure=failure,
+            retries=retries["n"],
+        )
+
+    def _run_steps(
+        self,
+        accession: str,
+        work: Path,
+        attempt,
+        state: dict,
+        timings: dict,
+        retries: dict,
+    ) -> PipelineResult:
+        """The happy path: prefetch → dump → align → classify."""
+        cfg = self.config
+
+        sra_path = attempt(
+            "prefetch",
+            "prefetch",
+            lambda: prefetch(
+                self.repository, accession, work, fault_plan=cfg.fault_plan
+            ),
+        )
         paired = sra_path.read_bytes()[:4] == b"SRAP"
+        state["paired"] = paired
+
         if paired:
             from repro.reads.paired import fasterq_dump_paired
 
-            fastq_path, fastq_path_2 = fasterq_dump_paired(sra_path, work)
+            fastq_path, fastq_path_2 = attempt(
+                "fasterq_dump",
+                "fasterq_dump",
+                lambda: fasterq_dump_paired(
+                    sra_path, work, fault_plan=cfg.fault_plan
+                ),
+            )
         else:
-            fastq_path = fasterq_dump(sra_path, work)
+            fastq_path = attempt(
+                "fasterq_dump",
+                "fasterq_dump",
+                lambda: fasterq_dump(sra_path, work, fault_plan=cfg.fault_plan),
+            )
             fastq_path_2 = None
-        t2 = time.monotonic()
-
-        monitor = (
-            EarlyStopMonitor(policy=cfg.early_stopping)
-            if cfg.early_stopping is not None
-            else None
+        fastq_bytes = fastq_path.stat().st_size + (
+            fastq_path_2.stat().st_size if fastq_path_2 is not None else 0
         )
-        hook = monitor.hook if monitor is not None else None
-        engine = self._get_engine()
+        state["fastq_bytes"] = fastq_bytes
+
         trim_stats = None
         if paired:
-            mate1 = list(iter_fastq(fastq_path))
-            mate2 = list(iter_fastq(fastq_path_2))
-            if engine is not None:
-                star_result = engine.run_paired(mate1, mate2, monitor=hook)
-            else:
-                from repro.align.paired import PairedStarAligner
-
-                star_result = PairedStarAligner(self.aligner).run(
-                    mate1, mate2, monitor=hook
-                )
+            reads = ReadBatch(
+                records=list(iter_fastq(fastq_path)),
+                mate2=list(iter_fastq(fastq_path_2)),
+            )
         else:
             records = list(iter_fastq(fastq_path))
             if cfg.trim is not None:
                 records, trim_stats = ReadTrimmer(cfg.trim).trim(records)
-            aligner = engine if engine is not None else self.aligner
-            star_result = aligner.run(
-                records,
-                monitor=hook,
-                out_dir=(work / "star") if cfg.write_outputs else None,
+            reads = ReadBatch(records=records)
+
+        engine = self._get_engine()
+        if (
+            engine is not None
+            and cfg.fault_plan is not None
+            and cfg.fault_plan.consume("engine_worker", accession) is not None
+        ):
+            # scripted chaos: SIGKILL one pool worker right before this
+            # accession's alignment, exercising the engine's recovery path
+            engine.kill_worker()
+        backend = resolve_backend(cfg, self.aligner, engine, paired=paired)
+        out_dir = (work / "star") if (cfg.write_outputs and not paired) else None
+
+        def align_once() -> AlignmentOutcome:
+            if cfg.fault_plan is not None:
+                cfg.fault_plan.check("align", accession)
+            # the monitor is stateful — build a fresh one per attempt so a
+            # retried alignment sees the same cadence as an unfaulted run
+            monitor = (
+                EarlyStopMonitor(policy=cfg.early_stopping)
+                if cfg.early_stopping is not None
+                else None
             )
-        t3 = time.monotonic()
+            hook = monitor.hook if monitor is not None else None
+            return backend.align(reads, monitor=hook, out_dir=out_dir)
+
+        star_result = attempt("align", "star", align_once)
 
         if star_result.aborted:
             status = RunStatus.REJECTED_EARLY
@@ -239,20 +369,17 @@ class TranscriptomicsAtlasPipeline:
         if status.produced_counts and star_result.gene_counts is not None:
             counts = star_result.gene_counts.column_vector(cfg.counts_column)
 
-        result = PipelineResult(
+        return PipelineResult(
             accession=accession,
             status=status,
-            timing=StepTiming(
-                prefetch=t1 - t0, fasterq_dump=t2 - t1, star=t3 - t2
-            ),
+            timing=StepTiming(**timings),
             star_result=star_result,
-            fastq_bytes=fastq_path.stat().st_size
-            + (fastq_path_2.stat().st_size if fastq_path_2 is not None else 0),
+            fastq_bytes=fastq_bytes,
             counts=counts,
             trim_stats=trim_stats,
             paired=paired,
+            retries=retries["n"],
         )
-        return result
 
     def run_batch(
         self, accessions: list[str], *, max_parallel: int = 1
@@ -262,18 +389,47 @@ class TranscriptomicsAtlasPipeline:
         ``max_parallel > 1`` overlaps accessions with a thread pool: the
         prefetch/dump steps are I/O-shaped and the alignment step hands
         its CPU work to the engine's worker *processes*, so threads only
-        coordinate.  Results (and ``self.results``) keep the submission
-        order regardless of completion order, so downstream count
-        matrices are reproducible.
+        coordinate.  Each accession's result is collected from its own
+        future — a failure (now a ``FAILED`` result, never an exception)
+        cannot drop completed work, and both the returned list and
+        ``self.results`` keep submission order regardless of completion
+        order, so downstream count matrices are reproducible.
         """
         if max_parallel < 1:
             raise ValueError("max_parallel must be >= 1")
         if max_parallel == 1 or len(accessions) <= 1:
             return [self.run_accession(a) for a in accessions]
         with ThreadPoolExecutor(max_workers=max_parallel) as pool:
-            results = list(pool.map(self._execute_accession, accessions))
-        self.results.extend(results)
+            futures = [
+                pool.submit(self._execute_accession, a) for a in accessions
+            ]
+            results = []
+            for accession, future in zip(accessions, futures):
+                try:
+                    results.append(future.result())
+                except Exception as exc:  # pragma: no cover - defensive
+                    results.append(self._internal_failure(accession, exc))
+        with self._results_lock:
+            self.results.extend(results)
         return results
+
+    @staticmethod
+    def _internal_failure(accession: str, exc: BaseException) -> PipelineResult:
+        return PipelineResult(
+            accession=accession,
+            status=RunStatus.FAILED,
+            timing=StepTiming(prefetch=0.0, fasterq_dump=0.0, star=0.0),
+            star_result=None,
+            fastq_bytes=0,
+            failure=FailureRecord(
+                step="internal",
+                key=accession,
+                attempts=1,
+                elapsed_seconds=0.0,
+                error=repr(exc),
+                error_chain=[repr(exc)],
+            ),
+        )
 
     # -- step 4: joint normalization -----------------------------------------
 
@@ -297,8 +453,13 @@ class TranscriptomicsAtlasPipeline:
     # -- reporting -------------------------------------------------------------
 
     def summary(self) -> dict[str, int]:
-        """Run-status tally."""
+        """Run-status tally, plus the total retry count across all steps."""
         tally = {status.value: 0 for status in RunStatus}
         for r in self.results:
             tally[r.status.value] += 1
+        tally["retries"] = self.retry_ledger.total
         return tally
+
+    def retries_by_step(self) -> dict[str, int]:
+        """Retry counts bucketed by step name (prefetch/fasterq_dump/align)."""
+        return self.retry_ledger.by_step()

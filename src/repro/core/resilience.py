@@ -1,0 +1,400 @@
+"""Retry, backoff, and deterministic fault injection.
+
+The paper's economics depend on running multi-hour STAR jobs on
+interruptible capacity (§II): spot instances disappear mid-run, SQS
+redelivers, NCBI downloads stall.  This module is the one failure
+vocabulary every layer shares —
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff,
+  seeded jitter (via :mod:`repro.util.rng` streams, so campaigns stay
+  reproducible), and an optional per-step deadline;
+* :class:`FaultPlan` — *scripted* transient/permanent failures injected
+  into named pipeline steps (``prefetch``, ``fasterq_dump``, S3
+  transfers, engine workers), so chaos tests are deterministic instead
+  of probabilistic;
+* :func:`run_with_retry` — drives one step under a policy and converts
+  exhaustion into a :class:`FailureRecord` carried by
+  :exc:`StepFailed`;
+* :class:`RetryLedger` — thread-safe retry accounting surfaced by
+  ``TranscriptomicsAtlasPipeline.summary()`` and the atlas campaign
+  report.
+
+The local pipeline consumes these directly (real sleeps); the cloud
+simulation consumes the *same types* but turns backoff delays into
+simulated ``Timeout`` waits, so local and simulated campaigns agree on
+what "3 attempts, 30 s base backoff" means.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.util.rng import RngStream
+
+__all__ = [
+    "FailureRecord",
+    "FaultError",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "PermanentFault",
+    "RetryLedger",
+    "RetryPolicy",
+    "StepFailed",
+    "TransientFault",
+    "run_with_retry",
+]
+
+#: canonical step names shared by the local pipeline and the cloud sim
+STEP_PREFETCH = "prefetch"
+STEP_FASTERQ_DUMP = "fasterq_dump"
+STEP_ALIGN = "align"
+STEP_ENGINE_WORKER = "engine_worker"
+STEP_S3_DOWNLOAD = "s3_download"
+STEP_S3_UPLOAD = "s3_upload"
+
+
+# --------------------------------------------------------------------------
+# fault vocabulary
+# --------------------------------------------------------------------------
+
+
+class FaultKind(enum.Enum):
+    """How a scripted fault behaves under retries."""
+
+    #: fails a bounded number of calls, then the step succeeds
+    TRANSIENT = "transient"
+    #: fails every call — no retry policy can save the step
+    PERMANENT = "permanent"
+
+
+class FaultError(RuntimeError):
+    """Base of injected failures; carries the step/key it struck."""
+
+    def __init__(self, step: str, key: str, detail: str = "") -> None:
+        self.step = step
+        self.key = key
+        message = f"injected fault in step {step!r} for {key!r}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class TransientFault(FaultError):
+    """An injected failure that a retry may clear (network blip, spot kill)."""
+
+
+class PermanentFault(FaultError):
+    """An injected failure that will recur on every attempt (poison input)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault: which step/key it strikes and how often.
+
+    ``key`` is matched against the work-item identity (an accession for
+    pipeline steps); ``"*"`` matches any.  ``times`` bounds how many
+    calls a TRANSIENT fault poisons; PERMANENT faults ignore it and
+    fire forever.
+    """
+
+    step: str
+    key: str = "*"
+    kind: FaultKind = FaultKind.TRANSIENT
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.step:
+            raise ValueError("step must be non-empty")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+
+    def matches(self, step: str, key: str) -> bool:
+        return self.step == step and self.key in ("*", key)
+
+
+class FaultPlan:
+    """A deterministic script of failures to inject, shared across threads.
+
+    The plan is consulted at each instrumented call site via
+    :meth:`check` (raise the armed fault) or :meth:`consume` (pop a
+    matching spec without raising — used for non-exception faults such
+    as engine-worker kills).  Accounting of everything injected is kept
+    for reports.
+    """
+
+    def __init__(self, faults: Iterable[FaultSpec] = ()) -> None:
+        self._specs = list(faults)
+        self._remaining = [
+            None if spec.kind is FaultKind.PERMANENT else spec.times
+            for spec in self._specs
+        ]
+        self._lock = threading.Lock()
+        self._injected: dict[str, int] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Build a plan from a CLI spec string.
+
+        Grammar: comma/semicolon-separated entries of
+        ``step:key:kind[*times]`` — e.g.
+        ``prefetch:SRR1000007:transient*2,fasterq_dump:*:permanent``.
+        """
+        specs: list[FaultSpec] = []
+        for raw in text.replace(";", ",").split(","):
+            entry = raw.strip()
+            if not entry:
+                continue
+            parts = entry.split(":")
+            if len(parts) != 3:
+                raise ValueError(
+                    f"bad fault entry {entry!r}: expected step:key:kind[*times]"
+                )
+            step, key, kind_text = (p.strip() for p in parts)
+            times = 1
+            if "*" in kind_text:
+                kind_text, _, times_text = kind_text.partition("*")
+                try:
+                    times = int(times_text)
+                except ValueError as exc:
+                    raise ValueError(
+                        f"bad fault repeat count in {entry!r}"
+                    ) from exc
+            try:
+                kind = FaultKind(kind_text.lower())
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad fault kind {kind_text!r} in {entry!r} "
+                    "(expected 'transient' or 'permanent')"
+                ) from exc
+            specs.append(FaultSpec(step=step, key=key, kind=kind, times=times))
+        return cls(specs)
+
+    # -- injection ---------------------------------------------------------
+
+    def consume(self, step: str, key: str) -> FaultSpec | None:
+        """Pop (and account) the first armed spec matching ``(step, key)``."""
+        with self._lock:
+            for i, spec in enumerate(self._specs):
+                if not spec.matches(step, key):
+                    continue
+                remaining = self._remaining[i]
+                if remaining is None:  # permanent: never exhausted
+                    self._injected[step] = self._injected.get(step, 0) + 1
+                    return spec
+                if remaining > 0:
+                    self._remaining[i] = remaining - 1
+                    self._injected[step] = self._injected.get(step, 0) + 1
+                    return spec
+            return None
+
+    def check(self, step: str, key: str) -> None:
+        """Raise the armed fault for ``(step, key)``, if any."""
+        spec = self.consume(step, key)
+        if spec is None:
+            return
+        if spec.kind is FaultKind.PERMANENT:
+            raise PermanentFault(step, key)
+        raise TransientFault(step, key)
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def injected(self) -> dict[str, int]:
+        """Per-step count of faults fired so far."""
+        with self._lock:
+            return dict(self._injected)
+
+    @property
+    def total_injected(self) -> int:
+        with self._lock:
+            return sum(self._injected.values())
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every transient spec has fired its full budget."""
+        with self._lock:
+            return all(r in (None, 0) for r in self._remaining)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def describe(self) -> str:
+        parts = []
+        for spec in self._specs:
+            times = "" if spec.kind is FaultKind.PERMANENT else f"*{spec.times}"
+            parts.append(f"{spec.step}:{spec.key}:{spec.kind.value}{times}")
+        return ",".join(parts)
+
+
+# --------------------------------------------------------------------------
+# retry policy
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with seeded jitter and a step deadline.
+
+    ``deadline`` caps the *whole step* — work plus backoff across every
+    attempt; once elapsed time exceeds it no further attempt is made.
+    ``jitter`` spreads delays by ±``jitter`` fraction using a caller-
+    provided RNG stream; with no stream, delays are the deterministic
+    midpoint (what the discrete-event simulation uses by default).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 60.0
+    jitter: float = 0.1
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0:
+            raise ValueError("base_delay must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_delay < self.base_delay:
+            raise ValueError("max_delay must be >= base_delay")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+
+    def should_retry(self, attempt: int) -> bool:
+        """True when another attempt is allowed after failure #``attempt``."""
+        return attempt < self.max_attempts
+
+    def delay_for(self, attempt: int, rng: RngStream | None = None) -> float:
+        """Backoff before attempt #``attempt + 1`` (attempts count from 1)."""
+        if attempt < 1:
+            raise ValueError("attempt must be >= 1")
+        delay = min(
+            self.max_delay, self.base_delay * self.multiplier ** (attempt - 1)
+        )
+        if rng is not None and self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+        return max(0.0, delay)
+
+
+@dataclass
+class FailureRecord:
+    """Everything worth keeping about a step that ultimately failed."""
+
+    step: str
+    key: str
+    attempts: int
+    elapsed_seconds: float
+    error: str
+    #: one entry per failed attempt, oldest first
+    error_chain: list[str] = field(default_factory=list)
+    permanent: bool = False
+
+    def __str__(self) -> str:
+        kind = "permanent" if self.permanent else "transient"
+        return (
+            f"step {self.step!r} failed for {self.key!r} after "
+            f"{self.attempts} attempt(s) ({kind}): {self.error}"
+        )
+
+
+class StepFailed(RuntimeError):
+    """A step exhausted its retry policy (or hit a permanent fault)."""
+
+    def __init__(self, record: FailureRecord) -> None:
+        self.record = record
+        super().__init__(str(record))
+
+
+def run_with_retry(
+    fn: Callable[[], object],
+    *,
+    policy: RetryPolicy,
+    step: str,
+    key: str = "",
+    rng: RngStream | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+    on_retry: Callable[[str, int, BaseException, float], None] | None = None,
+) -> object:
+    """Call ``fn`` under ``policy``; return its value or raise :exc:`StepFailed`.
+
+    :exc:`PermanentFault` short-circuits (no retries — the real pipeline
+    equivalent is a corrupt ``.sra`` that will fail identically every
+    time).  Any other exception is retried until attempts or the
+    deadline run out.  ``on_retry(step, attempt, exc, delay)`` fires
+    before each backoff sleep, which is where callers account retries.
+    """
+    started = clock()
+    chain: list[str] = []
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn()
+        except PermanentFault as exc:
+            chain.append(repr(exc))
+            raise StepFailed(
+                FailureRecord(
+                    step=step,
+                    key=key,
+                    attempts=attempt,
+                    elapsed_seconds=clock() - started,
+                    error=repr(exc),
+                    error_chain=chain,
+                    permanent=True,
+                )
+            ) from exc
+        except Exception as exc:
+            chain.append(repr(exc))
+            elapsed = clock() - started
+            deadline_hit = (
+                policy.deadline is not None and elapsed >= policy.deadline
+            )
+            if deadline_hit or not policy.should_retry(attempt):
+                raise StepFailed(
+                    FailureRecord(
+                        step=step,
+                        key=key,
+                        attempts=attempt,
+                        elapsed_seconds=elapsed,
+                        error=repr(exc),
+                        error_chain=chain,
+                        permanent=False,
+                    )
+                ) from exc
+            delay = policy.delay_for(attempt, rng)
+            if on_retry is not None:
+                on_retry(step, attempt, exc, delay)
+            if delay > 0:
+                sleep(delay)
+
+
+class RetryLedger:
+    """Thread-safe tally of retries, bucketed by step name."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_step: dict[str, int] = {}
+
+    def record(self, step: str, n: int = 1) -> None:
+        with self._lock:
+            self._by_step[step] = self._by_step.get(step, 0) + n
+
+    @property
+    def total(self) -> int:
+        with self._lock:
+            return sum(self._by_step.values())
+
+    def by_step(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._by_step)

@@ -7,6 +7,7 @@ rendering of the same rows/series the paper reports; the benches in
 
 from repro.experiments.ablation import AblationResult, run_ablation
 from repro.experiments.architecture import ArchitectureResult, run_architecture_sweep
+from repro.experiments.chaos import ChaosResult, ChaosSpec, run_chaos
 from repro.experiments.config_table import ConfigTableResult, run_config_table
 from repro.experiments.corpus import CorpusSpec, generate_corpus
 from repro.experiments.diagrams import architecture_diagram, pipeline_diagram
@@ -31,6 +32,8 @@ from repro.experiments.scaling_study import ScalingStudyResult, run_scaling_stud
 __all__ = [
     "AblationResult",
     "ArchitectureResult",
+    "ChaosResult",
+    "ChaosSpec",
     "ConfigTableResult",
     "CorpusSpec",
     "Fig3Result",
@@ -49,6 +52,7 @@ __all__ = [
     "pipeline_diagram",
     "run_ablation",
     "run_architecture_sweep",
+    "run_chaos",
     "run_config_table",
     "run_fig3",
     "run_fig4",

@@ -1,0 +1,257 @@
+"""Chaos harness: the resilience layer under a scripted fault plan.
+
+Runs a laptop-scale batch through the *real* four-step pipeline while a
+:class:`~repro.core.resilience.FaultPlan` injects failures — transient
+prefetch/dump faults that retries absorb, one permanent failure that
+becomes a ``FAILED`` result, and (with ``workers > 1``) an engine-worker
+SIGKILL mid-campaign — then verifies the central guarantee: every
+accession that survived produced output identical to a fault-free serial
+run, and the batch returned one result per accession in submission
+order.
+
+This is the executable form of the acceptance scenario in the README's
+"Failure semantics & fault injection" section; ``python -m repro chaos``
+prints its table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+from repro.align.index import genome_generate
+from repro.align.star import StarAligner, StarParameters
+from repro.core.early_stopping import EarlyStoppingPolicy
+from repro.core.pipeline import (
+    PipelineConfig,
+    PipelineResult,
+    RunStatus,
+    TranscriptomicsAtlasPipeline,
+)
+from repro.core.resilience import FaultPlan, RetryPolicy
+from repro.genome.ensembl import EnsemblRelease, build_release_assembly
+from repro.genome.synth import GenomeUniverseSpec, make_universe
+from repro.reads.library import LibraryType, SampleProfile
+from repro.reads.simulator import ReadSimulator
+from repro.reads.sra import SraArchive, SraRepository
+from repro.util.rng import derive_rng, ensure_rng
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Parameters of one chaos run."""
+
+    n_accessions: int = 12
+    n_reads: int = 120
+    read_length: int = 80
+    #: alignment worker processes (>1 also exercises engine recovery)
+    workers: int = 2
+    #: accessions run concurrently through ``run_batch``
+    max_parallel: int = 4
+    seed: int = 0
+    #: fault plan text (``step:key:kind[*times]``, comma-separated);
+    #: None → the default scripted scenario built by :func:`default_plan`
+    fault_plan_text: str | None = None
+    #: short wedge-detection window so the engine-kill scenario degrades
+    #: (and recovers) within laptop-scale run times
+    engine_stall_timeout: float = 1.0
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            max_attempts=3, base_delay=0.01, max_delay=0.05
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_accessions < 2:
+            raise ValueError("n_accessions must be >= 2")
+
+    @property
+    def accessions(self) -> list[str]:
+        return [f"SRR9100{i:03d}" for i in range(1, self.n_accessions + 1)]
+
+
+def default_plan(accessions: list[str], *, workers: int) -> FaultPlan:
+    """The canonical scripted scenario over a batch of accessions.
+
+    Two transient prefetch faults on one accession (recovered by the
+    third attempt), one transient fasterq-dump fault on another, one
+    *permanent* prefetch failure (the batch's single FAILED result), and
+    — when the engine is on — a worker SIGKILL right before a
+    mid-campaign alignment.
+    """
+    text = (
+        f"prefetch:{accessions[1]}:transient*2,"
+        f"fasterq_dump:{accessions[3]}:transient*1,"
+        f"prefetch:{accessions[-2]}:permanent"
+    )
+    if workers > 1:
+        text += f",engine_worker:{accessions[5]}:transient*1"
+    return FaultPlan.parse(text)
+
+
+@dataclass
+class ChaosResult:
+    """Everything the chaos run observed."""
+
+    results: list[PipelineResult]
+    reference: list[PipelineResult]
+    summary: dict[str, int]
+    retries_by_step: dict[str, int]
+    plan_description: str
+    faults_injected: dict[str, int]
+    #: submission order preserved in the returned result list
+    order_preserved: bool
+    #: every non-FAILED result identical to the fault-free serial run
+    outputs_identical: bool
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for r in self.results if r.status is RunStatus.FAILED)
+
+    @property
+    def passed(self) -> bool:
+        return self.order_preserved and self.outputs_identical
+
+    def to_table(self) -> str:
+        table = Table(
+            ["accession", "status", "retries", "failed step", "mapped %"],
+            title="Chaos run — scripted faults vs fault-free reference",
+        )
+        for r in self.results:
+            table.add_row(
+                [
+                    r.accession,
+                    r.status.value,
+                    r.retries,
+                    r.failure.step if r.failure is not None else "-",
+                    f"{100 * r.mapped_fraction:.1f}"
+                    if r.status is not RunStatus.FAILED
+                    else "-",
+                ]
+            )
+        lines = [
+            table.render(),
+            f"plan: {self.plan_description}",
+            f"faults injected: {self.faults_injected}",
+            f"retries by step: {self.retries_by_step}",
+            f"summary: {self.summary}",
+            f"order preserved: {self.order_preserved}  "
+            f"outputs identical to fault-free serial run: "
+            f"{self.outputs_identical}",
+        ]
+        return "\n".join(lines)
+
+
+def _comparable(result: PipelineResult) -> tuple:
+    """The output surface that must be identical across execution modes
+    (wall-clock timings excluded — everything else must match)."""
+    final = result.star_result.final if result.star_result else None
+    counts = (
+        result.star_result.gene_counts if result.star_result else None
+    )
+    return (
+        result.accession,
+        result.status,
+        result.counts,
+        result.paired,
+        None
+        if final is None
+        else (
+            final.reads_processed,
+            final.mapped_unique,
+            final.mapped_multi,
+            final.unmapped,
+            final.aborted,
+        ),
+        None if counts is None else counts.column_vector("unstranded"),
+    )
+
+
+def run_chaos(spec: ChaosSpec | None = None) -> ChaosResult:
+    """Execute the chaos scenario and validate the resilience guarantees."""
+    spec = spec or ChaosSpec()
+    rng = ensure_rng(spec.seed)
+    universe = make_universe(GenomeUniverseSpec(), rng)
+    assembly = build_release_assembly(
+        universe, EnsemblRelease.R111, rng=derive_rng(rng, "assembly")
+    )
+    index = genome_generate(assembly, annotation=universe.annotation)
+    aligner = StarAligner(index, StarParameters(progress_every=50))
+    simulator = ReadSimulator(assembly, universe.annotation)
+
+    accessions = spec.accessions
+    repo = SraRepository()
+    for i, acc in enumerate(accessions):
+        # one single-cell library in the mix so the early-stopping path
+        # (REJECTED_EARLY) is exercised alongside the fault paths
+        library = (
+            LibraryType.SINGLE_CELL_3P if i == 0 else LibraryType.BULK_POLYA
+        )
+        sample = simulator.simulate(
+            SampleProfile(
+                library=library,
+                n_reads=spec.n_reads,
+                read_length=spec.read_length,
+            ),
+            rng=900 + i,
+            read_id_prefix=acc,
+        )
+        repo.deposit(SraArchive(acc, library, sample.records))
+
+    plan = (
+        FaultPlan.parse(spec.fault_plan_text)
+        if spec.fault_plan_text is not None
+        else default_plan(accessions, workers=spec.workers)
+    )
+
+    def make_config(**overrides) -> PipelineConfig:
+        base = dict(
+            early_stopping=EarlyStoppingPolicy(min_reads=20),
+            write_outputs=False,
+            retry=spec.retry,
+            engine_stall_timeout=spec.engine_stall_timeout,
+        )
+        base.update(overrides)
+        return PipelineConfig(**base)
+
+    with TemporaryDirectory(prefix="chaos-") as tmp:
+        tmp_path = Path(tmp)
+        with TranscriptomicsAtlasPipeline(
+            repo,
+            aligner,
+            tmp_path / "faulted",
+            config=make_config(workers=spec.workers, fault_plan=plan),
+        ) as pipeline:
+            results = pipeline.run_batch(
+                accessions, max_parallel=spec.max_parallel
+            )
+            # the engine pool must stay usable after worker kills: run one
+            # more accession through the same pipeline before closing
+            post = pipeline.run_accession(accessions[0])
+            summary = pipeline.summary()
+            retries_by_step = pipeline.retries_by_step()
+
+        reference_pipeline = TranscriptomicsAtlasPipeline(
+            repo, aligner, tmp_path / "reference", config=make_config()
+        )
+        reference = reference_pipeline.run_batch(accessions)
+
+    order_preserved = [r.accession for r in results] == accessions
+    outputs_identical = all(
+        _comparable(r) == _comparable(ref)
+        for r, ref in zip(results, reference)
+        if r.status is not RunStatus.FAILED
+    ) and _comparable(post) == _comparable(reference[0])
+
+    return ChaosResult(
+        results=results,
+        reference=reference,
+        summary=summary,
+        retries_by_step=retries_by_step,
+        plan_description=plan.describe(),
+        faults_injected=plan.injected,
+        order_preserved=order_preserved,
+        outputs_identical=outputs_identical,
+    )

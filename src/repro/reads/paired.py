@@ -20,6 +20,7 @@ import struct
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,6 +29,9 @@ from repro.reads.fastq import FastqRecord, write_fastq
 from repro.reads.library import LibraryType, SampleProfile
 from repro.reads.simulator import ReadSimulator
 from repro.util.rng import derive_rng, ensure_rng
+
+if TYPE_CHECKING:
+    from repro.core.resilience import FaultPlan
 from repro.util.validation import check_positive
 
 _MAGIC_PAIRED = b"SRAP"
@@ -243,13 +247,19 @@ class PairedSraArchive:
 
 
 def fasterq_dump_paired(
-    sra_path: Path | str, out_dir: Path | str
+    sra_path: Path | str,
+    out_dir: Path | str,
+    *,
+    fault_plan: "FaultPlan | None" = None,
 ) -> tuple[Path, Path]:
     """Split a paired archive into ``_1.fastq`` / ``_2.fastq`` files.
 
     Mirrors ``fasterq-dump --split-files``.
     """
-    archive = PairedSraArchive.from_bytes(Path(sra_path).read_bytes())
+    sra_path = Path(sra_path)
+    if fault_plan is not None:
+        fault_plan.check("fasterq_dump", sra_path.stem)
+    archive = PairedSraArchive.from_bytes(sra_path.read_bytes())
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     p1 = out_dir / f"{archive.accession}_1.fastq"

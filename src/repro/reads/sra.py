@@ -21,9 +21,13 @@ import struct
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.reads.fastq import FastqRecord, iter_fastq, write_fastq
 from repro.reads.library import LibraryType, SraRunMetadata
+
+if TYPE_CHECKING:
+    from repro.core.resilience import FaultPlan
 
 _MAGIC = b"SRAR"
 _VERSION = 1
@@ -163,12 +167,20 @@ class SraRepository:
 
 
 def prefetch(
-    repository: SraRepository, accession: str, dest_dir: Path | str
+    repository: SraRepository,
+    accession: str,
+    dest_dir: Path | str,
+    *,
+    fault_plan: "FaultPlan | None" = None,
 ) -> Path:
     """Download an SRA container to ``dest_dir`` (pipeline step 1).
 
     Mirrors the NCBI tool's layout: ``<dest>/<accession>/<accession>.sra``.
+    ``fault_plan`` lets the resilience harness script download failures
+    (the real tool's most failure-prone step) before any bytes move.
     """
+    if fault_plan is not None:
+        fault_plan.check("prefetch", accession)
     dest = Path(dest_dir) / accession
     dest.mkdir(parents=True, exist_ok=True)
     out = dest / f"{accession}.sra"
@@ -176,12 +188,19 @@ def prefetch(
     return out
 
 
-def fasterq_dump(sra_path: Path | str, out_dir: Path | str) -> Path:
+def fasterq_dump(
+    sra_path: Path | str,
+    out_dir: Path | str,
+    *,
+    fault_plan: "FaultPlan | None" = None,
+) -> Path:
     """Convert an SRA container to FASTQ (pipeline step 2).
 
     Returns the path of the produced ``<accession>.fastq`` file.
     """
     sra_path = Path(sra_path)
+    if fault_plan is not None:
+        fault_plan.check("fasterq_dump", sra_path.stem)
     archive = SraArchive.from_bytes(sra_path.read_bytes())
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)

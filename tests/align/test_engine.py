@@ -5,6 +5,8 @@ artifact — Log.final.out, ReadsPerGene.out.tab, SAM — must be *byte*
 identical between the serial aligner and the multiprocess engine.
 """
 
+import os
+import signal
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -248,12 +250,93 @@ class TestSharedMemoryLifecycle:
             blocks.close()
 
 
+class TestWorkerRecovery:
+    """Graceful degradation: SIGKILLed workers must not change outputs."""
+
+    def fresh_engine(self, index, **kwargs):
+        kwargs.setdefault("workers", 2)
+        kwargs.setdefault("batch_size", 16)
+        kwargs.setdefault("health_interval", 0.05)
+        kwargs.setdefault("stall_timeout", 0.3)
+        return ParallelStarAligner(
+            index, StarParameters(progress_every=50), **kwargs
+        )
+
+    def test_kill_all_workers_then_run_identical(
+        self, index_r111, aligner_r111, bulk_sample
+    ):
+        """Killing every worker wedges the pool for sure (one victim dies
+        holding the task-queue lock); the run must still produce serial-
+        identical output and leave the engine usable."""
+        records = bulk_sample.records
+        serial = aligner_r111.run(records, clock=frozen)
+        with self.fresh_engine(index_r111) as eng:
+            # warm-up parks the workers inside the task-queue read (the
+            # position where SIGKILL strands the queue lock)
+            eng.run(records[:16], clock=frozen)
+            pids = eng.worker_pids()
+            eng.kill_worker(0)
+            for pid in pids[1:]:  # snapshot: every original worker dies
+                os.kill(pid, signal.SIGKILL)
+            par = eng.run(records, clock=frozen)
+            assert par.outcomes == serial.outcomes
+            assert par.final.to_text() == serial.final.to_text()
+            assert eng.health.worker_failures >= 1
+            # the pool was rebuilt after the degraded run: the engine is
+            # healthy again and the next run matches too
+            assert not eng.health.degraded
+            again = eng.run(records, clock=frozen)
+            assert again.outcomes == serial.outcomes
+
+    def test_kill_mid_run_identical(
+        self, index_r111, aligner_r111, bulk_sample
+    ):
+        records = bulk_sample.records
+        serial = aligner_r111.run(records, clock=frozen)
+        with self.fresh_engine(index_r111) as eng:
+            fired = []
+
+            def killing_monitor(rec) -> bool:
+                if not fired:
+                    fired.append(eng.kill_worker())
+                return True
+
+            par = eng.run(records, monitor=killing_monitor, clock=frozen)
+            assert fired  # the kill really happened mid-merge
+            assert par.outcomes == serial.outcomes
+            assert par.final.to_text() == serial.final.to_text()
+            assert par.gene_counts.to_tab() == serial.gene_counts.to_tab()
+            # whether the pool self-healed or degraded+restarted, the
+            # engine must come out of it healthy
+            assert not eng.health.degraded
+
+    def test_close_after_kill_does_not_hang(self, index_r111):
+        eng = self.fresh_engine(index_r111).start()
+        eng.kill_worker()
+        eng.close()  # must return promptly despite the wedged pool
+        assert eng.shared_bytes == 0
+
+    def test_health_counters_start_clean(self, index_r111):
+        eng = self.fresh_engine(index_r111)
+        assert eng.health.worker_failures == 0
+        assert eng.health.redispatched_batches == 0
+        assert eng.health.serial_fallback_batches == 0
+        assert eng.health.pool_restarts == 0
+        assert not eng.health.degraded
+
+
 class TestValidation:
     def test_bad_constructor_args(self, index_r111):
         with pytest.raises(ValueError):
             ParallelStarAligner(index_r111, workers=0)
         with pytest.raises(ValueError):
             ParallelStarAligner(index_r111, batch_size=0)
+        with pytest.raises(ValueError):
+            ParallelStarAligner(index_r111, health_interval=0)
+        with pytest.raises(ValueError):
+            ParallelStarAligner(index_r111, max_batch_retries=0)
+        with pytest.raises(ValueError):
+            ParallelStarAligner(index_r111, stall_timeout=0)
 
     def test_unequal_mate_lists_rejected(self, engine, paired_sample):
         with pytest.raises(ValueError):

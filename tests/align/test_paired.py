@@ -8,7 +8,7 @@ from repro.align.paired import (
     PairedStarAligner,
     PairStatus,
 )
-from repro.align.star import AlignmentOutcome, AlignmentStatus
+from repro.align.star import ReadAlignment, AlignmentStatus
 from repro.genome.alphabet import reverse_complement
 from repro.genome.annotation import Strand
 from repro.genome.model import SequenceRegion
@@ -85,16 +85,16 @@ class TestSyntheticPairs:
 
 class TestClassifyEdgeCases:
     def test_classify_unmapped_pair(self, paired_aligner):
-        u = AlignmentOutcome("x", AlignmentStatus.UNMAPPED)
+        u = ReadAlignment("x", AlignmentStatus.UNMAPPED)
         status, tlen = paired_aligner.classify_pair(u, u)
         assert status is PairStatus.UNMAPPED and tlen is None
 
     def test_classify_multimapped_mate(self, paired_aligner):
-        multi = AlignmentOutcome(
+        multi = ReadAlignment(
             "x", AlignmentStatus.MULTIMAPPED, strand=Strand.FORWARD, n_loci=3,
             blocks=(SequenceRegion("1", 0, 70),),
         )
-        unique = AlignmentOutcome(
+        unique = ReadAlignment(
             "x", AlignmentStatus.UNIQUE, strand=Strand.REVERSE, n_loci=1,
             blocks=(SequenceRegion("1", 200, 270),),
         )

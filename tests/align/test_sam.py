@@ -13,7 +13,7 @@ from repro.align.sam import (
     to_sam_line,
     write_sam,
 )
-from repro.align.star import AlignmentOutcome, AlignmentStatus
+from repro.align.star import ReadAlignment, AlignmentStatus
 from repro.genome.alphabet import encode
 from repro.genome.annotation import Strand
 from repro.genome.model import SequenceRegion
@@ -32,7 +32,7 @@ def unique_outcome(contig="1", start=100, length=8, spliced=False):
         )
     else:
         blocks = (SequenceRegion(contig, start, start + length),)
-    return AlignmentOutcome(
+    return ReadAlignment(
         read_id="r1",
         status=AlignmentStatus.UNIQUE,
         strand=Strand.FORWARD,
@@ -52,7 +52,7 @@ class TestCigar:
         assert cigar_for(unique_outcome(spliced=True), 8) == "4M100N4M"
 
     def test_unmapped_star(self):
-        outcome = AlignmentOutcome("r1", AlignmentStatus.UNMAPPED)
+        outcome = ReadAlignment("r1", AlignmentStatus.UNMAPPED)
         assert cigar_for(outcome, 8) == "*"
 
     def test_reference_span(self):
@@ -84,7 +84,7 @@ class TestSamLine:
         assert "NH:i:1" in line and "nM:i:1" in line
 
     def test_reverse_flag(self):
-        outcome = AlignmentOutcome(
+        outcome = ReadAlignment(
             "r1",
             AlignmentStatus.UNIQUE,
             strand=Strand.REVERSE,
@@ -96,13 +96,13 @@ class TestSamLine:
         assert int(line.split("\t")[1]) & FLAG_REVERSE
 
     def test_unmapped_line(self):
-        line = to_sam_line(read(), AlignmentOutcome("r1", AlignmentStatus.UNMAPPED))
+        line = to_sam_line(read(), ReadAlignment("r1", AlignmentStatus.UNMAPPED))
         fields = line.split("\t")
         assert int(fields[1]) & FLAG_UNMAPPED
         assert fields[2] == "*" and fields[3] == "0" and fields[5] == "*"
 
     def test_multimapper_mapq(self):
-        outcome = AlignmentOutcome(
+        outcome = ReadAlignment(
             "r1",
             AlignmentStatus.MULTIMAPPED,
             strand=Strand.FORWARD,

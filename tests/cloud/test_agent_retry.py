@@ -1,0 +1,185 @@
+"""Worker-agent retry tests: the shared RetryPolicy driving simulated backoff."""
+
+import pytest
+
+from repro.cloud.agent import WorkerAgent
+from repro.cloud.ec2 import Ec2Service, SpotModel, instance_type
+from repro.cloud.events import Simulation, Timeout
+from repro.cloud.sqs import SqsQueue
+from repro.core.resilience import PermanentFault, RetryPolicy, TransientFault
+
+
+def make_env(*, visibility=3600.0):
+    sim = Simulation()
+    ec2 = Ec2Service(
+        sim,
+        boot_seconds=5,
+        spot_model=SpotModel(mean_interruption_seconds=10**9),
+        rng=0,
+    )
+    queue = SqsQueue(sim, visibility_timeout=visibility)
+    inst = ec2.launch(instance_type("r6a.large"))
+    return sim, ec2, queue, inst
+
+
+def quiet_init(agent):
+    yield Timeout(1.0)
+
+
+POLICY = RetryPolicy(max_attempts=3, base_delay=10.0, jitter=0.0)
+
+
+class TestProcessRetries:
+    def run_agent(self, queue_bodies, process_message, **agent_kwargs):
+        sim, ec2, queue, inst = make_env()
+        queue.send_batch(queue_bodies)
+        failures = []
+        agent = WorkerAgent(
+            sim,
+            inst,
+            queue,
+            init_work=quiet_init,
+            process_message=process_message,
+            retry=POLICY,
+            on_failure=lambda a, m, e: failures.append((m.body, e)),
+            on_stop=lambda a: ec2.terminate(a.instance),
+            **agent_kwargs,
+        )
+        sim.process(agent.run())
+        sim.run()
+        return sim, queue, agent, failures
+
+    def test_transient_failures_retried_with_simulated_backoff(self):
+        calls = []
+
+        def process_message(agent, message):
+            calls.append(agent.current_attempt)
+            yield Timeout(50.0)
+            if len(calls) < 3:
+                raise TransientFault("prefetch", message.body)
+            return "ok"
+
+        sim, queue, agent, failures = self.run_agent(["a"], process_message)
+        assert agent.stats.jobs_completed == 1
+        assert agent.stats.jobs_retried == 2
+        assert agent.stats.jobs_failed == 0
+        assert agent.results == ["ok"]
+        assert failures == []
+        assert calls == [1, 2, 3]
+        # the backoff was spent as *simulated* time: 3 attempts of 50 s
+        # plus delays 10 + 20 are all visible on the busy clock
+        assert agent.stats.busy_seconds == pytest.approx(3 * 50 + 10 + 20)
+
+    def test_permanent_fault_fails_fast_and_deletes(self):
+        calls = []
+        sim, queue, agent, failures = self.run_agent(
+            ["bad", "good"],
+            self._mixed(calls),
+        )
+        assert agent.stats.jobs_failed == 1
+        assert agent.stats.jobs_completed == 1
+        assert agent.stats.jobs_retried == 0
+        assert [body for body, _ in failures] == ["bad"]
+        assert isinstance(failures[0][1], PermanentFault)
+        assert queue.is_drained  # the failed message was deleted, not leaked
+
+    @staticmethod
+    def _mixed(calls):
+        def process_message(agent, message):
+            calls.append(message.body)
+            yield Timeout(50.0)
+            if message.body == "bad":
+                raise PermanentFault("fasterq_dump", message.body)
+            return message.body
+
+        return process_message
+
+    def test_exhausted_retries_fail_the_job(self):
+        def process_message(agent, message):
+            yield Timeout(10.0)
+            raise TransientFault("prefetch", message.body)
+
+        sim, queue, agent, failures = self.run_agent(["a"], process_message)
+        assert agent.stats.jobs_failed == 1
+        assert agent.stats.jobs_retried == POLICY.max_attempts - 1
+        assert agent.stats.jobs_completed == 0
+        assert len(failures) == 1
+        assert queue.is_drained
+
+    def test_no_policy_means_fail_on_first_error(self):
+        def process_message(agent, message):
+            yield Timeout(10.0)
+            raise TransientFault("prefetch", message.body)
+
+        sim, ec2, queue, inst = make_env()
+        queue.send("a")
+        agent = WorkerAgent(
+            sim,
+            inst,
+            queue,
+            init_work=quiet_init,
+            process_message=process_message,
+            on_stop=lambda a: ec2.terminate(a.instance),
+        )
+        sim.process(agent.run())
+        sim.run()
+        assert agent.stats.jobs_failed == 1
+        assert agent.stats.jobs_retried == 0
+
+
+class TestInitRetries:
+    def test_transient_init_retried(self):
+        sim, ec2, queue, inst = make_env()
+        queue.send("a")
+        attempts = []
+
+        def flaky_init(agent):
+            attempts.append(agent.current_attempt)
+            yield Timeout(30.0)
+            if len(attempts) < 2:
+                raise TransientFault("s3_download", agent.instance.instance_id)
+
+        def process_message(agent, message):
+            yield Timeout(10.0)
+            return "ok"
+
+        agent = WorkerAgent(
+            sim,
+            inst,
+            queue,
+            init_work=flaky_init,
+            process_message=process_message,
+            retry=POLICY,
+            on_stop=lambda a: ec2.terminate(a.instance),
+        )
+        sim.process(agent.run())
+        sim.run()
+        assert attempts == [1, 2]
+        assert agent.stats.init_retries == 1
+        assert agent.stats.jobs_completed == 1
+        # both init attempts plus the backoff count as init time
+        assert agent.stats.init_seconds == pytest.approx(30 + 10 + 30)
+
+    def test_unrecoverable_init_stops_instance(self):
+        sim, ec2, queue, inst = make_env()
+        queue.send("a")
+
+        def doomed_init(agent):
+            yield Timeout(30.0)
+            raise PermanentFault("s3_download", agent.instance.instance_id)
+
+        agent = WorkerAgent(
+            sim,
+            inst,
+            queue,
+            init_work=doomed_init,
+            process_message=lambda a, m: iter(()),
+            retry=POLICY,
+            on_stop=lambda a: ec2.terminate(a.instance),
+        )
+        sim.process(agent.run())
+        sim.run()
+        assert agent.stats.stop_reason == "init failed"
+        assert agent.stats.jobs_completed == 0
+        # the job is still in the queue for a replacement instance
+        assert queue.approximate_depth == 1

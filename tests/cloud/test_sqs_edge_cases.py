@@ -1,0 +1,144 @@
+"""SQS edge cases under failure: stale receipts, redrive, heartbeats.
+
+These pin the corner semantics the resilience layer leans on — what
+happens when a receipt outlives its message, when spot interruptions
+keep bouncing the same job, and when a job outlasts its visibility
+timeout mid-flight.
+"""
+
+import pytest
+
+from repro.cloud.agent import WorkerAgent
+from repro.cloud.ec2 import Ec2Service, SpotModel, instance_type
+from repro.cloud.events import Simulation, Timeout
+from repro.cloud.sqs import SqsQueue
+
+
+@pytest.fixture
+def sim():
+    return Simulation()
+
+
+class TestStaleReceipts:
+    def test_change_visibility_on_deleted_receipt(self, sim):
+        """A heartbeat racing a delete must be a no-op, not a resurrection."""
+        q = SqsQueue(sim, visibility_timeout=10)
+        q.send("job")
+        msg = q.receive()
+        receipt = msg.receipt_handle
+        assert q.delete(receipt)
+        # the late heartbeat tick: must refuse, schedule nothing
+        assert not q.change_visibility(receipt, 100)
+        sim.run(until=500)
+        assert q.receive() is None  # the deleted message never came back
+        assert q.total_expired_visibility == 0
+        assert q.is_drained
+
+    def test_change_visibility_after_expiry_uses_stale_receipt(self, sim):
+        """Once visibility lapses the old receipt is dead even though the
+        message is alive again under a new delivery."""
+        q = SqsQueue(sim, visibility_timeout=5)
+        q.send("job")
+        old = q.receive().receipt_handle
+        sim.run(until=6)  # visibility expired; message back in the queue
+        assert not q.change_visibility(old, 100)
+        assert not q.delete(old)
+        again = q.receive()
+        assert again is not None and again.receive_count == 2
+
+    def test_double_delete_second_is_false(self, sim):
+        q = SqsQueue(sim, visibility_timeout=5)
+        q.send("job")
+        receipt = q.receive().receipt_handle
+        assert q.delete(receipt)
+        assert not q.delete(receipt)
+        assert q.total_deleted == 1
+
+
+class TestDeadLetterAfterInterruptions:
+    def test_repeatedly_interrupted_job_dead_letters(self, sim):
+        """A job whose worker keeps dying mid-run (spot kills) is released
+        each time; after ``max_receive_count`` deliveries it redrives to
+        the DLQ instead of poisoning the main queue forever."""
+        dlq = SqsQueue(sim, name="dlq")
+        q = SqsQueue(
+            sim, visibility_timeout=600, max_receive_count=3, dead_letter=dlq
+        )
+        q.send("cursed-accession")
+        for delivery in range(3):
+            msg = q.receive()
+            assert msg is not None
+            assert msg.receive_count == delivery + 1
+            # the drain-on-warning handler: release fast, don't delete
+            assert q.change_visibility(msg.receipt_handle, 1.0)
+            sim.run(until=sim.now + 2.0)
+        # third strike: the message redrove to the DLQ
+        assert q.receive() is None
+        assert q.total_dead_lettered == 1
+        assert dlq.approximate_depth == 1
+        assert dlq.receive().body == "cursed-accession"
+        assert q.is_drained
+
+    def test_interruptions_below_threshold_keep_message(self, sim):
+        q = SqsQueue(sim, visibility_timeout=600, max_receive_count=3)
+        q.send("job")
+        for _ in range(2):
+            msg = q.receive()
+            q.change_visibility(msg.receipt_handle, 1.0)
+            sim.run(until=sim.now + 2.0)
+        assert q.approximate_depth == 1  # still deliverable
+        assert q.total_dead_lettered == 0
+
+
+class TestHeartbeatMidJob:
+    def make_agent(self, *, visibility, work_seconds, heartbeat=True):
+        sim = Simulation()
+        ec2 = Ec2Service(
+            sim,
+            boot_seconds=5,
+            spot_model=SpotModel(mean_interruption_seconds=10**9),
+            rng=0,
+        )
+        queue = SqsQueue(sim, visibility_timeout=visibility)
+        queue.send("long-job")
+        inst = ec2.launch(instance_type("r6a.large"))
+
+        def init_work(agent):
+            yield Timeout(1.0)
+
+        def process_message(agent, message):
+            yield Timeout(work_seconds)
+            return "done"
+
+        agent = WorkerAgent(
+            sim,
+            inst,
+            queue,
+            init_work=init_work,
+            process_message=process_message,
+            heartbeat=heartbeat,
+            on_stop=lambda a: ec2.terminate(a.instance),
+        )
+        sim.process(agent.run())
+        return sim, queue, agent
+
+    def test_heartbeat_covers_job_longer_than_visibility(self):
+        """The visibility timeout elapses many times over mid-job; the
+        heartbeat keeps extending it, so the job runs exactly once."""
+        sim, queue, agent = self.make_agent(visibility=100, work_seconds=950)
+        sim.run()
+        assert agent.stats.jobs_completed == 1
+        assert queue.total_delivered == 1  # never redelivered
+        assert queue.total_expired_visibility == 0
+        assert queue.is_drained
+
+    def test_without_heartbeat_visibility_lapses_mid_job(self):
+        """Disable the heartbeat and the same job is redelivered while
+        the first copy is still running — the at-least-once hazard the
+        heartbeat exists to prevent."""
+        sim, queue, agent = self.make_agent(
+            visibility=100, work_seconds=950, heartbeat=False
+        )
+        sim.run()
+        assert queue.total_expired_visibility >= 1
+        assert queue.total_delivered >= 2

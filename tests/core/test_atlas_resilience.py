@@ -1,0 +1,104 @@
+"""Atlas campaign resilience: fault plans and retries in the simulation."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cloud.autoscaling import ScalingPolicy
+from repro.core.atlas import AtlasConfig, run_atlas
+from repro.core.pipeline import RunStatus
+from repro.core.resilience import FaultPlan, RetryPolicy
+from repro.experiments.corpus import CorpusSpec, generate_corpus
+from repro.genome.ensembl import EnsemblRelease
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    return generate_corpus(CorpusSpec(n_runs=24), rng=2)
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    return AtlasConfig(
+        release=EnsemblRelease.R111,
+        instance_name="r6a.2xlarge",
+        scaling=ScalingPolicy(max_size=3, messages_per_instance=4),
+        retry=RetryPolicy(max_attempts=3, base_delay=30.0, jitter=0.0),
+        seed=7,
+    )
+
+
+class TestFaultInjection:
+    def test_transient_faults_absorbed(self, jobs, base_config):
+        target = jobs[0].accession
+        config = replace(
+            base_config,
+            fault_plan=FaultPlan.parse(f"prefetch:{target}:transient*2"),
+        )
+        report = run_atlas(jobs, config)
+        assert report.n_jobs == len(jobs)
+        assert report.n_failed == 0
+        record = next(j for j in report.jobs if j.accession == target)
+        assert record.retries == 2
+        assert report.total_retries >= 2
+
+    def test_permanent_fault_fails_exactly_that_job(self, jobs, base_config):
+        target = jobs[1].accession
+        config = replace(
+            base_config,
+            fault_plan=FaultPlan.parse(f"fasterq_dump:{target}:permanent"),
+        )
+        report = run_atlas(jobs, config)
+        # still one record per job: the failure is isolated, not dropped
+        assert report.n_jobs == len(jobs)
+        assert report.n_failed == 1
+        failed = next(j for j in report.jobs if j.status is RunStatus.FAILED)
+        assert failed.accession == target
+        assert "fasterq_dump" in failed.failure
+        assert failed.retries == 0  # permanent: retrying would be waste
+
+    def test_retries_cost_simulated_time(self, jobs, base_config):
+        faulted = replace(
+            base_config,
+            fault_plan=FaultPlan.parse(
+                f"prefetch:{jobs[0].accession}:transient*2"
+            ),
+        )
+        clean_report = run_atlas(jobs, base_config)
+        faulted_report = run_atlas(jobs, faulted)
+        # backoff waits and repeated work take real (simulated) time on
+        # the retried job itself (it need not sit on the critical path)
+        target = jobs[0].accession
+        clean_job = next(j for j in clean_report.jobs if j.accession == target)
+        retried_job = next(
+            j for j in faulted_report.jobs if j.accession == target
+        )
+        assert retried_job.retries == 2
+        assert retried_job.total_seconds > clean_job.total_seconds + 60.0
+        assert clean_report.total_retries == 0
+        assert clean_report.n_failed == 0
+
+    def test_fault_free_campaign_unperturbed_by_retry_config(
+        self, jobs, base_config
+    ):
+        """Turning the retry machinery on without faults must not change
+        the campaign (the retry RNG stream is derived after the existing
+        spot/jobs streams)."""
+        loose = replace(
+            base_config,
+            retry=RetryPolicy(max_attempts=5, base_delay=120.0, max_delay=600.0),
+        )
+        a = run_atlas(jobs, base_config)
+        b = run_atlas(jobs, loose)
+        assert a.makespan_seconds == b.makespan_seconds
+        assert [j.accession for j in a.jobs] == [j.accession for j in b.jobs]
+
+    def test_init_fault_recovered_by_retry(self, jobs, base_config):
+        config = replace(
+            base_config,
+            fault_plan=FaultPlan.parse("s3_download:*:transient*1"),
+        )
+        report = run_atlas(jobs, config)
+        # the index download blip delayed one instance but lost nothing
+        assert report.n_jobs == len(jobs)
+        assert report.n_failed == 0

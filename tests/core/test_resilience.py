@@ -1,0 +1,218 @@
+"""Unit tests for the shared failure vocabulary (repro.core.resilience)."""
+
+import pytest
+
+from repro.core.resilience import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    PermanentFault,
+    RetryLedger,
+    RetryPolicy,
+    StepFailed,
+    TransientFault,
+    run_with_retry,
+)
+from repro.util.rng import ensure_rng
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.should_retry(1)
+        assert policy.should_retry(2)
+        assert not policy.should_retry(3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=10, max_delay=5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline=0)
+
+    def test_exponential_backoff_without_rng_is_deterministic(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=2.0, max_delay=10.0)
+        assert policy.delay_for(1) == 1.0
+        assert policy.delay_for(2) == 2.0
+        assert policy.delay_for(3) == 4.0
+        assert policy.delay_for(10) == 10.0  # capped
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_for(0)
+
+    def test_jitter_bounded_and_seeded(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.25)
+        delays = [policy.delay_for(1, ensure_rng(7)) for _ in range(5)]
+        # same seed -> same jittered delay
+        assert len(set(delays)) == 1
+        assert 0.75 <= delays[0] <= 1.25
+        # different seed -> (almost surely) different delay
+        assert policy.delay_for(1, ensure_rng(8)) != delays[0]
+
+    def test_zero_jitter_ignores_rng(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.0)
+        assert policy.delay_for(1, ensure_rng(3)) == 1.0
+
+
+class TestFaultSpec:
+    def test_matching(self):
+        spec = FaultSpec("prefetch", "SRR1")
+        assert spec.matches("prefetch", "SRR1")
+        assert not spec.matches("prefetch", "SRR2")
+        assert not spec.matches("align", "SRR1")
+        assert FaultSpec("prefetch").matches("prefetch", "anything")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec("")
+        with pytest.raises(ValueError):
+            FaultSpec("prefetch", times=0)
+
+
+class TestFaultPlan:
+    def test_parse_round_trip(self):
+        text = "prefetch:SRR1:transient*2,fasterq_dump:*:permanent"
+        plan = FaultPlan.parse(text)
+        assert len(plan) == 2
+        assert plan.describe() == text
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("prefetch:SRR1")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("prefetch:SRR1:sometimes")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("prefetch:SRR1:transient*x")
+
+    def test_transient_budget_exhausts(self):
+        plan = FaultPlan.parse("prefetch:SRR1:transient*2")
+        with pytest.raises(TransientFault):
+            plan.check("prefetch", "SRR1")
+        with pytest.raises(TransientFault):
+            plan.check("prefetch", "SRR1")
+        plan.check("prefetch", "SRR1")  # budget spent: no raise
+        assert plan.exhausted
+        assert plan.injected == {"prefetch": 2}
+        assert plan.total_injected == 2
+
+    def test_permanent_fires_forever(self):
+        plan = FaultPlan.parse("prefetch:SRR1:permanent")
+        for _ in range(3):
+            with pytest.raises(PermanentFault):
+                plan.check("prefetch", "SRR1")
+        assert plan.total_injected == 3
+
+    def test_non_matching_key_untouched(self):
+        plan = FaultPlan.parse("prefetch:SRR1:transient*1")
+        plan.check("prefetch", "SRR2")  # different accession: no fault
+        assert plan.total_injected == 0
+
+    def test_consume_pops_without_raising(self):
+        plan = FaultPlan.parse("engine_worker:SRR1:transient*1")
+        spec = plan.consume("engine_worker", "SRR1")
+        assert spec is not None and spec.kind is FaultKind.TRANSIENT
+        assert plan.consume("engine_worker", "SRR1") is None
+
+
+class TestRunWithRetry:
+    def test_success_first_try(self):
+        value = run_with_retry(
+            lambda: 42, policy=RetryPolicy(), step="s", sleep=lambda d: None
+        )
+        assert value == 42
+
+    def test_transient_recovered(self):
+        plan = FaultPlan.parse("prefetch:SRR1:transient*2")
+        slept: list[float] = []
+        retried: list[tuple] = []
+
+        def work():
+            plan.check("prefetch", "SRR1")
+            return "ok"
+
+        value = run_with_retry(
+            work,
+            policy=RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0),
+            step="prefetch",
+            key="SRR1",
+            sleep=slept.append,
+            on_retry=lambda *args: retried.append(args),
+        )
+        assert value == "ok"
+        assert slept == [0.1, 0.2]
+        assert [r[1] for r in retried] == [1, 2]
+
+    def test_exhaustion_raises_step_failed(self):
+        plan = FaultPlan.parse("prefetch:SRR1:transient*5")
+
+        def work():
+            plan.check("prefetch", "SRR1")
+
+        with pytest.raises(StepFailed) as excinfo:
+            run_with_retry(
+                work,
+                policy=RetryPolicy(max_attempts=2, base_delay=0.0),
+                step="prefetch",
+                key="SRR1",
+                sleep=lambda d: None,
+            )
+        record = excinfo.value.record
+        assert record.step == "prefetch"
+        assert record.key == "SRR1"
+        assert record.attempts == 2
+        assert len(record.error_chain) == 2
+        assert not record.permanent
+
+    def test_permanent_short_circuits(self):
+        calls = []
+
+        def work():
+            calls.append(1)
+            raise PermanentFault("prefetch", "SRR1")
+
+        with pytest.raises(StepFailed) as excinfo:
+            run_with_retry(
+                work,
+                policy=RetryPolicy(max_attempts=5, base_delay=0.0),
+                step="prefetch",
+                key="SRR1",
+                sleep=lambda d: None,
+            )
+        assert len(calls) == 1  # no retries against a permanent fault
+        assert excinfo.value.record.permanent
+        assert excinfo.value.record.attempts == 1
+
+    def test_deadline_stops_retrying(self):
+        clock = iter([0.0, 10.0, 10.0]).__next__
+
+        def work():
+            raise RuntimeError("boom")
+
+        with pytest.raises(StepFailed) as excinfo:
+            run_with_retry(
+                work,
+                policy=RetryPolicy(max_attempts=10, deadline=5.0),
+                step="s",
+                sleep=lambda d: None,
+                clock=clock,
+            )
+        assert excinfo.value.record.attempts == 1
+
+
+class TestRetryLedger:
+    def test_accounting(self):
+        ledger = RetryLedger()
+        ledger.record("prefetch")
+        ledger.record("prefetch")
+        ledger.record("align", 3)
+        assert ledger.total == 5
+        assert ledger.by_step() == {"prefetch": 2, "align": 3}

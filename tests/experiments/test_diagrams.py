@@ -24,7 +24,9 @@ class TestPipelineDiagram:
         source = inspect.getsource(pipeline_module)
         assert "prefetch(" in source
         assert "fasterq_dump(" in source
-        assert "aligner.run(" in source
+        # alignment goes through the unified backend API now
+        assert "backend.align(" in source
+        assert "resolve_backend(" in source
         assert "estimate_size_factors" in source
         text = pipeline_diagram()
         for tool in ("prefetch", "fasterq-dump", "STAR", "DESeq2"):

@@ -1,0 +1,71 @@
+"""The ISSUE acceptance scenario, executable: a 12-accession batch under
+a seeded fault plan must come back complete, ordered, and byte-identical
+to a fault-free serial run wherever it survived."""
+
+import pytest
+
+from repro.core.pipeline import RunStatus
+from repro.experiments.chaos import ChaosSpec, default_plan, run_chaos
+
+
+@pytest.fixture(scope="module")
+def chaos_result():
+    return run_chaos(ChaosSpec(n_reads=80))
+
+
+class TestChaosScenario:
+    def test_guarantees_hold(self, chaos_result):
+        assert chaos_result.passed
+        assert chaos_result.order_preserved
+        assert chaos_result.outputs_identical
+
+    def test_one_result_per_accession_in_order(self, chaos_result):
+        spec = ChaosSpec(n_reads=80)
+        assert [r.accession for r in chaos_result.results] == spec.accessions
+        assert len(chaos_result.results) == 12
+
+    def test_exactly_one_failed_with_record(self, chaos_result):
+        failed = [
+            r
+            for r in chaos_result.results
+            if r.status is RunStatus.FAILED
+        ]
+        assert len(failed) == 1
+        record = failed[0].failure
+        assert record is not None
+        assert record.step == "prefetch"
+        assert record.permanent
+        assert record.error_chain
+
+    def test_retried_accessions_recovered(self, chaos_result):
+        by_acc = {r.accession: r for r in chaos_result.results}
+        spec = ChaosSpec(n_reads=80)
+        twice = by_acc[spec.accessions[1]]
+        once = by_acc[spec.accessions[3]]
+        assert twice.retries == 2
+        assert twice.status is not RunStatus.FAILED
+        assert once.retries == 1
+        assert chaos_result.retries_by_step == {
+            "prefetch": 2,
+            "fasterq_dump": 1,
+        }
+        assert chaos_result.summary["retries"] >= 3
+
+    def test_faults_were_actually_injected(self, chaos_result):
+        assert sum(chaos_result.faults_injected.values()) >= 4
+
+    def test_serial_chaos_also_passes(self):
+        """workers=1 exercises the serial path under the same plan
+        (minus the engine-kill fault, which needs a pool)."""
+        res = run_chaos(ChaosSpec(n_reads=60, workers=1, max_parallel=2))
+        assert res.passed
+        assert res.n_failed == 1
+
+
+class TestDefaultPlan:
+    def test_engine_fault_only_with_pool(self):
+        accs = ChaosSpec().accessions
+        with_pool = default_plan(accs, workers=2).describe()
+        serial = default_plan(accs, workers=1).describe()
+        assert "engine_worker" in with_pool
+        assert "engine_worker" not in serial
