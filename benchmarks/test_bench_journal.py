@@ -1,0 +1,115 @@
+"""JOURNAL bench: fsync'd append cost vs per-accession pipeline time.
+
+The durability layer pays one ``write() + flush + fsync`` per journal
+record.  The acceptance bar is that journaling stays in the noise: the
+appends an accession generates (started + one per step + terminal) must
+cost < 5% of the accession's own wall-clock time through the four-step
+pipeline.  Measures both sides, records them to ``BENCH_journal.json``
+at the repo root, and asserts the ratio.
+
+Also runnable directly (the CI smoke path)::
+
+    PYTHONPATH=src python benchmarks/test_bench_journal.py --appends 200
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+from repro.core.early_stopping import EarlyStoppingPolicy
+from repro.core.journal import RunJournal, config_fingerprint
+from repro.core.pipeline import PipelineConfig, TranscriptomicsAtlasPipeline
+from repro.experiments.chaos import build_demo_inputs
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_journal.json"
+MAX_OVERHEAD_FRACTION = 0.05
+
+
+def _append_seconds(path: Path, n_appends: int) -> float:
+    """Mean seconds per fsync'd append of a realistic step-done record."""
+    with RunJournal(path) as journal:
+        journal.record_batch_start("0" * 16, ["SRR0000001"])
+        started = time.perf_counter()
+        for i in range(n_appends):
+            journal.record_step_done(f"SRR{i:07d}", "align")
+        elapsed = time.perf_counter() - started
+    return elapsed / n_appends
+
+
+def measure(n_appends: int = 400, n_accessions: int = 4, n_reads: int = 100) -> dict:
+    """Time raw appends and a journaled batch; returns the JSON record."""
+    aligner, repo, accessions = build_demo_inputs(n_accessions, n_reads=n_reads)
+    config = PipelineConfig(
+        early_stopping=EarlyStoppingPolicy(min_reads=20), write_outputs=False
+    )
+
+    with TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        seconds_per_append = _append_seconds(tmp_path / "appends.jsonl", n_appends)
+
+        journal = RunJournal(tmp_path / "batch.jsonl")
+        pipeline = TranscriptomicsAtlasPipeline(
+            repo, aligner, tmp_path / "work", config=config
+        )
+        started = time.perf_counter()
+        results = pipeline.run_batch(accessions, journal=journal)
+        batch_seconds = time.perf_counter() - started
+        appends = journal.appends
+        journal.close()
+
+    assert len(results) == n_accessions
+    per_accession_seconds = batch_seconds / n_accessions
+    appends_per_accession = (appends - 1) / n_accessions  # minus batch-start
+    overhead_fraction = (
+        appends_per_accession * seconds_per_append / per_accession_seconds
+    )
+    return {
+        "n_appends_timed": n_appends,
+        "n_accessions": n_accessions,
+        "n_reads": n_reads,
+        "fingerprint": config_fingerprint(config),
+        "seconds_per_append": seconds_per_append,
+        "appends_per_accession": appends_per_accession,
+        "per_accession_seconds": per_accession_seconds,
+        "overhead_fraction": overhead_fraction,
+        "max_overhead_fraction": MAX_OVERHEAD_FRACTION,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def test_bench_journal_append_overhead(once):
+    record = once(measure)
+    OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+
+    print()
+    print(json.dumps(record, indent=2))
+    print(f"wrote {OUTPUT}")
+
+    assert record["seconds_per_append"] > 0
+    # each accession journals started + 4 step-dones + a terminal record
+    assert record["appends_per_accession"] >= 3
+    assert record["overhead_fraction"] < MAX_OVERHEAD_FRACTION, record
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--appends", type=int, default=400)
+    parser.add_argument("--accessions", type=int, default=4)
+    parser.add_argument("--reads", type=int, default=100)
+    args = parser.parse_args()
+
+    result = measure(
+        n_appends=args.appends,
+        n_accessions=args.accessions,
+        n_reads=args.reads,
+    )
+    OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    print(f"wrote {OUTPUT}")
+    if result["overhead_fraction"] >= MAX_OVERHEAD_FRACTION:
+        raise SystemExit(f"journal overhead too high: {result}")

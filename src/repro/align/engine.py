@@ -484,6 +484,42 @@ class ParallelStarAligner:
         self._worker_pids = set()
         self._suspect = False
 
+    def drain(self, timeout: float | None = None) -> bool:
+        """Graceful shutdown: wait for active runs, then :meth:`close`.
+
+        The pipeline's drain path (SIGTERM / spot notice) calls this so
+        in-flight alignments finish merging before the pool and the
+        shared-memory publication go away.  Returns True when every run
+        finished within ``timeout`` seconds (or no run was active);
+        False when the deadline expired and the pool was torn down with
+        work still in flight — those runs degrade to serial-in-parent
+        for whatever batches remain, so they still complete correctly.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._dispatch_lock:
+                if self._active_runs == 0:
+                    self.close()
+                    return True
+                if deadline is not None and time.monotonic() >= deadline:
+                    # deadline expired with runs still merging: condemn the
+                    # pool so those runs compute remaining batches in the
+                    # parent (degraded = serial, identical output), then
+                    # tear it down.  _pool is cleared under the lock so no
+                    # merge loop re-dispatches into a dying pool, and the
+                    # end-of-run finalizer skips its pool rebuild.
+                    self.health.degraded = True
+                    pool, self._pool = self._pool, None
+                    break
+            time.sleep(0.005)
+        if pool is not None:
+            self._teardown_pool(pool)
+        if self._blocks is not None:
+            self._blocks.close()
+            self._blocks = None
+        self._worker_pids = set()
+        return False
+
     def __enter__(self) -> "ParallelStarAligner":
         return self.start()
 

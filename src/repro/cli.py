@@ -12,10 +12,14 @@ Usage::
     python -m repro pseudo [--seed N]
     python -m repro hpc [--jobs N] [--nodes N]
     python -m repro atlas [--jobs N] [--spot] [--release 111] [--fleet 8]
-                          [--retries 3] [--fault-plan SPEC]
+                          [--retries 3] [--fault-plan SPEC] [--no-drain]
     python -m repro chaos [--accessions N] [--workers N] [--fault-plan SPEC]
+                          [--resume] [--journal PATH]
+    python -m repro pipeline [--accessions N] [--journal PATH] [--resume]
 
-Every command prints the same rows/series the paper reports and exits 0.
+Every command prints the same rows/series the paper reports and exits 0
+(``pipeline --resume`` exits 2 when the journal's config hash does not
+match the current configuration).
 """
 
 from __future__ import annotations
@@ -141,6 +145,7 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
             if args.fault_plan is not None
             else None
         ),
+        drain_on_warning=not args.no_drain,
         seed=args.seed,
     )
     report = run_atlas(jobs, config)
@@ -160,6 +165,12 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
     table.add_row(["peak fleet", report.peak_fleet])
     table.add_row(["mean utilization", f"{report.mean_utilization:.2f}"])
     table.add_row(["spot interruptions", report.cost.n_interrupted])
+    table.add_row(["jobs drained", report.jobs_drained])
+    table.add_row(["work lost (h)", f"{report.work_lost_seconds / 3600:.1f}"])
+    table.add_row(
+        ["work saved by drain (h)", f"{report.work_saved_seconds / 3600:.1f}"]
+    )
+    table.add_row(["queue redeliveries", report.queue_redeliveries])
     table.add_row(["job retries", report.total_retries])
     table.add_row(["jobs failed", report.n_failed])
     table.add_row(["total cost", f"${report.cost.total_usd:.2f}"])
@@ -168,8 +179,33 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core.journal import JournalIncompatible
     from repro.core.resilience import RetryPolicy
-    from repro.experiments.chaos import ChaosSpec, run_chaos
+    from repro.experiments.chaos import (
+        ChaosSpec,
+        ResumeChaosSpec,
+        run_chaos,
+        run_resume_chaos,
+    )
+
+    if args.resume:
+        try:
+            result = run_resume_chaos(
+                ResumeChaosSpec(
+                    n_accessions=args.accessions,
+                    seed=args.seed,
+                    journal_path=(
+                        Path(args.journal) if args.journal is not None else None
+                    ),
+                )
+            )
+        except JournalIncompatible as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(result.to_table())
+        return 0 if result.passed else 1
 
     result = run_chaos(
         ChaosSpec(
@@ -185,6 +221,91 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     print(result.to_table())
     return 0 if result.passed else 1
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from pathlib import Path
+    from tempfile import TemporaryDirectory
+
+    from repro.core.early_stopping import EarlyStoppingPolicy
+    from repro.core.journal import JournalIncompatible, RunJournal
+    from repro.core.pipeline import (
+        PipelineConfig,
+        RunStatus,
+        TranscriptomicsAtlasPipeline,
+        drain_on_signals,
+    )
+    from repro.util.tables import Table
+
+    if args.resume and args.journal is None:
+        print("error: --resume requires --journal PATH", file=sys.stderr)
+        return 2
+
+    from repro.experiments.chaos import build_demo_inputs
+
+    aligner, repo, accessions = build_demo_inputs(
+        args.accessions,
+        n_reads=args.reads,
+        seed=args.seed,
+    )
+    config = PipelineConfig(
+        early_stopping=EarlyStoppingPolicy(min_reads=20),
+        write_outputs=False,
+        workers=args.workers,
+        drain_deadline=args.drain_deadline,
+    )
+    with TemporaryDirectory(prefix="repro-pipeline-") as tmp:
+        with TranscriptomicsAtlasPipeline(
+            repo, aligner, Path(tmp), config=config
+        ) as pipeline:
+            try:
+                # SIGTERM/SIGINT gracefully drain the batch: no new
+                # accessions are admitted, in-flight work is bounded by
+                # --drain-deadline, and the journal stays resumable
+                with drain_on_signals(pipeline, deadline=args.drain_deadline):
+                    results = pipeline.run_batch(
+                        accessions,
+                        max_parallel=args.max_parallel,
+                        journal=args.journal,
+                        resume=args.resume,
+                    )
+            except JournalIncompatible as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+
+    table = Table(
+        ["accession", "status", "source", "retries", "mapped %"],
+        title=f"Pipeline batch — {len(results)}/{len(accessions)} accessions",
+    )
+    for r in results:
+        table.add_row(
+            [
+                r.accession,
+                r.status.value,
+                "journal" if r.resumed else "run",
+                r.retries,
+                f"{100 * r.mapped_fraction:.1f}"
+                if r.status is not RunStatus.FAILED
+                else "-",
+            ]
+        )
+    print(table.render())
+    if args.journal is not None:
+        replay = RunJournal(args.journal).replay()
+        pending = replay.pending(accessions)
+        print(
+            f"journal: {args.journal} — {len(replay.terminal)} terminal, "
+            f"{len(pending)} pending"
+        )
+        if pending:
+            print(
+                f"resume with: python -m repro pipeline --accessions "
+                f"{args.accessions} --reads {args.reads} --seed {args.seed} "
+                f"--journal {args.journal} --resume"
+            )
+    drained = sum(1 for r in results if r.status is RunStatus.DRAINED)
+    incomplete = len(accessions) - len(results) + drained
+    return 3 if incomplete else 0
 
 
 def _cmd_full_atlas(args: argparse.Namespace) -> int:
@@ -330,6 +451,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="scripted faults, e.g. 'prefetch:SRR9000001:transient*2'",
     )
+    p.add_argument(
+        "--no-drain",
+        action="store_true",
+        help="ignore the 120 s spot notice (rely on the visibility "
+        "timeout alone, the pre-drain behaviour)",
+    )
     p.set_defaults(fn=_cmd_atlas)
 
     p = sub.add_parser(
@@ -351,7 +478,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the default scripted fault plan",
     )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="run the kill-mid-batch → journal-resume scenario instead",
+    )
+    p.add_argument(
+        "--journal",
+        type=str,
+        default=None,
+        help="journal path for --resume (default: a temp file)",
+    )
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "pipeline",
+        help="journaled pipeline batch with checkpoint/resume and "
+        "graceful SIGTERM/SIGINT drain",
+    )
+    p.add_argument("--accessions", type=int, default=6)
+    p.add_argument("--reads", type=int, default=100, help="reads per accession")
+    p.add_argument(
+        "--workers", type=int, default=1, help="alignment worker processes"
+    )
+    p.add_argument("--max-parallel", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--journal",
+        type=str,
+        default=None,
+        help="crash-consistent run journal (append-only JSONL)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the journal first; exit 2 if its config hash differs",
+    )
+    p.add_argument(
+        "--drain-deadline",
+        type=float,
+        default=30.0,
+        help="seconds granted to in-flight work after SIGTERM/SIGINT",
+    )
+    p.set_defaults(fn=_cmd_pipeline)
 
     return parser
 

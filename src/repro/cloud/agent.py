@@ -44,6 +44,15 @@ class AgentStats:
     jobs_failed: int = 0
     jobs_retried: int = 0
     init_retries: int = 0
+    #: interrupted jobs that were drained gracefully (released back to the
+    #: queue inside the warning window, not lost to a hard kill)
+    jobs_drained: int = 0
+    #: busy seconds thrown away by interruptions (the aborted job restarts
+    #: from scratch on another instance)
+    work_lost_seconds: float = 0.0
+    #: visibility-timeout seconds other workers did NOT have to wait
+    #: because a drain released the message early
+    work_saved_seconds: float = 0.0
     stopped_at: float | None = None
     stop_reason: str = ""
 
@@ -73,6 +82,8 @@ class WorkerAgent:
         retry_rng: "RngStream | None" = None,
         on_failure: Callable[["WorkerAgent", Message, BaseException], None]
         | None = None,
+        drain_on_warning: bool = True,
+        on_drain: Callable[["WorkerAgent", Message], None] | None = None,
     ) -> None:
         if poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
@@ -93,6 +104,11 @@ class WorkerAgent:
         self.retry = retry
         self.retry_rng = retry_rng
         self.on_failure = on_failure
+        #: react to the 120 s spot notice: abort the in-flight job and
+        #: release its message immediately instead of working until the
+        #: kill and relying on the visibility timeout
+        self.drain_on_warning = drain_on_warning
+        self.on_drain = on_drain
         self.stats = AgentStats()
         self.results: list[Any] = []
         #: attempt number of the message currently being processed (1-based);
@@ -102,18 +118,22 @@ class WorkerAgent:
     # -- helpers -----------------------------------------------------------
 
     def _interruptible(self, gen: Generator) -> Generator:
-        """Drive ``gen``, aborting the moment the instance dies.
+        """Drive ``gen``, aborting on instance death or a drain request.
 
         Every wait the work yields is raced against the instance's
         termination event (so a spot kill interrupts a long STAR run *at
-        the kill time*, not at the run's natural end), and between steps a
-        pending interruption warning stops further work (the standard
-        drain-on-warning pattern).
+        the kill time*, not at the run's natural end) and — when
+        ``drain_on_warning`` is set — against the interruption warning,
+        so the agent reacts within the 120 s notice instead of at the
+        kill.
 
-        Returns ``(status, value)`` where status is ``"done"`` or
-        ``"interrupted"``.
+        Returns ``(status, value)`` where status is ``"done"``,
+        ``"drained"`` (warning received, instance still alive — the
+        caller can still make API calls like releasing the message), or
+        ``"interrupted"`` (hard kill; the process is gone).
         """
         terminated = self.instance.terminated_event
+        warning = self.instance.interruption_warning
         try:
             item = gen.send(None)
         except StopIteration as stop:
@@ -128,14 +148,16 @@ class WorkerAgent:
                     f"agent work yielded {type(item).__name__}; expected "
                     "Timeout or SimEvent"
                 )
-            winner, value = yield AnyOf(wait_event, terminated)
-            if (
-                winner is terminated
-                or not self.instance.is_running
-                or self.interruption_pending
-            ):
+            race = [wait_event, terminated]
+            if self.drain_on_warning and not warning.triggered:
+                race.append(warning)
+            winner, value = yield AnyOf(*race)
+            if winner is terminated or not self.instance.is_running:
                 gen.close()
                 return ("interrupted", None)
+            if self.interruption_pending:
+                gen.close()
+                return ("drained" if self.drain_on_warning else "interrupted", None)
             try:
                 item = gen.send(value)
             except StopIteration as stop:
@@ -212,15 +234,18 @@ class WorkerAgent:
                 )
                 delay = self.retry.delay_for(attempt, self.retry_rng)
                 if delay > 0:
-                    winner, _ = yield AnyOf(
-                        self.sim.timeout_event(delay), terminated
-                    )
-                    if (
-                        winner is terminated
-                        or not self.instance.is_running
-                        or self.interruption_pending
-                    ):
+                    warning = self.instance.interruption_warning
+                    race = [self.sim.timeout_event(delay), terminated]
+                    if self.drain_on_warning and not warning.triggered:
+                        race.append(warning)
+                    winner, _ = yield AnyOf(*race)
+                    if winner is terminated or not self.instance.is_running:
                         return ("interrupted", None)
+                    if self.interruption_pending:
+                        return (
+                            "drained" if self.drain_on_warning else "interrupted",
+                            None,
+                        )
 
     # -- the loop -------------------------------------------------------------
 
@@ -237,7 +262,7 @@ class WorkerAgent:
             lambda: self.init_work(self), counter="init_retries"
         )
         self.stats.init_seconds = self.sim.now - init_started
-        if status == "interrupted":
+        if status in ("interrupted", "drained"):
             self._stopped("interrupted during init")
             return self.stats
         if status == "failed":
@@ -271,12 +296,22 @@ class WorkerAgent:
             )
             self._stop_heartbeat(heartbeat_state)
             self.stats.busy_seconds += self.sim.now - busy_started
-            if status == "interrupted":
-                # Do NOT delete — but release the message immediately (the
-                # drain handler calls ChangeMessageVisibility(0)) so another
-                # instance picks it up without waiting out the timeout.
-                if receipt is not None:
-                    self.queue.change_visibility(receipt, 1.0)
+            if status in ("interrupted", "drained"):
+                # Either way the partial work restarts from scratch
+                # elsewhere, so the busy time so far is lost...
+                self.stats.work_lost_seconds += self.sim.now - busy_started
+                if status == "drained" and receipt is not None:
+                    # ...but a graceful drain releases the message NOW
+                    # (ChangeMessageVisibility(0)), saving other workers
+                    # the rest of the visibility timeout.  A hard kill
+                    # cannot make that call — its message comes back only
+                    # when the visibility timeout expires.
+                    saved = self.queue.release(receipt)
+                    if saved is not None:
+                        self.stats.work_saved_seconds += saved
+                    self.stats.jobs_drained += 1
+                    if self.on_drain is not None:
+                        self.on_drain(self, message)
                 self.stats.jobs_interrupted += 1
                 self._stopped("spot interruption mid-job")
                 return self.stats

@@ -135,7 +135,11 @@ class EC2Instance:
     interruption_warning: SimEvent = field(default_factory=SimEvent)
     #: fires when the instance is terminated (any cause)
     terminated_event: SimEvent = field(default_factory=SimEvent)
+    #: the spot market reclaimed (or warned it will reclaim) this capacity
     interrupted: bool = False
+    #: pending warning/interruption timers, cancelled on termination so a
+    #: scale-in-terminated instance can never be warned afterwards
+    _spot_timers: list = field(default_factory=list, repr=False)
 
     @property
     def is_running(self) -> bool:
@@ -202,17 +206,34 @@ class Ec2Service:
             self.rng.exponential(self.spot_model.mean_interruption_seconds)
         )
         warning_at = max(0.0, delay - self.spot_model.warning_seconds)
-        self.sim.call_later(warning_at, lambda: self._warn(inst))
-        self.sim.call_later(delay, lambda: self._interrupt(inst))
+        inst._spot_timers = [
+            self.sim.call_later(warning_at, lambda: self._warn(inst)),
+            self.sim.call_later(delay, lambda: self._interrupt(inst)),
+        ]
 
     def _warn(self, inst: EC2Instance) -> None:
-        if inst.is_running and not inst.interruption_warning.triggered:
+        """Deliver the two-minute notice — only to a live instance.
+
+        An instance terminated meanwhile (autoscaling scale-in, an agent
+        stopping on a drained queue) must never be warned: its timers
+        are cancelled in :meth:`terminate`, and this lifecycle guard
+        covers the same-timestamp race where the warning and the
+        termination are both already on the event heap.
+        """
+        if inst.state is not InstanceState.RUNNING:
+            return
+        if not inst.interruption_warning.triggered:
+            # the reclaim is now unavoidable: this capacity counts as
+            # interrupted even if the agent drains and self-terminates
+            # before the kill lands
+            inst.interrupted = True
             inst.interruption_warning.succeed(self.sim.now)
 
     def _interrupt(self, inst: EC2Instance) -> None:
-        if inst.is_running:
-            inst.interrupted = True
-            self.terminate(inst)
+        if inst.state is not InstanceState.RUNNING:
+            return
+        inst.interrupted = True
+        self.terminate(inst)
 
     def terminate(self, inst: EC2Instance) -> None:
         """Terminate (idempotent)."""
@@ -220,6 +241,12 @@ class Ec2Service:
             return
         inst.state = InstanceState.TERMINATED
         inst.terminate_time = self.sim.now
+        # a dead instance has no spot lifecycle left: cancel pending
+        # warning/interruption timers so they neither fire against the
+        # terminated instance nor keep the simulation clock running
+        for timer in inst._spot_timers:
+            timer.cancel()
+        inst._spot_timers = []
         # release anyone still waiting for boot (they must re-check state)
         if not inst.running_event.triggered:
             inst.running_event.succeed(None)

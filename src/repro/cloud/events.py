@@ -172,6 +172,11 @@ class EventHandle:
     def cancelled(self) -> bool:
         return self._event.cancelled
 
+    @property
+    def when(self) -> float:
+        """Simulated time at which the event is scheduled to fire."""
+        return self._event.time
+
 
 class Simulation:
     """The event loop: a time-ordered heap of callbacks."""

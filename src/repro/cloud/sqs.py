@@ -64,6 +64,7 @@ class SqsQueue:
         self.total_deleted = 0
         self.total_expired_visibility = 0
         self.total_dead_lettered = 0
+        self.total_released = 0
 
     # -- producer side -----------------------------------------------------
 
@@ -125,6 +126,35 @@ class SqsQueue:
             msg._visibility_event.cancel()
         self.total_deleted += 1
         return True
+
+    def release(self, receipt_handle: str) -> float | None:
+        """Return an in-flight message to the queue immediately.
+
+        The graceful-drain path: a worker holding the 120 s interruption
+        notice gives its message back *now* instead of letting the
+        visibility timeout expire hours later.  Returns the visibility
+        seconds saved (time remaining until the message would have come
+        back on its own), or None when the receipt is stale.  Redrive
+        accounting matches :meth:`_expire_visibility`: a release still
+        counts as a failed delivery attempt.
+        """
+        msg = self._inflight.pop(receipt_handle, None)
+        if msg is None:
+            return None
+        remaining = 0.0
+        if msg._visibility_event is not None:
+            remaining = max(0.0, msg._visibility_event.when - self.sim.now)
+            msg._visibility_event.cancel()
+            msg._visibility_event = None
+        self.total_released += 1
+        msg.receipt_handle = None
+        if msg.receive_count >= self.max_receive_count:
+            self.total_dead_lettered += 1
+            if self.dead_letter is not None:
+                self.dead_letter.send(msg.body)
+            return remaining
+        self._visible.append(msg)
+        return remaining
 
     def change_visibility(self, receipt_handle: str, timeout: float) -> bool:
         """Extend/shrink one in-flight message's visibility (heartbeating)."""

@@ -9,6 +9,8 @@ application-specific optimizations.
   instance whose RAM fits the index;
 * :mod:`repro.core.atlas` — the cloud orchestration of Fig. 2, wiring the
   pipeline into the DES substrate (SQS + ASG + S3 + spot);
+* :mod:`repro.core.journal` — crash-consistent run journal powering
+  checkpoint/resume and graceful drain;
 * :mod:`repro.core.analytics` — savings/throughput accounting used by the
   figures.
 """
@@ -21,6 +23,13 @@ from repro.core.early_stopping import (
     EarlyStopMonitor,
 )
 from repro.core.hpc import HpcConfig, HpcRunReport, run_hpc
+from repro.core.journal import (
+    JournalCorrupt,
+    JournalIncompatible,
+    JournalReplay,
+    RunJournal,
+    config_fingerprint,
+)
 from repro.core.planner import (
     CampaignPlan,
     PlannerConstraints,
@@ -32,6 +41,7 @@ from repro.core.pipeline import (
     RunStatus,
     StepTiming,
     TranscriptomicsAtlasPipeline,
+    drain_on_signals,
 )
 from repro.core.resilience import (
     FailureRecord,
@@ -63,6 +73,9 @@ __all__ = [
     "FaultSpec",
     "HpcConfig",
     "HpcRunReport",
+    "JournalCorrupt",
+    "JournalIncompatible",
+    "JournalReplay",
     "MappingTrajectory",
     "PermanentFault",
     "PipelineConfig",
@@ -72,12 +85,15 @@ __all__ = [
     "RetryPolicy",
     "RightSizingAdvisor",
     "RightSizingChoice",
+    "RunJournal",
     "RunStatus",
     "StepFailed",
     "StepTiming",
     "TranscriptomicsAtlasPipeline",
     "TransientFault",
     "compute_savings",
+    "config_fingerprint",
+    "drain_on_signals",
     "plan_campaign",
     "run_atlas",
     "run_hpc",

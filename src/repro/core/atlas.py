@@ -99,6 +99,10 @@ class AtlasConfig:
     )
     #: scripted fault injection (prefetch / fasterq_dump / s3_* steps)
     fault_plan: FaultPlan | None = None
+    #: workers react to the 120 s spot notice by aborting the in-flight job
+    #: and releasing its message immediately (False = work until the kill
+    #: and rely on the visibility timeout, the pre-drain behaviour)
+    drain_on_warning: bool = True
     seed: int = 0
 
     def resolve_instance(self) -> InstanceType:
@@ -152,6 +156,12 @@ class AtlasRunReport:
     init_overhead_seconds: float
     queue_redeliveries: int
     dead_lettered: int = 0
+    #: interrupted jobs drained gracefully inside the 120 s warning window
+    jobs_drained: int = 0
+    #: busy seconds thrown away by spot interruptions (work redone elsewhere)
+    work_lost_seconds: float = 0.0
+    #: visibility-timeout seconds saved by drains releasing messages early
+    work_saved_seconds: float = 0.0
     #: CloudWatch-style time series (when config.metrics_period is set)
     metrics: dict = field(default_factory=dict)
 
@@ -359,6 +369,7 @@ def run_atlas(jobs: list[AtlasJob], config: AtlasConfig) -> AtlasRunReport:
             retry=config.retry,
             retry_rng=retry_rng,
             on_failure=on_failure,
+            drain_on_warning=config.drain_on_warning,
         )
 
     asg = AutoScalingGroup(
@@ -411,7 +422,12 @@ def run_atlas(jobs: list[AtlasJob], config: AtlasConfig) -> AtlasRunReport:
         peak_fleet=asg.peak_fleet_size(),
         mean_utilization=asg.mean_utilization(),
         init_overhead_seconds=init_overhead,
-        queue_redeliveries=queue.total_expired_visibility,
+        # a drain-released message is a redelivery too — it just comes back
+        # immediately instead of after the visibility timeout
+        queue_redeliveries=queue.total_expired_visibility + queue.total_released,
         dead_lettered=queue.total_dead_lettered,
+        jobs_drained=sum(a.stats.jobs_drained for a in asg.agents),
+        work_lost_seconds=sum(a.stats.work_lost_seconds for a in asg.agents),
+        work_saved_seconds=sum(a.stats.work_saved_seconds for a in asg.agents),
         metrics=collector.series if collector is not None else {},
     )

@@ -1,0 +1,348 @@
+"""Crash-consistent run journal: the pipeline's write-ahead durability log.
+
+The paper's atlas tolerates losing whole spot instances because SQS
+redelivers their in-flight accessions (§II); the *local* pipeline had no
+equivalent until now — a SIGKILL threw away every completed accession in
+the batch.  This module supplies the missing layer:
+
+* :class:`RunJournal` — an append-only JSONL file with atomic, fsync'd
+  appends.  Every record is one line, written with a single ``write``
+  call and flushed to disk before the pipeline proceeds, so the journal
+  is always a prefix of the truth: a crash can at worst leave a *torn
+  tail* (one partial final line), never a corrupt middle.
+
+* :func:`replay` semantics (``RunJournal.replay``) — rebuilds the batch
+  state from the log, tolerating the torn tail, duplicate terminal
+  records (a resumed run re-appends ``completed`` for replayed work),
+  and an empty file.  Mid-file corruption is *not* tolerated: that means
+  something other than a crash wrote the file, and resuming from it
+  would silently lose work — :class:`JournalCorrupt` is raised instead.
+
+* :func:`config_fingerprint` — a stable hash of every
+  :class:`~repro.core.pipeline.PipelineConfig` field that affects
+  per-accession *output* (not timing).  A journal written under one
+  fingerprint refuses to resume under another
+  (:class:`JournalIncompatible`), because replayed results would not
+  match what the new config produces.
+
+Record vocabulary (the ``t`` field): ``batch-start``, ``started``,
+``step-done``, ``completed``, ``failed``, ``drained``.  ``completed``
+and ``failed`` are *terminal* — resume replays them verbatim;
+``started``/``step-done``/``drained`` mark in-flight work that resume
+re-runs idempotently (every pipeline step is re-runnable from scratch).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.align.progress import FinalLogStats
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import PipelineConfig
+
+__all__ = [
+    "JournalCorrupt",
+    "JournalIncompatible",
+    "JournalReplay",
+    "ReplayedOutcome",
+    "RunJournal",
+    "TERMINAL_RECORD_TYPES",
+    "config_fingerprint",
+]
+
+#: journal format version, stamped on every ``batch-start`` record
+JOURNAL_VERSION = 1
+
+#: record types that mark an accession as done (replayed on resume)
+TERMINAL_RECORD_TYPES = frozenset({"completed", "failed"})
+
+
+class JournalCorrupt(RuntimeError):
+    """The journal has invalid content *before* its final line.
+
+    A crash can only tear the tail of an append-only, fsync-per-record
+    log; damage anywhere else means the file is not a journal this code
+    wrote, and resuming from it would be unsafe.
+    """
+
+
+class JournalIncompatible(RuntimeError):
+    """The journal was written by a pipeline with a different config.
+
+    Replaying ``completed`` records produced under different
+    output-affecting settings would silently mix two configurations'
+    results in one batch, so resume refuses instead.
+    """
+
+    def __init__(self, journal_fingerprint: str, config_hash: str) -> None:
+        self.journal_fingerprint = journal_fingerprint
+        self.config_fingerprint = config_hash
+        super().__init__(
+            f"journal was written by config {journal_fingerprint!r} but the "
+            f"current pipeline config hashes to {config_hash!r}; refusing to "
+            "resume (results would not be comparable)"
+        )
+
+
+def config_fingerprint(config: "PipelineConfig") -> str:
+    """Stable hash of the config surface that determines per-accession output.
+
+    Execution-shape knobs (``workers``, ``align_batch_size``, stall and
+    drain timeouts, ``write_outputs``) are deliberately excluded: the
+    engine guarantees identical results across worker counts, so a batch
+    journaled at ``workers=4`` may resume at ``workers=1`` and still
+    produce byte-identical outcomes.
+    """
+    surface = {
+        "early_stopping": repr(config.early_stopping),
+        "acceptance_threshold": config.acceptance_threshold,
+        "counts_column": config.counts_column,
+        "trim": repr(config.trim),
+        "retry": repr(config.retry),
+        "retry_seed": config.retry_seed,
+        "fault_plan": (
+            config.fault_plan.describe() if config.fault_plan is not None else None
+        ),
+    }
+    blob = json.dumps(surface, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ReplayedOutcome:
+    """An :class:`~repro.align.outcome.AlignmentOutcome` rebuilt from the
+    journal instead of a live run.
+
+    Carries the ``Log.final.out`` statistics the original run recorded;
+    per-read outcomes and progress snapshots are not journaled (they are
+    bulky and nothing downstream of a *completed* accession needs them),
+    so ``progress`` is empty and ``gene_counts`` is None — the pipeline
+    keeps the count *column* on the result itself.
+    """
+
+    final: FinalLogStats
+    progress: list = field(default_factory=list)
+    gene_counts: None = None
+    aborted: bool = False
+
+    @property
+    def mapped_fraction(self) -> float:
+        return self.final.mapped_fraction
+
+
+@dataclass
+class JournalReplay:
+    """Everything :meth:`RunJournal.replay` recovered from the log."""
+
+    #: config fingerprint from the most recent ``batch-start`` (None when
+    #: the journal has no batch record yet)
+    fingerprint: str | None = None
+    #: accession list of the most recent ``batch-start``
+    accessions: list[str] = field(default_factory=list)
+    #: accession → first terminal record (``completed`` or ``failed``)
+    terminal: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: accessions with a ``started`` but no terminal record, in order
+    in_flight: list[str] = field(default_factory=list)
+    #: accession → steps journaled as done before the crash
+    steps_done: dict[str, list[str]] = field(default_factory=dict)
+    #: total well-formed records read
+    n_records: int = 0
+    #: a partial final line was dropped (torn write at crash time)
+    torn_tail: bool = False
+    #: terminal records ignored because one was already present
+    duplicate_terminal: int = 0
+
+    @property
+    def completed(self) -> dict[str, dict[str, Any]]:
+        """Terminal records that completed (any non-FAILED status)."""
+        return {
+            acc: rec
+            for acc, rec in self.terminal.items()
+            if rec["t"] == "completed"
+        }
+
+    def pending(self, accessions: list[str]) -> list[str]:
+        """The subset of ``accessions`` that still needs to run."""
+        return [a for a in accessions if a not in self.terminal]
+
+
+class RunJournal:
+    """Append-only JSONL journal with atomic, fsync'd appends.
+
+    Thread-safe: the pipeline appends from every batch worker thread.
+    Each append is one ``write`` call of one complete line followed by
+    ``flush`` + ``fsync`` (when ``fsync=True``, the default), so records
+    are durable before the work they describe is considered done —
+    write-ahead in the step-transition sense: a ``completed`` record on
+    disk *is* the commit point for that accession.
+    """
+
+    def __init__(self, path: Path | str, *, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._fh = None
+        self.appends = 0
+
+    # -- writing -----------------------------------------------------------
+
+    def _handle(self):
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def append(self, record: dict[str, Any]) -> None:
+        """Durably append one record (a single JSON line)."""
+        line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        with self._lock:
+            fh = self._handle()
+            fh.write(line)
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+            self.appends += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- typed record helpers ----------------------------------------------
+
+    def record_batch_start(
+        self, accessions: list[str], fingerprint: str
+    ) -> None:
+        self.append(
+            {
+                "t": "batch-start",
+                "v": JOURNAL_VERSION,
+                "fp": fingerprint,
+                "accessions": list(accessions),
+            }
+        )
+
+    def record_started(self, accession: str) -> None:
+        self.append({"t": "started", "acc": accession})
+
+    def record_step_done(self, accession: str, step: str) -> None:
+        self.append({"t": "step-done", "acc": accession, "step": step})
+
+    def record_completed(self, accession: str, payload: dict) -> None:
+        self.append({"t": "completed", "acc": accession, "result": payload})
+
+    def record_failed(self, accession: str, payload: dict) -> None:
+        self.append({"t": "failed", "acc": accession, "result": payload})
+
+    def record_drained(self, accession: str) -> None:
+        """The accession's in-flight work was aborted by a graceful drain
+        (non-terminal: resume re-runs it from scratch)."""
+        self.append({"t": "drained", "acc": accession})
+
+    # -- recovery ----------------------------------------------------------
+
+    def replay(self) -> JournalReplay:
+        """Rebuild batch state from the log (see module docstring)."""
+        state = JournalReplay()
+        if not self.path.exists():
+            return state
+        raw = self.path.read_bytes()
+        if not raw:
+            return state
+        lines = raw.split(b"\n")
+        # a trailing newline leaves one empty fragment; drop it so the
+        # "last line" below is the last record candidate
+        if lines and lines[-1] == b"":
+            lines.pop()
+        last = len(lines) - 1
+        for i, line in enumerate(lines):
+            if not line.strip():
+                if i == last:
+                    continue
+                raise JournalCorrupt(
+                    f"{self.path}: blank line at record {i + 1}"
+                )
+            try:
+                record = json.loads(line)
+            except (ValueError, UnicodeDecodeError) as exc:
+                if i == last:
+                    # torn tail: the crash interrupted the final write
+                    state.torn_tail = True
+                    break
+                raise JournalCorrupt(
+                    f"{self.path}: unreadable record {i + 1} before the "
+                    f"final line — not crash damage"
+                ) from exc
+            if not isinstance(record, dict) or "t" not in record:
+                if i == last:
+                    state.torn_tail = True
+                    break
+                raise JournalCorrupt(
+                    f"{self.path}: record {i + 1} is not a journal record"
+                )
+            self._apply(state, record)
+            state.n_records += 1
+        state.in_flight = [
+            acc
+            for acc in state.steps_done
+            if acc not in state.terminal
+        ]
+        return state
+
+    @staticmethod
+    def _apply(state: JournalReplay, record: dict[str, Any]) -> None:
+        rtype = record["t"]
+        if rtype == "batch-start":
+            state.fingerprint = record.get("fp")
+            state.accessions = list(record.get("accessions", []))
+            return
+        acc = record.get("acc")
+        if acc is None:
+            return
+        if rtype == "started":
+            state.steps_done.setdefault(acc, [])
+        elif rtype == "step-done":
+            state.steps_done.setdefault(acc, []).append(record.get("step", ""))
+        elif rtype in TERMINAL_RECORD_TYPES:
+            # idempotent re-runs append duplicate terminal records; the
+            # first one wins so replay is stable under re-execution
+            if acc in state.terminal:
+                state.duplicate_terminal += 1
+            else:
+                state.terminal[acc] = record
+        # "drained" needs no state: the accession stays in-flight
+
+
+def final_stats_to_payload(final: FinalLogStats) -> dict[str, Any]:
+    """JSON-safe form of ``Log.final.out`` statistics."""
+    return {
+        "reads_total": final.reads_total,
+        "reads_processed": final.reads_processed,
+        "mapped_unique": final.mapped_unique,
+        "mapped_multi": final.mapped_multi,
+        "too_many_loci": final.too_many_loci,
+        "unmapped": final.unmapped,
+        "mismatch_rate": final.mismatch_rate,
+        "spliced_reads": final.spliced_reads,
+        "elapsed_seconds": final.elapsed_seconds,
+        "aborted": final.aborted,
+    }
+
+
+def final_stats_from_payload(payload: dict[str, Any]) -> FinalLogStats:
+    """Rebuild a :class:`FinalLogStats` from its journalled payload."""
+    return FinalLogStats(**payload)

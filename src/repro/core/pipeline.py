@@ -25,7 +25,9 @@ structure in the cloud simulation.
 
 from __future__ import annotations
 
+import contextlib
 import enum
+import signal as signal_module
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -37,8 +39,15 @@ import numpy as np
 from repro.align.backend import ReadBatch, resolve_backend
 from repro.align.engine import ParallelStarAligner
 from repro.align.outcome import AlignmentOutcome
-from repro.align.star import StarAligner
 from repro.core.early_stopping import EarlyStoppingPolicy, EarlyStopMonitor
+from repro.core.journal import (
+    JournalIncompatible,
+    ReplayedOutcome,
+    RunJournal,
+    config_fingerprint,
+    final_stats_from_payload,
+    final_stats_to_payload,
+)
 from repro.core.resilience import (
     FailureRecord,
     FaultPlan,
@@ -62,10 +71,16 @@ class RunStatus(enum.Enum):
     REJECTED_EARLY = "rejected_early"  # aborted by the monitor
     REJECTED_FINAL = "rejected_final"  # completed but below the acceptance bar
     FAILED = "failed"  # a step exhausted its retry policy
+    DRAINED = "drained"  # aborted by a graceful drain; re-run on resume
 
     @property
     def produced_counts(self) -> bool:
         return self is RunStatus.ACCEPTED
+
+    @property
+    def terminal(self) -> bool:
+        """False only for DRAINED: the run must be re-executed to finish."""
+        return self is not RunStatus.DRAINED
 
 
 @dataclass(frozen=True)
@@ -98,6 +113,9 @@ class PipelineResult:
     failure: FailureRecord | None = None
     #: retries spent across this accession's steps
     retries: int = 0
+    #: True when this result was replayed from a run journal instead of
+    #: executed (``star_result`` is then a lightweight ReplayedOutcome)
+    resumed: bool = False
 
     @property
     def mapped_fraction(self) -> float:
@@ -132,6 +150,10 @@ class PipelineConfig:
     #: seconds of no-progress after a worker loss before the engine
     #: declares its pool wedged and degrades to serial (then rebuilds it)
     engine_stall_timeout: float = 5.0
+    #: after a drain request, seconds in-flight accessions may keep
+    #: running before their alignment is aborted (status DRAINED); 0
+    #: aborts at the next progress checkpoint
+    drain_deadline: float = 30.0
     #: retry/backoff/deadline policy applied to every step
     retry: RetryPolicy = field(
         default_factory=lambda: RetryPolicy(base_delay=0.05, max_delay=2.0)
@@ -146,6 +168,8 @@ class PipelineConfig:
             raise ValueError("workers must be >= 1")
         if self.align_batch_size < 1:
             raise ValueError("align_batch_size must be >= 1")
+        if self.drain_deadline < 0:
+            raise ValueError("drain_deadline must be >= 0")
 
 
 class TranscriptomicsAtlasPipeline:
@@ -169,6 +193,8 @@ class TranscriptomicsAtlasPipeline:
         self._engine: ParallelStarAligner | None = None
         self._engine_lock = threading.Lock()
         self._results_lock = threading.Lock()
+        self._drain = threading.Event()
+        self._drain_deadline_at: float | None = None
 
     # -- parallel engine lifecycle -------------------------------------------
 
@@ -199,6 +225,50 @@ class TranscriptomicsAtlasPipeline:
                 self._engine.close()
                 self._engine = None
 
+    # -- graceful drain ------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        """A drain has been requested (SIGTERM, spot notice, operator)."""
+        return self._drain.is_set()
+
+    def request_drain(self, *, deadline: float | None = None) -> None:
+        """Stop admitting new accessions; bound in-flight work.
+
+        Batch loops stop picking up accessions immediately.  Accessions
+        already executing keep running for ``deadline`` seconds (default
+        ``config.drain_deadline``), after which their alignment is
+        aborted at the next progress checkpoint and the result is marked
+        ``DRAINED`` — journaled as non-terminal, so a resumed run
+        re-executes it from scratch.  Idempotent; safe from signal
+        handlers and other threads.
+        """
+        if not self._drain.is_set():
+            budget = self.config.drain_deadline if deadline is None else deadline
+            self._drain_deadline_at = time.monotonic() + budget
+            self._drain.set()
+
+    def _drain_expired(self) -> bool:
+        return (
+            self._drain.is_set()
+            and self._drain_deadline_at is not None
+            and time.monotonic() >= self._drain_deadline_at
+        )
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Request a drain and tear the engine down once runs finish.
+
+        Returns True when the engine wound down within ``timeout``
+        (always True when no engine was running); False when the
+        deadline expired and the pool was torn down hard.
+        """
+        self.request_drain(deadline=timeout)
+        with self._engine_lock:
+            engine, self._engine = self._engine, None
+        if engine is not None:
+            return engine.drain(timeout)
+        return True
+
     def __enter__(self) -> "TranscriptomicsAtlasPipeline":
         return self
 
@@ -214,13 +284,21 @@ class TranscriptomicsAtlasPipeline:
             self.results.append(result)
         return result
 
-    def _execute_accession(self, accession: str) -> PipelineResult:
+    def _execute_accession(
+        self, accession: str, journal: RunJournal | None = None
+    ) -> PipelineResult:
         """All four steps, without touching shared pipeline state.
 
         Never raises: a step that exhausts its retry policy (or any
         unexpected internal error) is converted to a ``FAILED`` result
         carrying a :class:`FailureRecord`, so batch runs keep every
         other accession's work.
+
+        With a ``journal``, every state transition is durably appended
+        *before* the pipeline moves on: ``started`` ahead of the first
+        step, ``step-done`` after each step's retries settle, and a
+        terminal ``completed``/``failed`` (or non-terminal ``drained``)
+        record carrying everything resume needs to replay the result.
         """
         cfg = self.config
         work = self.workspace / accession
@@ -237,7 +315,7 @@ class TranscriptomicsAtlasPipeline:
         def attempt(step: str, timing_key: str, fn):
             started = time.monotonic()
             try:
-                return run_with_retry(
+                value = run_with_retry(
                     fn,
                     policy=cfg.retry,
                     step=step,
@@ -247,9 +325,18 @@ class TranscriptomicsAtlasPipeline:
                 )
             finally:
                 timings[timing_key] += time.monotonic() - started
+            if journal is not None:
+                journal.record_step_done(accession, step)
+            return value
 
+        if journal is not None:
+            journal.record_started(accession)
         try:
-            return self._run_steps(accession, work, attempt, state, timings, retries)
+            result = self._run_steps(
+                accession, work, attempt, state, timings, retries
+            )
+            self._journal_terminal(journal, result)
+            return result
         except StepFailed as exc:
             failure = exc.record
         except Exception as exc:  # defensive: isolate unexpected errors too
@@ -261,7 +348,7 @@ class TranscriptomicsAtlasPipeline:
                 error=repr(exc),
                 error_chain=[repr(exc)],
             )
-        return PipelineResult(
+        result = PipelineResult(
             accession=accession,
             status=RunStatus.FAILED,
             timing=StepTiming(**timings),
@@ -271,6 +358,21 @@ class TranscriptomicsAtlasPipeline:
             failure=failure,
             retries=retries["n"],
         )
+        self._journal_terminal(journal, result)
+        return result
+
+    @staticmethod
+    def _journal_terminal(
+        journal: RunJournal | None, result: PipelineResult
+    ) -> None:
+        if journal is None:
+            return
+        if result.status is RunStatus.DRAINED:
+            journal.record_drained(result.accession)
+        elif result.status is RunStatus.FAILED:
+            journal.record_failed(result.accession, _result_payload(result))
+        else:
+            journal.record_completed(result.accession, _result_payload(result))
 
     def _run_steps(
         self,
@@ -340,6 +442,8 @@ class TranscriptomicsAtlasPipeline:
         backend = resolve_backend(cfg, self.aligner, engine, paired=paired)
         out_dir = (work / "star") if (cfg.write_outputs and not paired) else None
 
+        drain_abort = {"hit": False}
+
         def align_once() -> AlignmentOutcome:
             if cfg.fault_plan is not None:
                 cfg.fault_plan.check("align", accession)
@@ -350,12 +454,24 @@ class TranscriptomicsAtlasPipeline:
                 if cfg.early_stopping is not None
                 else None
             )
-            hook = monitor.hook if monitor is not None else None
+            base_hook = monitor.hook if monitor is not None else None
+
+            def hook(record) -> bool:
+                # past the drain deadline, abort at the next checkpoint —
+                # the result is marked DRAINED (not REJECTED_EARLY) and a
+                # resumed run re-executes the accession from scratch
+                if self._drain_expired():
+                    drain_abort["hit"] = True
+                    return False
+                return base_hook(record) if base_hook is not None else True
+
             return backend.align(reads, monitor=hook, out_dir=out_dir)
 
         star_result = attempt("align", "star", align_once)
 
-        if star_result.aborted:
+        if drain_abort["hit"]:
+            status = RunStatus.DRAINED
+        elif star_result.aborted:
             status = RunStatus.REJECTED_EARLY
         elif (
             cfg.acceptance_threshold is not None
@@ -382,54 +498,103 @@ class TranscriptomicsAtlasPipeline:
         )
 
     def run_batch(
-        self, accessions: list[str], *, max_parallel: int = 1
+        self,
+        accessions: list[str],
+        *,
+        max_parallel: int = 1,
+        journal: RunJournal | Path | str | None = None,
+        resume: bool = False,
     ) -> list[PipelineResult]:
         """Run several accessions (one instance's view).
 
         ``max_parallel > 1`` overlaps accessions with a thread pool: the
         prefetch/dump steps are I/O-shaped and the alignment step hands
         its CPU work to the engine's worker *processes*, so threads only
-        coordinate.  Each accession's result is collected from its own
-        future — a failure (now a ``FAILED`` result, never an exception)
-        cannot drop completed work, and both the returned list and
-        ``self.results`` keep submission order regardless of completion
-        order, so downstream count matrices are reproducible.
+        coordinate.  A failure is a ``FAILED`` result, never an
+        exception, so one accession cannot drop another's work; the
+        returned list and ``self.results`` keep submission order
+        regardless of completion order, so downstream count matrices are
+        reproducible.
+
+        ``journal`` (a path or :class:`RunJournal`) makes the batch
+        crash-consistent: every accession's step transitions are durably
+        appended before execution proceeds.  With ``resume=True`` the
+        journal is replayed first — accessions with a terminal record
+        are *not* re-run; their results are reconstructed from the
+        journal (``resumed=True``) and interleaved at their submission
+        positions, so an interrupted batch resumed from its journal
+        returns byte-identical per-accession outcomes and count
+        matrices versus an uninterrupted run.  A journal written by a
+        pipeline whose output-affecting config differs raises
+        :class:`~repro.core.journal.JournalIncompatible`.
+
+        Under a drain request (:meth:`request_drain`), accessions not
+        yet started are skipped — the returned list then covers only
+        replayed, finished, and ``DRAINED`` work, and the journal holds
+        everything a resume needs to complete the batch.
         """
         if max_parallel < 1:
             raise ValueError("max_parallel must be >= 1")
-        if max_parallel == 1 or len(accessions) <= 1:
-            return [self.run_accession(a) for a in accessions]
-        with ThreadPoolExecutor(max_workers=max_parallel) as pool:
-            futures = [
-                pool.submit(self._execute_accession, a) for a in accessions
-            ]
-            results = []
-            for accession, future in zip(accessions, futures):
-                try:
-                    results.append(future.result())
-                except Exception as exc:  # pragma: no cover - defensive
-                    results.append(self._internal_failure(accession, exc))
+        run_journal: RunJournal | None = None
+        if journal is not None:
+            run_journal = (
+                journal
+                if isinstance(journal, RunJournal)
+                else RunJournal(journal)
+            )
+        replayed: dict[str, PipelineResult] = {}
+        fingerprint = config_fingerprint(self.config)
+        if run_journal is not None:
+            if resume:
+                replay = run_journal.replay()
+                if replay.n_records and replay.fingerprint != fingerprint:
+                    raise JournalIncompatible(
+                        str(replay.fingerprint), fingerprint
+                    )
+                wanted = set(accessions)
+                for acc, record in replay.terminal.items():
+                    if acc in wanted:
+                        replayed[acc] = _result_from_payload(
+                            acc, record["result"]
+                        )
+            run_journal.record_batch_start(list(accessions), fingerprint)
+
+        pending = [a for a in accessions if a not in replayed]
+        results_map: dict[str, PipelineResult] = dict(replayed)
+        map_lock = threading.Lock()
+
+        if max_parallel == 1 or len(pending) <= 1:
+            for accession in pending:
+                if self._drain.is_set():
+                    break
+                results_map[accession] = self._execute_accession(
+                    accession, journal=run_journal
+                )
+        else:
+            cursor = iter(pending)
+
+            def worker() -> None:
+                while not self._drain.is_set():
+                    with map_lock:
+                        accession = next(cursor, None)
+                    if accession is None:
+                        return
+                    result = self._execute_accession(
+                        accession, journal=run_journal
+                    )
+                    with map_lock:
+                        results_map[accession] = result
+
+            n_workers = min(max_parallel, len(pending))
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                futures = [pool.submit(worker) for _ in range(n_workers)]
+                for future in futures:
+                    future.result()
+
+        results = [results_map[a] for a in accessions if a in results_map]
         with self._results_lock:
             self.results.extend(results)
         return results
-
-    @staticmethod
-    def _internal_failure(accession: str, exc: BaseException) -> PipelineResult:
-        return PipelineResult(
-            accession=accession,
-            status=RunStatus.FAILED,
-            timing=StepTiming(prefetch=0.0, fasterq_dump=0.0, star=0.0),
-            star_result=None,
-            fastq_bytes=0,
-            failure=FailureRecord(
-                step="internal",
-                key=accession,
-                attempts=1,
-                elapsed_seconds=0.0,
-                error=repr(exc),
-                error_chain=[repr(exc)],
-            ),
-        )
 
     # -- step 4: joint normalization -----------------------------------------
 
@@ -463,3 +628,135 @@ class TranscriptomicsAtlasPipeline:
     def retries_by_step(self) -> dict[str, int]:
         """Retry counts bucketed by step name (prefetch/fasterq_dump/align)."""
         return self.retry_ledger.by_step()
+
+
+# --------------------------------------------------------------------------
+# journal payloads
+# --------------------------------------------------------------------------
+
+
+def _result_payload(result: PipelineResult) -> dict:
+    """The JSON-safe commit record for one terminal result.
+
+    Holds everything a resumed batch needs to replay the result without
+    re-running it: status, the count column (what the count matrix
+    consumes), the ``Log.final.out`` statistics, timings, and — for
+    FAILED results — the failure record.  Per-read outcomes and progress
+    snapshots are deliberately not journaled (bulky, and nothing
+    downstream of a terminal accession reads them).
+    """
+    final = result.star_result.final if result.star_result is not None else None
+    failure = result.failure
+    return {
+        "status": result.status.value,
+        "counts": result.counts,
+        "paired": result.paired,
+        "fastq_bytes": result.fastq_bytes,
+        "retries": result.retries,
+        "timing": {
+            "prefetch": result.timing.prefetch,
+            "fasterq_dump": result.timing.fasterq_dump,
+            "star": result.timing.star,
+        },
+        "final": final_stats_to_payload(final) if final is not None else None,
+        "aborted": (
+            result.star_result.aborted
+            if result.star_result is not None
+            else False
+        ),
+        "failure": (
+            {
+                "step": failure.step,
+                "key": failure.key,
+                "attempts": failure.attempts,
+                "elapsed_seconds": failure.elapsed_seconds,
+                "error": failure.error,
+                "error_chain": list(failure.error_chain),
+                "permanent": failure.permanent,
+            }
+            if failure is not None
+            else None
+        ),
+    }
+
+
+def _result_from_payload(accession: str, payload: dict) -> PipelineResult:
+    """Rebuild a replayed :class:`PipelineResult` from its commit record."""
+    final_payload = payload.get("final")
+    star_result = (
+        ReplayedOutcome(
+            final=final_stats_from_payload(final_payload),
+            aborted=bool(payload.get("aborted", False)),
+        )
+        if final_payload is not None
+        else None
+    )
+    failure_payload = payload.get("failure")
+    failure = (
+        FailureRecord(**failure_payload) if failure_payload is not None else None
+    )
+    timing = payload.get("timing") or {}
+    return PipelineResult(
+        accession=accession,
+        status=RunStatus(payload["status"]),
+        timing=StepTiming(
+            prefetch=float(timing.get("prefetch", 0.0)),
+            fasterq_dump=float(timing.get("fasterq_dump", 0.0)),
+            star=float(timing.get("star", 0.0)),
+        ),
+        star_result=star_result,
+        fastq_bytes=int(payload.get("fastq_bytes", 0)),
+        counts=payload.get("counts"),
+        paired=bool(payload.get("paired", False)),
+        failure=failure,
+        retries=int(payload.get("retries", 0)),
+        resumed=True,
+    )
+
+
+# --------------------------------------------------------------------------
+# signal-driven drain
+# --------------------------------------------------------------------------
+
+
+@contextlib.contextmanager
+def drain_on_signals(
+    pipeline: TranscriptomicsAtlasPipeline,
+    *,
+    signals: tuple[int, ...] = (signal_module.SIGTERM, signal_module.SIGINT),
+    deadline: float | None = None,
+):
+    """Install handlers that convert SIGTERM/SIGINT into a graceful drain.
+
+    The first signal requests a drain (stop admitting accessions, bound
+    in-flight work by the deadline, flush the journal as each accession
+    commits); a second signal restores abortive behaviour by raising
+    :class:`KeyboardInterrupt`.  On exit the previous handlers are
+    restored and the engine is wound down if a drain was requested —
+    mirroring how the paper's workers treat the spot two-minute notice.
+
+    No-op outside the main thread (Python only delivers signals there).
+    """
+    fired = {"count": 0}
+
+    def handler(signum, frame) -> None:
+        fired["count"] += 1
+        if fired["count"] > 1:
+            raise KeyboardInterrupt
+        pipeline.request_drain(deadline=deadline)
+
+    previous: dict[int, object] = {}
+    try:
+        for sig in signals:
+            previous[sig] = signal_module.signal(sig, handler)
+    except ValueError:  # not the main thread: leave handlers untouched
+        for sig, old in previous.items():
+            signal_module.signal(sig, old)
+        previous = {}
+    try:
+        yield pipeline
+    finally:
+        for sig, old in previous.items():
+            signal_module.signal(sig, old)
+        if pipeline.draining:
+            pipeline.drain(deadline)

@@ -16,6 +16,9 @@ prints its table.
 
 from __future__ import annotations
 
+import os
+import signal
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from tempfile import TemporaryDirectory
@@ -23,6 +26,7 @@ from tempfile import TemporaryDirectory
 from repro.align.index import genome_generate
 from repro.align.star import StarAligner, StarParameters
 from repro.core.early_stopping import EarlyStoppingPolicy
+from repro.core.journal import RunJournal
 from repro.core.pipeline import (
     PipelineConfig,
     PipelineResult,
@@ -254,4 +258,295 @@ def run_chaos(spec: ChaosSpec | None = None) -> ChaosResult:
         faults_injected=plan.injected,
         order_preserved=order_preserved,
         outputs_identical=outputs_identical,
+    )
+
+
+def build_demo_inputs(
+    n_accessions: int,
+    *,
+    n_reads: int = 100,
+    read_length: int = 80,
+    seed: int = 0,
+    prefix: str = "SRR9300",
+) -> tuple[StarAligner, SraRepository, list[str]]:
+    """Deterministic laptop-scale aligner + SRA repository.
+
+    Shared by ``python -m repro pipeline`` and tests that need a real
+    four-step pipeline without inventing their own synthetic corpus.
+    """
+    rng = ensure_rng(seed)
+    universe = make_universe(GenomeUniverseSpec(), rng)
+    assembly = build_release_assembly(
+        universe, EnsemblRelease.R111, rng=derive_rng(rng, "assembly")
+    )
+    index = genome_generate(assembly, annotation=universe.annotation)
+    aligner = StarAligner(index, StarParameters(progress_every=50))
+    simulator = ReadSimulator(assembly, universe.annotation)
+    accessions = [f"{prefix}{i:03d}" for i in range(1, n_accessions + 1)]
+    repo = SraRepository()
+    for i, acc in enumerate(accessions):
+        sample = simulator.simulate(
+            SampleProfile(
+                library=LibraryType.BULK_POLYA,
+                n_reads=n_reads,
+                read_length=read_length,
+            ),
+            rng=2400 + i,
+            read_id_prefix=acc,
+        )
+        repo.deposit(SraArchive(acc, LibraryType.BULK_POLYA, sample.records))
+    return aligner, repo, accessions
+
+
+# --------------------------------------------------------------------------
+# kill-mid-batch → resume
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResumeChaosSpec:
+    """Parameters of the kill-mid-batch → resume scenario."""
+
+    n_accessions: int = 5
+    n_reads: int = 100
+    read_length: int = 80
+    seed: int = 0
+    #: retry backoff injected on the second accession; this is the window
+    #: in which the victim process is SIGKILLed, so it must comfortably
+    #: exceed the parent's journal polling latency
+    stall_seconds: float = 2.0
+    #: give up if the victim never journals a terminal record (a completed
+    #: first accession) within this wall-clock budget
+    kill_timeout: float = 120.0
+    #: journal location; None → inside the scenario's temp directory
+    journal_path: Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_accessions < 2:
+            raise ValueError("n_accessions must be >= 2")
+        if self.stall_seconds <= 0:
+            raise ValueError("stall_seconds must be positive")
+
+    @property
+    def accessions(self) -> list[str]:
+        return [f"SRR9200{i:03d}" for i in range(1, self.n_accessions + 1)]
+
+
+@dataclass
+class ResumeChaosResult:
+    """Everything the kill-and-resume scenario observed."""
+
+    results: list[PipelineResult]
+    reference: list[PipelineResult]
+    #: accessions whose terminal record survived the SIGKILL
+    completed_before_kill: list[str]
+    #: accessions replayed from the journal (not re-run) on resume
+    replayed: list[str]
+    #: accessions the resumed batch actually re-executed
+    reexecuted: list[str]
+    #: the post-kill journal ended in a torn (partial) final line
+    torn_tail: bool
+    #: per-accession outcomes identical to the uninterrupted run
+    outputs_identical: bool
+    #: count matrix identical to the uninterrupted run
+    matrix_identical: bool
+    #: resume skipped exactly the accessions completed before the kill
+    replay_exact: bool
+
+    @property
+    def passed(self) -> bool:
+        return (
+            bool(self.completed_before_kill)
+            and self.outputs_identical
+            and self.matrix_identical
+            and self.replay_exact
+        )
+
+    def to_table(self) -> str:
+        replayed = set(self.replayed)
+        table = Table(
+            ["accession", "status", "source", "mapped %"],
+            title="Resume chaos — SIGKILL mid-batch, resumed from journal",
+        )
+        for r in self.results:
+            table.add_row(
+                [
+                    r.accession,
+                    r.status.value,
+                    "journal" if r.accession in replayed else "re-run",
+                    f"{100 * r.mapped_fraction:.1f}"
+                    if r.status is not RunStatus.FAILED
+                    else "-",
+                ]
+            )
+        lines = [
+            table.render(),
+            f"completed before kill: {self.completed_before_kill}",
+            f"torn tail after kill: {self.torn_tail}",
+            f"replay exact: {self.replay_exact}  "
+            f"outputs identical: {self.outputs_identical}  "
+            f"count matrix identical: {self.matrix_identical}",
+        ]
+        return "\n".join(lines)
+
+
+def _resume_comparable(result: PipelineResult) -> tuple:
+    """Output surface comparable between live and journal-replayed results.
+
+    Unlike :func:`_comparable` this omits the full ``GeneCounts`` object
+    (the journal persists only the count *column* the matrix needs) — the
+    per-gene counts are still covered via ``result.counts``.
+    """
+    final = result.star_result.final if result.star_result else None
+    return (
+        result.accession,
+        result.status,
+        result.counts,
+        result.paired,
+        None
+        if final is None
+        else (
+            final.reads_processed,
+            final.mapped_unique,
+            final.mapped_multi,
+            final.unmapped,
+            final.aborted,
+        ),
+    )
+
+
+def run_resume_chaos(spec: ResumeChaosSpec | None = None) -> ResumeChaosResult:
+    """Kill a journaled batch mid-flight, resume it, compare to fault-free.
+
+    A child process runs the batch with a journal; a scripted transient
+    fault puts the *second* accession into retry backoff for
+    ``stall_seconds``, giving the parent a deterministic window — after
+    the first accession's ``completed`` record is durably on disk — to
+    SIGKILL the child.  The parent then resumes the same batch from the
+    journal in-process and checks the central guarantee: the resumed
+    batch replays exactly the completed accessions, re-executes the
+    rest, and its per-accession outcomes and count matrix are identical
+    to an uninterrupted run.
+    """
+    spec = spec or ResumeChaosSpec()
+    rng = ensure_rng(spec.seed)
+    universe = make_universe(GenomeUniverseSpec(), rng)
+    assembly = build_release_assembly(
+        universe, EnsemblRelease.R111, rng=derive_rng(rng, "assembly")
+    )
+    index = genome_generate(assembly, annotation=universe.annotation)
+    aligner = StarAligner(index, StarParameters(progress_every=50))
+    simulator = ReadSimulator(assembly, universe.annotation)
+
+    accessions = spec.accessions
+    repo = SraRepository()
+    for i, acc in enumerate(accessions):
+        sample = simulator.simulate(
+            SampleProfile(
+                library=LibraryType.BULK_POLYA,
+                n_reads=spec.n_reads,
+                read_length=spec.read_length,
+            ),
+            rng=1700 + i,
+            read_id_prefix=acc,
+        )
+        repo.deposit(SraArchive(acc, LibraryType.BULK_POLYA, sample.records))
+
+    # two transient faults on the second accession → two backoff sleeps of
+    # stall_seconds each: the kill window.  The plan text is part of the
+    # config fingerprint, so victim / resume / reference all share it.
+    plan_text = f"prefetch:{accessions[1]}:transient*2"
+
+    def make_config() -> PipelineConfig:
+        return PipelineConfig(
+            early_stopping=EarlyStoppingPolicy(min_reads=20),
+            write_outputs=False,
+            retry=RetryPolicy(
+                max_attempts=3,
+                base_delay=spec.stall_seconds,
+                max_delay=spec.stall_seconds,
+            ),
+            fault_plan=FaultPlan.parse(plan_text),
+        )
+
+    with TemporaryDirectory(prefix="resume-chaos-") as tmp:
+        tmp_path = Path(tmp)
+        journal_path = spec.journal_path or (tmp_path / "batch.jsonl")
+        # the journal is this scenario's artifact: start it fresh so a
+        # re-run (e.g. `repro chaos --resume --journal X` twice) doesn't
+        # replay a previous invocation's terminal records
+        journal_path.unlink(missing_ok=True)
+
+        pid = os.fork()
+        if pid == 0:
+            # victim child: run the journaled batch until SIGKILLed.
+            # os._exit keeps pytest/atexit machinery from running twice.
+            code = 1
+            try:
+                victim = TranscriptomicsAtlasPipeline(
+                    repo,
+                    aligner,
+                    tmp_path / "victim",
+                    config=make_config(),
+                )
+                victim.run_batch(accessions, journal=journal_path)
+                code = 0
+            finally:
+                os._exit(code)
+
+        try:
+            completed_before: list[str] = []
+            deadline = time.monotonic() + spec.kill_timeout
+            while time.monotonic() < deadline:
+                replay = RunJournal(journal_path).replay()
+                if replay.terminal:
+                    completed_before = sorted(replay.terminal)
+                    break
+                time.sleep(0.02)
+        finally:
+            os.kill(pid, signal.SIGKILL)
+            os.waitpid(pid, 0)
+        if not completed_before:
+            raise RuntimeError(
+                "victim never journaled a terminal record within "
+                f"{spec.kill_timeout}s"
+            )
+
+        post_kill = RunJournal(journal_path).replay()
+
+        resumed = TranscriptomicsAtlasPipeline(
+            repo, aligner, tmp_path / "resumed", config=make_config()
+        )
+        results = resumed.run_batch(
+            accessions, journal=journal_path, resume=True
+        )
+        matrix = resumed.build_count_matrix()
+
+        reference_pipeline = TranscriptomicsAtlasPipeline(
+            repo, aligner, tmp_path / "reference", config=make_config()
+        )
+        reference = reference_pipeline.run_batch(accessions)
+        ref_matrix = reference_pipeline.build_count_matrix()
+
+    replayed = [r.accession for r in results if r.resumed]
+    reexecuted = [r.accession for r in results if not r.resumed]
+    outputs_identical = len(results) == len(reference) and all(
+        _resume_comparable(r) == _resume_comparable(ref)
+        for r, ref in zip(results, reference)
+    )
+    matrix_identical = (
+        matrix.gene_ids == ref_matrix.gene_ids
+        and matrix.sample_ids == ref_matrix.sample_ids
+        and bool((matrix.counts == ref_matrix.counts).all())
+    )
+    return ResumeChaosResult(
+        results=results,
+        reference=reference,
+        completed_before_kill=completed_before,
+        replayed=replayed,
+        reexecuted=reexecuted,
+        torn_tail=post_kill.torn_tail,
+        outputs_identical=outputs_identical,
+        matrix_identical=matrix_identical,
+        replay_exact=sorted(replayed) == completed_before,
     )

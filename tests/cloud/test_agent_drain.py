@@ -1,0 +1,133 @@
+"""Worker-agent drain-on-warning tests: the 120 s spot notice path."""
+
+import pytest
+
+from repro.cloud.agent import WorkerAgent
+from repro.cloud.ec2 import Ec2Service, InstanceMarket, SpotModel, instance_type
+from repro.cloud.events import Simulation, Timeout
+from repro.cloud.sqs import SqsQueue
+
+
+def make_env(*, visibility=10_000.0, spot_mean=200, rng=4):
+    sim = Simulation()
+    spot = SpotModel(mean_interruption_seconds=spot_mean, warning_seconds=120)
+    ec2 = Ec2Service(sim, boot_seconds=10, spot_model=spot, rng=rng)
+    queue = SqsQueue(sim, visibility_timeout=visibility)
+    return sim, ec2, queue
+
+
+def simple_init(seconds=1.0):
+    def init_work(agent):
+        yield Timeout(seconds)
+
+    return init_work
+
+
+def simple_work(seconds):
+    def process_message(agent, message):
+        yield Timeout(seconds)
+        return f"done:{message.body}"
+
+    return process_message
+
+
+def run_spot_agent(
+    sim, ec2, queue, *, drain_on_warning, work_seconds=100_000, on_drain=None
+):
+    inst = ec2.launch(instance_type("r6a.large"), InstanceMarket.SPOT)
+    agent = WorkerAgent(
+        sim,
+        inst,
+        queue,
+        init_work=simple_init(),
+        process_message=simple_work(work_seconds),
+        on_stop=lambda a: ec2.terminate(a.instance),
+        drain_on_warning=drain_on_warning,
+        on_drain=on_drain,
+    )
+    sim.process(agent.run())
+    return inst, agent
+
+
+class TestDrainOnWarning:
+    def test_drain_aborts_at_warning_not_at_kill(self):
+        sim, ec2, queue = make_env()
+        queue.send("a")
+        inst, agent = run_spot_agent(sim, ec2, queue, drain_on_warning=True)
+        sim.run(until=50_000)
+        assert agent.stats.jobs_drained == 1
+        assert agent.stats.jobs_interrupted == 1
+        # stopped at the warning, not 120 s later at the forced kill
+        warned_at = inst.interruption_warning.value
+        assert agent.stats.stopped_at == pytest.approx(warned_at)
+
+    def test_drain_releases_message_immediately(self):
+        sim, ec2, queue = make_env()
+        queue.send("a")
+        _, agent = run_spot_agent(sim, ec2, queue, drain_on_warning=True)
+        sim.run(until=50_000)
+        # released at the warning — not parked behind the 10 000 s
+        # visibility timeout
+        assert queue.total_released == 1
+        assert queue.total_expired_visibility == 0
+        assert agent.stats.work_saved_seconds > 0
+        assert agent.stats.work_lost_seconds > 0
+
+    def test_no_drain_waits_for_visibility_timeout(self):
+        """The pre-drain behaviour: a hard kill cannot release, so the
+        message comes back only when its visibility expires."""
+        sim, ec2, queue = make_env()
+        queue.send("a")
+        _, agent = run_spot_agent(sim, ec2, queue, drain_on_warning=False)
+        sim.run(until=50_000)
+        assert agent.stats.jobs_drained == 0
+        assert agent.stats.jobs_interrupted == 1
+        assert queue.total_released == 0
+        assert queue.total_expired_visibility == 1
+        assert agent.stats.work_saved_seconds == 0
+
+    def test_on_drain_callback_sees_the_message(self):
+        sim, ec2, queue = make_env()
+        queue.send("payload-x")
+        seen = []
+        run_spot_agent(
+            sim,
+            ec2,
+            queue,
+            drain_on_warning=True,
+            on_drain=lambda agent, message: seen.append(message.body),
+        )
+        sim.run(until=50_000)
+        assert seen == ["payload-x"]
+
+    def test_drained_message_redelivered_to_next_worker(self):
+        """Work conservation: the drained job completes on a second,
+        on-demand instance that picks up the released message."""
+        sim, ec2, queue = make_env()
+        queue.send("a")
+        inst, first = run_spot_agent(
+            sim, ec2, queue, drain_on_warning=True, work_seconds=5000
+        )
+        second_inst = ec2.launch(instance_type("r6a.large"))
+        second = WorkerAgent(
+            sim,
+            second_inst,
+            queue,
+            init_work=simple_init(),
+            process_message=simple_work(5000),
+            on_stop=lambda a: ec2.terminate(a.instance),
+        )
+        sim.process(second.run())
+        sim.run(until=100_000)
+        assert first.stats.jobs_drained == 1
+        assert second.stats.jobs_completed == 1
+        assert queue.is_drained
+
+    def test_warned_instance_counts_as_interrupted(self):
+        """Even when the drain finishes before the kill lands, the spot
+        reclaim shows up in interruption accounting."""
+        sim, ec2, queue = make_env()
+        queue.send("a")
+        inst, _ = run_spot_agent(sim, ec2, queue, drain_on_warning=True)
+        sim.run(until=50_000)
+        assert inst.interrupted

@@ -134,6 +134,40 @@ class TestSpot:
         assert warned_at <= inst.terminate_time
         assert inst.terminate_time - warned_at <= 120 + 1e-6
 
+    def test_scale_in_termination_cancels_spot_timers(self):
+        """Regression: an instance terminated by autoscaling scale-in must
+        never receive a later interruption warning — its pending spot
+        timers are cancelled, not left armed against a dead instance."""
+        sim = Simulation()
+        spot = SpotModel(mean_interruption_seconds=600, warning_seconds=120)
+        ec2 = Ec2Service(sim, boot_seconds=10, spot_model=spot, rng=1)
+        inst = ec2.launch(instance_type("r6a.large"), InstanceMarket.SPOT)
+        sim.run(until=11)
+        assert inst.is_running and inst._spot_timers
+        # scale-in happens before the scheduled warning fires
+        ec2.terminate(inst)
+        assert inst._spot_timers == []
+        sim.run()
+        assert not inst.interruption_warning.triggered
+        assert not inst.interrupted
+        # the cancelled timers must not have kept the clock running
+        assert sim.now == 11
+
+    def test_warning_marks_interrupted_before_kill(self):
+        """The 120 s notice means the reclaim is unavoidable: capacity
+        counts as interrupted from the warning on, so an agent that
+        drains and self-terminates early still shows up in the spot
+        interruption accounting."""
+        sim = Simulation()
+        spot = SpotModel(mean_interruption_seconds=600, warning_seconds=120)
+        ec2 = Ec2Service(sim, spot_model=spot, rng=1)
+        inst = ec2.launch(instance_type("r6a.large"), InstanceMarket.SPOT)
+        while sim.step():
+            if inst.interruption_warning.triggered:
+                break
+        assert inst.is_running
+        assert inst.interrupted
+
     def test_spot_price_discounted(self):
         spot = SpotModel(discount=0.34)
         it = instance_type("r6a.4xlarge")

@@ -123,3 +123,57 @@ class TestMetrics:
             SqsQueue(sim, visibility_timeout=0)
         with pytest.raises(ValueError):
             SqsQueue(sim, max_receive_count=0)
+
+
+class TestRelease:
+    def test_release_returns_message_immediately(self, sim):
+        q = SqsQueue(sim, visibility_timeout=3600)
+        q.send("job")
+        msg = q.receive()
+        saved = q.release(msg.receipt_handle)
+        # the full visibility window was still ahead: all of it is saved
+        assert saved == pytest.approx(3600)
+        assert q.approximate_depth == 1
+        assert q.inflight_count == 0
+        assert q.total_released == 1
+        redelivered = q.receive()
+        assert redelivered.body == "job"
+        assert redelivered.receive_count == 2
+
+    def test_release_saved_seconds_shrink_with_time(self, sim):
+        q = SqsQueue(sim, visibility_timeout=100)
+        q.send("job")
+        msg = q.receive()
+        sim.call_later(40, lambda: None)
+        sim.run(until=40)
+        assert q.release(msg.receipt_handle) == pytest.approx(60)
+
+    def test_release_stale_receipt(self, sim):
+        q = SqsQueue(sim, visibility_timeout=10)
+        q.send("job")
+        msg = q.receive()
+        q.delete(msg.receipt_handle)
+        assert q.release(msg.receipt_handle) is None
+        assert q.total_released == 0
+
+    def test_release_cancels_visibility_timer(self, sim):
+        """A release must not be double-counted as an expiry later."""
+        q = SqsQueue(sim, visibility_timeout=10)
+        q.send("job")
+        msg = q.receive()
+        q.release(msg.receipt_handle)
+        sim.run(until=30)
+        assert q.total_expired_visibility == 0
+        assert q.approximate_depth == 1
+
+    def test_release_respects_redrive_policy(self, sim):
+        """Repeated drains count as delivery attempts: a job drained
+        max_receive_count times is dead-lettered, not requeued forever."""
+        dlq = SqsQueue(sim, name="dlq")
+        q = SqsQueue(sim, visibility_timeout=10, max_receive_count=2, dead_letter=dlq)
+        q.send("poison")
+        q.release(q.receive().receipt_handle)
+        q.release(q.receive().receipt_handle)
+        assert q.approximate_depth == 0
+        assert q.total_dead_lettered == 1
+        assert dlq.approximate_depth == 1

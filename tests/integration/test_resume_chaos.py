@@ -1,0 +1,45 @@
+"""The kill-mid-batch acceptance scenario, executable: a journaled batch
+SIGKILLed after ≥1 completed accession, resumed from the journal, must
+re-execute only the non-completed accessions and produce per-accession
+outcomes and a count matrix identical to the uninterrupted run."""
+
+import pytest
+
+from repro.core.pipeline import RunStatus
+from repro.experiments.chaos import ResumeChaosSpec, run_resume_chaos
+
+
+@pytest.fixture(scope="module")
+def resume_result():
+    return run_resume_chaos(ResumeChaosSpec(n_accessions=4, stall_seconds=1.5))
+
+
+class TestResumeChaosScenario:
+    def test_guarantees_hold(self, resume_result):
+        assert resume_result.passed
+        assert resume_result.outputs_identical
+        assert resume_result.matrix_identical
+
+    def test_killed_after_at_least_one_completion(self, resume_result):
+        assert len(resume_result.completed_before_kill) >= 1
+        assert len(resume_result.completed_before_kill) < 4
+
+    def test_resume_reexecutes_only_non_completed(self, resume_result):
+        assert resume_result.replay_exact
+        assert sorted(resume_result.replayed) == resume_result.completed_before_kill
+        assert set(resume_result.reexecuted).isdisjoint(
+            resume_result.completed_before_kill
+        )
+        assert len(resume_result.replayed) + len(resume_result.reexecuted) == 4
+
+    def test_one_result_per_accession_in_order(self, resume_result):
+        spec = ResumeChaosSpec(n_accessions=4)
+        assert [r.accession for r in resume_result.results] == spec.accessions
+        assert all(r.status is not RunStatus.FAILED for r in resume_result.results)
+
+    def test_replayed_results_flagged(self, resume_result):
+        by_acc = {r.accession: r for r in resume_result.results}
+        for acc in resume_result.replayed:
+            assert by_acc[acc].resumed
+        for acc in resume_result.reexecuted:
+            assert not by_acc[acc].resumed

@@ -99,3 +99,48 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Full atlas projection" in out
         assert "cheaper" in out
+
+    def test_atlas_spot_drain_columns(self, capsys):
+        assert main(["atlas", "--jobs", "30", "--spot"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs drained" in out
+        assert "work saved by drain (h)" in out
+        assert "queue redeliveries" in out
+
+
+class TestPipelineCommand:
+    def test_journaled_run_then_resume(self, capsys, tmp_path):
+        journal = str(tmp_path / "batch.jsonl")
+        assert main(["pipeline", "--accessions", "2", "--journal", journal]) == 0
+        out = capsys.readouterr().out
+        assert "0 pending" in out
+        assert (
+            main(["pipeline", "--accessions", "2", "--journal", journal, "--resume"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "journal" in out  # both rows replayed, none re-run
+        assert " run " not in out
+
+    def test_resume_requires_journal(self, capsys):
+        assert main(["pipeline", "--accessions", "2", "--resume"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_incompatible_journal_exits_2(self, capsys, tmp_path):
+        journal = tmp_path / "batch.jsonl"
+        journal.write_text(
+            '{"t":"batch-start","v":1,"fp":"0000000000000000",'
+            '"accessions":["SRR9300001"]}\n'
+        )
+        code = main(
+            [
+                "pipeline",
+                "--accessions",
+                "2",
+                "--journal",
+                str(journal),
+                "--resume",
+            ]
+        )
+        assert code == 2
+        assert "refusing to resume" in capsys.readouterr().err
