@@ -5,10 +5,11 @@ STAR index in ``/dev/shm`` and fans alignment work out to every core.
 This module reproduces both levers for the in-process aligner:
 
 * :class:`SharedIndexBlocks` publishes a :class:`~repro.align.index.
-  GenomeIndex`'s two big arrays — the genome (1 byte/base) and the
-  suffix array (8 bytes/base) — into POSIX shared memory once.  Worker
-  processes *attach* to the blocks and wrap them in zero-copy numpy
-  views instead of each receiving a ~9 byte/base pickle;
+  GenomeIndex`'s big arrays — the genome (1 byte/base), the suffix
+  array (8 bytes/base), and the prefix jump table — into POSIX shared
+  memory once.  Worker processes *attach* to the blocks and wrap them
+  in zero-copy numpy views instead of each receiving a ~9 byte/base
+  pickle;
 
 * :class:`ParallelStarAligner` shards a read stream into batches,
   dispatches them to a persistent worker pool, and merges the per-batch
@@ -34,7 +35,7 @@ import time
 import weakref
 from collections import deque
 from collections.abc import Callable, Iterable, Iterator
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from multiprocessing.pool import TERMINATE, AsyncResult, Pool
 from pathlib import Path
@@ -43,6 +44,7 @@ import numpy as np
 
 from repro.align.counts import GeneCounts, GeneCountsPartial
 from repro.align.index import GenomeIndex
+from repro.align.suffix_array import PrefixJumpTable, SeedSearchStats
 from repro.align.paired import (
     PairedOutcome,
     PairedParameters,
@@ -93,6 +95,10 @@ class SharedIndexSpec:
     offsets: np.ndarray
     annotation: Annotation | None
     sjdb: set[tuple[str, int, int]]
+    #: prefix jump table, published alongside genome/SA so workers never
+    #: rebuild it; ``None`` when the index was built without one
+    jump_block: str | None = None
+    jump_length: int = 0
 
 
 def attach_shared_index(spec: SharedIndexSpec) -> tuple[GenomeIndex, list]:
@@ -112,6 +118,14 @@ def attach_shared_index(spec: SharedIndexSpec) -> tuple[GenomeIndex, list]:
     suffix_shm = shared_memory.SharedMemory(name=spec.suffix_block)
     genome = np.ndarray((spec.n_bases,), dtype=np.uint8, buffer=genome_shm.buf)
     suffix = np.ndarray((spec.n_bases,), dtype=np.int64, buffer=suffix_shm.buf)
+    handles = [genome_shm, suffix_shm]
+    jump_table = None
+    if spec.jump_block is not None:
+        jump_shm = shared_memory.SharedMemory(name=spec.jump_block)
+        entries = 6**spec.jump_length + 1
+        bounds = np.ndarray((entries,), dtype=np.int64, buffer=jump_shm.buf)
+        jump_table = PrefixJumpTable(spec.jump_length, bounds)
+        handles.append(jump_shm)
     index = GenomeIndex(
         assembly_name=spec.assembly_name,
         genome=genome,
@@ -120,8 +134,12 @@ def attach_shared_index(spec: SharedIndexSpec) -> tuple[GenomeIndex, list]:
         names=list(spec.names),
         annotation=spec.annotation,
         sjdb=spec.sjdb,
+        jump_table=jump_table,
+        # the publisher decides whether a table exists; a worker must not
+        # quietly rebuild one the parent chose to omit
+        auto_jump_table=False,
     )
-    return index, [genome_shm, suffix_shm]
+    return index, handles
 
 
 class SharedIndexBlocks:
@@ -135,6 +153,8 @@ class SharedIndexBlocks:
     def __init__(self, index: GenomeIndex) -> None:
         genome = np.ascontiguousarray(index.genome, dtype=np.uint8)
         suffix = np.ascontiguousarray(index.suffix_array, dtype=np.int64)
+        if index.jump_table is None and index.auto_jump_table and index.n_bases:
+            index.jump_table = PrefixJumpTable.build(genome, suffix)
         # shared_memory rejects zero-sized segments; a degenerate empty
         # index still gets valid (1-byte) blocks and n_bases=0 views.
         self._genome_shm = shared_memory.SharedMemory(
@@ -149,6 +169,16 @@ class SharedIndexBlocks:
         np.ndarray(suffix.shape, dtype=np.int64, buffer=self._suffix_shm.buf)[
             :
         ] = suffix
+        self._shms = [self._genome_shm, self._suffix_shm]
+        jump_block = None
+        jump_length = 0
+        if index.jump_table is not None:
+            bounds = np.ascontiguousarray(index.jump_table.bounds, dtype=np.int64)
+            jump_shm = shared_memory.SharedMemory(create=True, size=bounds.nbytes)
+            np.ndarray(bounds.shape, dtype=np.int64, buffer=jump_shm.buf)[:] = bounds
+            self._shms.append(jump_shm)
+            jump_block = jump_shm.name
+            jump_length = index.jump_table.length
         self.spec = SharedIndexSpec(
             genome_block=self._genome_shm.name,
             suffix_block=self._suffix_shm.name,
@@ -158,15 +188,15 @@ class SharedIndexBlocks:
             offsets=np.asarray(index.offsets, dtype=np.int64).copy(),
             annotation=index.annotation,
             sjdb=index.sjdb,
+            jump_block=jump_block,
+            jump_length=jump_length,
         )
-        self._finalizer = weakref.finalize(
-            self, _release_blocks, self._genome_shm, self._suffix_shm
-        )
+        self._finalizer = weakref.finalize(self, _release_blocks, *self._shms)
 
     @property
     def nbytes(self) -> int:
         """Bytes resident in shared memory."""
-        return self._genome_shm.size + self._suffix_shm.size
+        return sum(shm.size for shm in self._shms)
 
     def close(self) -> None:
         """Release both segments (close + unlink); safe to call twice."""
@@ -202,7 +232,7 @@ def _init_worker(
 ) -> None:
     index, handles = attach_shared_index(spec)
     aligner = StarAligner(index, parameters)
-    # Build the search context now (bytes genome + list suffix array):
+    # Build the search context now (bytes genome + zero-copy SA view):
     # paying it at init keeps the first batch's latency flat.
     index.search_context  # noqa: B018 - intentional warm-up
     _WORKER["aligner"] = aligner
@@ -219,53 +249,68 @@ def _quant_enabled(aligner: StarAligner) -> bool:
 
 def _align_records(
     aligner: StarAligner, records: list[FastqRecord]
-) -> tuple[list[ReadAlignment], GeneCountsPartial | None]:
+) -> tuple[list[ReadAlignment], GeneCountsPartial | None, dict]:
     """Align one single-end batch with a given aligner (pure; no globals).
 
     Shared by pool workers and the parent's serial fallback, so a batch
-    produces identical results wherever it runs.
+    produces identical results wherever it runs.  The third element is
+    this batch's seed-search counter delta (see
+    :class:`~repro.align.suffix_array.SeedSearchStats`), which the merge
+    loop folds into :attr:`EngineHealth.seed_search`.
     """
     counts = (
         GeneCounts(aligner.index.annotation) if _quant_enabled(aligner) else None
     )
+    stats = aligner.index.search_context.stats
+    before = stats.snapshot()
     outcomes = []
     for record in records:
         outcome = aligner.align_read(record)
         outcomes.append(outcome)
         if counts is not None:
             _count_outcome(counts, outcome)
-    return outcomes, counts.to_partial() if counts is not None else None
+    return (
+        outcomes,
+        counts.to_partial() if counts is not None else None,
+        stats.since(before),
+    )
 
 
 def _align_pairs(
     paired: PairedStarAligner,
     batch: tuple[list[FastqRecord], list[FastqRecord]],
-) -> tuple[list[PairedOutcome], GeneCountsPartial | None]:
+) -> tuple[list[PairedOutcome], GeneCountsPartial | None, dict]:
     """Align one paired batch with a given paired aligner (pure; no globals)."""
     quant = (
         paired.parameters.quant_gene_counts
         and paired.aligner.index.annotation is not None
     )
     counts = GeneCounts(paired.aligner.index.annotation) if quant else None
+    stats = paired.aligner.index.search_context.stats
+    before = stats.snapshot()
     outcomes = []
     for r1, r2 in zip(*batch):
         outcome = paired.align_pair(r1, r2)
         outcomes.append(outcome)
         if counts is not None:
             _count_paired_outcome(counts, outcome)
-    return outcomes, counts.to_partial() if counts is not None else None
+    return (
+        outcomes,
+        counts.to_partial() if counts is not None else None,
+        stats.since(before),
+    )
 
 
 def _align_batch(
     records: list[FastqRecord],
-) -> tuple[list[ReadAlignment], GeneCountsPartial | None]:
+) -> tuple[list[ReadAlignment], GeneCountsPartial | None, dict]:
     """Pool entry point: align one single-end batch with the worker aligner."""
     return _align_records(_WORKER["aligner"], records)
 
 
 def _align_batch_paired(
     batch: tuple[list[FastqRecord], list[FastqRecord]],
-) -> tuple[list[PairedOutcome], GeneCountsPartial | None]:
+) -> tuple[list[PairedOutcome], GeneCountsPartial | None, dict]:
     """Pool entry point: align one paired batch with the worker aligner."""
     return _align_pairs(_WORKER["paired"], batch)
 
@@ -320,6 +365,10 @@ class EngineHealth:
     serial_fallback_batches: int = 0
     pool_restarts: int = 0
     degraded: bool = False
+    #: aggregated seed-search counters (jump-table hits, binary-search
+    #: steps saved, fallback-depth histogram) across every batch merged by
+    #: this engine, wherever the batch ran
+    seed_search: SeedSearchStats = field(default_factory=SeedSearchStats)
 
 
 class _LocalResult:
@@ -795,7 +844,10 @@ class ParallelStarAligner:
         # _ordered_results runs before this method returns, not at GC time
         results_iter = self._ordered_results(_align_batch, batches)
         try:
-            for batch, (batch_outcomes, partial) in zip(batches, results_iter):
+            for batch, (batch_outcomes, partial, seed_stats) in zip(
+                batches, results_iter
+            ):
+                self.health.seed_search.merge(seed_stats)
                 consumed = 0
                 for record, outcome in zip(batch, batch_outcomes):
                     outcomes.append(outcome)
@@ -899,7 +951,8 @@ class ParallelStarAligner:
         ]
         results_iter = self._ordered_results(_align_batch_paired, batches)
         try:
-            for batch_outcomes, partial in results_iter:
+            for batch_outcomes, partial, seed_stats in results_iter:
+                self.health.seed_search.merge(seed_stats)
                 consumed = 0
                 for outcome in batch_outcomes:
                     outcomes.append(outcome)

@@ -15,7 +15,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.align.suffix_array import build_suffix_array
+from repro.align.suffix_array import PrefixJumpTable, build_suffix_array
 from repro.genome.annotation import Annotation
 from repro.genome.model import Assembly
 
@@ -36,6 +36,12 @@ class GenomeIndex:
     names: list[str]
     annotation: Annotation | None = None
     sjdb: set[tuple[str, int, int]] = field(default_factory=set)
+    #: k-mer → SA-interval prefix index (STAR's --genomeSAindexNbases);
+    #: built eagerly by genome_generate, lazily on first search otherwise
+    jump_table: PrefixJumpTable | None = None
+    #: build the jump table on first search when one was not supplied;
+    #: benchmarks disable this to measure the pure binary-search path
+    auto_jump_table: bool = True
 
     def __post_init__(self) -> None:
         if self.offsets.size != len(self.names) + 1:
@@ -55,7 +61,13 @@ class GenomeIndex:
         if self._search_context is None:
             from repro.align.suffix_array import SearchContext
 
-            self._search_context = SearchContext(self.genome, self.suffix_array)
+            if self.jump_table is None and self.auto_jump_table and self.n_bases:
+                self.jump_table = PrefixJumpTable.build(
+                    self.genome, self.suffix_array
+                )
+            self._search_context = SearchContext(
+                self.genome, self.suffix_array, self.jump_table
+            )
         return self._search_context
 
     # -- coordinates -----------------------------------------------------
@@ -121,14 +133,18 @@ class GenomeIndex:
         """Approximate in-memory index footprint (what gets loaded to /dev/shm).
 
         genome: 1 byte/base; suffix array: 8 bytes/base; offsets and sjdb
-        are negligible but counted for honesty.
+        are negligible but counted for honesty.  This is the paper's
+        §III-A payload — the number that tracks toplevel FASTA size.
 
-        ``include_search_context=True`` additionally accounts the
-        :class:`~repro.align.suffix_array.SearchContext` the aligner builds
-        before its first query — a ``bytes`` copy of the genome plus the
-        suffix array as a Python list (8-byte slot + ~32-byte int object
-        per position) — which roughly quintuples the resident footprint
-        and is what instance right-sizing must budget for.
+        ``include_search_context=True`` additionally accounts what the
+        aligner keeps resident before its first query, measured from the
+        live objects when they exist rather than estimated: the
+        :class:`~repro.align.suffix_array.SearchContext` (a ``bytes``
+        copy of the genome; its packed suffix-array memoryview adds
+        nothing when the index's own int64 array is already contiguous)
+        and the :class:`~repro.align.suffix_array.PrefixJumpTable`
+        (8 bytes per ``6**L`` table entry).  Instance right-sizing
+        budgets against this number.
         """
         size = int(
             self.genome.nbytes
@@ -137,14 +153,26 @@ class GenomeIndex:
             + 24 * len(self.sjdb)
         )
         if include_search_context:
-            size += self.n_bases  # genome_bytes copy
-            size += self.n_bases * (8 + 32)  # sa_list slots + int objects
+            if self._search_context is not None:
+                size += self._search_context.resident_extra_bytes()
+            else:
+                # the genome bytes copy; the SA view is zero-copy
+                size += self.n_bases
+            if self.jump_table is not None:
+                size += self.jump_table.nbytes
+            elif self.auto_jump_table and self.n_bases:
+                size += PrefixJumpTable.predicted_nbytes(self.n_bases)
         return size
 
     # -- persistence -------------------------------------------------------
 
     def save(self, path: Path | str) -> int:
-        """Serialize to disk; returns bytes written."""
+        """Serialize to disk; returns bytes written.
+
+        The jump table is intentionally excluded (it rebuilds in O(L)
+        vectorized passes on first search); :class:`repro.align.cache.
+        IndexCache` is the store that persists it for mmap'd loads.
+        """
         path = Path(path)
         payload = {
             "assembly_name": self.assembly_name,
@@ -168,15 +196,25 @@ class GenomeIndex:
 
 
 def genome_generate(
-    assembly: Assembly, annotation: Annotation | None = None
+    assembly: Assembly,
+    annotation: Annotation | None = None,
+    *,
+    jump_table: bool = True,
 ) -> GenomeIndex:
     """Build a :class:`GenomeIndex` from an assembly (STAR's ``genomeGenerate``).
 
     When an annotation is supplied its splice junctions seed the sjdb,
-    letting the aligner accept annotated non-canonical junctions.
+    letting the aligner accept annotated non-canonical junctions.  The
+    prefix jump table is built eagerly alongside the suffix array (as
+    real STAR builds its SA prefix index during ``genomeGenerate``);
+    ``jump_table=False`` skips it *and* disables the lazy rebuild, which
+    benchmarks use to measure the pure binary-search path.
     """
     genome, offsets, names = assembly.concatenate()
     sa = build_suffix_array(genome)
+    table = (
+        PrefixJumpTable.build(genome, sa) if jump_table and genome.size else None
+    )
     sjdb: set[tuple[str, int, int]] = set()
     if annotation is not None:
         sjdb = set(annotation.splice_junctions())
@@ -188,4 +226,6 @@ def genome_generate(
         names=names,
         annotation=annotation,
         sjdb=sjdb,
+        jump_table=table,
+        auto_jump_table=jump_table,
     )

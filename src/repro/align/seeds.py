@@ -5,6 +5,21 @@ the longest read prefix that exactly matches somewhere in the genome, along
 with all genome positions where that prefix occurs.  Repeating the search
 from the first unmapped base gives the sequential seed decomposition that
 spliced stitching works on.
+
+The search runs in three regimes, each bit-identical to the plain
+one-symbol-at-a-time interval narrowing (see the equivalence suite in
+``tests/align/test_seeds.py``):
+
+1. the first L symbols resolve through the index's
+   :class:`~repro.align.suffix_array.PrefixJumpTable` — one O(1) lookup
+   per symbol instead of two binary searches, and the walk stops at the
+   exact depth where the interval would empty, preserving early-stop
+   decisions;
+2. past depth L, :meth:`SearchContext.extend` narrows with binary
+   searches as before;
+3. once the interval holds a single suffix, the remaining match length
+   is the longest common extension of read and genome there, computed
+   with chunked ``bytes`` comparison instead of per-symbol searches.
 """
 
 from __future__ import annotations
@@ -14,6 +29,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.align.index import GenomeIndex
+
+#: chunk width for the single-suffix common-extension scan; a mismatch is
+#: located with at most one chunk compare + one short linear scan
+_LCE_CHUNK = 32
 
 
 @dataclass(frozen=True)
@@ -35,6 +54,30 @@ class SeedHit:
         return self.read_start + self.length
 
 
+def _common_extension(
+    genome: bytes, gpos: int, read_bytes: bytes, rpos: int, limit: int
+) -> int:
+    """Length of the common prefix of ``genome[gpos:]`` and ``read_bytes[rpos:]``
+    within ``limit`` symbols, via memcmp-speed slice comparisons."""
+    if limit <= 0:
+        return 0
+    if genome[gpos : gpos + limit] == read_bytes[rpos : rpos + limit]:
+        return limit
+    matched = 0
+    while True:
+        chunk = min(_LCE_CHUNK, limit - matched)
+        if (
+            genome[gpos + matched : gpos + matched + chunk]
+            == read_bytes[rpos + matched : rpos + matched + chunk]
+        ):
+            matched += chunk
+            continue
+        end = matched + chunk
+        while matched < end and genome[gpos + matched] == read_bytes[rpos + matched]:
+            matched += 1
+        return matched
+
+
 def maximal_mappable_prefix(
     index: GenomeIndex,
     read: np.ndarray,
@@ -45,11 +88,12 @@ def maximal_mappable_prefix(
 ) -> SeedHit:
     """Longest exact match of ``read[read_start:]`` prefixes in the genome.
 
-    Walks the suffix-array interval one symbol at a time and keeps the last
-    non-empty interval.  Returns a zero-length hit when even the first
-    symbol does not occur.  Uses the index's precomputed
-    :class:`~repro.align.suffix_array.SearchContext` (C-speed element
-    access + first-symbol table), the aligner's measured hot path.
+    Walks the suffix-array interval and keeps the last non-empty one;
+    returns a zero-length hit when even the first symbol does not occur.
+    Uses the index's precomputed
+    :class:`~repro.align.suffix_array.SearchContext` — jump table, then
+    binary narrowing, then single-suffix byte comparison (see module
+    docstring) — the aligner's measured hot path.
 
     ``read_list`` lets callers that re-seed the same read repeatedly (the
     aligner queries each orientation up to twice) pay the numpy→list
@@ -58,32 +102,77 @@ def maximal_mappable_prefix(
     ctx = index.search_context
     if read_list is None:
         read_list = read.tolist()
+    n = len(read_list)
+    stats = ctx.stats
+    stats.queries += 1
     lo, hi = 0, ctx.n
     depth = 0
-    best = (0, lo, hi)
-    n = len(read_list)
-    extend = ctx.extend
-    while read_start + depth < n:
-        symbol = read_list[read_start + depth]
-        nlo, nhi = extend(lo, hi, depth, symbol)
-        if nlo >= nhi:
-            break
-        lo, hi = nlo, nhi
-        depth += 1
-        best = (depth, lo, hi)
+    dead = False
 
-    length, lo, hi = best
-    if length == 0:
+    jump_length = ctx.jump_length
+    if jump_length and hi:
+        bounds = ctx.jump_bounds
+        strides = ctx.jump_strides
+        remaining = n - read_start
+        limit = jump_length if remaining >= jump_length else remaining
+        code = 0
+        while depth < limit:
+            code = code * 6 + read_list[read_start + depth] + 1
+            stride = strides[depth + 1]
+            base = code * stride
+            nlo = bounds[base]
+            nhi = bounds[base + stride]
+            if nlo >= nhi:
+                dead = True
+                break
+            lo, hi = nlo, nhi
+            depth += 1
+        stats.binary_steps_saved += 2 * depth
+        if dead:
+            stats.table_fallbacks += 1
+            stats.fallback_depths[depth] = stats.fallback_depths.get(depth, 0) + 1
+        else:
+            stats.table_hits += 1
+
+    if not dead:
+        genome = ctx.genome_bytes
+        sa = ctx.sa_view
+        extend = ctx.extend
+        while read_start + depth < n:
+            if hi - lo == 1:
+                # single candidate: the rest of the MMP is the longest
+                # common extension of read and genome at that suffix
+                pos = sa[lo] + depth
+                start = read_start + depth
+                matched = _common_extension(
+                    genome,
+                    pos,
+                    bytes(read_list),
+                    start,
+                    min(n - start, ctx.n - pos),
+                )
+                depth += matched
+                stats.lce_skips += matched
+                break
+            symbol = read_list[read_start + depth]
+            nlo, nhi = extend(lo, hi, depth, symbol)
+            stats.extend_steps += 1
+            if nlo >= nhi:
+                break
+            lo, hi = nlo, nhi
+            depth += 1
+
+    if depth == 0:
         return SeedHit(read_start=read_start, length=0, positions=(), n_hits=0)
     n_hits = hi - lo
     # one slice materializes every shown position; sorting is skipped for
     # the common unique-hit case
-    shown = ctx.sa_list[lo : min(hi, lo + max_hits)]
+    shown = ctx.sa_view[lo : min(hi, lo + max_hits)].tolist()
     if len(shown) > 1:
         shown.sort()
     return SeedHit(
         read_start=read_start,
-        length=length,
+        length=depth,
         positions=tuple(shown),
         n_hits=int(n_hits),
     )

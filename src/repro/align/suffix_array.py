@@ -1,4 +1,4 @@
-"""Suffix-array construction and interval search.
+"""Suffix-array construction, prefix jump table, and interval search.
 
 Construction uses prefix doubling fully vectorized in numpy:
 O(n log n) argsorts over composite (rank, rank+k) keys.  This is the
@@ -9,11 +9,20 @@ genome size — the fact behind the paper's §III-A optimization.
 Search maintains an SA interval and narrows it one character at a time
 (``extend_interval``), which gives both exact pattern search and the
 sequential Maximal Mappable Prefix scan in :mod:`repro.align.seeds`.
+The :class:`PrefixJumpTable` is the analogue of STAR's SA prefix index
+(``--genomeSAindexNbases``): the SA interval of every k-mer up to an
+auto-sized length L is precomputed at ``genomeGenerate`` time, so the
+first L symbols of each MMP query resolve with O(1) table lookups
+instead of 2·L binary searches.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+#: alphabet size (ACGTN) plus one code for the implicit end-of-suffix
+#: sentinel, which sorts before every real symbol
+_CODE_BASE = 6
 
 
 def build_suffix_array(sequence: np.ndarray) -> np.ndarray:
@@ -63,38 +72,257 @@ def build_suffix_array(sequence: np.ndarray) -> np.ndarray:
         k *= 2
 
 
+# --------------------------------------------------------------------------
+# prefix jump table (STAR's --genomeSAindexNbases)
+# --------------------------------------------------------------------------
+
+
+def prefix_length(n_bases: int, *, cap: int = 14) -> int:
+    """Auto-sized jump-table k-mer length for a genome of ``n_bases``.
+
+    STAR sizes its SA prefix index to stay a small fraction of the suffix
+    array itself (``--genomeSAindexNbases = min(14, log2(n)/2 - 1)``).
+    Same rule here over the 6-code alphabet (ACGTN + sentinel): the
+    largest L with ``6**(L+1) <= max(6, n/4)``, capped at ``cap`` — the
+    table's 8-byte entries then cost at most ~2 bytes/base, a quarter of
+    the 8-byte/base suffix array.
+    """
+    budget = max(_CODE_BASE, n_bases // 4)
+    length = 1
+    while length < cap and _CODE_BASE ** (length + 1) <= budget:
+        length += 1
+    return length
+
+
+class PrefixJumpTable:
+    """O(1) SA intervals for every prefix of length <= ``length``.
+
+    A suffix's *code* packs its first L symbols base-6 as ``symbol + 1``,
+    with the implicit end-of-suffix sentinel taking code 0 — so suffixes
+    shorter than L pack (and sort) strictly below every longer suffix
+    sharing their prefix, exactly matching suffix-array order.  Codes are
+    therefore non-decreasing along the SA, and ``bounds[c]`` (the first
+    SA index whose code is >= c, via one vectorized ``searchsorted``)
+    turns the SA interval of any d-symbol prefix (d <= L) into two array
+    lookups::
+
+        stride = 6 ** (L - d)
+        lo, hi = bounds[code * stride], bounds[(code + 1) * stride]
+
+    — replacing the 2·d binary searches of the narrowing search, while
+    returning *bit-identical* intervals (short suffixes carry sentinel
+    codes below every real continuation, mirroring ``extend``'s
+    ``ch = -1`` convention).
+    """
+
+    __slots__ = ("length", "bounds")
+
+    def __init__(self, length: int, bounds: np.ndarray) -> None:
+        self.length = int(length)
+        self.bounds = np.asanyarray(bounds, dtype=np.int64)
+        expected = _CODE_BASE**self.length + 1
+        if self.bounds.size != expected:
+            raise ValueError(
+                f"bounds must have 6**{self.length} + 1 = {expected} entries, "
+                f"got {self.bounds.size}"
+            )
+
+    @classmethod
+    def build(
+        cls,
+        genome: np.ndarray,
+        sa: np.ndarray,
+        *,
+        length: int | None = None,
+    ) -> "PrefixJumpTable":
+        """Vectorized table build from a genome and its suffix array."""
+        genome = np.asarray(genome, dtype=np.uint8)
+        sa = np.asarray(sa, dtype=np.int64)
+        n = int(sa.size)
+        L = prefix_length(n) if length is None else int(length)
+        if L < 1:
+            raise ValueError("jump-table length must be >= 1")
+        codes = np.zeros(n, dtype=np.int64)
+        for d in range(L):
+            pos = sa + d
+            valid = pos < n
+            sym = np.zeros(n, dtype=np.int64)
+            sym[valid] = genome[pos[valid]].astype(np.int64) + 1
+            codes *= _CODE_BASE
+            codes += sym
+        bounds = np.searchsorted(
+            codes, np.arange(_CODE_BASE**L + 1, dtype=np.int64), side="left"
+        ).astype(np.int64)
+        return cls(L, bounds)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.bounds.nbytes)
+
+    @staticmethod
+    def predicted_nbytes(n_bases: int) -> int:
+        """Table footprint for a genome of ``n_bases`` before building it."""
+        return 8 * (_CODE_BASE ** prefix_length(n_bases) + 1)
+
+    def interval(self, symbols) -> tuple[int, int]:
+        """SA interval of the prefix ``symbols`` (len <= ``length``)."""
+        d = len(symbols)
+        if d > self.length:
+            raise ValueError(f"prefix of {d} symbols exceeds table depth {self.length}")
+        code = 0
+        for s in symbols:
+            code = code * _CODE_BASE + int(s) + 1
+        stride = _CODE_BASE ** (self.length - d)
+        base = code * stride
+        return int(self.bounds[base]), int(self.bounds[base + stride])
+
+
+# --------------------------------------------------------------------------
+# seed-search instrumentation
+# --------------------------------------------------------------------------
+
+
+class SeedSearchStats:
+    """Hot-path counters for the MMP seed search (cheap integer bumps).
+
+    ``table_hits`` counts queries whose first ``min(L, remaining)``
+    symbols fully resolved through the jump table; ``table_fallbacks``
+    counts queries that died inside the table, with ``fallback_depths``
+    histogramming the depth reached (how many symbols matched before the
+    interval emptied).  ``binary_steps_saved`` is the number of binary
+    searches the table lookups replaced (two per resolved symbol);
+    ``extend_steps`` counts interval-narrowing calls past the table, and
+    ``lce_skips`` counts symbols fast-forwarded by direct genome/read
+    byte comparison once the interval narrowed to a single suffix.
+    """
+
+    _COUNTERS = (
+        "queries",
+        "table_hits",
+        "table_fallbacks",
+        "binary_steps_saved",
+        "extend_steps",
+        "lce_skips",
+    )
+
+    __slots__ = _COUNTERS + ("fallback_depths",)
+
+    def __init__(self) -> None:
+        for name in self._COUNTERS:
+            setattr(self, name, 0)
+        self.fallback_depths: dict[int, int] = {}
+
+    def as_dict(self) -> dict:
+        out = {name: getattr(self, name) for name in self._COUNTERS}
+        out["fallback_depths"] = dict(self.fallback_depths)
+        return out
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy, for later :meth:`since` deltas."""
+        return self.as_dict()
+
+    def since(self, snapshot: dict) -> dict:
+        """Delta of these stats relative to an earlier :meth:`snapshot`."""
+        out = {name: getattr(self, name) - snapshot[name] for name in self._COUNTERS}
+        base = snapshot["fallback_depths"]
+        out["fallback_depths"] = {
+            d: c - base.get(d, 0)
+            for d, c in self.fallback_depths.items()
+            if c - base.get(d, 0)
+        }
+        return out
+
+    def merge(self, delta: dict) -> None:
+        """Accumulate a :meth:`since` delta (or ``as_dict``) into these stats."""
+        for name in self._COUNTERS:
+            setattr(self, name, getattr(self, name) + delta[name])
+        for d, c in delta["fallback_depths"].items():
+            self.fallback_depths[d] = self.fallback_depths.get(d, 0) + c
+
+
+# --------------------------------------------------------------------------
+# search context
+# --------------------------------------------------------------------------
+
+
 class SearchContext:
     """Precomputed state for fast repeated SA searches.
 
     Profiling (see benchmarks) showed numpy scalar indexing dominating the
-    MMP binary search; this context converts the genome to ``bytes`` and
-    the suffix array to a plain list (both O(1) C-speed element access)
-    and precomputes the depth-0 symbol boundaries — the first characters
-    of suffixes in SA order are sorted, so the first narrowing step is a
-    table lookup instead of a binary search.
+    MMP binary search; this context keeps the genome as ``bytes`` and the
+    suffix array behind a C-contiguous int64 ``memoryview`` — O(1)
+    C-speed element access with *no per-position int objects*, so the
+    resident overhead beyond the index's own arrays is just the 1-byte/
+    base genome copy (the old ``list`` held ~40 bytes/position).  It also
+    precomputes the depth-0 symbol boundaries and carries the optional
+    :class:`PrefixJumpTable` plus a :class:`SeedSearchStats` counter set
+    updated by the seed search.
     """
 
-    __slots__ = ("genome_bytes", "sa_list", "n", "first_bounds")
+    __slots__ = (
+        "genome_bytes",
+        "sa_view",
+        "n",
+        "first_bounds",
+        "jump_length",
+        "jump_bounds",
+        "jump_strides",
+        "stats",
+        "_sa_copy_bytes",
+    )
 
-    def __init__(self, genome: np.ndarray, sa: np.ndarray) -> None:
-        self.genome_bytes = np.asarray(genome, dtype=np.uint8).tobytes()
-        self.sa_list = sa.tolist()
-        self.n = int(sa.size)
-        firsts = np.asarray(genome, dtype=np.uint8)[sa] if sa.size else np.empty(
-            0, dtype=np.uint8
-        )
+    def __init__(
+        self,
+        genome: np.ndarray,
+        sa: np.ndarray,
+        jump_table: PrefixJumpTable | None = None,
+    ) -> None:
+        genome_arr = np.asarray(genome, dtype=np.uint8)
+        self.genome_bytes = genome_arr.tobytes()
+        sa_arr = np.asarray(sa)
+        packed = np.ascontiguousarray(sa_arr, dtype=np.int64)
+        # when the index's own SA is already contiguous int64 (the normal
+        # case, incl. read-only mmap'd cache loads) the view is zero-copy
+        self._sa_copy_bytes = 0 if packed is sa_arr else int(packed.nbytes)
+        self.sa_view = memoryview(packed)
+        self.n = int(packed.size)
+        firsts = genome_arr[packed] if self.n else np.empty(0, dtype=np.uint8)
         # boundaries: first_bounds[s] = first SA index whose suffix starts
         # with a symbol >= s (6 entries cover symbols 0..4 plus the end)
         self.first_bounds = [
             int(np.searchsorted(firsts, s, side="left")) for s in range(5)
         ] + [self.n]
+        if jump_table is None:
+            self.jump_length = 0
+            self.jump_bounds = None
+            self.jump_strides: tuple[int, ...] = ()
+        else:
+            self.jump_length = jump_table.length
+            self.jump_bounds = memoryview(
+                np.ascontiguousarray(jump_table.bounds, dtype=np.int64)
+            )
+            self.jump_strides = tuple(
+                _CODE_BASE ** (jump_table.length - d)
+                for d in range(jump_table.length + 1)
+            )
+        self.stats = SeedSearchStats()
+
+    def resident_extra_bytes(self) -> int:
+        """Bytes this context keeps resident beyond the index's own arrays.
+
+        The ``bytes`` genome copy, plus a packed SA copy only when the
+        source array was not already C-contiguous int64 (the memoryview
+        itself is zero-copy).  The jump table is accounted separately by
+        the index, since it exists whether or not a context is built.
+        """
+        return len(self.genome_bytes) + self._sa_copy_bytes
 
     def extend(self, lo: int, hi: int, depth: int, symbol: int) -> tuple[int, int]:
         """Narrow ``[lo, hi)`` of depth-``depth`` matches by one symbol."""
         if depth == 0 and lo == 0 and hi == self.n:
             return self.first_bounds[symbol], self.first_bounds[symbol + 1]
         genome = self.genome_bytes
-        sa = self.sa_list
+        sa = self.sa_view
         n = self.n
 
         # lower bound: first index with char >= symbol (short suffixes = -1)
@@ -184,18 +412,35 @@ def occurrences(
 
 
 def verify_suffix_array(genome: np.ndarray, sa: np.ndarray) -> bool:
-    """Check that ``sa`` is a permutation in strict lexicographic suffix order.
+    """Check that ``sa`` is the suffix array of ``genome``, in O(n log n).
 
-    O(n²) in the worst case — a test/debug utility, not for hot paths.
+    Permutation check plus the rank-reduction invariant (Burkhardt &
+    Kärkkäinen's suffix-array checker): with ``rank`` the inverse
+    permutation extended by ``rank[n] = -1`` for the implicit sentinel,
+    ``sa`` is in strict lexicographic suffix order iff the key pairs
+    ``(genome[sa[i]], rank[sa[i] + 1])`` strictly increase with ``i`` —
+    comparing adjacent suffixes reduces to their first symbols plus the
+    order of their one-shorter remainders.  Replaces the old O(n²)
+    suffix-materializing check so tests can validate realistic genomes.
     """
-    n = genome.size
-    if sa.size != n or n == 0:
-        return sa.size == n
+    genome = np.asarray(genome, dtype=np.uint8)
+    sa = np.asarray(sa)
+    n = int(genome.size)
+    if sa.size != n:
+        return False
+    if n == 0:
+        return True
+    sa = sa.astype(np.int64, copy=False)
+    if int(sa.min()) < 0 or int(sa.max()) >= n:
+        return False
     if not np.array_equal(np.sort(sa), np.arange(n)):
         return False
-    for i in range(n - 1):
-        a = genome[sa[i] :].tobytes()
-        b = genome[sa[i + 1] :].tobytes()
-        if a >= b:
-            return False
-    return True
+    rank = np.empty(n + 1, dtype=np.int64)
+    rank[sa] = np.arange(n)
+    rank[n] = -1
+    first = genome[sa].astype(np.int64)
+    nxt = rank[sa + 1]
+    increasing = (first[:-1] < first[1:]) | (
+        (first[:-1] == first[1:]) & (nxt[:-1] < nxt[1:])
+    )
+    return bool(increasing.all())

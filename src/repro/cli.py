@@ -4,7 +4,8 @@ Usage::
 
     python -m repro fig3 [--seed N] [--rows K]
     python -m repro fig4 [--seed N] [--threshold 0.3] [--check 0.1]
-    python -m repro mini-fig3 [--reads N] [--workers N]
+    python -m repro mini-fig3 [--reads N] [--workers N] [--cache-dir DIR]
+    python -m repro index [--build] [--cache-dir DIR] [--release 111]
     python -m repro config-table
     python -m repro calibrate
     python -m repro architecture [--jobs N]
@@ -53,9 +54,67 @@ def _cmd_mini_fig3(args: argparse.Namespace) -> int:
     from repro.experiments.mini_fig3 import run_mini_fig3
 
     result = run_mini_fig3(
-        n_reads=args.reads, seed=args.seed, workers=args.workers
+        n_reads=args.reads,
+        seed=args.seed,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     print(result.to_table())
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.align.cache import IndexCache, index_fingerprint
+    from repro.genome.ensembl import EnsemblRelease, build_release_assembly
+    from repro.genome.synth import GenomeUniverseSpec, make_universe
+    from repro.util.rng import derive_rng, ensure_rng
+    from repro.util.tables import Table
+
+    cache = IndexCache(args.cache_dir)
+    if args.build:
+        rng = ensure_rng(args.seed)
+        universe = make_universe(GenomeUniverseSpec(), rng)
+        assembly = build_release_assembly(
+            universe, EnsemblRelease(args.release), rng=derive_rng(rng, "assembly")
+        )
+        fingerprint = index_fingerprint(assembly, universe.annotation)
+        was_cached = fingerprint in cache
+        started = time.perf_counter()
+        index = cache.get_or_build(assembly, universe.annotation)
+        elapsed = time.perf_counter() - started
+        table = Table(
+            ["metric", "value"],
+            title=f"Index build — release {args.release}, seed {args.seed}",
+        )
+        table.add_row(["fingerprint", fingerprint[:16]])
+        table.add_row(["outcome", "cache hit (mmap)" if was_cached else "built"])
+        table.add_row(["elapsed (s)", f"{elapsed:.3f}"])
+        table.add_row(["genome bases", index.n_bases])
+        table.add_row(["index bytes", index.size_bytes()])
+        table.add_row(["jump-table L", index.jump_table.length])
+        table.add_row(["jump-table bytes", index.jump_table.nbytes])
+        table.add_row(["entry bytes on disk", cache.entry_bytes(fingerprint)])
+        print(table.render())
+        print()
+
+    table = Table(
+        ["fingerprint", "assembly", "bases", "bytes"],
+        title=f"Index cache — {cache.root}",
+    )
+    import json
+
+    for fp in cache.entries():
+        meta = json.loads((cache.path_for(fp) / "meta.json").read_text())
+        table.add_row(
+            [fp[:16], meta["assembly_name"], meta["n_bases"], cache.entry_bytes(fp)]
+        )
+    print(table.render())
+    print(
+        f"entries: {len(cache.entries())}  "
+        f"hits: {cache.hits}  misses: {cache.misses} (this invocation)"
+    )
     return 0
 
 
@@ -382,7 +441,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="alignment worker processes (>1 uses the shared-memory engine)",
     )
+    p.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="content-addressed index cache directory (repeat runs mmap-load)",
+    )
     p.set_defaults(fn=_cmd_mini_fig3)
+
+    p = sub.add_parser(
+        "index", help="content-addressed genome index cache (build + report)"
+    )
+    p.add_argument(
+        "--cache-dir",
+        type=str,
+        default=".repro-index-cache",
+        help="cache root directory",
+    )
+    p.add_argument(
+        "--build",
+        action="store_true",
+        help="build (or mmap-load, on a hit) the release index into the cache",
+    )
+    p.add_argument("--release", type=int, default=111, choices=range(106, 113))
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(fn=_cmd_index)
 
     p = sub.add_parser("config-table", help="index sizes per Ensembl release")
     p.set_defaults(fn=_cmd_config_table)

@@ -67,9 +67,14 @@ class RightSizingAdvisor:
         """RAM budget for running the in-process aligner on a *concrete* index.
 
         Unlike :meth:`memory_required` (the paper-calibrated analytic
-        model), this accounts the measured index plus the per-process
-        search context the aligner builds before its first query — the
-        number a too-small instance actually OOMs against.
+        model), this accounts the measured index plus what the aligner
+        keeps resident before its first query: the packed search context
+        (a bytes genome copy; the suffix-array view is zero-copy over
+        the index's own int64 array) and the prefix jump table.  The
+        packed representation cut the old ~40 B/position Python-list
+        overhead to 0 extra bytes, so this budget now tracks the index
+        arrays themselves — the number a too-small instance actually
+        OOMs against.
         """
         return (
             index.size_bytes(include_search_context=True)

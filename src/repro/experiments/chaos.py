@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from tempfile import TemporaryDirectory
 
-from repro.align.index import genome_generate
+from repro.align.cache import cached_genome_generate
 from repro.align.star import StarAligner, StarParameters
 from repro.core.early_stopping import EarlyStoppingPolicy
 from repro.core.journal import RunJournal
@@ -66,6 +66,8 @@ class ChaosSpec:
             max_attempts=3, base_delay=0.01, max_delay=0.05
         )
     )
+    #: route index construction through an IndexCache rooted here
+    cache_dir: Path | None = None
 
     def __post_init__(self) -> None:
         if self.n_accessions < 2:
@@ -181,7 +183,9 @@ def run_chaos(spec: ChaosSpec | None = None) -> ChaosResult:
     assembly = build_release_assembly(
         universe, EnsemblRelease.R111, rng=derive_rng(rng, "assembly")
     )
-    index = genome_generate(assembly, annotation=universe.annotation)
+    index = cached_genome_generate(
+        assembly, universe.annotation, cache_dir=spec.cache_dir
+    )
     aligner = StarAligner(index, StarParameters(progress_every=50))
     simulator = ReadSimulator(assembly, universe.annotation)
 
@@ -268,18 +272,23 @@ def build_demo_inputs(
     read_length: int = 80,
     seed: int = 0,
     prefix: str = "SRR9300",
+    cache_dir: Path | None = None,
 ) -> tuple[StarAligner, SraRepository, list[str]]:
     """Deterministic laptop-scale aligner + SRA repository.
 
     Shared by ``python -m repro pipeline`` and tests that need a real
     four-step pipeline without inventing their own synthetic corpus.
+    ``cache_dir`` makes repeated builds (e.g. the resume scenario's
+    victim + resume + reference runs) mmap-load one cached index.
     """
     rng = ensure_rng(seed)
     universe = make_universe(GenomeUniverseSpec(), rng)
     assembly = build_release_assembly(
         universe, EnsemblRelease.R111, rng=derive_rng(rng, "assembly")
     )
-    index = genome_generate(assembly, annotation=universe.annotation)
+    index = cached_genome_generate(
+        assembly, universe.annotation, cache_dir=cache_dir
+    )
     aligner = StarAligner(index, StarParameters(progress_every=50))
     simulator = ReadSimulator(assembly, universe.annotation)
     accessions = [f"{prefix}{i:03d}" for i in range(1, n_accessions + 1)]
@@ -320,6 +329,8 @@ class ResumeChaosSpec:
     kill_timeout: float = 120.0
     #: journal location; None → inside the scenario's temp directory
     journal_path: Path | None = None
+    #: route index construction through an IndexCache rooted here
+    cache_dir: Path | None = None
 
     def __post_init__(self) -> None:
         if self.n_accessions < 2:
@@ -434,7 +445,9 @@ def run_resume_chaos(spec: ResumeChaosSpec | None = None) -> ResumeChaosResult:
     assembly = build_release_assembly(
         universe, EnsemblRelease.R111, rng=derive_rng(rng, "assembly")
     )
-    index = genome_generate(assembly, annotation=universe.annotation)
+    index = cached_genome_generate(
+        assembly, universe.annotation, cache_dir=spec.cache_dir
+    )
     aligner = StarAligner(index, StarParameters(progress_every=50))
     simulator = ReadSimulator(assembly, universe.annotation)
 

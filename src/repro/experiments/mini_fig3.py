@@ -19,7 +19,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.align.index import genome_generate
+from repro.align.cache import cached_genome_generate
 from repro.align.star import StarAligner, StarParameters
 from repro.genome.ensembl import EnsemblRelease, build_release_assembly
 from repro.genome.synth import GenomeUniverseSpec, make_universe
@@ -93,13 +93,16 @@ def run_mini_fig3(
     universe_spec: GenomeUniverseSpec | None = None,
     seed: int = 42,
     workers: int = 1,
+    cache_dir=None,
 ) -> MiniFig3Result:
     """Run the laptop-scale comparison with the real aligner.
 
     ``workers > 1`` routes both alignments through the shared-memory
     :class:`~repro.align.engine.ParallelStarAligner`; results are
     identical to the serial runs by construction, only wall-clock
-    changes.
+    changes.  ``cache_dir`` routes index construction through the
+    content-addressed :class:`~repro.align.cache.IndexCache`, so a
+    repeated run mmap-loads both indexes instead of rebuilding them.
     """
     rng = ensure_rng(seed)
     universe = make_universe(universe_spec or GenomeUniverseSpec(), rng)
@@ -125,7 +128,9 @@ def run_mini_fig3(
         (EnsemblRelease.R108, asm108),
         (EnsemblRelease.R111, asm111),
     ):
-        index = genome_generate(assembly, universe.annotation)
+        index = cached_genome_generate(
+            assembly, universe.annotation, cache_dir=cache_dir
+        )
         parameters = StarParameters(progress_every=200)
         if workers > 1:
             from repro.align.engine import ParallelStarAligner

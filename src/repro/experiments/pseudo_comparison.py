@@ -222,7 +222,11 @@ class TransferabilityResult:
 
 
 def run_transferability(
-    *, n_reads: int = 300, seed: int = 11, threshold: float = 0.30
+    *,
+    n_reads: int = 300,
+    seed: int = 11,
+    threshold: float = 0.30,
+    cache_dir=None,
 ) -> TransferabilityResult:
     """Real-tool check: does the pseudo-aligner's rate separate classes too?"""
     rng = ensure_rng(seed)
@@ -238,10 +242,10 @@ def run_transferability(
         rng=derive_rng(rng, "sc"),
     )
 
-    from repro.align.index import genome_generate
+    from repro.align.cache import cached_genome_generate
 
     star = StarAligner(
-        genome_generate(assembly, universe.annotation),
+        cached_genome_generate(assembly, universe.annotation, cache_dir=cache_dir),
         StarParameters(progress_every=1000),
     )
     pseudo = PseudoAligner(build_pseudo_index(assembly, universe.annotation))

@@ -19,7 +19,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.align.index import genome_generate
+from repro.align.cache import cached_genome_generate
 from repro.align.star import StarAligner, StarParameters
 from repro.genome.synth import GenomeUniverseSpec, assemble_release, make_universe
 from repro.reads.library import LibraryType, SampleProfile
@@ -115,8 +115,13 @@ def run_scaling_study(
     n_reads: int = 200,
     read_length: int = 80,
     seed: int = 42,
+    cache_dir=None,
 ) -> ScalingStudyResult:
-    """Measure alignment cost at several scaffold-duplication levels."""
+    """Measure alignment cost at several scaffold-duplication levels.
+
+    ``cache_dir`` routes each point's index through the content-addressed
+    :class:`~repro.align.cache.IndexCache` (repeat runs mmap-load).
+    """
     if any(f < 1.0 for f in duplication_factors):
         raise ValueError("duplication factors must be >= 1.0")
     root = ensure_rng(seed)
@@ -152,7 +157,9 @@ def run_scaling_study(
                 unplaced_bases=extra - extra // 4,
                 rng=derive_rng(root, f"dup-{factor}"),
             )
-        index = genome_generate(assembly, universe.annotation)
+        index = cached_genome_generate(
+            assembly, universe.annotation, cache_dir=cache_dir
+        )
         aligner = StarAligner(index, StarParameters(progress_every=10_000))
         started = time.perf_counter()
         result = aligner.run(sample.records)

@@ -249,6 +249,34 @@ class TestSharedMemoryLifecycle:
                 shm.close()
             blocks.close()
 
+    def test_jump_table_published_and_attached(self, index_r111):
+        blocks = SharedIndexBlocks(index_r111)
+        attached, handles = attach_shared_index(blocks.spec)
+        try:
+            spec = blocks.spec
+            assert spec.jump_block is not None
+            assert spec.jump_length == index_r111.jump_table.length
+            assert attached.jump_table is not None
+            assert not attached.jump_table.bounds.flags.owndata
+            assert np.array_equal(
+                attached.jump_table.bounds, index_r111.jump_table.bounds
+            )
+            # the attached worker must not rebuild a table of its own —
+            # the publisher decided what exists
+            assert attached.auto_jump_table is False
+            # the third block is accounted in the published byte count
+            assert blocks.nbytes >= (
+                index_r111.n_bases * 9 + index_r111.jump_table.nbytes
+            )
+        finally:
+            del attached
+            for shm in handles:
+                shm.close()
+            blocks.close()
+        for name in (spec.genome_block, spec.suffix_block, spec.jump_block):
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
 
 class TestWorkerRecovery:
     """Graceful degradation: SIGKILLed workers must not change outputs."""
@@ -323,6 +351,26 @@ class TestWorkerRecovery:
         assert eng.health.serial_fallback_batches == 0
         assert eng.health.pool_restarts == 0
         assert not eng.health.degraded
+        assert eng.health.seed_search.queries == 0
+
+
+class TestSeedSearchHealth:
+    def test_counters_accumulate_across_runs(self, engine, bulk_sample):
+        records = bulk_sample.records[:60]
+        before = engine.health.seed_search.snapshot()
+        engine.run(records, clock=frozen)
+        delta = engine.health.seed_search.since(before)
+        assert delta["queries"] > 0
+        assert delta["table_hits"] > 0
+        assert delta["binary_steps_saved"] > 0
+        mid = engine.health.seed_search.snapshot()
+        engine.run(records, clock=frozen)
+        assert engine.health.seed_search.since(mid)["queries"] == delta["queries"]
+
+    def test_paired_runs_feed_counters(self, engine, paired_sample):
+        before = engine.health.seed_search.snapshot()
+        engine.run_paired(paired_sample.mate1, paired_sample.mate2, clock=frozen)
+        assert engine.health.seed_search.since(before)["queries"] > 0
 
 
 class TestValidation:

@@ -87,8 +87,31 @@ class TestSize:
     def test_search_context_accounting(self, small_index):
         base = small_index.size_bytes()
         full = small_index.size_bytes(include_search_context=True)
-        # bytes-genome copy (1 B/base) + list slots and int objects (8+32)
-        assert full - base == 41 * small_index.n_bases
+        # bytes-genome copy (1 B/base) + the jump table's bounds array; the
+        # packed SA memoryview is zero-copy over the index's own array
+        assert full - base == small_index.n_bases + small_index.jump_table.nbytes
+
+    def test_search_context_accounting_matches_live_context(self, small_index):
+        ctx = small_index.search_context  # force the build
+        base = small_index.size_bytes()
+        full = small_index.size_bytes(include_search_context=True)
+        assert ctx._sa_copy_bytes == 0  # contiguous int64 SA -> no copy
+        assert (
+            full - base
+            == ctx.resident_extra_bytes() + small_index.jump_table.nbytes
+        )
+
+    def test_search_context_estimate_matches_actual(self):
+        # the pre-build estimate must equal the post-build measurement,
+        # otherwise right-sizing would budget a different number depending
+        # on whether the aligner warmed up yet
+        asm = Assembly(
+            "est", [Contig("1", encode("ACGTACGTNNACGTACGT" * 20))]
+        )
+        index = genome_generate(asm)
+        estimated = index.size_bytes(include_search_context=True)
+        index.search_context  # noqa: B018 - build it
+        assert index.size_bytes(include_search_context=True) == estimated
 
 
 class TestPersistence:

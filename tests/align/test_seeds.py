@@ -1,11 +1,42 @@
 """Maximal Mappable Prefix search tests."""
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.align.index import genome_generate
-from repro.align.seeds import maximal_mappable_prefix, seed_decomposition
+from repro.align.seeds import SeedHit, maximal_mappable_prefix, seed_decomposition
+from repro.align.suffix_array import extend_interval
 from repro.genome.alphabet import encode
 from repro.genome.model import Assembly, Contig
+
+
+def reference_mmp(index, read, read_start=0, max_hits=50):
+    """Pre-jump-table MMP: pure binary-search narrowing, the original path."""
+    genome, sa = index.genome, index.suffix_array
+    lo, hi = 0, int(sa.size)
+    depth = 0
+    best = (0, lo, hi)
+    rl = read.tolist()
+    n = len(rl)
+    while read_start + depth < n:
+        nlo, nhi = extend_interval(genome, sa, lo, hi, depth, rl[read_start + depth])
+        if nlo >= nhi:
+            break
+        lo, hi = nlo, nhi
+        depth += 1
+        best = (depth, lo, hi)
+    length, lo, hi = best
+    if length == 0:
+        return SeedHit(read_start=read_start, length=0, positions=(), n_hits=0)
+    shown = sorted(int(p) for p in sa[lo : min(hi, lo + max_hits)])
+    return SeedHit(
+        read_start=read_start,
+        length=length,
+        positions=tuple(shown),
+        n_hits=int(hi - lo),
+    )
 
 
 @pytest.fixture(scope="module")
@@ -62,6 +93,96 @@ class TestMMP:
         assert prefix in genome_text
         longer = "ACGTTTACGN"[: hit.length + 1]
         assert longer not in genome_text
+
+
+class TestJumpEquivalence:
+    """The jump-table + LCE fast path must be bit-identical to pure extends."""
+
+    dna = st.text(alphabet="ACGTN", min_size=1, max_size=150)
+
+    @given(dna, st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_property_reads_from_genome(self, s, seed):
+        index = genome_generate(Assembly("p", [Contig("1", encode(s))]))
+        assert index.jump_table is not None
+        rng = np.random.default_rng(seed)
+        for _ in range(5):
+            length = int(rng.integers(1, 40))
+            if int(rng.integers(0, 2)) and index.n_bases > 1:
+                start = int(rng.integers(0, index.n_bases))
+                read = index.genome[start : start + length].copy()
+                # sprinkle mismatches so MMPs end mid-read sometimes
+                for _ in range(int(rng.integers(0, 3))):
+                    i = int(rng.integers(0, read.size))
+                    read[i] = np.uint8(rng.integers(0, 5))
+            else:
+                read = rng.integers(0, 5, size=length).astype(np.uint8)
+            got = maximal_mappable_prefix(index, read)
+            want = reference_mmp(index, read)
+            assert got == want
+
+    def test_n_runs_and_boundary_reads(self):
+        # contigs with N runs; reads straddling the contig boundary must
+        # produce the same (typically shorter) MMPs on both paths
+        rng = np.random.default_rng(5)
+        left = "".join("ACGTN"[c] for c in rng.integers(0, 5, size=400))
+        right = "NNNN" + "".join("ACGT"[c] for c in rng.integers(0, 4, size=400))
+        index = genome_generate(
+            Assembly("b", [Contig("1", encode(left)), Contig("2", encode(right))])
+        )
+        boundary = len(left)
+        for offset in range(-20, 5):
+            for length in (8, 25, 60):
+                start = boundary + offset
+                if start < 0:
+                    continue
+                read = index.genome[start : start + length].copy()
+                got = maximal_mappable_prefix(index, read)
+                want = reference_mmp(index, read)
+                assert got == want
+
+    def test_read_start_and_max_hits_respected(self):
+        rng = np.random.default_rng(9)
+        text = "".join("ACGT"[c] for c in rng.integers(0, 4, size=3000))
+        index = genome_generate(Assembly("h", [Contig("1", encode(text))]))
+        for read_start in (0, 3, 17):
+            for max_hits in (1, 2, 50):
+                read = index.genome[100 : 100 + 40].copy()
+                got = maximal_mappable_prefix(
+                    index, read, read_start=read_start, max_hits=max_hits
+                )
+                want = reference_mmp(
+                    index, read, read_start=read_start, max_hits=max_hits
+                )
+                assert got == want
+
+    def test_decomposition_identical_with_and_without_table(self):
+        rng = np.random.default_rng(13)
+        text = "".join("ACGTN"[c] for c in rng.integers(0, 5, size=2000))
+        assembly = Assembly("d", [Contig("1", encode(text))])
+        with_table = genome_generate(assembly)
+        without = genome_generate(assembly, jump_table=False)
+        assert without.jump_table is None
+        for _ in range(40):
+            start = int(rng.integers(0, 1900))
+            read = with_table.genome[start : start + 80].copy()
+            read[int(rng.integers(0, 80))] = np.uint8(4)  # force an N
+            assert seed_decomposition(with_table, read) == seed_decomposition(
+                without, read
+            )
+
+    def test_counters_advance(self):
+        rng = np.random.default_rng(21)
+        text = "".join("ACGT"[c] for c in rng.integers(0, 4, size=5000))
+        index = genome_generate(Assembly("c", [Contig("1", encode(text))]))
+        stats = index.search_context.stats
+        before = stats.snapshot()
+        for start in range(0, 400, 40):
+            maximal_mappable_prefix(index, index.genome[start : start + 60].copy())
+        delta = stats.since(before)
+        assert delta["queries"] == 10
+        assert delta["table_hits"] > 0
+        assert delta["binary_steps_saved"] > 0
 
 
 class TestDecomposition:

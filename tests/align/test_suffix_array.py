@@ -6,9 +6,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.align.suffix_array import (
+    PrefixJumpTable,
+    SeedSearchStats,
     build_suffix_array,
     extend_interval,
     occurrences,
+    prefix_length,
     sa_search,
     verify_suffix_array,
 )
@@ -125,6 +128,141 @@ class TestVerify:
     def test_wrong_length(self):
         codes = encode("ACGT")
         assert not verify_suffix_array(codes, np.arange(3))
+
+    def test_out_of_range_positions_rejected(self):
+        codes = encode("ACGT")
+        assert not verify_suffix_array(codes, np.array([0, 1, 2, 4]))
+        assert not verify_suffix_array(codes, np.array([-1, 1, 2, 3]))
+
+    def test_detects_adjacent_swap_at_scale(self):
+        # the O(n log n) check must work on genome sizes the old O(n²)
+        # version could not touch, and still catch a single swapped pair
+        rng = np.random.default_rng(7)
+        codes = rng.integers(0, 5, size=50_000).astype(np.uint8)
+        sa = build_suffix_array(codes)
+        assert verify_suffix_array(codes, sa)
+        bad = sa.copy()
+        bad[[17_000, 17_001]] = bad[[17_001, 17_000]]
+        assert not verify_suffix_array(codes, bad)
+
+    @given(dna)
+    @settings(max_examples=40)
+    def test_property_accepts_built_rejects_rotated(self, s):
+        codes = encode(s)
+        sa = build_suffix_array(codes)
+        assert verify_suffix_array(codes, sa)
+        if codes.size > 1:
+            rotated = np.roll(sa, 1)
+            assert not verify_suffix_array(codes, rotated)
+
+
+class TestPrefixLength:
+    def test_small_genomes_get_minimum(self):
+        assert prefix_length(0) == 1
+        assert prefix_length(10) == 1
+
+    def test_monotonic_and_capped(self):
+        lengths = [prefix_length(n) for n in (10, 10**3, 10**5, 10**7, 10**12)]
+        assert lengths == sorted(lengths)
+        assert prefix_length(10**30) == 14
+
+    def test_table_budget_fraction(self):
+        # the auto-sized table's entries stay within ~2 bytes/base,
+        # a quarter of the suffix array's 8 bytes/base
+        for n in (10**3, 10**4, 10**6, 10**8):
+            assert 6 ** prefix_length(n) <= max(6, n // 4)
+
+
+class TestPrefixJumpTable:
+    def _interval_by_extends(self, codes, sa, pattern):
+        lo, hi = 0, int(sa.size)
+        for depth, ch in enumerate(pattern):
+            lo, hi = extend_interval(codes, sa, lo, hi, depth, int(ch))
+            if lo >= hi:
+                return lo, lo
+        return lo, hi
+
+    def test_every_interval_matches_extends(self):
+        rng = np.random.default_rng(11)
+        codes = rng.integers(0, 5, size=1500).astype(np.uint8)
+        sa = build_suffix_array(codes)
+        table = PrefixJumpTable.build(codes, sa, length=3)
+        for a in range(5):
+            for b in range(5):
+                for c in range(5):
+                    for pattern in ([a], [a, b], [a, b, c]):
+                        got = table.interval(pattern)
+                        want = self._interval_by_extends(codes, sa, pattern)
+                        if want[0] >= want[1]:
+                            assert got[0] >= got[1], pattern
+                        else:
+                            assert got == want, pattern
+
+    def test_short_suffixes_sort_below_longer(self):
+        # genome "AA": suffix "A" (pos 1) sorts before "AA" (pos 0); the
+        # k-mer "AA" must select only position 0 (the base-5 'A'-padding
+        # encoding would wrongly include position 1)
+        codes = encode("AA")
+        sa = build_suffix_array(codes)
+        table = PrefixJumpTable.build(codes, sa, length=2)
+        assert table.interval([0, 0]) == (1, 2)
+        assert table.interval([0]) == (0, 2)
+
+    def test_auto_length(self):
+        codes = np.zeros(6**4 * 4, dtype=np.uint8)
+        sa = build_suffix_array(codes)
+        table = PrefixJumpTable.build(codes, sa)
+        assert table.length == prefix_length(codes.size)
+
+    def test_too_deep_prefix_rejected(self):
+        codes = encode("ACGT")
+        table = PrefixJumpTable.build(codes, build_suffix_array(codes), length=2)
+        with pytest.raises(ValueError):
+            table.interval([0, 1, 2])
+
+    def test_wrong_bounds_size_rejected(self):
+        with pytest.raises(ValueError, match="entries"):
+            PrefixJumpTable(2, np.zeros(10, dtype=np.int64))
+
+    @given(dna)
+    @settings(max_examples=40)
+    def test_property_matches_extends(self, s):
+        codes = encode(s)
+        if codes.size == 0:
+            return
+        sa = build_suffix_array(codes)
+        table = PrefixJumpTable.build(codes, sa)
+        rng = np.random.default_rng(codes.size)
+        for _ in range(10):
+            m = int(rng.integers(1, table.length + 1))
+            pattern = rng.integers(0, 5, size=m).tolist()
+            got = table.interval(pattern)
+            want = self._interval_by_extends(codes, sa, pattern)
+            if want[0] >= want[1]:
+                assert got[0] >= got[1]
+            else:
+                assert got == want
+
+
+class TestSeedSearchStats:
+    def test_snapshot_since_merge_roundtrip(self):
+        stats = SeedSearchStats()
+        stats.queries = 5
+        stats.table_hits = 3
+        stats.fallback_depths[2] = 1
+        before = stats.snapshot()
+        stats.queries += 2
+        stats.table_fallbacks += 1
+        stats.fallback_depths[2] += 1
+        stats.fallback_depths[0] = 1
+        delta = stats.since(before)
+        assert delta["queries"] == 2
+        assert delta["table_fallbacks"] == 1
+        assert delta["fallback_depths"] == {2: 1, 0: 1}
+        merged = SeedSearchStats()
+        merged.merge(before)
+        merged.merge(delta)
+        assert merged.as_dict() == stats.as_dict()
 
 
 class TestSearchContext:

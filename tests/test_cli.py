@@ -42,6 +42,33 @@ class TestCommands:
         assert main(["mini-fig3", "--reads", "120"]) == 0
         assert "index ratio" in capsys.readouterr().out
 
+    def test_index_build_then_hit(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["index", "--build", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "built" in out
+        assert "jump-table L" in out
+        assert "misses: 1 (this invocation)" in out
+
+        assert main(["index", "--build", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cache hit (mmap)" in out
+        assert "hits: 1" in out
+
+    def test_index_report_only(self, capsys, tmp_path):
+        assert main(["index", "--cache-dir", str(tmp_path / "empty")]) == 0
+        assert "Index cache" in capsys.readouterr().out
+
+    def test_mini_fig3_with_cache_dir(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["mini-fig3", "--reads", "120", "--cache-dir", cache_dir]
+        ) == 0
+        assert "index ratio" in capsys.readouterr().out
+        from repro.align.cache import IndexCache
+
+        assert len(IndexCache(cache_dir).entries()) == 2  # r108 + r111
+
     def test_config_table(self, capsys):
         assert main(["config-table"]) == 0
         out = capsys.readouterr().out
