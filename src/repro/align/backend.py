@@ -9,6 +9,12 @@ injection, timing) touched the STAR step.  :class:`AlignerBackend`
 collapses them to a single ``align(reads) -> AlignmentOutcome`` surface,
 and :func:`resolve_backend` is the one place that knows which concrete
 backend a given accession should use.
+
+Every backend hands whole read batches to its run loop, so all three
+execution shapes inherit the vectorized batch core
+(:mod:`repro.align.batch`) when ``StarParameters.batch_align`` is on —
+serial runs batch through ``StarAligner._outcome_stream``, paired runs
+batch both mate lists, and engine workers call ``align_batch`` per shard.
 """
 
 from __future__ import annotations

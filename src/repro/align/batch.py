@@ -1,0 +1,744 @@
+"""Structure-of-arrays batch alignment core.
+
+The per-read driver in :mod:`repro.align.star` walks one read at a time:
+a Python loop per MMP symbol, one numpy round-trip per candidate
+extension, a fresh remainder seed per spliced-stitch attempt.  Profiling
+shows that loop — not process fan-out — dominates alignment time, the
+same observation that led SNAP (Zaharia et al., arXiv 1111.5572) to
+restructure seeding around O(1) hash lookups instead of per-symbol
+narrowing.
+
+This module drives whole *batches* of reads through the identical
+decision procedure with the per-symbol work hoisted into numpy:
+
+* :class:`PackedReadBatch` packs a batch (both orientations) into
+  contiguous arrays — base codes, per-segment offsets and lengths — the
+  structure-of-arrays layout every kernel below gathers from;
+* :func:`batch_mmp` resolves all MMP queries level-by-level: one fused
+  :class:`~repro.align.suffix_array.PrefixJumpTable` lookup per depth
+  (vectorized base-6 encoding over the live queries), lock-step
+  vectorized binary narrowing past the table, and a batched
+  compare-and-argmax longest-common-extension scan once intervals hold
+  a single suffix;
+* :func:`repro.align.extend.batch_ungapped_extend` verifies every
+  candidate placement of the batch in one fused comparison;
+* spliced stitching reuses one batched remainder seed per (read,
+  orientation) where the serial path re-derives it per candidate
+  position — same deterministic result, computed once.
+
+Every kernel is bit-identical to its per-read counterpart (the per-read
+path is retained as the reference oracle; see
+``tests/align/test_batch.py``): seed walks stop at the same depth,
+extensions accept the same placements, stitching and the error bridge
+pick the same candidates, and classification is shared code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.align.extend import batch_ungapped_extend
+from repro.genome.alphabet import BASE_A, BASE_G, BASE_N, BASE_T, complement
+
+if TYPE_CHECKING:
+    from repro.align.star import ReadAlignment, StarAligner
+    from repro.reads.fastq import FastqRecord
+
+__all__ = ["PackedReadBatch", "align_read_batch", "batch_mmp"]
+
+#: column width of one batched longest-common-extension gather
+_LCE_CHUNK = 64
+
+#: width of the first LCE gather; most rows of a multi-suffix interval
+#: mismatch within a symbol or two, so the opening chunk stays narrow
+_LCE_FIRST_CHUNK = 4
+
+#: SA intervals at most this wide resolve by a closed-form per-suffix LCE
+#: scan; wider ones narrow per level with a lock-step binary search first
+_SCAN_WIDTH = 8
+
+#: after this many lock-step narrowing levels the scan threshold relaxes
+#: to ``_LATE_SCAN_WIDTH``: a low-complexity lane (think poly-A) can stay
+#: hundreds of suffixes wide for dozens of symbols, and each extra level
+#: costs the whole batch a full bisection pass, while the closed-form
+#: scan handles any width at one LCE row per suffix
+_NARROW_LEVELS = 4
+_LATE_SCAN_WIDTH = 512
+
+
+# --------------------------------------------------------------------------
+# packing
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PackedReadBatch:
+    """One batch of reads packed into structure-of-arrays form.
+
+    Segment ``i`` of ``n_reads`` forward reads lives at
+    ``bases[offsets[i] : offsets[i] + lengths[i]]``; segment
+    ``n_reads + i`` is the reverse complement of read ``i``.  Keeping
+    both orientations in one pool lets every kernel run once over
+    ``2 * n_reads`` queries instead of twice over ``n_reads``.
+    """
+
+    bases: np.ndarray  # uint8 base codes, all segments concatenated
+    offsets: np.ndarray  # int64, n_segments + 1 segment boundaries
+    lengths: np.ndarray  # int64, n_segments
+    n_reads: int
+
+    @property
+    def n_segments(self) -> int:
+        return int(self.lengths.size)
+
+    @classmethod
+    def pack(cls, sequences: list[np.ndarray]) -> "PackedReadBatch":
+        """Pack forward sequences plus their reverse complements."""
+        n_reads = len(sequences)
+        fwd_lengths = np.array([s.size for s in sequences], dtype=np.int64)
+        lengths = np.concatenate([fwd_lengths, fwd_lengths])
+        offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        if n_reads and int(fwd_lengths.sum()):
+            fwd = np.concatenate(sequences).astype(np.uint8, copy=False)
+            # reverse each segment in place of a per-read [::-1]: position j
+            # of the pool maps to its segment-mirrored twin
+            starts = np.repeat(offsets[:n_reads], fwd_lengths)
+            lens = np.repeat(fwd_lengths, fwd_lengths)
+            mirror = 2 * starts + lens - 1 - np.arange(fwd.size, dtype=np.int64)
+            rev = complement(fwd)[mirror]
+            bases = np.concatenate([fwd, rev])
+        else:
+            bases = np.zeros(0, dtype=np.uint8)
+        return cls(bases=bases, offsets=offsets, lengths=lengths, n_reads=n_reads)
+
+
+# --------------------------------------------------------------------------
+# batched MMP search
+# --------------------------------------------------------------------------
+
+
+def batch_mmp(
+    ctx,
+    bases: np.ndarray,
+    qoff: np.ndarray,
+    qlen: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Maximal-mappable-prefix walk for a whole query set at once.
+
+    Query ``i`` searches ``bases[qoff[i] : qoff[i] + qlen[i]]``; returns
+    ``(depth, lo, hi)`` arrays matching what
+    :func:`repro.align.seeds.maximal_mappable_prefix` computes per query
+    — same final depth, same SA interval, same early-stop decisions —
+    with the per-symbol Python loop replaced by one vectorized pass per
+    depth level across all still-live queries.
+    """
+    qoff = np.asarray(qoff, dtype=np.int64)
+    qlen = np.asarray(qlen, dtype=np.int64)
+    n_queries = int(qoff.size)
+    stats = ctx.stats
+    stats.queries += n_queries
+    stats.batch_queries += n_queries
+
+    lo = np.zeros(n_queries, dtype=np.int64)
+    hi = np.full(n_queries, ctx.n, dtype=np.int64)
+    depth = np.zeros(n_queries, dtype=np.int64)
+    if n_queries == 0:
+        return depth, lo, hi
+    dead = np.zeros(n_queries, dtype=bool)
+
+    # -- regime 1: fused jump-table lookups ---------------------------------
+    jump_length = ctx.jump_length
+    if jump_length and ctx.n:
+        bounds = ctx.jump_bounds_arr
+        strides = ctx.jump_strides
+        limit = np.minimum(qlen, jump_length)
+        code = np.zeros(n_queries, dtype=np.int64)
+        level = 0
+        walking = limit > 0
+        while True:
+            live = np.nonzero(walking)[0]
+            if live.size == 0:
+                break
+            sym = bases[qoff[live] + level].astype(np.int64)
+            code[live] = code[live] * 6 + sym + 1
+            stride = strides[level + 1]
+            base = code[live] * stride
+            nlo = bounds[base]
+            nhi = bounds[base + stride]
+            alive = nlo < nhi
+            died = live[~alive]
+            dead[died] = True
+            walking[died] = False
+            kept = live[alive]
+            lo[kept] = nlo[alive]
+            hi[kept] = nhi[alive]
+            depth[kept] = level + 1
+            level += 1
+            walking &= level < limit
+        stats.binary_steps_saved += 2 * int(depth.sum())
+        n_dead = int(dead.sum())
+        stats.table_fallbacks += n_dead
+        stats.table_hits += n_queries - n_dead
+        if n_dead:
+            for d, count in enumerate(np.bincount(depth[dead])):
+                if count:
+                    stats.fallback_depths[d] = (
+                        stats.fallback_depths.get(d, 0) + int(count)
+                    )
+
+    # -- regime 2: lock-step binary narrowing of wide intervals --------------
+    genome = ctx.genome_arr
+    sa = ctx.sa_arr
+    n = ctx.n
+    active = ~dead & (depth < qlen) & (hi > lo)
+    lce_idx: list[np.ndarray] = []
+    level_count = 0
+    while True:
+        single = active & (hi - lo == 1)
+        if single.any():
+            lce_idx.append(np.nonzero(single)[0])
+            active &= ~single
+        width_cap = _SCAN_WIDTH if level_count < _NARROW_LEVELS else _LATE_SCAN_WIDTH
+        wide = np.nonzero(active & (hi - lo > width_cap))[0]
+        if wide.size == 0:
+            break
+        level_count += 1
+        d = depth[wide]
+        sym = bases[qoff[wide] + d].astype(np.int64)
+        # the depth-d symbols of an SA interval are sorted, so the lower
+        # bound (first symbol >= sym, i.e. ch < sym sends the probe
+        # right) and the upper bound (first symbol > sym, i.e.
+        # ch < sym + 1) bisect the same [lo, hi) concurrently — one fused
+        # loop instead of two sequential ones
+        d2 = np.concatenate([d, d])
+        sym2 = np.concatenate([sym, sym + 1])
+        a = np.concatenate([lo[wide], lo[wide]])
+        b = np.concatenate([hi[wide], hi[wide]])
+        while True:
+            open_ = a < b
+            if not open_.any():
+                break
+            mid = (a + b) >> 1
+            # mid and pos are never negative, so np.minimum (one ufunc)
+            # keeps closed lanes indexable; gather as int64 before
+            # substituting the -1 past-end sentinel
+            pos = sa[np.minimum(mid, n - 1)] + d2
+            ch = np.where(
+                pos < n, genome[np.minimum(pos, n - 1)].astype(np.int64), -1
+            )
+            go_right = open_ & (ch < sym2)
+            a = np.where(go_right, mid + 1, a)
+            b = np.where(open_ & ~go_right, mid, b)
+        new_lo = a[: wide.size]
+        new_hi = a[wide.size :]
+        stats.extend_steps += int(wide.size)
+        emptied = new_lo >= new_hi
+        active[wide[emptied]] = False
+        kept = wide[~emptied]
+        lo[kept] = new_lo[~emptied]
+        hi[kept] = new_hi[~emptied]
+        depth[kept] += 1
+        active &= depth < qlen
+
+    # -- regime 2b: closed-form narrowing of scan-width intervals -----------
+    # For an interval of at most _SCAN_WIDTH suffixes, one per-suffix LCE
+    # pass decides everything the per-symbol loop would: a suffix survives
+    # narrowing to relative depth t iff its LCE with the query is >= t, so
+    # the final depth is the maximum LCE M (suffixes achieving it stay a
+    # contiguous SA run), and the serial counters fall out of M and the
+    # second-largest LCE S: a tied maximum narrows (and counts an extend
+    # step) per level until the interval empties at M, while a unique
+    # maximum narrows to a single suffix at S+1 and fast-forwards the
+    # remaining M-S-1 symbols through the LCE shortcut.
+    scan = np.nonzero(active)[0]
+    single_idx = (
+        np.concatenate(lce_idx) if lce_idx else np.zeros(0, dtype=np.int64)
+    )
+    n_rows = 0
+    m_all = np.zeros(0, dtype=np.int64)
+    if scan.size or single_idx.size:
+        # one fused LCE call covers both the scan rows and the narrowed
+        # singles — the second call's fixed chunk-loop cost is pure waste
+        lanes = np.concatenate([np.repeat(scan, hi[scan] - lo[scan]), single_idx])
+        if scan.size:
+            w = hi[scan] - lo[scan]
+            n_rows = int(w.sum())
+            within = np.arange(n_rows, dtype=np.int64) - np.repeat(
+                np.cumsum(w) - w, w
+            )
+        else:
+            within = np.zeros(0, dtype=np.int64)
+        sa_at = np.concatenate([within, np.zeros(single_idx.size, dtype=np.int64)])
+        pos = sa[lo[lanes] + sa_at] + depth[lanes]
+        roff = qoff[lanes] + depth[lanes]
+        limit = np.minimum(qlen[lanes] - depth[lanes], n - pos)
+        m_all = _batched_lce(genome, bases, pos, roff, limit)
+    if scan.size:
+        w = hi[scan] - lo[scan]
+        starts = np.zeros(scan.size, dtype=np.int64)
+        np.cumsum(w[:-1], out=starts[1:])
+        row_idx = np.arange(n_rows, dtype=np.int64)
+        m = m_all[:n_rows]
+        lane_max = np.maximum.reduceat(m, starts)
+        # second-largest (with multiplicity): mask one argmax row out
+        first_max = np.minimum.reduceat(
+            np.where(m == lane_max[np.repeat(
+                np.arange(scan.size), w)], row_idx, n_rows), starts,
+        )
+        masked = m.copy()
+        masked[first_max] = -1
+        lane_2nd = np.maximum.reduceat(masked, starts)
+        remaining = qlen[scan] - depth[scan]
+        tie = lane_2nd == lane_max
+        stats.extend_steps += int(
+            np.where(tie, lane_max + (lane_max < remaining), lane_2nd + 1).sum()
+        )
+        stats.lce_skips += int(
+            np.where(tie, 0, lane_max - lane_2nd - 1).sum()
+        )
+        # surviving interval: the contiguous block of suffixes with LCE == M
+        # (for M == 0 that is the whole interval, i.e. the failed first
+        # narrowing step leaves lo/hi untouched, exactly like the serial
+        # break)
+        ge = m >= lane_max[np.repeat(np.arange(scan.size), w)]
+        n_ge = np.add.reduceat(ge.astype(np.int64), starts)
+        first_ge = (
+            np.minimum.reduceat(np.where(ge, row_idx, n_rows), starts) - starts
+        )
+        lo[scan] += first_ge
+        hi[scan] = lo[scan] + n_ge
+        depth[scan] += lane_max
+
+    # -- regime 3: batched longest-common-extension -------------------------
+    if single_idx.size:
+        matched = m_all[n_rows:]
+        depth[single_idx] += matched
+        stats.lce_skips += int(matched.sum())
+
+    return depth, lo, hi
+
+
+def _batched_lce(
+    genome: np.ndarray,
+    bases: np.ndarray,
+    pos: np.ndarray,
+    roff: np.ndarray,
+    limit: np.ndarray,
+) -> np.ndarray:
+    """Longest common extension per (genome position, query position) row.
+
+    Compares ``genome[pos[i]:]`` against ``bases[roff[i]:]`` up to
+    ``limit[i]`` symbols, via chunked 2-D gathers with the first mismatch
+    located by ``argmax`` over the comparison — the batch counterpart of
+    :func:`repro.align.seeds._common_extension`.  Chunk widths grow
+    geometrically: over a multi-suffix interval most rows mismatch within
+    a symbol or two, so narrow early chunks avoid gathering 60+ columns a
+    first-symbol mismatch would throw away, while the few long-extension
+    rows still finish in O(log) passes.
+    """
+    n = genome.size
+    matched = np.zeros(pos.size, dtype=np.int64)
+    live = limit > 0
+    chunk = _LCE_FIRST_CHUNK
+    first = True
+    while True:
+        rows = np.nonzero(live)[0]
+        if rows.size == 0:
+            return matched
+        cols = np.arange(chunk, dtype=np.int64)
+        # on the first pass every matched[] is zero; skipping the adds
+        # saves two full-width passes over the largest row set
+        base_g = pos[rows, None] if first else pos[rows, None] + matched[rows, None]
+        base_r = roff[rows, None] if first else roff[rows, None] + matched[rows, None]
+        lim = limit[rows, None] if first else limit[rows, None] - matched[rows, None]
+        g = genome[np.minimum(base_g + cols, n - 1)]
+        r = bases[np.minimum(base_r + cols, bases.size - 1)]
+        bad = (g != r) | (cols >= lim)
+        stopped = bad.any(axis=1)
+        first_bad = bad.argmax(axis=1)
+        matched[rows] += np.where(stopped, first_bad, chunk)
+        live[rows] = ~stopped & (matched[rows] < limit[rows])
+        chunk = min(chunk * 2, _LCE_CHUNK)
+        first = False
+
+
+def _gather_positions(
+    ctx, seed_len: np.ndarray, lo: np.ndarray, hi: np.ndarray, max_hits: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Genome positions of every resolved interval, per SeedHit rules.
+
+    Returns ``(counts, starts, positions)``: interval ``q`` owns
+    ``positions[starts[q] : starts[q + 1]]`` — the first ``max_hits``
+    suffix-array entries of its interval, sorted ascending, exactly what
+    the per-read path materializes one ``SeedHit.positions`` at a time.
+    """
+    counts = np.where(seed_len > 0, np.minimum(hi - lo, max_hits), 0)
+    starts = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    total = int(starts[-1])
+    if total == 0:
+        return counts, starts, np.zeros(0, dtype=np.int64)
+    within = np.arange(total, dtype=np.int64) - np.repeat(starts[:-1], counts)
+    positions = ctx.sa_arr[np.repeat(lo, counts) + within]
+    # the per-read path sorts each hit list; one interval-major lexsort
+    # sorts them all
+    seg = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    positions = positions[np.lexsort((positions, seg))]
+    return counts, starts, positions
+
+
+# --------------------------------------------------------------------------
+# batch driver
+# --------------------------------------------------------------------------
+
+
+def _contigs_of(index, positions: np.ndarray) -> np.ndarray:
+    """Vectorized contig ordinal per absolute genome position."""
+    offsets = np.asarray(index.offsets, dtype=np.int64)
+    return np.searchsorted(offsets, positions, side="right") - 1
+
+
+def _batch_stitch(
+    index,
+    ctx,
+    params,
+    cand_q_arr: np.ndarray,
+    cand_pos_arr: np.ndarray,
+    cand_contig: np.ndarray,
+    ext_accepts: np.ndarray,
+    seed_len: np.ndarray,
+    stitch_q: np.ndarray,
+    r_counts: np.ndarray,
+    r_starts: np.ndarray,
+    r_pos: np.ndarray,
+    rem_contig: np.ndarray,
+    rem_mm: np.ndarray,
+    rem_ok: np.ndarray,
+) -> tuple[list[int], list[int]]:
+    """Best spliced stitch per failing candidate, resolved in one pass.
+
+    Mirrors :func:`repro.align.splice.stitch_spliced`'s candidate loop —
+    same filters, same (mismatches, intron length) tie-break — over the
+    cross product of every failing candidate position and its segment's
+    batch-precomputed remainder hits.  Returns per-candidate lists of
+    winning mismatch counts (-1 when no stitch exists) and acceptors.
+    The serial loop is first-wins on ties, but a tied key means equal
+    mismatches and equal intron length, which pins the same acceptor, so
+    a plain minimum reproduces it.
+    """
+    n_cand = int(cand_q_arr.size)
+    no_stitch = [-1] * n_cand
+    if not r_pos.size:
+        return no_stitch, [0] * n_cand
+    seg_rcount = np.zeros(int(seed_len.size), dtype=np.int64)
+    seg_rcount[stitch_q] = r_counts
+    seg_rstart = np.zeros(int(seed_len.size), dtype=np.int64)
+    seg_rstart[stitch_q] = r_starts[:-1]
+    k_idx = np.nonzero(~ext_accepts & (seg_rcount[cand_q_arr] > 0))[0]
+    if not k_idx.size:
+        return no_stitch, [0] * n_cand
+
+    kc = seg_rcount[cand_q_arr[k_idx]]  # remainder hits per candidate
+    pstart = np.zeros(k_idx.size, dtype=np.int64)
+    np.cumsum(kc[:-1], out=pstart[1:])
+    n_pairs = int(kc.sum())
+    pair_k = np.repeat(k_idx, kc)
+    within = np.arange(n_pairs, dtype=np.int64) - np.repeat(pstart, kc)
+    pair_j = np.repeat(seg_rstart[cand_q_arr[k_idx]], kc) + within
+
+    donor_k = cand_pos_arr[k_idx] + seed_len[cand_q_arr[k_idx]]
+    donor = np.repeat(donor_k, kc)
+    acceptor = r_pos[pair_j]
+    intron = acceptor - donor
+    valid = (
+        (intron >= params.min_intron)
+        & (intron <= params.max_intron)
+        & (rem_contig[pair_j] == cand_contig[pair_k])
+        & rem_ok[pair_j]
+    )
+    genome = ctx.genome_arr
+    gn = genome.size
+    # is_canonical_motif, gathered: GT at the donor, AG before the
+    # acceptor, out-of-range windows rejected (clamps keep the dead
+    # lanes' gathers in bounds; donor/acceptor are never negative)
+    canonical = (
+        valid
+        & (donor + 2 <= gn)
+        & (acceptor - 2 >= 0)
+        & (genome[np.minimum(donor, gn - 1)] == BASE_G)
+        & (genome[np.minimum(donor + 1, gn - 1)] == BASE_T)
+        & (genome[np.maximum(acceptor - 2, 0)] == BASE_A)
+        & (genome[np.maximum(acceptor - 1, 0)] == BASE_G)
+    )
+    # the serial path consults the sjdb only when the motif test fails
+    need_sjdb = np.nonzero(valid & ~canonical)[0]
+    ok = canonical
+    if need_sjdb.size:
+        is_ann = index.is_annotated_junction
+        ann = [
+            is_ann(d, a)
+            for d, a in zip(
+                donor[need_sjdb].tolist(), acceptor[need_sjdb].tolist()
+            )
+        ]
+        ok = canonical.copy()
+        ok[need_sjdb] = ann
+
+    # lexicographic (mismatches, intron length) minimum per candidate via
+    # one packed int64 key; intron <= max_intron < 2**32 keeps it exact
+    key = np.where(
+        ok,
+        rem_mm[pair_j] * (np.int64(1) << 32) + intron,
+        np.int64(1) << 62,
+    )
+    best_key = np.minimum.reduceat(key, pstart)
+    has = best_key < (np.int64(1) << 62)
+    best_mm = np.full(n_cand, -1, dtype=np.int64)
+    best_acc = np.zeros(n_cand, dtype=np.int64)
+    best_mm[k_idx[has]] = (best_key >> 32)[has]
+    best_acc[k_idx[has]] = donor_k[has] + (
+        best_key & ((np.int64(1) << 32) - 1)
+    )[has]
+    return best_mm.tolist(), best_acc.tolist()
+
+
+def align_read_batch(
+    aligner: "StarAligner", records: list["FastqRecord"]
+) -> list["ReadAlignment"]:
+    """Align a batch of reads through the vectorized core.
+
+    Returns one :class:`~repro.align.star.ReadAlignment` per record, in
+    order, each identical to what ``aligner.align_read`` produces for
+    the same read.
+    """
+    from repro.align.star import AlignmentStatus, ReadAlignment, _Candidate
+
+    index = aligner.index
+    ctx = index.search_context
+    params = aligner.parameters
+    scoring = params.scoring
+
+    out: list[ReadAlignment | None] = [None] * len(records)
+    live: list[int] = []
+    sequences: list[np.ndarray] = []
+    for r, record in enumerate(records):
+        if record.sequence.size == 0:
+            # zero-length reads can never seed (same early return as
+            # align_read)
+            out[r] = ReadAlignment(record.read_id, AlignmentStatus.UNMAPPED)
+        else:
+            live.append(r)
+            sequences.append(np.asarray(record.sequence, dtype=np.uint8))
+    n_live = len(live)
+    if n_live == 0:
+        return out  # type: ignore[return-value]
+
+    batch = PackedReadBatch.pack(sequences)
+    bases = batch.bases
+    offsets = batch.offsets[:-1]
+    lengths = batch.lengths
+    n_segments = batch.n_segments
+
+    # -- round 1: prefix seeds for every orientation ------------------------
+    depth, lo, hi = batch_mmp(ctx, bases, offsets, lengths)
+    seed_len = depth
+
+    counts, cand_start, cand_pos_arr = _gather_positions(
+        ctx, seed_len, lo, hi, params.seed_multimap_nmax
+    )
+    cand_q_arr = np.repeat(np.arange(n_segments, dtype=np.int64), counts)
+
+    # cumulative read-N counts: extension may skip a seed-verified prefix
+    # only when it is N-free (an N/N pair advances the seed walk yet
+    # counts as an extension mismatch)
+    n_cum = np.zeros(bases.size + 1, dtype=np.int64)
+    np.cumsum(bases == BASE_N, out=n_cum[1:])
+    seed_n = n_cum[offsets + seed_len] - n_cum[offsets]
+    seed_skip = np.where(seed_n == 0, seed_len, 0)
+
+    ext_mm, ext_ok = batch_ungapped_extend(
+        index,
+        bases,
+        offsets[cand_q_arr],
+        lengths[cand_q_arr],
+        cand_pos_arr,
+        max_mismatches=scoring.max_mismatches,
+        verified_prefix=seed_skip[cand_q_arr],
+    )
+    cand_len = lengths[cand_q_arr]
+    min_frac = scoring.min_matched_fraction
+    match_s = scoring.match_score
+    mis_p = scoring.mismatch_penalty
+    ext_accepts = ext_ok & ((cand_len - ext_mm) >= min_frac * cand_len)
+    ext_score = (cand_len - ext_mm) * match_s - ext_mm * mis_p
+    cand_contig = _contigs_of(index, cand_pos_arr)
+
+    # -- round 2: one remainder seed per segment that needs stitching -------
+    path1_fails = ~ext_accepts
+    stitch_q = np.unique(
+        cand_q_arr[path1_fails & (seed_len[cand_q_arr] < lengths[cand_q_arr])]
+    ) if cand_q_arr.size else cand_q_arr
+    # per-candidate stitch winners: mismatches (-1 = none) and acceptor
+    stitch_mm_l: list[int] = [-1] * int(cand_q_arr.size)
+    stitch_acc_l: list[int] = [0] * int(cand_q_arr.size)
+    if stitch_q.size:
+        rem_depth, rem_lo, rem_hi = batch_mmp(
+            ctx,
+            bases,
+            offsets[stitch_q] + seed_len[stitch_q],
+            lengths[stitch_q] - seed_len[stitch_q],
+        )
+        # stitch_spliced seeds the remainder with its own max_candidates
+        # cap (20), not seed_multimap_nmax
+        r_counts, r_starts, r_pos = _gather_positions(
+            ctx, rem_depth, rem_lo, rem_hi, 20
+        )
+        rq_arr = np.repeat(stitch_q, r_counts)
+        rem_off = offsets[stitch_q] + seed_len[stitch_q]
+        rem_n = n_cum[rem_off + rem_depth] - n_cum[rem_off]
+        rem_skip = np.repeat(np.where(rem_n == 0, rem_depth, 0), r_counts)
+        rem_mm, rem_ok = batch_ungapped_extend(
+            index,
+            bases,
+            offsets[rq_arr] + seed_len[rq_arr],
+            lengths[rq_arr] - seed_len[rq_arr],
+            r_pos,
+            max_mismatches=scoring.max_mismatches,
+            verified_prefix=rem_skip,
+        )
+        rem_contig = _contigs_of(index, r_pos)
+        stitch_mm_l, stitch_acc_l = _batch_stitch(
+            index,
+            ctx,
+            params,
+            cand_q_arr,
+            cand_pos_arr,
+            cand_contig,
+            ext_accepts,
+            seed_len,
+            stitch_q,
+            r_counts,
+            r_starts,
+            r_pos,
+            rem_contig,
+            rem_mm,
+            rem_ok,
+        )
+
+    # -- pass A: contiguous + spliced candidates per orientation ------------
+    # plain-python mirrors of every per-candidate array: scalar numpy
+    # reads cost ~100ns apiece, which would dominate this loop
+    cands_by_q: list[list] = [[] for _ in range(n_segments)]
+    bridge_q: list[int] = []
+    seed_l = seed_len.tolist()
+    len_l = lengths.tolist()
+    starts_l = cand_start.tolist()
+    pos_l = cand_pos_arr.tolist()
+    acc_l = ext_accepts.tolist()
+    mm_l = ext_mm.tolist()
+    score_l = ext_score.tolist()
+    max_mm = scoring.max_mismatches
+    for q in range(n_segments):
+        s, e = starts_l[q], starts_l[q + 1]
+        sl = seed_l[q]
+        n = len_l[q]
+        if s == e:
+            if 0 < sl < n:
+                bridge_q.append(q)
+            continue
+        cands = cands_by_q[q]
+        for k in range(s, e):
+            p = pos_l[k]
+            if acc_l[k]:
+                # hit positions are unique within a segment and nothing
+                # else appends contiguous candidates here, so the serial
+                # path's seen-set membership test is vacuously false
+                mm = mm_l[k]
+                cands.append(
+                    _Candidate(
+                        score=score_l[k],
+                        genome_start=p,
+                        mismatches=mm,
+                        blocks=((p, p + n),),
+                        spliced=False,
+                    )
+                )
+                continue
+            mm = stitch_mm_l[k]
+            if mm >= 0 and mm <= max_mm and n - mm >= min_frac * n:
+                acceptor = stitch_acc_l[k]
+                cands.append(
+                    _Candidate(
+                        score=(n - mm) * match_s - mm * mis_p,
+                        genome_start=p,
+                        mismatches=mm,
+                        blocks=((p, p + sl), (acceptor, acceptor + n - sl)),
+                        spliced=True,
+                    )
+                )
+        if not cands and 0 < sl < n:
+            bridge_q.append(q)
+
+    # -- round 3: error-bridge re-seed for candidate-less orientations ------
+    bridge_set = [q for q in bridge_q if len_l[q] - (seed_l[q] + 1) >= 12]
+    if bridge_set:
+        bq_arr = np.asarray(bridge_set, dtype=np.int64)
+        bridge_starts = seed_len[bq_arr] + 1
+        b_depth, b_lo, b_hi = batch_mmp(
+            ctx,
+            bases,
+            offsets[bq_arr] + bridge_starts,
+            lengths[bq_arr] - bridge_starts,
+        )
+        b_counts, b_starts, b_hits = _gather_positions(
+            ctx, b_depth, b_lo, b_hi, params.seed_multimap_nmax
+        )
+        bq_flat = np.repeat(bq_arr, b_counts)
+        b_place = b_hits - (seed_len[bq_flat] + 1)
+        b_mm, b_ok = batch_ungapped_extend(
+            index,
+            bases,
+            offsets[bq_flat],
+            lengths[bq_flat],
+            b_place,
+            max_mismatches=scoring.max_mismatches,
+        )
+        b_len = lengths[bq_flat]
+        b_accepts = b_ok & ((b_len - b_mm) >= min_frac * b_len)
+        b_score = (b_len - b_mm) * match_s - b_mm * mis_p
+        b_starts_l = b_starts.tolist()
+        b_place_l = b_place.tolist()
+        b_acc_l = b_accepts.tolist()
+        b_mm_l = b_mm.tolist()
+        b_score_l = b_score.tolist()
+        for j, q in enumerate(bridge_set):
+            n = len_l[q]
+            cands = cands_by_q[q]
+            # the bridge only runs when pass A accepted nothing, so the
+            # serial path's seen-set is empty on entry and bridge hits are
+            # unique — only the off-genome placement guard has effect
+            for k in range(b_starts_l[j], b_starts_l[j + 1]):
+                p = b_place_l[k]
+                if p < 0:
+                    continue
+                if b_acc_l[k]:
+                    cands.append(
+                        _Candidate(
+                            score=b_score_l[k],
+                            genome_start=p,
+                            mismatches=b_mm_l[k],
+                            blocks=((p, p + n),),
+                            spliced=False,
+                        )
+                    )
+
+    # -- classification (shared with the per-read path) ----------------------
+    for i, r in enumerate(live):
+        out[r] = aligner._classify(
+            records[r].read_id, cands_by_q[i], cands_by_q[n_live + i]
+        )
+    return out  # type: ignore[return-value]

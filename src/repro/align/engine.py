@@ -263,11 +263,13 @@ def _align_records(
     )
     stats = aligner.index.search_context.stats
     before = stats.snapshot()
-    outcomes = []
-    for record in records:
-        outcome = aligner.align_read(record)
-        outcomes.append(outcome)
-        if counts is not None:
+    # align_batch routes through the vectorized batch core when the
+    # parameters enable it (the per-read loop otherwise) — either way the
+    # outcomes are bit-identical, so workers and the parent's serial
+    # fallback stay interchangeable.
+    outcomes = aligner.align_batch(records)
+    if counts is not None:
+        for outcome in outcomes:
             _count_outcome(counts, outcome)
     return (
         outcomes,
@@ -288,9 +290,13 @@ def _align_pairs(
     counts = GeneCounts(paired.aligner.index.annotation) if quant else None
     stats = paired.aligner.index.search_context.stats
     before = stats.snapshot()
+    # both mate lists go through the batch core as whole batches, then
+    # pairing runs per-pair — same decomposition as PairedStarAligner.run
+    mates1 = paired.aligner.align_batch(batch[0])
+    mates2 = paired.aligner.align_batch(batch[1])
     outcomes = []
-    for r1, r2 in zip(*batch):
-        outcome = paired.align_pair(r1, r2)
+    for r1, m1, m2 in zip(batch[0], mates1, mates2):
+        outcome = paired._pair_outcome(r1, m1, m2)
         outcomes.append(outcome)
         if counts is not None:
             _count_paired_outcome(counts, outcome)
@@ -365,6 +371,9 @@ class EngineHealth:
     serial_fallback_batches: int = 0
     pool_restarts: int = 0
     degraded: bool = False
+    #: batches merged that ran through the vectorized batch core
+    #: (:mod:`repro.align.batch`) rather than the per-read reference path
+    batch_core_batches: int = 0
     #: aggregated seed-search counters (jump-table hits, binary-search
     #: steps saved, fallback-depth histogram) across every batch merged by
     #: this engine, wherever the batch ran
@@ -404,7 +413,16 @@ class ParallelStarAligner:
     runs, mirroring the paper's load-index-once-per-instance design.
 
     ``batch_size`` reads are pickled per task; the index is never
-    re-sent.  Results are merged strictly in read order, so outputs —
+    re-sent.  ``batch_size=None`` (the default) sizes shards from the
+    batch-core cost model: the vectorized core amortizes its per-call
+    numpy overhead across the whole shard, so shards should be as large
+    as load balancing allows — two shards per worker bounds the tail
+    straggler at half a worker's share, clamped to [64, 1024] so tiny
+    runs still exercise every worker and huge runs still checkpoint
+    progress at a useful cadence.  With the batch core disabled the
+    historical 64-read shard is kept (per-read cost dominates, shard
+    size is latency-neutral).  Results are merged strictly in read
+    order, so outputs —
     including the ``Log.progress.out`` cadence the early-stopping monitor
     consumes — are identical to a serial run's.  When the monitor aborts,
     batches not yet dispatched are cancelled and at most
@@ -417,7 +435,7 @@ class ParallelStarAligner:
         parameters: StarParameters | None = None,
         *,
         workers: int = 2,
-        batch_size: int = 64,
+        batch_size: int | None = None,
         max_inflight: int | None = None,
         paired_parameters: PairedParameters | None = None,
         mp_context: str | None = None,
@@ -427,7 +445,7 @@ class ParallelStarAligner:
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        if batch_size < 1:
+        if batch_size is not None and batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if health_interval <= 0:
             raise ValueError("health_interval must be positive")
@@ -606,6 +624,15 @@ class ParallelStarAligner:
         return pid
 
     # -- dispatch ------------------------------------------------------------
+
+    def _shard_size(self, n_reads: int) -> int:
+        """Reads per dispatched shard for a run of ``n_reads``."""
+        if self.batch_size is not None:
+            return self.batch_size
+        if not self.parameters.batch_align:
+            return 64
+        per_worker = -(-n_reads // (2 * self.workers))  # ceil division
+        return max(64, min(1024, per_worker))
 
     def _local_aligner(self) -> StarAligner:
         """The parent-process serial aligner used for fallback batches."""
@@ -836,9 +863,9 @@ class ParallelStarAligner:
                 mapped_multi=multi,
             )
 
+        shard = self._shard_size(len(records))
         batches = [
-            records[i : i + self.batch_size]
-            for i in range(0, len(records), self.batch_size)
+            records[i : i + shard] for i in range(0, len(records), shard)
         ]
         # closed explicitly so the pool-restart finalizer in
         # _ordered_results runs before this method returns, not at GC time
@@ -848,6 +875,8 @@ class ParallelStarAligner:
                 batches, results_iter
             ):
                 self.health.seed_search.merge(seed_stats)
+                if params.batch_align:
+                    self.health.batch_core_batches += 1
                 consumed = 0
                 for record, outcome in zip(batch, batch_outcomes):
                     outcomes.append(outcome)
@@ -945,14 +974,17 @@ class ParallelStarAligner:
                 mapped_multi=multi,
             )
 
+        shard = self._shard_size(total)
         batches = [
-            (mate1[i : i + self.batch_size], mate2[i : i + self.batch_size])
-            for i in range(0, total, self.batch_size)
+            (mate1[i : i + shard], mate2[i : i + shard])
+            for i in range(0, total, shard)
         ]
         results_iter = self._ordered_results(_align_batch_paired, batches)
         try:
             for batch_outcomes, partial, seed_stats in results_iter:
                 self.health.seed_search.merge(seed_stats)
+                if self.parameters.batch_align:
+                    self.health.batch_core_batches += 1
                 consumed = 0
                 for outcome in batch_outcomes:
                     outcomes.append(outcome)

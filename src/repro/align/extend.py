@@ -54,6 +54,97 @@ class ExtensionResult:
         return self.length - self.mismatches
 
 
+def batch_ungapped_extend(
+    index: GenomeIndex,
+    bases: np.ndarray,
+    seg_offsets: np.ndarray,
+    seg_lengths: np.ndarray,
+    genome_starts: np.ndarray,
+    *,
+    max_mismatches: int,
+    verified_prefix: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`ungapped_extend` over many (segment, position) pairs.
+
+    ``bases`` is a packed pool of uint8 base codes; pair ``i`` compares
+    ``bases[seg_offsets[i] : seg_offsets[i] + seg_lengths[i]]`` against
+    the genome at ``genome_starts[i]``.  Returns ``(mismatches, ok)``
+    arrays whose elements match what :func:`ungapped_extend` reports for
+    the same pair — including the contig-boundary/off-genome failure mode
+    (``ok=False`` with ``mismatches == length``) and the zero-length
+    ``ok=True`` convention.  One fused comparison over a column-masked
+    2-D gather replaces one Python-level numpy round-trip per pair.
+
+    The always-mismatch rule for ``N`` is folded into the comparison by
+    remapping read-side ``N`` (code 4) to the out-of-alphabet code 5:
+    genome ``N`` stays 4, so any pairing that involves an ``N`` on either
+    side compares unequal without the two extra equality passes.
+
+    ``verified_prefix[i]`` (optional) asserts that the first that-many
+    columns of pair ``i`` are known mismatch-free — the caller's seed
+    already matched them symbol-for-symbol — so the comparison starts
+    there; the span checks still cover the full segment extent.  N-free
+    MMP prefixes qualify (an ``N``/``N`` pairing advances the seed walk
+    but counts as an extension mismatch, so prefixes containing read
+    ``N`` must pass 0).
+    """
+    seg_offsets = np.asarray(seg_offsets, dtype=np.int64)
+    seg_lengths = np.asarray(seg_lengths, dtype=np.int64)
+    genome_starts = np.asarray(genome_starts, dtype=np.int64)
+    n_pairs = int(seg_offsets.size)
+    if n_pairs == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool)
+    n_bases = index.n_bases
+    offsets = np.asarray(index.offsets, dtype=np.int64)
+    in_genome = (
+        (seg_lengths > 0)
+        & (genome_starts >= 0)
+        & (genome_starts + seg_lengths <= n_bases)
+    )
+    # contig containment: same searchsorted that contig_of performs, done
+    # once for the whole batch (clip keeps out-of-range starts indexable;
+    # their in_genome=False already forces span failure)
+    contig = np.searchsorted(offsets, genome_starts, side="right") - 1
+    contig = np.clip(contig, 0, len(offsets) - 2)
+    ok_span = in_genome & (genome_starts + seg_lengths <= offsets[contig + 1])
+
+    if verified_prefix is None:
+        cmp_offsets, cmp_starts, cmp_lengths = seg_offsets, genome_starts, seg_lengths
+    else:
+        cmp_offsets = seg_offsets + verified_prefix
+        cmp_starts = genome_starts + verified_prefix
+        cmp_lengths = seg_lengths - verified_prefix
+    width = int(cmp_lengths.max()) if n_bases else 0
+    full_width = int(seg_lengths.max())
+    # pad both pools so no gather needs clamping: a pair that would read
+    # out of bounds already has ok_span=False, so the values compared in
+    # the padding are never observed in the result.  The read pool copy
+    # doubles as the N remap (read N -> 5; genome N stays 4), which folds
+    # the always-mismatch N rule into plain inequality.
+    pool = np.zeros(bases.size + width, dtype=np.uint8)
+    np.add(bases, bases == BASE_N, out=pool[: bases.size], casting="unsafe")
+    genome = np.zeros(full_width + n_bases + width, dtype=np.uint8)
+    genome[full_width : full_width + n_bases] = index.genome
+    mismatches = np.zeros(n_pairs, dtype=np.int64)
+    # column-chunked so pathological segment lengths cannot allocate an
+    # unbounded (pairs x width) matrix
+    for col in range(0, width, 256):
+        cols = np.arange(col, min(col + 256, width), dtype=np.int64)
+        live = cmp_lengths > col
+        rows = np.nonzero(live)[0]
+        if rows.size == 0:
+            break
+        col_valid = cols[None, :] < cmp_lengths[rows, None]
+        g = genome[cmp_starts[rows, None] + (cols[None, :] + full_width)]
+        r = pool[cmp_offsets[rows, None] + cols[None, :]]
+        diff = (g != r) & col_valid
+        mismatches[rows] += diff.sum(axis=1)
+
+    mismatches = np.where(ok_span, mismatches, seg_lengths)
+    ok = np.where(seg_lengths == 0, True, ok_span & (mismatches <= max_mismatches))
+    return mismatches, ok
+
+
 def ungapped_extend(
     index: GenomeIndex,
     read_segment: np.ndarray,

@@ -183,6 +183,12 @@ class PairedStarAligner:
         """Align both mates and pair them."""
         m1 = self.aligner.align_read(record1)
         m2 = self.aligner.align_read(record2)
+        return self._pair_outcome(record1, m1, m2)
+
+    def _pair_outcome(
+        self, record1: FastqRecord, m1: ReadAlignment, m2: ReadAlignment
+    ) -> PairedOutcome:
+        """Pair two already-aligned mate outcomes."""
         status, tlen = self.classify_pair(m1, m2)
         pair_id = record1.read_id.rsplit("/", 1)[0]
         return PairedOutcome(
@@ -228,8 +234,16 @@ class PairedStarAligner:
                 mapped_multi=multi,
             )
 
-        for i, (r1, r2) in enumerate(zip(mate1, mate2)):
-            outcome = self.align_pair(r1, r2)
+        # Both mate lists stream through the batch core independently
+        # (see StarAligner._outcome_stream); pairing happens per-pair so
+        # progress/abort bookkeeping is untouched, and an abort mid-batch
+        # just discards the rest of that batch's results.
+        mate_stream = zip(
+            self.aligner._outcome_stream(mate1),
+            self.aligner._outcome_stream(mate2),
+        )
+        for i, (r1, (m1, m2)) in enumerate(zip(mate1, mate_stream)):
+            outcome = self._pair_outcome(r1, m1, m2)
             outcomes.append(outcome)
             if outcome.status is PairStatus.PROPER_PAIR:
                 proper += 1

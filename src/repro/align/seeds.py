@@ -20,6 +20,14 @@ one-symbol-at-a-time interval narrowing (see the equivalence suite in
 3. once the interval holds a single suffix, the remaining match length
    is the longest common extension of read and genome there, computed
    with chunked ``bytes`` comparison instead of per-symbol searches.
+
+This module is the *per-read* search; :func:`repro.align.batch.batch_mmp`
+runs the same three regimes level-synchronously over a whole read batch
+with fused numpy kernels.  The two are contractually interchangeable:
+identical seed decompositions *and* identical
+:class:`~repro.align.suffix_array.SeedSearchStats` counter deltas
+(``batch_queries`` aside, which only the batch path increments) — the
+batch equivalence suite asserts both.
 """
 
 from __future__ import annotations

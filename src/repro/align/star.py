@@ -69,12 +69,20 @@ class StarParameters:
     progress_every: int = 1000
     #: compute GeneCounts (``--quantMode GeneCounts``)
     quant_gene_counts: bool = True
+    #: route reads through the vectorized batch core
+    #: (:mod:`repro.align.batch`); the per-read path stays available as
+    #: the reference oracle
+    batch_align: bool = True
+    #: reads per batch-core call inside :meth:`StarAligner.run`
+    align_batch_size: int = 512
 
     def __post_init__(self) -> None:
         if self.multimap_nmax < 1:
             raise ValueError("multimap_nmax must be >= 1")
         if self.progress_every < 1:
             raise ValueError("progress_every must be >= 1")
+        if self.align_batch_size < 1:
+            raise ValueError("align_batch_size must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -178,12 +186,49 @@ class StarAligner:
         rev = reverse_complement(fwd)
         fwd_cands = self._align_oriented(fwd)
         rev_cands = self._align_oriented(rev)
+        return self._classify(record.read_id, fwd_cands, rev_cands)
 
+    def align_batch(self, records: list[FastqRecord]) -> list[ReadAlignment]:
+        """Align a list of reads; uses the batch core when enabled.
+
+        Dispatching whole batches amortizes per-read Python overhead into
+        vectorized kernels (see :mod:`repro.align.batch`); results are
+        bit-identical to mapping :meth:`align_read` over ``records``.
+        """
+        if self.parameters.batch_align:
+            from repro.align.batch import align_read_batch
+
+            return align_read_batch(self, records)
+        return [self.align_read(record) for record in records]
+
+    def _classify(
+        self,
+        read_id: str,
+        fwd_cands: list[_Candidate],
+        rev_cands: list[_Candidate],
+    ) -> ReadAlignment:
+        """Classify one read's candidate sets per STAR's rules."""
+        if not fwd_cands and not rev_cands:
+            return ReadAlignment(read_id, AlignmentStatus.UNMAPPED)
+        if (
+            len(fwd_cands) + len(rev_cands) == 1
+            and self.parameters.multimap_nmax >= 1
+        ):
+            # one candidate: it is the best (and only) locus — skip the
+            # general case's set/minimum machinery, which dominates
+            # classification time on typical unique-hit workloads
+            chosen = fwd_cands[0] if fwd_cands else rev_cands[0]
+            if chosen.score < 0:
+                return ReadAlignment(read_id, AlignmentStatus.UNMAPPED)
+            strand = Strand.FORWARD if fwd_cands else Strand.REVERSE
+            return self._finish(
+                read_id, AlignmentStatus.UNIQUE, strand, chosen, 1
+            )
         best_score = -1
         for cand in fwd_cands + rev_cands:
             best_score = max(best_score, cand.score)
         if best_score < 0:
-            return ReadAlignment(record.read_id, AlignmentStatus.UNMAPPED)
+            return ReadAlignment(read_id, AlignmentStatus.UNMAPPED)
 
         best_fwd = [c for c in fwd_cands if c.score == best_score]
         best_rev = [c for c in rev_cands if c.score == best_score]
@@ -194,7 +239,7 @@ class StarAligner:
         n_loci = len(loci)
         if n_loci > self.parameters.multimap_nmax:
             return ReadAlignment(
-                record.read_id, AlignmentStatus.TOO_MANY_LOCI, n_loci=n_loci
+                read_id, AlignmentStatus.TOO_MANY_LOCI, n_loci=n_loci
             )
         status = (
             AlignmentStatus.UNIQUE if n_loci == 1 else AlignmentStatus.MULTIMAPPED
@@ -203,19 +248,29 @@ class StarAligner:
             best_fwd + best_rev, key=lambda c: (c.mismatches, c.genome_start)
         )
         strand = Strand.FORWARD if chosen in best_fwd else Strand.REVERSE
+        return self._finish(read_id, status, strand, chosen, n_loci)
+
+    def _finish(
+        self,
+        read_id: str,
+        status: AlignmentStatus,
+        strand: Strand,
+        chosen: _Candidate,
+        n_loci: int,
+    ) -> ReadAlignment:
+        """Materialize the chosen candidate into a ReadAlignment."""
         blocks = []
         for start, end in chosen.blocks:
             contig, local = self.index.to_contig_coords(start)
             blocks.append(SequenceRegion(contig, local, local + (end - start)))
-        blocks = tuple(blocks)
         return ReadAlignment(
-            read_id=record.read_id,
+            read_id=read_id,
             status=status,
             strand=strand,
             score=chosen.score,
             n_loci=n_loci,
             mismatches=chosen.mismatches,
-            blocks=blocks,
+            blocks=tuple(blocks),
             spliced=chosen.spliced,
         )
 
@@ -320,6 +375,22 @@ class StarAligner:
 
     # -- whole run -------------------------------------------------------------
 
+    def _outcome_stream(self, records: list[FastqRecord]):
+        """Yield one outcome per record, batching through the vector core.
+
+        Per-read progress/abort bookkeeping in :meth:`run` stays intact:
+        consumers pull one outcome at a time, so an abort mid-batch simply
+        discards the rest of that batch's (already bit-identical) results.
+        """
+        params = self.parameters
+        if not params.batch_align:
+            for record in records:
+                yield self.align_read(record)
+            return
+        size = params.align_batch_size
+        for start in range(0, len(records), size):
+            yield from self.align_batch(records[start : start + size])
+
     def run(
         self,
         records: Iterable[FastqRecord],
@@ -363,8 +434,9 @@ class StarAligner:
                 mapped_multi=multi,
             )
 
-        for i, record in enumerate(records):
-            outcome = self.align_read(record)
+        for i, (record, outcome) in enumerate(
+            zip(records, self._outcome_stream(records))
+        ):
             outcomes.append(outcome)
             if outcome.status is AlignmentStatus.UNIQUE:
                 unique += 1

@@ -194,10 +194,16 @@ class SeedSearchStats:
     ``extend_steps`` counts interval-narrowing calls past the table, and
     ``lce_skips`` counts symbols fast-forwarded by direct genome/read
     byte comparison once the interval narrowed to a single suffix.
+
+    ``batch_queries`` is the batch-path counter: of all ``queries``, how
+    many were resolved through the vectorized kernels in
+    :mod:`repro.align.batch` rather than the per-read walk (the other
+    counters accumulate identically on both paths).
     """
 
     _COUNTERS = (
         "queries",
+        "batch_queries",
         "table_hits",
         "table_fallbacks",
         "binary_steps_saved",
@@ -257,15 +263,24 @@ class SearchContext:
     precomputes the depth-0 symbol boundaries and carries the optional
     :class:`PrefixJumpTable` plus a :class:`SeedSearchStats` counter set
     updated by the seed search.
+
+    The ``*_arr`` attributes (``genome_arr``, ``sa_arr``,
+    ``jump_bounds_arr``) are zero-copy numpy views over the same buffers,
+    exposed for the structure-of-arrays kernels in
+    :mod:`repro.align.batch`, which resolve whole batches of MMP queries
+    with fancy-indexed gathers instead of scalar element access.
     """
 
     __slots__ = (
         "genome_bytes",
+        "genome_arr",
         "sa_view",
+        "sa_arr",
         "n",
         "first_bounds",
         "jump_length",
         "jump_bounds",
+        "jump_bounds_arr",
         "jump_strides",
         "stats",
         "_sa_copy_bytes",
@@ -279,12 +294,16 @@ class SearchContext:
     ) -> None:
         genome_arr = np.asarray(genome, dtype=np.uint8)
         self.genome_bytes = genome_arr.tobytes()
+        # zero-copy uint8 view over the same bytes buffer, for the batch
+        # kernels' fancy-indexed gathers
+        self.genome_arr = np.frombuffer(self.genome_bytes, dtype=np.uint8)
         sa_arr = np.asarray(sa)
         packed = np.ascontiguousarray(sa_arr, dtype=np.int64)
         # when the index's own SA is already contiguous int64 (the normal
         # case, incl. read-only mmap'd cache loads) the view is zero-copy
         self._sa_copy_bytes = 0 if packed is sa_arr else int(packed.nbytes)
         self.sa_view = memoryview(packed)
+        self.sa_arr = packed
         self.n = int(packed.size)
         firsts = genome_arr[packed] if self.n else np.empty(0, dtype=np.uint8)
         # boundaries: first_bounds[s] = first SA index whose suffix starts
@@ -295,12 +314,13 @@ class SearchContext:
         if jump_table is None:
             self.jump_length = 0
             self.jump_bounds = None
+            self.jump_bounds_arr = None
             self.jump_strides: tuple[int, ...] = ()
         else:
             self.jump_length = jump_table.length
-            self.jump_bounds = memoryview(
-                np.ascontiguousarray(jump_table.bounds, dtype=np.int64)
-            )
+            bounds_arr = np.ascontiguousarray(jump_table.bounds, dtype=np.int64)
+            self.jump_bounds = memoryview(bounds_arr)
+            self.jump_bounds_arr = bounds_arr
             self.jump_strides = tuple(
                 _CODE_BASE ** (jump_table.length - d)
                 for d in range(jump_table.length + 1)

@@ -145,8 +145,10 @@ class PipelineConfig:
     #: (the index is published to shared memory once per pipeline and
     #: reused across accessions, as the paper's instances do)
     workers: int = 1
-    #: reads per batch dispatched to an alignment worker
-    align_batch_size: int = 64
+    #: reads per batch dispatched to an alignment worker; None lets the
+    #: engine size shards from its batch-core cost model (see
+    #: :class:`~repro.align.engine.ParallelStarAligner`)
+    align_batch_size: int | None = None
     #: seconds of no-progress after a worker loss before the engine
     #: declares its pool wedged and degrades to serial (then rebuilds it)
     engine_stall_timeout: float = 5.0
@@ -166,7 +168,7 @@ class PipelineConfig:
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
-        if self.align_batch_size < 1:
+        if self.align_batch_size is not None and self.align_batch_size < 1:
             raise ValueError("align_batch_size must be >= 1")
         if self.drain_deadline < 0:
             raise ValueError("drain_deadline must be >= 0")

