@@ -27,7 +27,11 @@ from tempfile import TemporaryDirectory
 
 from repro.core.early_stopping import EarlyStoppingPolicy
 from repro.core.journal import RunJournal, config_fingerprint
-from repro.core.pipeline import PipelineConfig, TranscriptomicsAtlasPipeline
+from repro.core.pipeline import (
+    BatchOptions,
+    PipelineConfig,
+    TranscriptomicsAtlasPipeline,
+)
 from repro.experiments.chaos import build_demo_inputs
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -62,7 +66,7 @@ def measure(n_appends: int = 400, n_accessions: int = 4, n_reads: int = 400) -> 
             repo, aligner, tmp_path / "work", config=config
         )
         started = time.perf_counter()
-        results = pipeline.run_batch(accessions, journal=journal)
+        results = pipeline.run_batch(accessions, BatchOptions(journal=journal))
         batch_seconds = time.perf_counter() - started
         appends = journal.appends
         journal.close()

@@ -1,0 +1,162 @@
+"""STREAM bench: stage-overlapped streaming vs the sequential pipeline.
+
+The streaming DAG downloads accession *i+1* while accession *i* aligns
+and feeds the aligner chunks as they decode, so a batch's makespan drops
+from Σ(download + align) toward download₁ + Σ align.  This bench drives
+both paths over the same throttled repository — bandwidth self-calibrated
+so one accession's download costs about as much as its alignment, the
+regime the paper's cloud workers live in — and records the observed
+overlap win to ``BENCH_stream.json`` at the repo root.
+
+Two assertions gate the record:
+
+* makespan reduction ≥ 1.3× (the theoretical ceiling for six accessions
+  at download ≈ align is ~1.7×, so 1.3 leaves CI headroom), and
+* byte-identity — the streamed batch must report exactly the sequential
+  batch's statuses, counts, and final log stats.
+
+Also runnable directly (the CI smoke path)::
+
+    PYTHONPATH=src python benchmarks/test_bench_stream.py --accessions 4
+"""
+
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+from repro.align.star import StarAligner, StarParameters
+from repro.core.early_stopping import EarlyStoppingPolicy
+from repro.core.pipeline import (
+    BatchOptions,
+    PipelineConfig,
+    TranscriptomicsAtlasPipeline,
+)
+from repro.experiments.chaos import build_demo_inputs
+from repro.reads.stream import ThrottledRepository
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_stream.json"
+MIN_SPEEDUP = 1.3
+CHUNK_READS = 25
+
+
+def _comparable(result) -> tuple:
+    """Everything output-like except wall clock."""
+    final = result.star_result.final if result.star_result else None
+    if final is not None:
+        stats = dataclasses.asdict(final)
+        stats.pop("elapsed_seconds")
+    else:
+        stats = None
+    return (result.accession, result.status, result.counts, result.paired, stats)
+
+
+def _config() -> PipelineConfig:
+    return PipelineConfig(
+        early_stopping=EarlyStoppingPolicy(min_reads=20), write_outputs=False
+    )
+
+
+def _run(repo, aligner, workdir, accessions, options) -> tuple[float, list]:
+    pipeline = TranscriptomicsAtlasPipeline(
+        repo, aligner, workdir, config=_config()
+    )
+    started = time.perf_counter()
+    results = pipeline.run_batch(accessions, options)
+    return time.perf_counter() - started, results
+
+
+def measure(n_accessions: int = 6, n_reads: int = 400) -> dict:
+    base_aligner, repo, accessions = build_demo_inputs(
+        n_accessions, n_reads=n_reads
+    )
+    # chunk-cadence parameters: the monitor must see progress at chunk
+    # granularity for streaming to interleave align with download
+    aligner = StarAligner(
+        base_aligner.index,
+        StarParameters(progress_every=CHUNK_READS, align_batch_size=CHUNK_READS),
+    )
+
+    with TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        # calibration: align each accession once, unthrottled, and size the
+        # bandwidth so download ≈ align — the regime where overlap pays
+        calib_seconds, calib = _run(
+            repo, aligner, tmp_path / "calib", accessions, BatchOptions()
+        )
+        align_seconds = sum(r.timing.star for r in calib) / len(calib)
+        mean_sra_bytes = sum(
+            repo.archive_bytes(acc) for acc in accessions
+        ) / len(accessions)
+        bandwidth = mean_sra_bytes / max(align_seconds, 1e-3)
+
+        def throttled():
+            return ThrottledRepository(repo, bandwidth_bytes_per_s=bandwidth)
+
+        sequential_seconds, sequential = _run(
+            throttled(), aligner, tmp_path / "seq", accessions, BatchOptions()
+        )
+        streamed_seconds, streamed = _run(
+            throttled(),
+            aligner,
+            tmp_path / "stream",
+            accessions,
+            BatchOptions(
+                streaming=True,
+                chunk_reads=CHUNK_READS,
+                prefetch_depth=2,
+                download_chunk_bytes=2048,
+            ),
+        )
+
+    identical = [_comparable(r) for r in streamed] == [
+        _comparable(r) for r in sequential
+    ]
+    speedup = sequential_seconds / streamed_seconds
+    return {
+        "n_accessions": n_accessions,
+        "n_reads": n_reads,
+        "chunk_reads": CHUNK_READS,
+        "align_seconds_per_accession": align_seconds,
+        "bandwidth_bytes_per_s": bandwidth,
+        "calibration_seconds": calib_seconds,
+        "sequential_seconds": sequential_seconds,
+        "streamed_seconds": streamed_seconds,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "byte_identical": identical,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def test_bench_stream_overlap(once):
+    record = once(measure)
+    OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+
+    print()
+    print(json.dumps(record, indent=2))
+    print(f"wrote {OUTPUT}")
+
+    assert record["byte_identical"], "streamed output diverged from sequential"
+    assert record["speedup"] >= MIN_SPEEDUP, record
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accessions", type=int, default=6)
+    parser.add_argument("--reads", type=int, default=400)
+    args = parser.parse_args()
+
+    result = measure(n_accessions=args.accessions, n_reads=args.reads)
+    OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    print(f"wrote {OUTPUT}")
+    if not result["byte_identical"]:
+        raise SystemExit(f"streamed output diverged: {result}")
+    if result["speedup"] < MIN_SPEEDUP:
+        raise SystemExit(f"overlap win below bar: {result}")

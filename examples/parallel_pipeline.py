@@ -8,7 +8,7 @@ Demonstrates the two levers the paper's instance architecture uses:
    is *identical* to the serial aligner's, so everything downstream
    (early stopping, GeneCounts, DESeq2) is unaffected;
 2. run the four-step pipeline with ``PipelineConfig(workers=...)`` and
-   overlap whole accessions with ``run_batch(..., max_parallel=...)``.
+   overlap whole accessions with ``run_batch(..., BatchOptions(max_parallel=...))``.
 
 Usage::
 
@@ -26,7 +26,11 @@ from repro.align.engine import ParallelStarAligner
 from repro.align.index import genome_generate
 from repro.align.star import StarAligner, StarParameters
 from repro.core.early_stopping import EarlyStoppingPolicy
-from repro.core.pipeline import PipelineConfig, TranscriptomicsAtlasPipeline
+from repro.core.pipeline import (
+    BatchOptions,
+    PipelineConfig,
+    TranscriptomicsAtlasPipeline,
+)
 from repro.genome.ensembl import EnsemblRelease, build_release_assembly
 from repro.genome.synth import GenomeUniverseSpec, make_universe
 from repro.reads.library import LibraryType, SampleProfile
@@ -90,7 +94,7 @@ def main(workdir: Path) -> None:
     with TranscriptomicsAtlasPipeline(
         repository, StarAligner(index, parameters), workdir, config=config
     ) as pipeline:
-        results = pipeline.run_batch(list(profiles), max_parallel=2)
+        results = pipeline.run_batch(list(profiles), BatchOptions(max_parallel=2))
         for r in results:
             print(
                 f"{r.accession}: {r.status.value:14s} "

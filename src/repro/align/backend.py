@@ -15,13 +15,22 @@ execution shapes inherit the vectorized batch core
 (:mod:`repro.align.batch`) when ``StarParameters.batch_align`` is on —
 serial runs batch through ``StarAligner._outcome_stream``, paired runs
 batch both mate lists, and engine workers call ``align_batch`` per shard.
+
+The streaming pipeline adds :meth:`AlignerBackend.align_stream`: the
+same contract as ``align``, but fed by :class:`ReadChunkStream` — a lazy
+chunk feed with the read total known up front (from the SRA container
+header) — so alignment starts before the download finishes.  Single-end
+backends consume chunks truly lazily; the paired backend materializes
+both mate lists first (mates interleave in the container, so no
+intra-accession overlap for PE — inter-accession prefetch overlap still
+applies).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Any, Iterable, Protocol, runtime_checkable
 
 from repro.align.paired import PairedStarAligner
 
@@ -36,6 +45,7 @@ __all__ = [
     "EngineBackend",
     "PairedAlignerBackend",
     "ReadBatch",
+    "ReadChunkStream",
     "SerialAlignerBackend",
     "resolve_backend",
 ]
@@ -60,6 +70,40 @@ class ReadBatch:
             raise ValueError("mate lists must have equal length")
 
 
+@dataclass
+class ReadChunkStream:
+    """One accession's reads as a lazy chunk feed with a known total.
+
+    ``chunks`` yields ``list[FastqRecord]`` for single-end accessions or
+    ``(mate1_chunk, mate2_chunk)`` list pairs for paired ones;
+    ``reads_total`` comes from the SRA container header, so progress
+    records (and therefore early-stopping decisions) are identical to a
+    fully-materialized run even though records arrive incrementally.
+    """
+
+    chunks: Iterable
+    reads_total: int
+    paired: bool = False
+
+    def records(self):
+        """Flatten single-end chunks into a lazy record iterator."""
+        if self.paired:
+            raise ValueError("records() is single-end only; use materialize()")
+        for chunk in self.chunks:
+            yield from chunk
+
+    def materialize(self) -> ReadBatch:
+        """Drain the feed into a :class:`ReadBatch` (the PE fallback)."""
+        if not self.paired:
+            return ReadBatch(list(self.records()))
+        mate1: list[FastqRecord] = []
+        mate2: list[FastqRecord] = []
+        for chunk1, chunk2 in self.chunks:
+            mate1.extend(chunk1)
+            mate2.extend(chunk2)
+        return ReadBatch(mate1, mate2)
+
+
 @runtime_checkable
 class AlignerBackend(Protocol):
     """Anything that can run one accession's alignment end to end."""
@@ -75,6 +119,16 @@ class AlignerBackend(Protocol):
         out_dir: Path | str | None = None,
     ) -> AlignmentOutcome:
         """Align ``reads``; honour the monitor's abort, write outputs if asked."""
+        ...
+
+    def align_stream(
+        self,
+        stream: ReadChunkStream,
+        *,
+        monitor: ProgressMonitorHook | None = None,
+        out_dir: Path | str | None = None,
+    ) -> AlignmentOutcome:
+        """Align a chunk feed as it arrives; same contract as :meth:`align`."""
         ...
 
 
@@ -96,6 +150,23 @@ class SerialAlignerBackend:
         if reads.paired:
             raise ValueError("serial single-end backend got paired reads")
         return self.aligner.run(reads.records, monitor=monitor, out_dir=out_dir)
+
+    def align_stream(
+        self,
+        stream: ReadChunkStream,
+        *,
+        monitor: ProgressMonitorHook | None = None,
+        out_dir: Path | str | None = None,
+    ) -> AlignmentOutcome:
+        """Consume chunks lazily through the serial aligner's run loop."""
+        if stream.paired:
+            raise ValueError("serial single-end backend got paired reads")
+        return self.aligner.run(
+            stream.records(),
+            reads_total=stream.reads_total,
+            monitor=monitor,
+            out_dir=out_dir,
+        )
 
 
 class PairedAlignerBackend:
@@ -122,6 +193,16 @@ class PairedAlignerBackend:
         assert reads.mate2 is not None
         return self.paired_aligner.run(reads.records, reads.mate2, monitor=monitor)
 
+    def align_stream(
+        self,
+        stream: ReadChunkStream,
+        *,
+        monitor: ProgressMonitorHook | None = None,
+        out_dir: Path | str | None = None,
+    ) -> AlignmentOutcome:
+        """Materialize both mate lists, then run (see module docstring)."""
+        return self.align(stream.materialize(), monitor=monitor, out_dir=out_dir)
+
 
 class EngineBackend:
     """Shared-memory multi-process alignment via :class:`ParallelStarAligner`.
@@ -146,6 +227,23 @@ class EngineBackend:
             assert reads.mate2 is not None
             return self.engine.run_paired(reads.records, reads.mate2, monitor=monitor)
         return self.engine.run(reads.records, monitor=monitor, out_dir=out_dir)
+
+    def align_stream(
+        self,
+        stream: ReadChunkStream,
+        *,
+        monitor: ProgressMonitorHook | None = None,
+        out_dir: Path | str | None = None,
+    ) -> AlignmentOutcome:
+        """Feed chunks into the engine's dispatch window as they arrive."""
+        if stream.paired:
+            return self.align(stream.materialize(), monitor=monitor, out_dir=out_dir)
+        return self.engine.run(
+            stream.records(),
+            reads_total=stream.reads_total,
+            monitor=monitor,
+            out_dir=out_dir,
+        )
 
 
 def resolve_backend(

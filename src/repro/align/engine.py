@@ -27,6 +27,7 @@ yet dispatched, and abandons the (bounded) in-flight window.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing as mp
 import os
 import signal
@@ -321,6 +322,57 @@ def _align_batch_paired(
     return _align_pairs(_WORKER["paired"], batch)
 
 
+def _tail_floor(shard: int) -> int:
+    """Minimum size worth dispatching as its own final shard."""
+    return max(1, shard // 4)
+
+
+def _shard_bounds(total: int, shard: int) -> list[tuple[int, int]]:
+    """Slice bounds for ``total`` reads in ``shard``-sized pieces.
+
+    A degenerate tail (shorter than a quarter shard) is merged into the
+    previous shard instead of being dispatched on its own — streaming
+    produces arbitrary tail chunks, and a near-empty final dispatch
+    costs a full worker round-trip for a handful of reads.  Results are
+    unaffected: merging only moves a batch boundary, and outcomes are
+    batch-boundary invariant.
+    """
+    bounds = [
+        (start, min(start + shard, total)) for start in range(0, total, shard)
+    ]
+    if len(bounds) >= 2 and bounds[-1][1] - bounds[-1][0] < _tail_floor(shard):
+        start, end = bounds.pop()
+        prev_start, _ = bounds.pop()
+        bounds.append((prev_start, end))
+    return bounds
+
+
+def _iter_shards(records: Iterable, shard: int) -> Iterator[list]:
+    """Lazily shard any record iterable, merging a degenerate tail.
+
+    One full shard is held back so the final short tail (when smaller
+    than :func:`_tail_floor`) can be merged into it — the streaming
+    equivalent of :func:`_shard_bounds`, pulling no more than one shard
+    ahead of what has been dispatched.
+    """
+    it = iter(records)
+    held = list(itertools.islice(it, shard))
+    if not held:
+        return
+    while True:
+        nxt = list(itertools.islice(it, shard))
+        if not nxt:
+            yield held
+            return
+        if len(nxt) < _tail_floor(shard):
+            # short tail implies the iterable is exhausted
+            held.extend(nxt)
+            yield held
+            return
+        yield held
+        held = nxt
+
+
 def _count_outcome(counts: GeneCounts, outcome: ReadAlignment) -> None:
     """The serial run loop's per-read GeneCounts bookkeeping, verbatim."""
     if outcome.status is AlignmentStatus.UNIQUE:
@@ -378,6 +430,10 @@ class EngineHealth:
     #: steps saved, fallback-depth histogram) across every batch merged by
     #: this engine, wherever the batch ran
     seed_search: SeedSearchStats = field(default_factory=SeedSearchStats)
+
+
+#: sentinel for an exhausted payload stream in _ordered_results
+_NO_PAYLOAD = object()
 
 
 class _LocalResult:
@@ -791,12 +847,16 @@ class ParallelStarAligner:
         self.health.degraded = False
         self.health.pool_restarts += 1
 
-    def _ordered_results(self, fn: Callable, payloads: list) -> Iterator:
-        """Yield ``fn(payload)`` results in payload order.
+    def _ordered_results(self, fn: Callable, payloads: Iterable) -> Iterator:
+        """Yield ``(payload, fn(payload))`` pairs in payload order.
 
+        ``payloads`` may be any iterable — including a live stream whose
+        next item is not available yet; dispatch simply blocks pulling it
+        while already-submitted batches keep crunching in the pool (this
+        is the engine end of the streaming pipeline's backpressure).
         Keeps at most ``max_inflight`` batches dispatched.  If the caller
         stops consuming (early abort), the remaining payloads are never
-        submitted and in-flight results are abandoned — the pool stays
+        pulled and in-flight results are abandoned — the pool stays
         usable for subsequent runs.  Worker deaths are absorbed by
         re-dispatch / serial fallback (see :meth:`_recover_inflight`), a
         wedged pool by degradation (see :meth:`_degrade_pool`) — so the
@@ -810,14 +870,20 @@ class ParallelStarAligner:
             self._active_runs += 1
         try:
             inflight: deque[_Inflight] = deque()
-            nxt = 0
-            while nxt < len(payloads) or inflight:
-                while nxt < len(payloads) and len(inflight) < self.max_inflight:
-                    inflight.append(self._submit(fn, local_fn, payloads[nxt]))
-                    nxt += 1
+            payload_iter = iter(payloads)
+            exhausted = False
+            while True:
+                while not exhausted and len(inflight) < self.max_inflight:
+                    payload = next(payload_iter, _NO_PAYLOAD)
+                    if payload is _NO_PAYLOAD:
+                        exhausted = True
+                        break
+                    inflight.append(self._submit(fn, local_fn, payload))
+                if not inflight:
+                    break
                 value = self._await_head(fn, local_fn, inflight[0], inflight)
-                inflight.popleft()
-                yield value
+                head = inflight.popleft()
+                yield head.payload, value
         finally:
             with self._dispatch_lock:
                 self._active_runs -= 1
@@ -839,10 +905,18 @@ class ParallelStarAligner:
         out_dir: Path | str | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> StarRunResult:
-        """Parallel equivalent of :meth:`StarAligner.run` (same signature)."""
+        """Parallel equivalent of :meth:`StarAligner.run` (same signature).
+
+        ``records`` may be a lazy iterable (e.g. a streamed chunk feed)
+        when ``reads_total`` is given — shards are pulled as they become
+        available and results stay byte-identical to the list path.
+        """
         params = self.parameters
-        records = list(records)
-        total = reads_total if reads_total is not None else len(records)
+        if reads_total is None:
+            records = list(records)
+            total = len(records)
+        else:
+            total = reads_total
         started = clock()
 
         outcomes: list[ReadAlignment] = []
@@ -863,17 +937,13 @@ class ParallelStarAligner:
                 mapped_multi=multi,
             )
 
-        shard = self._shard_size(len(records))
-        batches = [
-            records[i : i + shard] for i in range(0, len(records), shard)
-        ]
+        shard = self._shard_size(total)
+        batches = _iter_shards(records, shard)
         # closed explicitly so the pool-restart finalizer in
         # _ordered_results runs before this method returns, not at GC time
         results_iter = self._ordered_results(_align_batch, batches)
         try:
-            for batch, (batch_outcomes, partial, seed_stats) in zip(
-                batches, results_iter
-            ):
+            for batch, (batch_outcomes, partial, seed_stats) in results_iter:
                 self.health.seed_search.merge(seed_stats)
                 if params.batch_align:
                     self.health.batch_core_batches += 1
@@ -976,12 +1046,11 @@ class ParallelStarAligner:
 
         shard = self._shard_size(total)
         batches = [
-            (mate1[i : i + shard], mate2[i : i + shard])
-            for i in range(0, total, shard)
+            (mate1[s:e], mate2[s:e]) for s, e in _shard_bounds(total, shard)
         ]
         results_iter = self._ordered_results(_align_batch_paired, batches)
         try:
-            for batch_outcomes, partial, seed_stats in results_iter:
+            for _payload, (batch_outcomes, partial, seed_stats) in results_iter:
                 self.health.seed_search.merge(seed_stats)
                 if self.parameters.batch_align:
                     self.health.batch_core_batches += 1

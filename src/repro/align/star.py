@@ -11,6 +11,7 @@ the integration point for the paper's early-stopping optimization.
 from __future__ import annotations
 
 import enum
+import itertools
 import time
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
@@ -391,6 +392,29 @@ class StarAligner:
         for start in range(0, len(records), size):
             yield from self.align_batch(records[start : start + size])
 
+    def _record_outcome_pairs(self, records: Iterable[FastqRecord]):
+        """Yield ``(record, outcome)`` pairs from any record iterable.
+
+        The lazy counterpart of ``zip(records, _outcome_stream(records))``
+        — it pulls records as needed (at most one ``align_batch_size``
+        group ahead), so a streamed chunk feed aligns as bytes arrive.
+        Batch boundaries match :meth:`_outcome_stream` exactly, and the
+        batch core is boundary-invariant anyway, so results are
+        byte-identical to the list path.
+        """
+        params = self.parameters
+        if not params.batch_align:
+            for record in records:
+                yield record, self.align_read(record)
+            return
+        size = params.align_batch_size
+        it = iter(records)
+        while True:
+            batch = list(itertools.islice(it, size))
+            if not batch:
+                return
+            yield from zip(batch, self.align_batch(batch))
+
     def run(
         self,
         records: Iterable[FastqRecord],
@@ -407,10 +431,17 @@ class StarAligner:
         results are still classified, logged, and (if ``out_dir`` is given)
         written out — matching how the paper's pipeline salvages statistics
         from terminated runs.
+
+        When ``reads_total`` is given, ``records`` may be a lazy iterable
+        (e.g. a streamed chunk feed): reads are pulled as consumed
+        instead of materialized up front, with byte-identical results.
         """
         params = self.parameters
-        records = list(records)
-        total = reads_total if reads_total is not None else len(records)
+        if reads_total is None:
+            records = list(records)
+            total = len(records)
+        else:
+            total = reads_total
         started = clock()
 
         outcomes: list[ReadAlignment] = []
@@ -435,7 +466,7 @@ class StarAligner:
             )
 
         for i, (record, outcome) in enumerate(
-            zip(records, self._outcome_stream(records))
+            self._record_outcome_pairs(records)
         ):
             outcomes.append(outcome)
             if outcome.status is AlignmentStatus.UNIQUE:

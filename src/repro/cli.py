@@ -205,13 +205,15 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
             else None
         ),
         drain_on_warning=not args.no_drain,
+        streaming=args.streaming,
         seed=args.seed,
     )
     report = run_atlas(jobs, config)
     table = Table(
         ["metric", "value"],
         title=f"Atlas campaign — release {args.release}, "
-        f"{'spot' if args.spot else 'on-demand'}, fleet<={args.fleet}",
+        f"{'spot' if args.spot else 'on-demand'}, fleet<={args.fleet}"
+        f"{', streamed' if args.streaming else ''}",
     )
     table.add_row(["instance type", report.instance.name])
     table.add_row(["jobs completed", report.n_jobs])
@@ -220,6 +222,11 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
     table.add_row(["throughput (jobs/h)", f"{report.throughput_jobs_per_hour:.1f}"])
     table.add_row(["STAR hours", f"{report.star_hours_actual:.1f}"])
     table.add_row(["STAR hours saved", f"{report.star_hours_saved:.1f}"])
+    table.add_row(
+        ["download GB saved", f"{report.download_bytes_saved / 1e9:.1f}"]
+    )
+    for stage, seconds in sorted(report.stage_seconds.items()):
+        table.add_row([f"stage {stage} (h)", f"{seconds / 3600:.1f}"])
     table.add_row(["init overhead (s)", f"{report.init_overhead_seconds:.0f}"])
     table.add_row(["peak fleet", report.peak_fleet])
     table.add_row(["mean utilization", f"{report.mean_utilization:.2f}"])
@@ -249,6 +256,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         run_resume_chaos,
     )
 
+    if args.stream and not args.resume:
+        print("error: --stream requires --resume", file=sys.stderr)
+        return 2
     if args.resume:
         try:
             result = run_resume_chaos(
@@ -258,6 +268,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                     journal_path=(
                         Path(args.journal) if args.journal is not None else None
                     ),
+                    streaming=args.stream,
                 )
             )
         except JournalIncompatible as exc:
@@ -282,6 +293,21 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
+def _batch_options(args: argparse.Namespace):
+    """Map CLI flags onto :class:`BatchOptions` — the one place where
+    command-line spellings meet run_batch's vocabulary."""
+    from repro.core.pipeline import BatchOptions
+
+    return BatchOptions(
+        max_parallel=1 if args.stream else args.max_parallel,
+        journal=args.journal,
+        resume=args.resume,
+        streaming=args.stream,
+        prefetch_depth=args.prefetch_depth,
+        chunk_reads=args.chunk_reads,
+    )
+
+
 def _cmd_pipeline(args: argparse.Namespace) -> int:
     from pathlib import Path
     from tempfile import TemporaryDirectory
@@ -298,6 +324,13 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
 
     if args.resume and args.journal is None:
         print("error: --resume requires --journal PATH", file=sys.stderr)
+        return 2
+    if args.stream and args.max_parallel > 1:
+        print(
+            "error: --stream overlaps stages, not accessions; "
+            "drop --max-parallel",
+            file=sys.stderr,
+        )
         return 2
 
     from repro.experiments.chaos import build_demo_inputs
@@ -323,14 +356,12 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
                 # --drain-deadline, and the journal stays resumable
                 with drain_on_signals(pipeline, deadline=args.drain_deadline):
                     results = pipeline.run_batch(
-                        accessions,
-                        max_parallel=args.max_parallel,
-                        journal=args.journal,
-                        resume=args.resume,
+                        accessions, _batch_options(args)
                     )
             except JournalIncompatible as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
+            health = pipeline.stage_health
 
     table = Table(
         ["accession", "status", "source", "retries", "mapped %"],
@@ -349,6 +380,23 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             ]
         )
     print(table.render())
+    if args.stream:
+        stages = Table(
+            ["stage", "items", "units", "busy s", "stall s", "mean queue"],
+            title="Stream stages",
+        )
+        for name, items, units, busy, stall, mean_q in health.to_rows():
+            stages.add_row(
+                [name, items, units, f"{busy:.2f}", f"{stall:.2f}",
+                 f"{mean_q:.1f}"]
+            )
+        print(stages.render())
+        print(
+            f"streamed {health.accessions_streamed} accessions — "
+            f"{health.download_bytes_total} bytes total, "
+            f"{health.download_bytes_saved} saved "
+            f"({health.downloads_cancelled} downloads cancelled)"
+        )
     if args.journal is not None:
         replay = RunJournal(args.journal).replay()
         pending = replay.pending(accessions)
@@ -519,6 +567,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("atlas", help="cloud atlas campaign")
     p.add_argument("--jobs", type=int, default=120)
     p.add_argument("--spot", action="store_true")
+    p.add_argument(
+        "--streaming",
+        action="store_true",
+        help="overlap download/decode with STAR per job; early stops "
+        "cancel the in-flight download",
+    )
     p.add_argument("--release", type=int, default=111, choices=range(106, 113))
     p.add_argument("--fleet", type=int, default=8)
     p.add_argument("--seed", type=int, default=0)
@@ -572,6 +626,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="journal path for --resume (default: a temp file)",
     )
+    p.add_argument(
+        "--stream",
+        action="store_true",
+        help="with --resume: victim and resumed batch use the streaming "
+        "DAG (kill-mid-stream scenario)",
+    )
     p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser(
@@ -602,6 +662,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=30.0,
         help="seconds granted to in-flight work after SIGTERM/SIGINT",
+    )
+    p.add_argument(
+        "--stream",
+        action="store_true",
+        help="overlap download, decode, and alignment via the streaming "
+        "DAG (implies --max-parallel 1)",
+    )
+    p.add_argument(
+        "--prefetch-depth",
+        type=int,
+        default=1,
+        help="accessions downloaded ahead of the one aligning",
+    )
+    p.add_argument(
+        "--chunk-reads",
+        type=int,
+        default=256,
+        help="reads per streamed chunk handed to the aligner",
     )
     p.set_defaults(fn=_cmd_pipeline)
 

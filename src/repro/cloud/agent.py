@@ -32,6 +32,19 @@ InitWork = Callable[["WorkerAgent"], Generator]
 MessageWork = Callable[["WorkerAgent", Message], Generator]
 
 
+@dataclass(frozen=True)
+class StageMark:
+    """Yielded by agent work to label the simulated time that follows.
+
+    All waits between this mark and the next one (or the work's end) are
+    charged to ``stage`` in :attr:`AgentStats.stage_seconds`.  Yielding a
+    mark costs no simulated time, so existing work generators that never
+    mark stages are unaffected.
+    """
+
+    stage: str
+
+
 @dataclass
 class AgentStats:
     """Utilization accounting for one agent."""
@@ -53,6 +66,10 @@ class AgentStats:
     #: visibility-timeout seconds other workers did NOT have to wait
     #: because a drain released the message early
     work_saved_seconds: float = 0.0
+    #: simulated seconds per work stage, fed by :class:`StageMark` yields
+    #: (e.g. ``{"prefetch": ..., "star": ...}``); empty if the work never
+    #: marks stages
+    stage_seconds: dict[str, float] = field(default_factory=dict)
     stopped_at: float | None = None
     stop_reason: str = ""
 
@@ -134,11 +151,32 @@ class WorkerAgent:
         """
         terminated = self.instance.terminated_event
         warning = self.instance.interruption_warning
+        stage: str | None = None
+        stage_started = self.sim.now
+
+        def charge_stage() -> None:
+            if stage is not None:
+                seconds = self.sim.now - stage_started
+                totals = self.stats.stage_seconds
+                totals[stage] = totals.get(stage, 0.0) + seconds
+
         try:
             item = gen.send(None)
         except StopIteration as stop:
             return ("done", stop.value)
         while True:
+            if isinstance(item, StageMark):
+                # zero-cost label switch: close the running stage, open
+                # the next, and ask the work for its first real wait
+                charge_stage()
+                stage = item.stage
+                stage_started = self.sim.now
+                try:
+                    item = gen.send(None)
+                except StopIteration as stop:
+                    charge_stage()
+                    return ("done", stop.value)
+                continue
             if isinstance(item, Timeout):
                 wait_event = self.sim.timeout_event(item.delay)
             elif isinstance(item, SimEvent):
@@ -146,7 +184,7 @@ class WorkerAgent:
             else:
                 raise TypeError(
                     f"agent work yielded {type(item).__name__}; expected "
-                    "Timeout or SimEvent"
+                    "StageMark, Timeout, or SimEvent"
                 )
             race = [wait_event, terminated]
             if self.drain_on_warning and not warning.triggered:
@@ -154,13 +192,16 @@ class WorkerAgent:
             winner, value = yield AnyOf(*race)
             if winner is terminated or not self.instance.is_running:
                 gen.close()
+                charge_stage()
                 return ("interrupted", None)
             if self.interruption_pending:
                 gen.close()
+                charge_stage()
                 return ("drained" if self.drain_on_warning else "interrupted", None)
             try:
                 item = gen.send(value)
             except StopIteration as stop:
+                charge_stage()
                 return ("done", stop.value)
 
     @property

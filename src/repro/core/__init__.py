@@ -36,12 +36,20 @@ from repro.core.planner import (
     plan_campaign,
 )
 from repro.core.pipeline import (
+    BatchOptions,
     PipelineConfig,
     PipelineResult,
     RunStatus,
     StepTiming,
     TranscriptomicsAtlasPipeline,
     drain_on_signals,
+)
+from repro.core.stages import (
+    PipelineHealth,
+    Stage,
+    StageContext,
+    StageMetrics,
+    default_stages,
 )
 from repro.core.resilience import (
     FailureRecord,
@@ -62,6 +70,7 @@ __all__ = [
     "AtlasConfig",
     "AtlasJob",
     "AtlasRunReport",
+    "BatchOptions",
     "CampaignPlan",
     "Decision",
     "EarlyStopMonitor",
@@ -79,6 +88,7 @@ __all__ = [
     "MappingTrajectory",
     "PermanentFault",
     "PipelineConfig",
+    "PipelineHealth",
     "PipelineResult",
     "PlannerConstraints",
     "RetryLedger",
@@ -87,12 +97,16 @@ __all__ = [
     "RightSizingChoice",
     "RunJournal",
     "RunStatus",
+    "Stage",
+    "StageContext",
+    "StageMetrics",
     "StepFailed",
     "StepTiming",
     "TranscriptomicsAtlasPipeline",
     "TransientFault",
     "compute_savings",
     "config_fingerprint",
+    "default_stages",
     "drain_on_signals",
     "plan_campaign",
     "run_atlas",

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.cloud.agent import WorkerAgent
+from repro.cloud.agent import StageMark, WorkerAgent
 from repro.cloud.autoscaling import AutoScalingGroup, ScalingPolicy
 from repro.cloud.cost import CostAccountant, CostReport
 from repro.cloud.ec2 import (
@@ -103,6 +103,11 @@ class AtlasConfig:
     #: and releasing its message immediately (False = work until the kill
     #: and rely on the visibility timeout, the pre-drain behaviour)
     drain_on_warning: bool = True
+    #: stream each job: prefetch + fasterq-dump proceed concurrently with
+    #: STAR (job wall time is the max of transfer and alignment, not the
+    #: sum), and an early-stopping abort cancels the in-flight download —
+    #: the un-transferred bytes land in :attr:`JobRecord.download_bytes_saved`
+    streaming: bool = False
     seed: int = 0
 
     def resolve_instance(self) -> InstanceType:
@@ -133,6 +138,11 @@ class JobRecord:
     retries: int = 0
     #: repr of the final error for FAILED jobs, else empty
     failure: str = ""
+    #: processed by the streaming pipeline (stage-overlapped)
+    streamed: bool = False
+    #: SRA bytes never transferred because an early-stopping abort
+    #: cancelled the in-flight download (streaming mode only)
+    download_bytes_saved: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -164,10 +174,17 @@ class AtlasRunReport:
     work_saved_seconds: float = 0.0
     #: CloudWatch-style time series (when config.metrics_period is set)
     metrics: dict = field(default_factory=dict)
+    #: fleet-wide simulated seconds per stage (StageMark accounting)
+    stage_seconds: dict = field(default_factory=dict)
 
     @property
     def n_jobs(self) -> int:
         return len(self.jobs)
+
+    @property
+    def download_bytes_saved(self) -> float:
+        """SRA bytes never transferred thanks to streamed early stops."""
+        return sum(j.download_bytes_saved for j in self.jobs)
 
     @property
     def star_hours_actual(self) -> float:
@@ -243,6 +260,30 @@ def simulate_star_step(
     return actual, full.total_seconds, stop_fraction, status
 
 
+def overlap_schedule(
+    transfer_seconds: float,
+    star_seconds: float,
+    stop_fraction: float | None,
+) -> tuple[float, float]:
+    """Wall time and transferred fraction for one streamed job.
+
+    Download + decode proceed concurrently with STAR, so the job's wall
+    time is the max of the two — but STAR can finish no earlier than the
+    transfer of the portion it consumes (the whole file for a full run,
+    ``stop_fraction`` of it for an early-stopped one).  An abort cancels
+    the remainder of the transfer; the un-transferred fraction is the
+    streamed download saving.
+
+    Returns ``(elapsed_seconds, transferred_fraction)``.
+    """
+    if stop_fraction is None:
+        return max(transfer_seconds, star_seconds), 1.0
+    elapsed = max(star_seconds, stop_fraction * transfer_seconds)
+    if transfer_seconds <= 0:
+        return elapsed, 1.0
+    return elapsed, min(1.0, elapsed / transfer_seconds)
+
+
 def run_atlas(jobs: list[AtlasJob], config: AtlasConfig) -> AtlasRunReport:
     """Simulate a full atlas campaign and return the report."""
     if not jobs:
@@ -305,17 +346,41 @@ def run_atlas(jobs: list[AtlasJob], config: AtlasConfig) -> AtlasRunReport:
     def process_message(agent: WorkerAgent, message):
         job: AtlasJob = message.body
         started = first_started.setdefault(message.message_id, sim.now)
-        check_fault("prefetch", job.accession)
-        yield Timeout(transfer.prefetch_seconds(job.sra_bytes))
-        check_fault("fasterq_dump", job.accession)
-        yield Timeout(transfer.fasterq_dump_seconds(job.fastq_bytes))
-        actual, full, stop_fraction, status = simulate_star_step(
-            job, config, itype.vcpus, job_seeds[job.accession]
-        )
-        yield Timeout(actual)
+        download_bytes_saved = 0.0
+        if config.streaming:
+            # both transfer steps stream, so their faults surface before
+            # any alignment work — mirroring the local streamed pipeline
+            check_fault("prefetch", job.accession)
+            check_fault("fasterq_dump", job.accession)
+            actual, full, stop_fraction, status = simulate_star_step(
+                job, config, itype.vcpus, job_seeds[job.accession]
+            )
+            transfer_seconds = transfer.prefetch_seconds(
+                job.sra_bytes
+            ) + transfer.fasterq_dump_seconds(job.fastq_bytes)
+            elapsed, transferred = overlap_schedule(
+                transfer_seconds, actual, stop_fraction
+            )
+            yield StageMark("stream")
+            yield Timeout(elapsed)
+            download_bytes_saved = job.sra_bytes * (1.0 - transferred)
+        else:
+            check_fault("prefetch", job.accession)
+            yield StageMark("prefetch")
+            yield Timeout(transfer.prefetch_seconds(job.sra_bytes))
+            check_fault("fasterq_dump", job.accession)
+            yield StageMark("fasterq_dump")
+            yield Timeout(transfer.fasterq_dump_seconds(job.fastq_bytes))
+            actual, full, stop_fraction, status = simulate_star_step(
+                job, config, itype.vcpus, job_seeds[job.accession]
+            )
+            yield StageMark("star")
+            yield Timeout(actual)
         if status is RunStatus.ACCEPTED:
+            yield StageMark("normalize")
             yield Timeout(config.normalize_seconds)
             check_fault("s3_upload", job.accession)
+            yield StageMark("s3_upload")
             yield Timeout(transfer.s3_upload_seconds(config.result_bytes))
             results_bucket.put(
                 f"{job.accession}/ReadsPerGene.out.tab",
@@ -333,6 +398,8 @@ def run_atlas(jobs: list[AtlasJob], config: AtlasConfig) -> AtlasRunReport:
             stop_fraction=stop_fraction,
             instance_id=agent.instance.instance_id,
             retries=agent.current_attempt - 1,
+            streamed=config.streaming,
+            download_bytes_saved=download_bytes_saved,
         )
         first_started.pop(message.message_id, None)
         records.append(record)
@@ -430,4 +497,13 @@ def run_atlas(jobs: list[AtlasJob], config: AtlasConfig) -> AtlasRunReport:
         work_lost_seconds=sum(a.stats.work_lost_seconds for a in asg.agents),
         work_saved_seconds=sum(a.stats.work_saved_seconds for a in asg.agents),
         metrics=collector.series if collector is not None else {},
+        stage_seconds=_merge_stage_seconds(asg.agents),
     )
+
+
+def _merge_stage_seconds(agents) -> dict:
+    totals: dict[str, float] = {}
+    for agent in agents:
+        for stage, seconds in agent.stats.stage_seconds.items():
+            totals[stage] = totals.get(stage, 0.0) + seconds
+    return totals

@@ -17,6 +17,7 @@ progress records are synthesized from mapping-rate trajectories.
 from __future__ import annotations
 
 import enum
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.align.progress import ProgressRecord
@@ -94,6 +95,11 @@ class EarlyStopMonitor:
     Use :meth:`hook` as the ``monitor=`` argument of
     :meth:`repro.align.star.StarAligner.run`.  After the run,
     ``aborted``/``abort_record`` say whether and where the monitor fired.
+
+    ``on_abort`` (optional) is called exactly once, with the triggering
+    record, the first time the policy fires — the streaming pipeline
+    registers the in-flight download's cancellation there, so aborting
+    mid-stream saves the un-downloaded bytes, not just align time.
     """
 
     policy: EarlyStoppingPolicy = field(default_factory=EarlyStoppingPolicy)
@@ -101,6 +107,7 @@ class EarlyStopMonitor:
     decisions: list[Decision] = field(default_factory=list)
     aborted: bool = False
     abort_record: ProgressRecord | None = None
+    on_abort: Callable[[ProgressRecord], None] | None = None
 
     def observe(self, record: ProgressRecord) -> Decision:
         """Record a snapshot and return the policy decision."""
@@ -110,6 +117,8 @@ class EarlyStopMonitor:
         if decision is Decision.ABORT and not self.aborted:
             self.aborted = True
             self.abort_record = record
+            if self.on_abort is not None:
+                self.on_abort(record)
         return decision
 
     def hook(self, record: ProgressRecord) -> bool:

@@ -18,6 +18,13 @@ failures are retried with backoff, permanent ones produce a
 instead of aborting the batch — one result per accession, always, in
 submission order.
 
+The steps themselves are :class:`~repro.core.stages.Stage` objects (see
+:mod:`repro.core.stages`); this module supplies the harness around them
+— retries, journaling, timing, drain — and the
+:class:`BatchOptions`-driven batch loop, including the streaming
+stage-overlapped execution shape (``BatchOptions(streaming=True)``,
+implemented in :mod:`repro.core.streaming`).
+
 This class is the *local* (workstation/HPC) embodiment the paper's
 conclusions mention; :mod:`repro.core.atlas` embeds the same step
 structure in the cloud simulation.
@@ -30,16 +37,18 @@ import enum
 import signal as signal_module
 import threading
 import time
+import warnings
+from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.align.backend import ReadBatch, resolve_backend
 from repro.align.engine import ParallelStarAligner
 from repro.align.outcome import AlignmentOutcome
-from repro.core.early_stopping import EarlyStoppingPolicy, EarlyStopMonitor
+from repro.core.early_stopping import EarlyStoppingPolicy
 from repro.core.journal import (
     JournalIncompatible,
     ReplayedOutcome,
@@ -56,12 +65,20 @@ from repro.core.resilience import (
     StepFailed,
     run_with_retry,
 )
-from repro.quant.deseq2 import estimate_size_factors, normalize_counts
+from repro.core.stages import (
+    Deseq2Stage,
+    PipelineHealth,
+    Stage,
+    StageContext,
+    default_stages,
+)
 from repro.quant.matrix import CountMatrix
-from repro.reads.fastq import iter_fastq
-from repro.reads.sra import SraRepository, fasterq_dump, prefetch
-from repro.reads.trim import ReadTrimmer, TrimConfig, TrimStats
+from repro.reads.sra import SraRepository
+from repro.reads.trim import TrimConfig, TrimStats
 from repro.util.rng import derive_rng
+
+if TYPE_CHECKING:
+    from repro.align.star import StarAligner
 
 
 class RunStatus(enum.Enum):
@@ -116,6 +133,13 @@ class PipelineResult:
     #: True when this result was replayed from a run journal instead of
     #: executed (``star_result`` is then a lightweight ReplayedOutcome)
     resumed: bool = False
+    #: True when executed through the streaming stage-overlapped path
+    streamed: bool = False
+    #: archive size in bytes (what a full download would move)
+    download_bytes_total: int = 0
+    #: bytes a cancelled mid-stream download avoided moving (early stop
+    #: or drain while streaming; always 0 on the sequential path)
+    download_bytes_saved: int = 0
 
     @property
     def mapped_fraction(self) -> float:
@@ -174,6 +198,92 @@ class PipelineConfig:
             raise ValueError("drain_deadline must be >= 0")
 
 
+#: sentinel distinguishing "not passed" from an explicit None in the
+#: deprecated run_batch kwargs
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class BatchOptions:
+    """Everything that shapes one ``run_batch`` call.
+
+    Consolidates the former kwarg pile (``journal=``, ``resume=``,
+    ``max_parallel=``, drain deadline, align batch size) into one
+    validated bundle, and adds the streaming execution shape.  None of
+    these affect *outputs* (they are execution shape, deliberately
+    excluded from the journal's config fingerprint) — a batch run with
+    any options resumes a journal written with any other.
+    """
+
+    #: accessions processed concurrently by a thread pool (sequential
+    #: shape only; streaming overlaps stages instead of accessions)
+    max_parallel: int = 1
+    #: path or RunJournal making the batch crash-consistent
+    journal: RunJournal | Path | str | None = None
+    #: replay the journal's terminal records instead of re-running them
+    resume: bool = False
+    #: overlap download/decode/align via the streaming DAG
+    streaming: bool = False
+    #: accessions downloaded ahead of the one being aligned (streaming)
+    prefetch_depth: int = 1
+    #: FASTQ records per streamed chunk handed to the align stage
+    chunk_reads: int = 256
+    #: bounded inter-stage queue length, in chunks (the backpressure
+    #: window between the downloader and the align stage)
+    buffer_chunks: int = 32
+    #: bytes per download chunk (cancellation granularity)
+    download_chunk_bytes: int = 65536
+    #: per-batch override of ``PipelineConfig.drain_deadline`` (None
+    #: keeps the config value)
+    drain_deadline: float | None = None
+    #: per-batch override of ``PipelineConfig.align_batch_size``; only
+    #: effective before the engine is first created
+    align_batch_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_parallel < 1:
+            raise ValueError("max_parallel must be >= 1")
+        if self.streaming and self.max_parallel > 1:
+            raise ValueError(
+                "streaming overlaps stages, not accessions: it requires "
+                "max_parallel == 1"
+            )
+        if self.prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be >= 0")
+        if self.chunk_reads < 1:
+            raise ValueError("chunk_reads must be >= 1")
+        if self.buffer_chunks < 1:
+            raise ValueError("buffer_chunks must be >= 1")
+        if self.download_chunk_bytes < 1:
+            raise ValueError("download_chunk_bytes must be >= 1")
+        if self.drain_deadline is not None and self.drain_deadline < 0:
+            raise ValueError("drain_deadline must be >= 0")
+        if self.align_batch_size is not None and self.align_batch_size < 1:
+            raise ValueError("align_batch_size must be >= 1")
+
+
+@dataclass
+class StepHarness:
+    """The retry/journal/timing plumbing handed to a stage-executing body.
+
+    ``attempt(step_key, timing_key, fn)`` runs ``fn`` under the retry
+    policy, accumulates wall clock into ``timings[timing_key]``, journals
+    the step-done record, and feeds the stage-health counters.  Bodies
+    (the sequential stage loop, the streaming consumer) only ever go
+    through ``attempt`` so every execution shape shares identical
+    failure semantics.
+    """
+
+    accession: str
+    work: Path
+    attempt: Callable
+    state: dict
+    timings: dict
+    retries: dict
+    journal: RunJournal | None
+    rng: np.random.Generator
+
+
 class TranscriptomicsAtlasPipeline:
     """Runs accessions end to end against a repository and an aligner."""
 
@@ -192,11 +302,17 @@ class TranscriptomicsAtlasPipeline:
         self.config = config or PipelineConfig()
         self.results: list[PipelineResult] = []
         self.retry_ledger = RetryLedger()
+        #: per-stage throughput/stall/queue counters (streaming populates
+        #: the queue/stall figures; every shape feeds busy seconds)
+        self.stage_health = PipelineHealth()
         self._engine: ParallelStarAligner | None = None
         self._engine_lock = threading.Lock()
         self._results_lock = threading.Lock()
         self._drain = threading.Event()
         self._drain_deadline_at: float | None = None
+        #: per-batch overrides installed by run_batch from BatchOptions
+        self._drain_deadline_base: float | None = None
+        self._align_batch_override: int | None = None
 
     # -- parallel engine lifecycle -------------------------------------------
 
@@ -211,11 +327,16 @@ class TranscriptomicsAtlasPipeline:
             return None
         with self._engine_lock:
             if self._engine is None:
+                batch_size = (
+                    self._align_batch_override
+                    if self._align_batch_override is not None
+                    else self.config.align_batch_size
+                )
                 self._engine = ParallelStarAligner(
                     self.aligner.index,
                     self.aligner.parameters,
                     workers=self.config.workers,
-                    batch_size=self.config.align_batch_size,
+                    batch_size=batch_size,
                     stall_timeout=self.config.engine_stall_timeout,
                 ).start()
             return self._engine
@@ -246,7 +367,12 @@ class TranscriptomicsAtlasPipeline:
         handlers and other threads.
         """
         if not self._drain.is_set():
-            budget = self.config.drain_deadline if deadline is None else deadline
+            if deadline is not None:
+                budget = deadline
+            elif self._drain_deadline_base is not None:
+                budget = self._drain_deadline_base
+            else:
+                budget = self.config.drain_deadline
             self._drain_deadline_at = time.monotonic() + budget
             self._drain.set()
 
@@ -302,10 +428,31 @@ class TranscriptomicsAtlasPipeline:
         terminal ``completed``/``failed`` (or non-terminal ``drained``)
         record carrying everything resume needs to replay the result.
         """
+        return self._run_guarded(accession, journal, self._run_steps)
+
+    def _run_guarded(
+        self,
+        accession: str,
+        journal: RunJournal | None,
+        body: Callable[[StepHarness], PipelineResult],
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> PipelineResult:
+        """Run ``body`` under the retry/journal/failure harness.
+
+        Builds the :class:`StepHarness` (workspace dir, timing buckets,
+        retry accounting, the per-accession jitter rng — callers that
+        pre-draw from the stream, like the streaming downloader, pass
+        their ``rng`` in) and converts any escaped :class:`StepFailed`
+        or unexpected exception into a ``FAILED`` result.  Both the
+        sequential stage loop and the streaming consumer execute through
+        here, so every shape shares identical failure semantics.
+        """
         cfg = self.config
         work = self.workspace / accession
         work.mkdir(parents=True, exist_ok=True)
-        rng = derive_rng(cfg.retry_seed, f"retry:{accession}")
+        if rng is None:
+            rng = derive_rng(cfg.retry_seed, f"retry:{accession}")
         timings = {"prefetch": 0.0, "fasterq_dump": 0.0, "star": 0.0}
         retries = {"n": 0}
         state = {"paired": False, "fastq_bytes": 0}
@@ -326,17 +473,27 @@ class TranscriptomicsAtlasPipeline:
                     on_retry=on_retry,
                 )
             finally:
-                timings[timing_key] += time.monotonic() - started
+                elapsed = time.monotonic() - started
+                timings[timing_key] += elapsed
+                self.stage_health.stage(step).record(items=1, busy=elapsed)
             if journal is not None:
                 journal.record_step_done(accession, step)
             return value
 
+        harness = StepHarness(
+            accession=accession,
+            work=work,
+            attempt=attempt,
+            state=state,
+            timings=timings,
+            retries=retries,
+            journal=journal,
+            rng=rng,
+        )
         if journal is not None:
             journal.record_started(accession)
         try:
-            result = self._run_steps(
-                accession, work, attempt, state, timings, retries
-            )
+            result = body(harness)
             self._journal_terminal(journal, result)
             return result
         except StepFailed as exc:
@@ -359,6 +516,9 @@ class TranscriptomicsAtlasPipeline:
             paired=state["paired"],
             failure=failure,
             retries=retries["n"],
+            streamed=bool(state.get("streamed", False)),
+            download_bytes_total=int(state.get("download_bytes_total", 0)),
+            download_bytes_saved=int(state.get("download_bytes_saved", 0)),
         )
         self._journal_terminal(journal, result)
         return result
@@ -376,102 +536,34 @@ class TranscriptomicsAtlasPipeline:
         else:
             journal.record_completed(result.accession, _result_payload(result))
 
-    def _run_steps(
-        self,
-        accession: str,
-        work: Path,
-        attempt,
-        state: dict,
-        timings: dict,
-        retries: dict,
+    def _accession_stages(self) -> list[Stage]:
+        """The per-accession stage DAG (override point for subclasses)."""
+        return default_stages()
+
+    def _run_steps(self, harness: StepHarness) -> PipelineResult:
+        """The happy path: run the stage DAG in order, then classify."""
+        ctx = StageContext(
+            pipeline=self,
+            accession=harness.accession,
+            work=harness.work,
+            state=harness.state,
+        )
+        for stage in self._accession_stages():
+            stage.prepare(ctx)
+            harness.attempt(
+                stage.step_key,
+                stage.timing_key,
+                lambda stage=stage: stage.run(ctx),
+            )
+        return self._classify(ctx, harness)
+
+    def _classify(
+        self, ctx: StageContext, harness: StepHarness
     ) -> PipelineResult:
-        """The happy path: prefetch → dump → align → classify."""
+        """Terminal status + result assembly for a completed stage run."""
         cfg = self.config
-
-        sra_path = attempt(
-            "prefetch",
-            "prefetch",
-            lambda: prefetch(
-                self.repository, accession, work, fault_plan=cfg.fault_plan
-            ),
-        )
-        paired = sra_path.read_bytes()[:4] == b"SRAP"
-        state["paired"] = paired
-
-        if paired:
-            from repro.reads.paired import fasterq_dump_paired
-
-            fastq_path, fastq_path_2 = attempt(
-                "fasterq_dump",
-                "fasterq_dump",
-                lambda: fasterq_dump_paired(
-                    sra_path, work, fault_plan=cfg.fault_plan
-                ),
-            )
-        else:
-            fastq_path = attempt(
-                "fasterq_dump",
-                "fasterq_dump",
-                lambda: fasterq_dump(sra_path, work, fault_plan=cfg.fault_plan),
-            )
-            fastq_path_2 = None
-        fastq_bytes = fastq_path.stat().st_size + (
-            fastq_path_2.stat().st_size if fastq_path_2 is not None else 0
-        )
-        state["fastq_bytes"] = fastq_bytes
-
-        trim_stats = None
-        if paired:
-            reads = ReadBatch(
-                records=list(iter_fastq(fastq_path)),
-                mate2=list(iter_fastq(fastq_path_2)),
-            )
-        else:
-            records = list(iter_fastq(fastq_path))
-            if cfg.trim is not None:
-                records, trim_stats = ReadTrimmer(cfg.trim).trim(records)
-            reads = ReadBatch(records=records)
-
-        engine = self._get_engine()
-        if (
-            engine is not None
-            and cfg.fault_plan is not None
-            and cfg.fault_plan.consume("engine_worker", accession) is not None
-        ):
-            # scripted chaos: SIGKILL one pool worker right before this
-            # accession's alignment, exercising the engine's recovery path
-            engine.kill_worker()
-        backend = resolve_backend(cfg, self.aligner, engine, paired=paired)
-        out_dir = (work / "star") if (cfg.write_outputs and not paired) else None
-
-        drain_abort = {"hit": False}
-
-        def align_once() -> AlignmentOutcome:
-            if cfg.fault_plan is not None:
-                cfg.fault_plan.check("align", accession)
-            # the monitor is stateful — build a fresh one per attempt so a
-            # retried alignment sees the same cadence as an unfaulted run
-            monitor = (
-                EarlyStopMonitor(policy=cfg.early_stopping)
-                if cfg.early_stopping is not None
-                else None
-            )
-            base_hook = monitor.hook if monitor is not None else None
-
-            def hook(record) -> bool:
-                # past the drain deadline, abort at the next checkpoint —
-                # the result is marked DRAINED (not REJECTED_EARLY) and a
-                # resumed run re-executes the accession from scratch
-                if self._drain_expired():
-                    drain_abort["hit"] = True
-                    return False
-                return base_hook(record) if base_hook is not None else True
-
-            return backend.align(reads, monitor=hook, out_dir=out_dir)
-
-        star_result = attempt("align", "star", align_once)
-
-        if drain_abort["hit"]:
+        star_result = ctx.star_result
+        if ctx.drain_hit:
             status = RunStatus.DRAINED
         elif star_result.aborted:
             status = RunStatus.REJECTED_EARLY
@@ -487,36 +579,49 @@ class TranscriptomicsAtlasPipeline:
         if status.produced_counts and star_result.gene_counts is not None:
             counts = star_result.gene_counts.column_vector(cfg.counts_column)
 
+        state = harness.state
         return PipelineResult(
-            accession=accession,
+            accession=harness.accession,
             status=status,
-            timing=StepTiming(**timings),
+            timing=StepTiming(**harness.timings),
             star_result=star_result,
-            fastq_bytes=fastq_bytes,
+            fastq_bytes=state["fastq_bytes"],
             counts=counts,
-            trim_stats=trim_stats,
-            paired=paired,
-            retries=retries["n"],
+            trim_stats=ctx.trim_stats,
+            paired=ctx.paired,
+            retries=harness.retries["n"],
+            streamed=bool(state.get("streamed", False)),
+            download_bytes_total=int(state.get("download_bytes_total", 0)),
+            download_bytes_saved=int(state.get("download_bytes_saved", 0)),
         )
 
     def run_batch(
         self,
         accessions: list[str],
+        options: BatchOptions | None = None,
         *,
-        max_parallel: int = 1,
-        journal: RunJournal | Path | str | None = None,
-        resume: bool = False,
+        max_parallel=_UNSET,
+        journal=_UNSET,
+        resume=_UNSET,
     ) -> list[PipelineResult]:
         """Run several accessions (one instance's view).
+
+        Execution shape is configured through ``options`` (a
+        :class:`BatchOptions`); the bare keyword arguments
+        (``max_parallel=``, ``journal=``, ``resume=``) are deprecated
+        shims that build the equivalent options bundle and warn.
 
         ``max_parallel > 1`` overlaps accessions with a thread pool: the
         prefetch/dump steps are I/O-shaped and the alignment step hands
         its CPU work to the engine's worker *processes*, so threads only
-        coordinate.  A failure is a ``FAILED`` result, never an
-        exception, so one accession cannot drop another's work; the
-        returned list and ``self.results`` keep submission order
-        regardless of completion order, so downstream count matrices are
-        reproducible.
+        coordinate.  ``streaming=True`` instead overlaps *stages* of
+        consecutive accessions — the next accession's download streams
+        into a bounded chunk queue while the current one aligns (see
+        :mod:`repro.core.streaming`) — with byte-identical results.  A
+        failure is a ``FAILED`` result, never an exception, so one
+        accession cannot drop another's work; the returned list and
+        ``self.results`` keep submission order regardless of completion
+        order, so downstream count matrices are reproducible.
 
         ``journal`` (a path or :class:`RunJournal`) makes the batch
         crash-consistent: every accession's step transitions are durably
@@ -528,26 +633,29 @@ class TranscriptomicsAtlasPipeline:
         returns byte-identical per-accession outcomes and count
         matrices versus an uninterrupted run.  A journal written by a
         pipeline whose output-affecting config differs raises
-        :class:`~repro.core.journal.JournalIncompatible`.
+        :class:`~repro.core.journal.JournalIncompatible`.  Execution
+        shape is *not* fingerprinted: streamed and sequential runs
+        resume each other's journals freely.
 
         Under a drain request (:meth:`request_drain`), accessions not
         yet started are skipped — the returned list then covers only
         replayed, finished, and ``DRAINED`` work, and the journal holds
         everything a resume needs to complete the batch.
         """
-        if max_parallel < 1:
-            raise ValueError("max_parallel must be >= 1")
+        options = self._coerce_options(
+            options, max_parallel=max_parallel, journal=journal, resume=resume
+        )
         run_journal: RunJournal | None = None
-        if journal is not None:
+        if options.journal is not None:
             run_journal = (
-                journal
-                if isinstance(journal, RunJournal)
-                else RunJournal(journal)
+                options.journal
+                if isinstance(options.journal, RunJournal)
+                else RunJournal(options.journal)
             )
         replayed: dict[str, PipelineResult] = {}
         fingerprint = config_fingerprint(self.config)
         if run_journal is not None:
-            if resume:
+            if options.resume:
                 replay = run_journal.replay()
                 if replay.n_records and replay.fingerprint != fingerprint:
                     raise JournalIncompatible(
@@ -561,11 +669,26 @@ class TranscriptomicsAtlasPipeline:
                         )
             run_journal.record_batch_start(list(accessions), fingerprint)
 
+        self._drain_deadline_base = options.drain_deadline
+        self._align_batch_override = options.align_batch_size
+
         pending = [a for a in accessions if a not in replayed]
         results_map: dict[str, PipelineResult] = dict(replayed)
         map_lock = threading.Lock()
 
-        if max_parallel == 1 or len(pending) <= 1:
+        if options.streaming:
+            if self.config.trim is not None:
+                raise ValueError(
+                    "streaming does not support read trimming: records are "
+                    "consumed as they arrive, before the full set exists"
+                )
+            from repro.core.streaming import StreamedBatchRunner
+
+            executed = StreamedBatchRunner(self, options).run(
+                pending, run_journal
+            )
+            results_map.update(executed)
+        elif options.max_parallel == 1 or len(pending) <= 1:
             for accession in pending:
                 if self._drain.is_set():
                     break
@@ -587,7 +710,7 @@ class TranscriptomicsAtlasPipeline:
                     with map_lock:
                         results_map[accession] = result
 
-            n_workers = min(max_parallel, len(pending))
+            n_workers = min(options.max_parallel, len(pending))
             with ThreadPoolExecutor(max_workers=n_workers) as pool:
                 futures = [pool.submit(worker) for _ in range(n_workers)]
                 for future in futures:
@@ -597,6 +720,41 @@ class TranscriptomicsAtlasPipeline:
         with self._results_lock:
             self.results.extend(results)
         return results
+
+    @staticmethod
+    def _coerce_options(
+        options: BatchOptions | None, *, max_parallel, journal, resume
+    ) -> BatchOptions:
+        """Merge the deprecated kwargs into a :class:`BatchOptions`.
+
+        Passing both ``options`` and any legacy kwarg is an error (two
+        sources of truth); passing only legacy kwargs warns once and
+        builds the equivalent bundle.
+        """
+        legacy = {
+            name: value
+            for name, value in (
+                ("max_parallel", max_parallel),
+                ("journal", journal),
+                ("resume", resume),
+            )
+            if value is not _UNSET
+        }
+        if options is not None:
+            if legacy:
+                raise ValueError(
+                    "pass either BatchOptions or the deprecated kwargs, "
+                    f"not both (got options and {sorted(legacy)})"
+                )
+            return options
+        if legacy:
+            warnings.warn(
+                "run_batch(max_parallel=/journal=/resume=) is deprecated; "
+                "pass BatchOptions instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return BatchOptions(**legacy)
 
     # -- step 4: joint normalization -----------------------------------------
 
@@ -613,9 +771,7 @@ class TranscriptomicsAtlasPipeline:
 
     def normalize(self) -> tuple[CountMatrix, np.ndarray, np.ndarray]:
         """DESeq2 step: returns (matrix, size_factors, normalized_counts)."""
-        matrix = self.build_count_matrix().drop_all_zero_genes()
-        factors = estimate_size_factors(matrix)
-        return matrix, factors, normalize_counts(matrix, factors)
+        return Deseq2Stage().run(self)
 
     # -- reporting -------------------------------------------------------------
 
@@ -655,6 +811,9 @@ def _result_payload(result: PipelineResult) -> dict:
         "paired": result.paired,
         "fastq_bytes": result.fastq_bytes,
         "retries": result.retries,
+        "streamed": result.streamed,
+        "download_bytes_total": result.download_bytes_total,
+        "download_bytes_saved": result.download_bytes_saved,
         "timing": {
             "prefetch": result.timing.prefetch,
             "fasterq_dump": result.timing.fasterq_dump,
@@ -713,6 +872,9 @@ def _result_from_payload(accession: str, payload: dict) -> PipelineResult:
         failure=failure,
         retries=int(payload.get("retries", 0)),
         resumed=True,
+        streamed=bool(payload.get("streamed", False)),
+        download_bytes_total=int(payload.get("download_bytes_total", 0)),
+        download_bytes_saved=int(payload.get("download_bytes_saved", 0)),
     )
 
 

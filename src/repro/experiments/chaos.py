@@ -28,6 +28,7 @@ from repro.align.star import StarAligner, StarParameters
 from repro.core.early_stopping import EarlyStoppingPolicy
 from repro.core.journal import RunJournal
 from repro.core.pipeline import (
+    BatchOptions,
     PipelineConfig,
     PipelineResult,
     RunStatus,
@@ -233,7 +234,7 @@ def run_chaos(spec: ChaosSpec | None = None) -> ChaosResult:
             config=make_config(workers=spec.workers, fault_plan=plan),
         ) as pipeline:
             results = pipeline.run_batch(
-                accessions, max_parallel=spec.max_parallel
+                accessions, BatchOptions(max_parallel=spec.max_parallel)
             )
             # the engine pool must stay usable after worker kills: run one
             # more accession through the same pipeline before closing
@@ -331,6 +332,10 @@ class ResumeChaosSpec:
     journal_path: Path | None = None
     #: route index construction through an IndexCache rooted here
     cache_dir: Path | None = None
+    #: run the victim and the resumed batch through the streaming DAG;
+    #: the reference stays sequential, so the scenario additionally
+    #: proves kill-mid-stream safety and journal shape interchange
+    streaming: bool = False
 
     def __post_init__(self) -> None:
         if self.n_accessions < 2:
@@ -502,7 +507,12 @@ def run_resume_chaos(spec: ResumeChaosSpec | None = None) -> ResumeChaosResult:
                     tmp_path / "victim",
                     config=make_config(),
                 )
-                victim.run_batch(accessions, journal=journal_path)
+                victim.run_batch(
+                    accessions,
+                    BatchOptions(
+                        streaming=spec.streaming, journal=journal_path
+                    ),
+                )
                 code = 0
             finally:
                 os._exit(code)
@@ -531,14 +541,17 @@ def run_resume_chaos(spec: ResumeChaosSpec | None = None) -> ResumeChaosResult:
             repo, aligner, tmp_path / "resumed", config=make_config()
         )
         results = resumed.run_batch(
-            accessions, journal=journal_path, resume=True
+            accessions,
+            BatchOptions(
+                streaming=spec.streaming, journal=journal_path, resume=True
+            ),
         )
         matrix = resumed.build_count_matrix()
 
         reference_pipeline = TranscriptomicsAtlasPipeline(
             repo, aligner, tmp_path / "reference", config=make_config()
         )
-        reference = reference_pipeline.run_batch(accessions)
+        reference = reference_pipeline.run_batch(accessions, BatchOptions())
         ref_matrix = reference_pipeline.build_count_matrix()
 
     replayed = [r.accession for r in results if r.resumed]

@@ -55,8 +55,8 @@ class FullAtlasResult:
 
     def to_table(self) -> str:
         table = Table(
-            ["variant", "days", "STAR h", "terminated", "fleet<=",
-             "cost $", "$/file"],
+            ["variant", "days", "STAR h", "terminated", "dl GB saved",
+             "fleet<=", "cost $", "$/file"],
             title=(
                 f"Full atlas projection — {self.n_files} files, "
                 f"{self.total_sra_tb:.0f} TB SRA"
@@ -69,6 +69,7 @@ class FullAtlasResult:
                     f"{r.makespan_seconds / 86400:.1f}",
                     f"{r.star_hours_actual:.0f}",
                     r.n_terminated,
+                    f"{r.download_bytes_saved / 1e9:.1f}",
                     r.peak_fleet,
                     f"{r.cost.total_usd:,.0f}",
                     f"{r.cost.total_usd / r.n_jobs:.3f}",
@@ -113,6 +114,7 @@ def run_full_atlas(
     )
     variants = {
         "optimized (r111+ES, spot x32)": base,
+        "streamed (r111+ES+stream, spot x32)": replace(base, streaming=True),
         "no early stopping": replace(base, early_stopping=None),
         "on-demand": replace(base, market=InstanceMarket.ON_DEMAND),
         "unoptimized (r108, on-demand x32)": replace(

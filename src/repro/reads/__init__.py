@@ -19,6 +19,12 @@ from repro.reads.paired import (
 )
 from repro.reads.simulator import ReadSimulator, SimulatorConfig
 from repro.reads.sra import SraArchive, SraRepository, fasterq_dump, prefetch
+from repro.reads.stream import (
+    SraStream,
+    ThrottledRepository,
+    iter_chunks,
+    iter_fastq_chunks,
+)
 
 __all__ = [
     "FastqRecord",
@@ -32,8 +38,12 @@ __all__ = [
     "SraArchive",
     "SraRepository",
     "SraRunMetadata",
+    "SraStream",
+    "ThrottledRepository",
     "fasterq_dump",
     "fasterq_dump_paired",
+    "iter_chunks",
+    "iter_fastq_chunks",
     "prefetch",
     "read_fastq",
     "simulate_paired",

@@ -158,6 +158,29 @@ class SraRepository:
             raise KeyError(f"accession {accession!r} not in repository")
         return self._blobs[accession]
 
+    def fetch_chunks(self, accession: str, chunk_bytes: int = 65536):
+        """Raw archive bytes as an iterator of chunks (the streaming path).
+
+        The base implementation slices :meth:`fetch_bytes`; wrappers that
+        model transfer time (:class:`~repro.reads.stream.ThrottledRepository`)
+        override this to charge per chunk so cancellation saves real time.
+        """
+        if chunk_bytes < 1:
+            raise ValueError("chunk_bytes must be >= 1")
+        blob = self.fetch_bytes(accession)
+        return (
+            blob[i : i + chunk_bytes] for i in range(0, len(blob), chunk_bytes)
+        )
+
+    def archive_bytes(self, accession: str) -> int:
+        """Size of the stored archive in bytes (a metadata query)."""
+        if self.root is not None:
+            path = self.root / f"{accession}.sra"
+            if not path.exists():
+                raise KeyError(f"accession {accession!r} not in repository")
+            return path.stat().st_size
+        return len(self.fetch_bytes(accession))
+
     def __contains__(self, accession: str) -> bool:
         try:
             self.fetch_bytes(accession)

@@ -405,3 +405,67 @@ class TestValidation:
         serial = aligner_r111.run(records, clock=frozen)
         assert par.outcomes == serial.outcomes
         assert eng.shared_bytes == 0
+
+
+class TestShardSizing:
+    """Tail-shard merging: a degenerate final chunk never costs a full
+    worker round-trip on its own."""
+
+    def test_even_split_untouched(self):
+        from repro.align.engine import _shard_bounds
+
+        assert _shard_bounds(128, 64) == [(0, 64), (64, 128)]
+
+    def test_short_tail_merged_into_previous_shard(self):
+        from repro.align.engine import _shard_bounds, _tail_floor
+
+        # 130 = 64 + 64 + 2; the 2-read tail is below the quarter-shard
+        # floor (16) so it rides with the previous shard
+        assert _tail_floor(64) == 16
+        assert _shard_bounds(130, 64) == [(0, 64), (64, 130)]
+
+    def test_tail_at_floor_stays_separate(self):
+        from repro.align.engine import _shard_bounds
+
+        assert _shard_bounds(144, 64) == [(0, 64), (64, 128), (128, 144)]
+
+    def test_single_short_batch_not_merged_away(self):
+        from repro.align.engine import _shard_bounds
+
+        assert _shard_bounds(3, 64) == [(0, 3)]
+        assert _shard_bounds(0, 64) == []
+
+    def test_iter_shards_matches_bounds(self):
+        from repro.align.engine import _iter_shards, _shard_bounds
+
+        for total, shard in [(0, 8), (3, 8), (16, 8), (17, 8), (18, 8), (130, 64)]:
+            records = list(range(total))
+            lazy = [len(c) for c in _iter_shards(records, shard)]
+            eager = [e - s for s, e in _shard_bounds(total, shard)]
+            assert lazy == eager, (total, shard)
+
+    def test_streamed_iterator_is_not_over_buffered(self):
+        from repro.align.engine import _iter_shards
+
+        pulled = []
+
+        def feed():
+            for i in range(20):
+                pulled.append(i)
+                yield i
+
+        shards = _iter_shards(feed(), 8)
+        next(shards)
+        # one shard yielded, at most two pulled ahead (held + lookahead)
+        assert len(pulled) <= 16
+
+    def test_engine_auto_sizing_with_tiny_tail(
+        self, engine, aligner_r111, bulk_sample
+    ):
+        # 66 reads with batch_size=64: tail of 2 merges into the first
+        # dispatch; results stay byte-identical to serial
+        records = bulk_sample.records[:66]
+        par = engine.run(records, clock=frozen)
+        serial = aligner_r111.run(records, clock=frozen)
+        assert par.outcomes == serial.outcomes
+        assert par.final.to_text() == serial.final.to_text()

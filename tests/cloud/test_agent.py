@@ -196,3 +196,99 @@ class TestHeartbeat:
         sim.run()
         # boot 10 + init 1 + job 50 + idle polls << heartbeat period 5000
         assert sim.now < 300
+
+
+class TestStageMarks:
+    def test_stage_seconds_charged_between_marks(self):
+        from repro.cloud.agent import StageMark
+
+        sim, ec2, queue = make_env()
+        queue.send_batch(["a", "b"])
+        inst = ec2.launch(instance_type("r6a.large"))
+
+        def staged_work(agent, message):
+            yield StageMark("download")
+            yield Timeout(40.0)
+            yield StageMark("align")
+            yield Timeout(100.0)
+            yield StageMark("upload")
+            yield Timeout(5.0)
+            return message.body
+
+        agent = WorkerAgent(
+            sim, inst, queue,
+            init_work=simple_init(), process_message=staged_work,
+            on_stop=lambda a: ec2.terminate(a.instance),
+        )
+        sim.process(agent.run())
+        sim.run()
+        assert agent.stats.jobs_completed == 2
+        assert agent.stats.stage_seconds == {
+            "download": 80.0, "align": 200.0, "upload": 10.0,
+        }
+
+    def test_unmarked_work_records_nothing(self):
+        sim, ec2, queue = make_env()
+        queue.send_batch(["a"])
+        inst = ec2.launch(instance_type("r6a.large"))
+        agent = WorkerAgent(
+            sim, inst, queue,
+            init_work=simple_init(), process_message=simple_work(),
+            on_stop=lambda a: ec2.terminate(a.instance),
+        )
+        sim.process(agent.run())
+        sim.run()
+        assert agent.stats.jobs_completed == 1
+        assert agent.stats.stage_seconds == {}
+
+    def test_consecutive_marks_cost_no_simulated_time(self):
+        from repro.cloud.agent import StageMark
+
+        sim, ec2, queue = make_env()
+        queue.send_batch(["a"])
+        inst = ec2.launch(instance_type("r6a.large"))
+
+        def marked(agent, message):
+            yield StageMark("x")
+            yield StageMark("y")
+            yield Timeout(10.0)
+            return message.body
+
+        agent = WorkerAgent(
+            sim, inst, queue,
+            init_work=simple_init(1.0), process_message=marked,
+            on_stop=lambda a: ec2.terminate(a.instance),
+        )
+        sim.process(agent.run())
+        sim.run()
+        assert agent.stats.jobs_completed == 1
+        assert agent.stats.stage_seconds == {"x": 0.0, "y": 10.0}
+        # all busy time is the marked work: marks themselves were free
+        assert agent.stats.busy_seconds == pytest.approx(10.0)
+
+    def test_interrupted_stage_still_charged(self):
+        from repro.cloud.agent import StageMark
+
+        # seed 4 draws a ~760 s spot life; the 100000 s marked job is cut
+        # off by the kill, and the time worked so far stays attributed
+        sim, ec2, queue = make_env(visibility=10_000, spot_mean=200, rng=4)
+        queue.send_batch(["a"])
+        inst = ec2.launch(instance_type("r6a.large"), InstanceMarket.SPOT)
+
+        def staged_work(agent, message):
+            yield StageMark("align")
+            yield Timeout(100_000.0)
+            return message.body
+
+        agent = WorkerAgent(
+            sim, inst, queue,
+            init_work=simple_init(1), process_message=staged_work,
+            on_stop=lambda a: ec2.terminate(a.instance),
+        )
+        sim.process(agent.run())
+        sim.run(until=5000)
+        assert agent.stats.jobs_interrupted == 1
+        assert agent.stats.stage_seconds["align"] == pytest.approx(
+            agent.stats.busy_seconds
+        )
+        assert agent.stats.stage_seconds["align"] > 0

@@ -150,3 +150,76 @@ class TestScaling:
         )
         assert large.makespan_seconds < small.makespan_seconds
         assert large.peak_fleet > small.peak_fleet
+
+
+class TestStreamingCampaign:
+    """streaming=True overlaps transfer with STAR per job and cancels the
+    in-flight download on early stops — without changing any outcome."""
+
+    @pytest.fixture(scope="class")
+    def streamed(self, jobs, base_config):
+        return run_atlas(jobs, replace(base_config, streaming=True))
+
+    def test_outcomes_identical_to_sequential(self, jobs, base_config, streamed):
+        sequential = run_atlas(jobs, base_config)
+        assert [(j.accession, j.status) for j in streamed.jobs] == [
+            (j.accession, j.status) for j in sequential.jobs
+        ]
+        assert streamed.star_hours_actual == pytest.approx(
+            sequential.star_hours_actual
+        )
+
+    def test_makespan_no_worse_than_sequential(self, jobs, base_config, streamed):
+        sequential = run_atlas(jobs, base_config)
+        assert streamed.makespan_seconds <= sequential.makespan_seconds
+
+    def test_early_stops_save_download_bytes(self, streamed):
+        terminated = [
+            j for j in streamed.jobs if j.status is RunStatus.REJECTED_EARLY
+        ]
+        assert terminated
+        assert all(j.streamed for j in streamed.jobs)
+        assert all(j.download_bytes_saved > 0 for j in terminated)
+        assert all(
+            j.download_bytes_saved == 0
+            for j in streamed.jobs
+            if j.status is not RunStatus.REJECTED_EARLY
+        )
+        assert streamed.download_bytes_saved == pytest.approx(
+            sum(j.download_bytes_saved for j in terminated)
+        )
+
+    def test_stage_seconds_collapse_to_stream(self, streamed, report):
+        assert "stream" in streamed.stage_seconds
+        assert "prefetch" not in streamed.stage_seconds
+        # the sequential campaign reports the per-stage split instead
+        for stage in ("prefetch", "fasterq_dump", "star"):
+            assert report.stage_seconds[stage] > 0
+
+
+class TestOverlapSchedule:
+    def test_full_run_gated_by_slower_stage(self):
+        from repro.core.atlas import overlap_schedule
+
+        assert overlap_schedule(100.0, 40.0, None) == (100.0, 1.0)
+        assert overlap_schedule(40.0, 100.0, None) == (100.0, 1.0)
+
+    def test_early_stop_cancels_remaining_transfer(self):
+        from repro.core.atlas import overlap_schedule
+
+        # align aborts at 10% of a 1000 s transfer; STAR needed 50 s
+        elapsed, transferred = overlap_schedule(1000.0, 50.0, 0.1)
+        assert elapsed == 100.0  # gated by transferring 10% of the data
+        assert transferred == pytest.approx(0.1)
+
+    def test_slow_align_still_downloads_everything(self):
+        from repro.core.atlas import overlap_schedule
+
+        elapsed, transferred = overlap_schedule(100.0, 500.0, 0.5)
+        assert elapsed == 500.0
+        assert transferred == 1.0
+
+    def test_zero_transfer(self):
+        from repro.core.atlas import overlap_schedule
+
+        assert overlap_schedule(0.0, 50.0, 0.5) == (50.0, 1.0)

@@ -19,13 +19,14 @@ class TestPipelineDiagram:
         """The diagram's tools are the ones the code actually calls."""
         import inspect
 
-        from repro.core import pipeline as pipeline_module
+        # the steps live as Stage objects now (repro.core.stages)
+        from repro.core import stages as stages_module
 
-        source = inspect.getsource(pipeline_module)
+        source = inspect.getsource(stages_module)
         assert "prefetch(" in source
         assert "fasterq_dump(" in source
         # alignment goes through the unified backend API now
-        assert "backend.align(" in source
+        assert "backend.align(" in source or ".align(" in source
         assert "resolve_backend(" in source
         assert "estimate_size_factors" in source
         text = pipeline_diagram()

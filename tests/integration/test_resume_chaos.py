@@ -43,3 +43,33 @@ class TestResumeChaosScenario:
             assert by_acc[acc].resumed
         for acc in resume_result.reexecuted:
             assert not by_acc[acc].resumed
+
+class TestStreamedResumeChaos:
+    """Same scenario with the victim and the resumed batch streaming:
+    SIGKILL lands while a download/align overlap is in flight, and the
+    reference stays sequential — so passing also proves the streamed
+    journal interchanges with the sequential one."""
+
+    @pytest.fixture(scope="class")
+    def streamed_result(self):
+        return run_resume_chaos(
+            ResumeChaosSpec(
+                n_accessions=4, stall_seconds=1.5, streaming=True
+            )
+        )
+
+    def test_guarantees_hold_streamed(self, streamed_result):
+        assert streamed_result.passed
+        assert streamed_result.outputs_identical
+        assert streamed_result.matrix_identical
+
+    def test_only_unfinished_accessions_reexecuted(self, streamed_result):
+        assert streamed_result.replay_exact
+        assert sorted(streamed_result.replayed) == (
+            streamed_result.completed_before_kill
+        )
+        assert len(streamed_result.replayed) >= 1
+        assert (
+            len(streamed_result.replayed) + len(streamed_result.reexecuted)
+            == 4
+        )
