@@ -117,8 +117,15 @@ class AlignerBackend(Protocol):
         *,
         monitor: ProgressMonitorHook | None = None,
         out_dir: Path | str | None = None,
+        checkpoint: Any = None,
     ) -> AlignmentOutcome:
-        """Align ``reads``; honour the monitor's abort, write outputs if asked."""
+        """Align ``reads``; honour the monitor's abort, write outputs if asked.
+
+        ``checkpoint`` is an optional shard checkpointer (see
+        :class:`repro.core.replication.ShardCheckpointer`); backends
+        without shard-level recovery accept and ignore it — alignment
+        results never depend on it.
+        """
         ...
 
     def align_stream(
@@ -146,6 +153,7 @@ class SerialAlignerBackend:
         *,
         monitor: ProgressMonitorHook | None = None,
         out_dir: Path | str | None = None,
+        checkpoint: Any = None,
     ) -> AlignmentOutcome:
         if reads.paired:
             raise ValueError("serial single-end backend got paired reads")
@@ -187,6 +195,7 @@ class PairedAlignerBackend:
         *,
         monitor: ProgressMonitorHook | None = None,
         out_dir: Path | str | None = None,
+        checkpoint: Any = None,
     ) -> AlignmentOutcome:
         if not reads.paired:
             raise ValueError("paired backend got single-end reads")
@@ -222,11 +231,14 @@ class EngineBackend:
         *,
         monitor: ProgressMonitorHook | None = None,
         out_dir: Path | str | None = None,
+        checkpoint: Any = None,
     ) -> AlignmentOutcome:
         if reads.paired:
             assert reads.mate2 is not None
             return self.engine.run_paired(reads.records, reads.mate2, monitor=monitor)
-        return self.engine.run(reads.records, monitor=monitor, out_dir=out_dir)
+        return self.engine.run(
+            reads.records, monitor=monitor, out_dir=out_dir, checkpoint=checkpoint
+        )
 
     def align_stream(
         self,

@@ -904,16 +904,28 @@ class ParallelStarAligner:
         monitor: ProgressMonitorHook | None = None,
         out_dir: Path | str | None = None,
         clock: Callable[[], float] = time.monotonic,
+        checkpoint=None,
     ) -> StarRunResult:
         """Parallel equivalent of :meth:`StarAligner.run` (same signature).
 
         ``records`` may be a lazy iterable (e.g. a streamed chunk feed)
         when ``reads_total`` is given — shards are pulled as they become
         available and results stay byte-identical to the list path.
+
+        ``checkpoint`` (a :class:`repro.core.replication.
+        ShardCheckpointer`) turns on shard-level recovery: shards whose
+        outcomes the journal already holds are merged from the
+        checkpoint instead of re-aligned, and each fully merged live
+        shard is journaled as it lands.  The merged result is
+        byte-identical to an uncheckpointed run — checkpointing only
+        decides *where outcomes come from*, never what they are.
+        Requires materialized records (the shard schedule is positional),
+        so a lazy feed is drained up front when a checkpoint is given.
         """
         params = self.parameters
-        if reads_total is None:
-            records = list(records)
+        if reads_total is None or checkpoint is not None:
+            if not isinstance(records, list):
+                records = list(records)
             total = len(records)
         else:
             total = reads_total
@@ -938,12 +950,40 @@ class ParallelStarAligner:
             )
 
         shard = self._shard_size(total)
-        batches = _iter_shards(records, shard)
+        if checkpoint is not None:
+            bounds = _shard_bounds(total, shard) if total else []
+            cached = {b: checkpoint.load(b[0], b[1]) for b in bounds}
+            live_iter = self._ordered_results(
+                _align_batch,
+                (records[s:e] for s, e in bounds if cached[(s, e)] is None),
+            )
+
+            def _interleaved():
+                # walk the shard schedule in order, serving cached shards
+                # from the journal and live ones from the pool stream —
+                # the merge loop below sees the same ordered sequence an
+                # uncheckpointed run would produce
+                for s, e in bounds:
+                    hit = cached[(s, e)]
+                    if hit is not None:
+                        yield (s, e), records[s:e], hit, True
+                    else:
+                        batch, value = next(live_iter)
+                        yield (s, e), batch, value, False
+
+            results_iter = _interleaved()
+            close_results = live_iter.close
+        else:
+            batches = _iter_shards(records, shard)
+            plain_iter = self._ordered_results(_align_batch, batches)
+            results_iter = (
+                (None, batch, value, False) for batch, value in plain_iter
+            )
+            close_results = plain_iter.close
         # closed explicitly so the pool-restart finalizer in
         # _ordered_results runs before this method returns, not at GC time
-        results_iter = self._ordered_results(_align_batch, batches)
         try:
-            for batch, (batch_outcomes, partial, seed_stats) in results_iter:
+            for span, batch, (batch_outcomes, partial, seed_stats), replayed in results_iter:
                 self.health.seed_search.merge(seed_stats)
                 if params.batch_align:
                     self.health.batch_core_batches += 1
@@ -978,10 +1018,21 @@ class ParallelStarAligner:
                         # serial run
                         for outcome in batch_outcomes[:consumed]:
                             _count_outcome(counts, outcome)
+                if (
+                    checkpoint is not None
+                    and not replayed
+                    and not aborted
+                    and consumed == len(batch_outcomes)
+                ):
+                    # the shard is fully merged into the run state; its
+                    # outcomes are now safe to reuse on a future resume
+                    checkpoint.record(
+                        span[0], span[1], batch_outcomes, partial, seed_stats
+                    )
                 if aborted:
                     break
         finally:
-            results_iter.close()
+            close_results()
 
         final_snapshot = snapshot()
         if not progress or progress[-1].reads_processed != len(outcomes):

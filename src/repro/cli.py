@@ -14,9 +14,12 @@ Usage::
     python -m repro hpc [--jobs N] [--nodes N]
     python -m repro atlas [--jobs N] [--spot] [--release 111] [--fleet 8]
                           [--retries 3] [--fault-plan SPEC] [--no-drain]
+                          [--replicate]
     python -m repro chaos [--accessions N] [--workers N] [--fault-plan SPEC]
-                          [--resume] [--journal PATH]
+                          [--resume] [--journal PATH] [--kill-instance]
     python -m repro pipeline [--accessions N] [--journal PATH] [--resume]
+                             [--journal-s3 DIR] [--shard-checkpoints]
+                             [--adopt]
 
 Every command prints the same rows/series the paper reports and exits 0
 (``pipeline --resume`` exits 2 when the journal's config hash does not
@@ -206,6 +209,7 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
         ),
         drain_on_warning=not args.no_drain,
         streaming=args.streaming,
+        replicate_journal=args.replicate,
         seed=args.seed,
     )
     report = run_atlas(jobs, config)
@@ -237,6 +241,11 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
         ["work saved by drain (h)", f"{report.work_saved_seconds / 3600:.1f}"]
     )
     table.add_row(["queue redeliveries", report.queue_redeliveries])
+    if args.replicate:
+        table.add_row(["jobs adopted", report.jobs_adopted])
+        table.add_row(
+            ["work recovered (h)", f"{report.work_recovered_seconds / 3600:.1f}"]
+        )
     table.add_row(["job retries", report.total_retries])
     table.add_row(["jobs failed", report.n_failed])
     table.add_row(["total cost", f"${report.cost.total_usd:.2f}"])
@@ -251,14 +260,29 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.core.resilience import RetryPolicy
     from repro.experiments.chaos import (
         ChaosSpec,
+        KillInstanceSpec,
         ResumeChaosSpec,
         run_chaos,
+        run_kill_instance_chaos,
         run_resume_chaos,
     )
 
     if args.stream and not args.resume:
         print("error: --stream requires --resume", file=sys.stderr)
         return 2
+    if args.kill_instance and (args.resume or args.stream):
+        print(
+            "error: --kill-instance is its own scenario; drop "
+            "--resume/--stream",
+            file=sys.stderr,
+        )
+        return 2
+    if args.kill_instance:
+        result = run_kill_instance_chaos(
+            KillInstanceSpec(seed=args.seed)
+        )
+        print(result.to_table())
+        return 0 if result.passed else 1
     if args.resume:
         try:
             result = run_resume_chaos(
@@ -293,18 +317,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
-def _batch_options(args: argparse.Namespace):
+def _batch_options(args: argparse.Namespace, journal=None):
     """Map CLI flags onto :class:`BatchOptions` — the one place where
     command-line spellings meet run_batch's vocabulary."""
     from repro.core.pipeline import BatchOptions
 
     return BatchOptions(
         max_parallel=1 if args.stream else args.max_parallel,
-        journal=args.journal,
+        journal=journal if journal is not None else args.journal,
         resume=args.resume,
         streaming=args.stream,
         prefetch_depth=args.prefetch_depth,
         chunk_reads=args.chunk_reads,
+        shard_checkpoints=getattr(args, "shard_checkpoints", False),
     )
 
 
@@ -332,6 +357,33 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.journal_s3 is not None and args.journal is None:
+        print(
+            "error: --journal-s3 replicates a local journal; add "
+            "--journal PATH",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shard_checkpoints and args.journal is None:
+        print(
+            "error: --shard-checkpoints requires --journal PATH",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shard_checkpoints and args.stream:
+        print(
+            "error: --shard-checkpoints is a non-streaming feature; "
+            "drop --stream",
+            file=sys.stderr,
+        )
+        return 2
+    if args.adopt and (args.journal_s3 is None or not args.resume):
+        print(
+            "error: --adopt reconstructs the journal from S3; it needs "
+            "--journal-s3 DIR and --resume",
+            file=sys.stderr,
+        )
+        return 2
 
     from repro.experiments.chaos import build_demo_inputs
 
@@ -346,6 +398,22 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         workers=args.workers,
         drain_deadline=args.drain_deadline,
     )
+    journal = None
+    if args.journal_s3 is not None:
+        from repro.cloud.s3 import S3Service
+        from repro.core.replication import (
+            ReplicatedJournal,
+            reconstruct_journal,
+        )
+
+        bucket = S3Service(root=Path(args.journal_s3)).create_bucket(
+            "pipeline-journal"
+        )
+        if args.adopt:
+            # a different instance is taking over: rebuild the local
+            # journal from the replicated segments before replaying it
+            reconstruct_journal(bucket, "batch", Path(args.journal))
+        journal = ReplicatedJournal(Path(args.journal), bucket, "batch")
     with TemporaryDirectory(prefix="repro-pipeline-") as tmp:
         with TranscriptomicsAtlasPipeline(
             repo, aligner, Path(tmp), config=config
@@ -356,12 +424,20 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
                 # --drain-deadline, and the journal stays resumable
                 with drain_on_signals(pipeline, deadline=args.drain_deadline):
                     results = pipeline.run_batch(
-                        accessions, _batch_options(args)
+                        accessions, _batch_options(args, journal=journal)
                     )
             except JournalIncompatible as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
+            finally:
+                if journal is not None:
+                    journal.close()
             health = pipeline.stage_health
+            ckpt_summary = (
+                pipeline.shard_checkpoint_summary()
+                if args.shard_checkpoints
+                else None
+            )
 
     table = Table(
         ["accession", "status", "source", "retries", "mapped %"],
@@ -396,6 +472,11 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             f"{health.download_bytes_total} bytes total, "
             f"{health.download_bytes_saved} saved "
             f"({health.downloads_cancelled} downloads cancelled)"
+        )
+    if ckpt_summary is not None:
+        print(
+            f"shard checkpoints: {ckpt_summary['hits']} replayed, "
+            f"{ckpt_summary['recorded']} recorded"
         )
     if args.journal is not None:
         replay = RunJournal(args.journal).replay()
@@ -594,6 +675,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore the 120 s spot notice (rely on the visibility "
         "timeout alone, the pre-drain behaviour)",
     )
+    p.add_argument(
+        "--replicate",
+        action="store_true",
+        help="replicate per-job progress to S3 under a fencing-token "
+        "lease so surviving instances adopt interrupted jobs mid-STAR",
+    )
     p.set_defaults(fn=_cmd_atlas)
 
     p = sub.add_parser(
@@ -631,6 +718,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --resume: victim and resumed batch use the streaming "
         "DAG (kill-mid-stream scenario)",
+    )
+    p.add_argument(
+        "--kill-instance",
+        action="store_true",
+        help="SIGKILL a whole worker instance mid-batch; a second "
+        "instance adopts via the S3-replicated journal + lease and the "
+        "merged results must match an uninterrupted reference",
     )
     p.set_defaults(fn=_cmd_chaos)
 
@@ -680,6 +774,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="reads per streamed chunk handed to the aligner",
+    )
+    p.add_argument(
+        "--journal-s3",
+        type=str,
+        default=None,
+        help="replicate the journal to a simulated S3 bucket rooted at "
+        "this directory (segments + manifest + tail; requires --journal)",
+    )
+    p.add_argument(
+        "--shard-checkpoints",
+        action="store_true",
+        help="journal completed align shards so a resume re-dispatches "
+        "only unfinished shards (requires --journal)",
+    )
+    p.add_argument(
+        "--adopt",
+        action="store_true",
+        help="with --journal-s3 and --resume: reconstruct the journal "
+        "from S3 first, adopting a dead instance's batch",
     )
     p.set_defaults(fn=_cmd_pipeline)
 

@@ -66,6 +66,12 @@ class AgentStats:
     #: visibility-timeout seconds other workers did NOT have to wait
     #: because a drain released the message early
     work_saved_seconds: float = 0.0
+    #: redelivered jobs this agent resumed from an S3-replicated journal
+    #: checkpoint instead of restarting from scratch
+    jobs_adopted: int = 0
+    #: simulated STAR seconds the adopted checkpoints made redundant
+    #: (work the dead holder completed that this agent did not redo)
+    work_recovered_seconds: float = 0.0
     #: simulated seconds per work stage, fed by :class:`StageMark` yields
     #: (e.g. ``{"prefetch": ..., "star": ...}``); empty if the work never
     #: marks stages

@@ -4,14 +4,46 @@ Stores object metadata (and optional payloads for result inspection);
 transfer *times* are computed by the caller from
 :class:`repro.perf.transfer.TransferModel`, keeping this module a pure
 data service.  Request/byte counters feed the cost model.
+
+Two behaviours the durability layer (:mod:`repro.core.replication`)
+relies on:
+
+* **Preconditions** — ``put(..., if_none_match="*")`` models the real
+  S3 ``If-None-Match`` conditional write: the put fails with
+  :class:`PreconditionFailed` when the key already exists.  Lease
+  creation uses this so two would-be holders cannot both "create" the
+  lease object.
+
+* **Durable roots** — a bucket created with ``root=`` persists every
+  object (JSON-serializable payloads only) to that directory with an
+  atomic tmp-file + ``os.replace`` publish, and a fresh process opening
+  the same root sees the stored objects.  This stands in for S3's
+  cross-instance durability: a SIGKILLed "instance" loses its memory
+  and local filesystem, but objects it had put to the durable bucket
+  survive for another instance to adopt.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import urllib.parse
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 from repro.util.validation import check_non_negative
+
+
+class PreconditionFailed(RuntimeError):
+    """A conditional ``put`` lost: the key already holds an object."""
+
+    def __init__(self, bucket: str, key: str) -> None:
+        self.bucket = bucket
+        self.key = key
+        super().__init__(
+            f"s3://{bucket}/{key} already exists (If-None-Match failed)"
+        )
 
 
 @dataclass(frozen=True)
@@ -25,23 +57,119 @@ class S3Object:
 
 
 class S3Bucket:
-    """A named bucket."""
+    """A named bucket, optionally persisted under a durable root."""
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, *, root: Path | str | None = None) -> None:
         if not name:
             raise ValueError("bucket name must be non-empty")
         self.name = name
+        self.root = Path(root) / name if root is not None else None
         self._objects: dict[str, S3Object] = {}
         self.put_count = 0
         self.get_count = 0
+        #: puts that replaced an existing object (silent-overwrite audit)
+        self.overwrites = 0
         self.bytes_in = 0.0
         self.bytes_out = 0.0
+        #: open handles for direct-write (``atomic=False``) hot objects
+        self._direct_handles: dict[str, Any] = {}
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._load_root()
 
-    def put(self, key: str, size_bytes: float, *, now: float, payload: Any = None) -> S3Object:
-        """Store (or overwrite) an object."""
+    # -- durable-root plumbing ---------------------------------------------
+
+    def _object_path(self, key: str) -> Path:
+        """Filesystem-safe path for one key (quote defeats separators)."""
+        assert self.root is not None
+        return self.root / urllib.parse.quote(key, safe="")
+
+    def _load_root(self) -> None:
+        """Attach to objects a previous process persisted under the root."""
+        assert self.root is not None
+        for entry in self.root.iterdir():
+            if not entry.is_file():
+                continue
+            try:
+                stored = json.loads(entry.read_text(encoding="utf-8"))
+            except ValueError:
+                continue  # torn write from a killed process: never published
+            self._objects[stored["key"]] = S3Object(
+                key=stored["key"],
+                size_bytes=stored["size_bytes"],
+                stored_at=stored["stored_at"],
+                payload=stored.get("payload"),
+            )
+
+    def _persist(self, obj: S3Object, *, atomic: bool = True) -> None:
+        """Publish one object to the durable root.
+
+        ``atomic=False`` skips the tmp-file + rename dance and writes the
+        final path directly: a crash mid-write leaves a torn JSON file
+        that :meth:`_load_root` discards, which callers opt into for
+        high-churn objects whose loss is tolerated (a replicated
+        journal's tail) in exchange for half the file operations.
+        """
+        path = self._object_path(obj.key)
+        blob = json.dumps(
+            {
+                "key": obj.key,
+                "size_bytes": obj.size_bytes,
+                "stored_at": obj.stored_at,
+                "payload": obj.payload,
+            }
+        )
+        if not atomic:
+            # these objects are overwritten constantly, so keep the file
+            # open across puts — the open() per write would otherwise
+            # dominate the replication cost
+            fh = self._direct_handles.get(obj.key)
+            if fh is None or fh.closed:
+                fh = open(path, "w", encoding="utf-8")
+                self._direct_handles[obj.key] = fh
+            fh.seek(0)
+            fh.write(blob)
+            fh.truncate()
+            fh.flush()
+            return
+        stale = self._direct_handles.pop(obj.key, None)
+        if stale is not None:
+            stale.close()  # the rename below orphans its inode
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(blob, encoding="utf-8")
+        os.replace(tmp, path)
+
+    # -- object API --------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        size_bytes: float,
+        *,
+        now: float,
+        payload: Any = None,
+        if_none_match: str | None = None,
+        atomic: bool = True,
+    ) -> S3Object:
+        """Store (or overwrite) an object.
+
+        ``if_none_match="*"`` makes the put conditional on the key not
+        existing — the only If-None-Match form S3 supports — raising
+        :class:`PreconditionFailed` instead of overwriting.  ``atomic``
+        is forwarded to the durable-root persist (see :meth:`_persist`).
+        """
         check_non_negative("size_bytes", size_bytes)
+        if if_none_match is not None:
+            if if_none_match != "*":
+                raise ValueError('if_none_match only supports "*"')
+            if key in self._objects:
+                raise PreconditionFailed(self.name, key)
+        if key in self._objects:
+            self.overwrites += 1
         obj = S3Object(key=key, size_bytes=size_bytes, stored_at=now, payload=payload)
         self._objects[key] = obj
+        if self.root is not None:
+            self._persist(obj, atomic=atomic)
         self.put_count += 1
         self.bytes_in += size_bytes
         return obj
@@ -61,7 +189,13 @@ class S3Bucket:
 
     def delete(self, key: str) -> bool:
         """Remove an object; False when it was absent (idempotent)."""
-        return self._objects.pop(key, None) is not None
+        existed = self._objects.pop(key, None) is not None
+        fh = self._direct_handles.pop(key, None)
+        if fh is not None:
+            fh.close()
+        if existed and self.root is not None:
+            self._object_path(key).unlink(missing_ok=True)
+        return existed
 
     def __contains__(self, key: str) -> bool:
         return key in self._objects
@@ -80,15 +214,16 @@ class S3Bucket:
 
 
 class S3Service:
-    """Bucket registry."""
+    """Bucket registry; ``root`` makes every bucket durable (see above)."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else None
         self._buckets: dict[str, S3Bucket] = {}
 
     def create_bucket(self, name: str) -> S3Bucket:
         if name in self._buckets:
             raise ValueError(f"bucket {name!r} already exists")
-        bucket = S3Bucket(name)
+        bucket = S3Bucket(name, root=self.root)
         self._buckets[name] = bucket
         return bucket
 

@@ -108,6 +108,15 @@ class AtlasConfig:
     #: sum), and an early-stopping abort cancels the in-flight download —
     #: the un-transferred bytes land in :attr:`JobRecord.download_bytes_saved`
     streaming: bool = False
+    #: replicate per-job align progress to an S3 "atlas-journal" bucket
+    #: (checkpoint objects + a fencing-token lease per accession) so a
+    #: redelivered job is *adopted* mid-STAR instead of restarted — see
+    #: :mod:`repro.core.replication`.  Non-streaming jobs only: streamed
+    #: jobs overlap transfer with STAR, so there is no resumable STAR
+    #: tail to credit.
+    replicate_journal: bool = False
+    #: lease time-to-live, seconds; holders renew at every checkpoint
+    lease_ttl: float = 900.0
     seed: int = 0
 
     def resolve_instance(self) -> InstanceType:
@@ -143,6 +152,11 @@ class JobRecord:
     #: SRA bytes never transferred because an early-stopping abort
     #: cancelled the in-flight download (streaming mode only)
     download_bytes_saved: float = 0.0
+    #: this record's instance resumed a dead holder's STAR progress from
+    #: the S3-replicated journal (``replicate_journal`` mode)
+    adopted: bool = False
+    #: STAR seconds the adoption skipped (work already checkpointed)
+    star_seconds_recovered: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -172,6 +186,10 @@ class AtlasRunReport:
     work_lost_seconds: float = 0.0
     #: visibility-timeout seconds saved by drains releasing messages early
     work_saved_seconds: float = 0.0
+    #: redelivered jobs resumed from S3 journal checkpoints (adoption)
+    jobs_adopted: int = 0
+    #: simulated STAR seconds adoption recovered instead of redoing
+    work_recovered_seconds: float = 0.0
     #: CloudWatch-style time series (when config.metrics_period is set)
     metrics: dict = field(default_factory=dict)
     #: fleet-wide simulated seconds per stage (StageMark accounting)
@@ -302,6 +320,9 @@ def run_atlas(jobs: list[AtlasJob], config: AtlasConfig) -> AtlasRunReport:
     index_key = f"star-index-r{spec.release}.tar"
     index_bucket.put(index_key, index_bytes, now=0.0)
     results_bucket = s3.create_bucket("atlas-results")
+    journal_bucket = (
+        s3.create_bucket("atlas-journal") if config.replicate_journal else None
+    )
 
     dead_letter = SqsQueue(sim, name="sra-ids-dlq", visibility_timeout=3600.0)
     queue = SqsQueue(
@@ -337,6 +358,22 @@ def run_atlas(jobs: list[AtlasJob], config: AtlasConfig) -> AtlasRunReport:
     # retry backoff and failed attempts are real simulated time the job cost
     first_started: dict[str, float] = {}
 
+    # instance_id → the BatchLease it currently holds (replicate_journal
+    # mode): a graceful spot drain releases the lease alongside the SQS
+    # message, so the adopter starts immediately instead of waiting out
+    # the lease TTL — the spot-drain handoff
+    held_leases: dict = {}
+
+    def on_drain(agent: WorkerAgent, message) -> None:
+        lease = held_leases.pop(agent.instance.instance_id, None)
+        if lease is not None:
+            from repro.core.replication import FencedOut
+
+            try:
+                lease.release(now=sim.now)
+            except FencedOut:
+                pass  # someone already fenced us out; nothing to hand over
+
     def init_work(agent: WorkerAgent):
         check_fault("s3_download", agent.instance.instance_id)
         index_bucket.get(index_key)
@@ -347,6 +384,9 @@ def run_atlas(jobs: list[AtlasJob], config: AtlasConfig) -> AtlasRunReport:
         job: AtlasJob = message.body
         started = first_started.setdefault(message.message_id, sim.now)
         download_bytes_saved = 0.0
+        lease = None
+        adopted = False
+        star_recovered = 0.0
         if config.streaming:
             # both transfer steps stream, so their faults surface before
             # any alignment work — mirroring the local streamed pipeline
@@ -375,18 +415,78 @@ def run_atlas(jobs: list[AtlasJob], config: AtlasConfig) -> AtlasRunReport:
                 job, config, itype.vcpus, job_seeds[job.accession]
             )
             yield StageMark("star")
-            yield Timeout(actual)
+            if journal_bucket is None:
+                yield Timeout(actual)
+            else:
+                # adoption path: the STAR step runs as checkpointed chunks
+                # under a fencing-token lease, so a redelivery after
+                # instance loss resumes from the dead holder's last
+                # checkpoint instead of second 0
+                from repro.core.replication import BatchLease, LeaseHeld
+
+                lease_key = f"{job.accession}/lease"
+                ckpt_key = f"{job.accession}/checkpoint"
+                while lease is None:
+                    try:
+                        lease = BatchLease.acquire(
+                            journal_bucket,
+                            lease_key,
+                            agent.instance.instance_id,
+                            now=sim.now,
+                            ttl=config.lease_ttl,
+                        )
+                    except LeaseHeld as held:
+                        # a previous holder's lease is still live (e.g. a
+                        # drained message came back before expiry): wait
+                        # it out rather than split-brain the job
+                        yield Timeout(max(held.expires_at - sim.now, 1.0))
+                held_leases[agent.instance.instance_id] = lease
+                n = max(1, config.n_progress_snapshots)
+                chunks_done = 0
+                existing = journal_bucket.head(ckpt_key)
+                if existing is not None and existing.payload:
+                    chunks_done = min(int(existing.payload["chunks"]), n)
+                    if chunks_done > 0:
+                        adopted = True
+                        star_recovered = actual * chunks_done / n
+                        agent.stats.jobs_adopted += 1
+                        agent.stats.work_recovered_seconds += star_recovered
+                for i in range(chunks_done, n):
+                    yield Timeout(actual / n)
+                    # checkpoint + heartbeat: zero simulated time (the
+                    # put piggybacks on progress the worker made anyway)
+                    journal_bucket.put(
+                        ckpt_key,
+                        64,
+                        now=sim.now,
+                        payload={"chunks": i + 1},
+                    )
+                    lease.renew(now=sim.now, ttl=config.lease_ttl)
         if status is RunStatus.ACCEPTED:
             yield StageMark("normalize")
             yield Timeout(config.normalize_seconds)
             check_fault("s3_upload", job.accession)
             yield StageMark("s3_upload")
             yield Timeout(transfer.s3_upload_seconds(config.result_bytes))
-            results_bucket.put(
-                f"{job.accession}/ReadsPerGene.out.tab",
-                config.result_bytes,
-                now=sim.now,
-            )
+            if lease is not None:
+                # token-checked publish: a stale holder fenced out by an
+                # adopter raises here and never lands its result
+                lease.publish(
+                    results_bucket,
+                    f"{job.accession}/ReadsPerGene.out.tab",
+                    config.result_bytes,
+                    now=sim.now,
+                )
+            else:
+                results_bucket.put(
+                    f"{job.accession}/ReadsPerGene.out.tab",
+                    config.result_bytes,
+                    now=sim.now,
+                )
+        if lease is not None:
+            journal_bucket.delete(f"{job.accession}/checkpoint")
+            lease.release(now=sim.now)
+            held_leases.pop(agent.instance.instance_id, None)
         record = JobRecord(
             accession=job.accession,
             status=status,
@@ -400,6 +500,8 @@ def run_atlas(jobs: list[AtlasJob], config: AtlasConfig) -> AtlasRunReport:
             retries=agent.current_attempt - 1,
             streamed=config.streaming,
             download_bytes_saved=download_bytes_saved,
+            adopted=adopted,
+            star_seconds_recovered=star_recovered,
         )
         first_started.pop(message.message_id, None)
         records.append(record)
@@ -437,6 +539,7 @@ def run_atlas(jobs: list[AtlasJob], config: AtlasConfig) -> AtlasRunReport:
             retry_rng=retry_rng,
             on_failure=on_failure,
             drain_on_warning=config.drain_on_warning,
+            on_drain=on_drain if config.replicate_journal else None,
         )
 
     asg = AutoScalingGroup(
@@ -478,8 +581,11 @@ def run_atlas(jobs: list[AtlasJob], config: AtlasConfig) -> AtlasRunReport:
     final_records = [seen[j.accession] for j in jobs if j.accession in seen]
 
     makespan = max((r.finished_at for r in final_records), default=sim.now)
+    buckets = [index_bucket, results_bucket]
+    if journal_bucket is not None:
+        buckets.append(journal_bucket)
     cost = CostAccountant(config.spot_model).full_report(
-        ec2.instances, [index_bucket, results_bucket], sim.now
+        ec2.instances, buckets, sim.now
     )
     return AtlasRunReport(
         jobs=final_records,
@@ -496,6 +602,10 @@ def run_atlas(jobs: list[AtlasJob], config: AtlasConfig) -> AtlasRunReport:
         jobs_drained=sum(a.stats.jobs_drained for a in asg.agents),
         work_lost_seconds=sum(a.stats.work_lost_seconds for a in asg.agents),
         work_saved_seconds=sum(a.stats.work_saved_seconds for a in asg.agents),
+        jobs_adopted=sum(a.stats.jobs_adopted for a in asg.agents),
+        work_recovered_seconds=sum(
+            a.stats.work_recovered_seconds for a in asg.agents
+        ),
         metrics=collector.series if collector is not None else {},
         stage_seconds=_merge_stage_seconds(asg.agents),
     )

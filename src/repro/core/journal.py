@@ -26,10 +26,13 @@ the batch.  This module supplies the missing layer:
   match what the new config produces.
 
 Record vocabulary (the ``t`` field): ``batch-start``, ``started``,
-``step-done``, ``completed``, ``failed``, ``drained``.  ``completed``
-and ``failed`` are *terminal* — resume replays them verbatim;
-``started``/``step-done``/``drained`` mark in-flight work that resume
-re-runs idempotently (every pipeline step is re-runnable from scratch).
+``step-done``, ``align.shard``, ``completed``, ``failed``, ``drained``.
+``completed`` and ``failed`` are *terminal* — resume replays them
+verbatim; ``started``/``step-done``/``drained`` mark in-flight work that
+resume re-runs idempotently (every pipeline step is re-runnable from
+scratch).  ``align.shard`` records sit in between: they checkpoint
+completed read shards *within* the align step so resume re-dispatches
+only unfinished shards (see :mod:`repro.core.replication`).
 """
 
 from __future__ import annotations
@@ -51,6 +54,7 @@ __all__ = [
     "JournalCorrupt",
     "JournalIncompatible",
     "JournalReplay",
+    "JournalWriteError",
     "ReplayedOutcome",
     "RunJournal",
     "TERMINAL_RECORD_TYPES",
@@ -71,6 +75,36 @@ class JournalCorrupt(RuntimeError):
     log; damage anywhere else means the file is not a journal this code
     wrote, and resuming from it would be unsafe.
     """
+
+
+class JournalWriteError(RuntimeError):
+    """A journal append failed to reach disk.
+
+    Wraps the underlying ``OSError`` (kept as ``__cause__``) with the
+    accession and step the record was describing, so a pipeline failure
+    record can name *what work* lost durability rather than surfacing a
+    bare fsync traceback.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        record_type: str,
+        accession: str | None,
+        step: str | None,
+        cause: OSError,
+    ) -> None:
+        self.path = path
+        self.record_type = record_type
+        self.accession = accession
+        self.step = step
+        where = accession or "<batch>"
+        if step:
+            where += f"/{step}"
+        super().__init__(
+            f"journal append of {record_type!r} for {where} failed on "
+            f"{path}: {cause}"
+        )
 
 
 class JournalIncompatible(RuntimeError):
@@ -152,6 +186,12 @@ class JournalReplay:
     in_flight: list[str] = field(default_factory=list)
     #: accession → steps journaled as done before the crash
     steps_done: dict[str, list[str]] = field(default_factory=dict)
+    #: accession → (shard start, shard end) → ``align.shard`` record;
+    #: completed read-shard outcomes the engine can merge instead of
+    #: re-aligning (first record per shard wins, like terminals)
+    align_shards: dict[str, dict[tuple[int, int], dict[str, Any]]] = field(
+        default_factory=dict
+    )
     #: total well-formed records read
     n_records: int = 0
     #: a partial final line was dropped (torn write at crash time)
@@ -200,15 +240,38 @@ class RunJournal:
         return self._fh
 
     def append(self, record: dict[str, Any]) -> None:
-        """Durably append one record (a single JSON line)."""
+        """Durably append one record (a single JSON line).
+
+        I/O failures surface as :class:`JournalWriteError` naming the
+        accession/step the record describes; the raw ``OSError`` rides
+        along as ``__cause__``.
+        """
         line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
         with self._lock:
-            fh = self._handle()
-            fh.write(line)
-            fh.flush()
-            if self.fsync:
-                os.fsync(fh.fileno())
+            try:
+                fh = self._handle()
+                fh.write(line)
+                fh.flush()
+                if self.fsync:
+                    os.fsync(fh.fileno())
+            except OSError as exc:
+                raise JournalWriteError(
+                    self.path,
+                    str(record.get("t", "?")),
+                    record.get("acc"),
+                    record.get("step"),
+                    exc,
+                ) from exc
             self.appends += 1
+            self._after_append(line, record)
+
+    def _after_append(self, line: str, record: dict[str, Any]) -> None:
+        """Hook run under the append lock once the record is on disk.
+
+        The base journal does nothing; :class:`repro.core.replication.
+        ReplicatedJournal` overrides this to mirror the durable line to
+        S3 before the append returns (fsync-ordered replication).
+        """
 
     def close(self) -> None:
         with self._lock:
@@ -247,6 +310,32 @@ class RunJournal:
 
     def record_failed(self, accession: str, payload: dict) -> None:
         self.append({"t": "failed", "acc": accession, "result": payload})
+
+    def record_align_shard(
+        self,
+        accession: str,
+        start: int,
+        end: int,
+        fingerprint: str,
+        payload: dict,
+    ) -> None:
+        """A read shard ``[start, end)`` finished aligning.
+
+        The payload (serialized outcomes + counters, see
+        :mod:`repro.core.replication`) is keyed by accession + shard
+        bounds + config fingerprint so resume only reuses it when the
+        same reads under the same output-affecting config are in play.
+        """
+        self.append(
+            {
+                "t": "align.shard",
+                "acc": accession,
+                "lo": start,
+                "hi": end,
+                "fp": fingerprint,
+                "shard": payload,
+            }
+        )
 
     def record_drained(self, accession: str) -> None:
         """The accession's in-flight work was aborted by a graceful drain
@@ -317,6 +406,10 @@ class RunJournal:
             state.steps_done.setdefault(acc, [])
         elif rtype == "step-done":
             state.steps_done.setdefault(acc, []).append(record.get("step", ""))
+        elif rtype == "align.shard":
+            shards = state.align_shards.setdefault(acc, {})
+            bounds = (int(record.get("lo", 0)), int(record.get("hi", 0)))
+            shards.setdefault(bounds, record)
         elif rtype in TERMINAL_RECORD_TYPES:
             # idempotent re-runs append duplicate terminal records; the
             # first one wins so replay is stable under re-execution

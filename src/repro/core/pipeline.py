@@ -239,10 +239,22 @@ class BatchOptions:
     #: per-batch override of ``PipelineConfig.align_batch_size``; only
     #: effective before the engine is first created
     align_batch_size: int | None = None
+    #: journal completed read shards inside the align step so resume
+    #: re-dispatches only unfinished shards (requires ``journal``; engine
+    #: single-end runs only — other shapes align normally).  Execution
+    #: shape, like everything here: results are byte-identical either way.
+    shard_checkpoints: bool = False
 
     def __post_init__(self) -> None:
         if self.max_parallel < 1:
             raise ValueError("max_parallel must be >= 1")
+        if self.shard_checkpoints and self.journal is None:
+            raise ValueError("shard_checkpoints requires a journal")
+        if self.shard_checkpoints and self.streaming:
+            raise ValueError(
+                "shard_checkpoints needs the materialized align path; "
+                "streaming consumes reads as they arrive"
+            )
         if self.streaming and self.max_parallel > 1:
             raise ValueError(
                 "streaming overlaps stages, not accessions: it requires "
@@ -313,6 +325,14 @@ class TranscriptomicsAtlasPipeline:
         #: per-batch overrides installed by run_batch from BatchOptions
         self._drain_deadline_base: float | None = None
         self._align_batch_override: int | None = None
+        #: shard-checkpoint state for the current batch:
+        #: (journal, replayed align_shards by accession, fingerprint)
+        self._shard_ckpt_state: tuple | None = None
+        #: checkpointers created this batch (for rework accounting)
+        self._shard_ckpts: list = []
+        #: chaos hook: called as (accession, start, end) after each shard
+        #: checkpoint lands in the journal
+        self._shard_record_hook: Callable[[str, int, int], None] | None = None
 
     # -- parallel engine lifecycle -------------------------------------------
 
@@ -653,6 +673,7 @@ class TranscriptomicsAtlasPipeline:
                 else RunJournal(options.journal)
             )
         replayed: dict[str, PipelineResult] = {}
+        replayed_shards: dict[str, dict] = {}
         fingerprint = config_fingerprint(self.config)
         if run_journal is not None:
             if options.resume:
@@ -667,10 +688,17 @@ class TranscriptomicsAtlasPipeline:
                         replayed[acc] = _result_from_payload(
                             acc, record["result"]
                         )
+                replayed_shards = replay.align_shards
             run_journal.record_batch_start(list(accessions), fingerprint)
 
         self._drain_deadline_base = options.drain_deadline
         self._align_batch_override = options.align_batch_size
+        self._shard_ckpts = []
+        self._shard_ckpt_state = (
+            (run_journal, replayed_shards, fingerprint)
+            if options.shard_checkpoints and run_journal is not None
+            else None
+        )
 
         pending = [a for a in accessions if a not in replayed]
         results_map: dict[str, PipelineResult] = dict(replayed)
@@ -720,6 +748,39 @@ class TranscriptomicsAtlasPipeline:
         with self._results_lock:
             self.results.extend(results)
         return results
+
+    def _shard_checkpointer(self, accession: str):
+        """Build the align-shard checkpointer for one accession.
+
+        None unless the current batch enabled ``shard_checkpoints`` —
+        :class:`~repro.core.stages.AlignStage` calls this per attempt so
+        a retried alignment reuses shards the failed attempt already
+        journaled (the cached dict is shared across attempts).
+        """
+        if self._shard_ckpt_state is None:
+            return None
+        from repro.core.replication import ShardCheckpointer
+
+        run_journal, shards, fingerprint = self._shard_ckpt_state
+        ckpt = ShardCheckpointer(
+            run_journal,
+            accession,
+            fingerprint,
+            shards.setdefault(accession, {}),
+        )
+        hook = self._shard_record_hook
+        if hook is not None:
+            ckpt.on_record = lambda s, e, acc=accession: hook(acc, s, e)
+        self._shard_ckpts.append(ckpt)
+        return ckpt
+
+    def shard_checkpoint_summary(self) -> dict[str, int]:
+        """Rework accounting for the last batch: shards replayed from the
+        journal (``hits``) vs aligned and checkpointed (``recorded``)."""
+        return {
+            "hits": sum(c.hits for c in self._shard_ckpts),
+            "recorded": sum(c.recorded for c in self._shard_ckpts),
+        }
 
     @staticmethod
     def _coerce_options(

@@ -284,8 +284,17 @@ class AlignStage:
                 ctx.reads, monitor=hook, out_dir=ctx.out_dir
             )
         else:
+            # shard-level checkpointing (see repro.core.replication) is
+            # owned by the pipeline: None unless this batch journals with
+            # shard checkpoints enabled
+            get_ckpt = getattr(pipeline, "_shard_checkpointer", None)
             ctx.star_result = ctx.backend.align(
-                ctx.reads, monitor=hook, out_dir=ctx.out_dir
+                ctx.reads,
+                monitor=hook,
+                out_dir=ctx.out_dir,
+                checkpoint=(
+                    get_ckpt(ctx.accession) if get_ckpt is not None else None
+                ),
             )
 
 

@@ -576,3 +576,343 @@ def run_resume_chaos(spec: ResumeChaosSpec | None = None) -> ResumeChaosResult:
         matrix_identical=matrix_identical,
         replay_exact=sorted(replayed) == completed_before,
     )
+
+
+# --------------------------------------------------------------------------
+# kill the whole instance → adopt via S3
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KillInstanceSpec:
+    """Parameters of the kill-instance → S3 adoption scenario."""
+
+    n_accessions: int = 2
+    n_reads: int = 600
+    read_length: int = 60
+    #: engine worker processes (shard checkpointing needs the engine)
+    workers: int = 2
+    #: reads per engine shard (controls checkpoint granularity)
+    align_batch_size: int = 64
+    #: SIGKILL instance A after this many shard checkpoints of the
+    #: victim accession have reached S3
+    kill_after_shards: int = 3
+    #: instance A's lease TTL; instance B waits it out before adopting
+    lease_ttl: float = 1.0
+    #: give up if instance A never dies within this wall-clock budget
+    kill_timeout: float = 180.0
+    seed: int = 0
+    #: route index construction through an IndexCache rooted here
+    cache_dir: Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_accessions < 2:
+            raise ValueError("n_accessions must be >= 2")
+        if self.kill_after_shards < 1:
+            raise ValueError("kill_after_shards must be >= 1")
+
+    @property
+    def accessions(self) -> list[str]:
+        return [f"SRR9400{i:03d}" for i in range(1, self.n_accessions + 1)]
+
+    @property
+    def victim_accession(self) -> str:
+        """The accession instance A dies inside (the second one, so the
+        first proves whole-accession replay alongside shard adoption)."""
+        return self.accessions[1]
+
+
+@dataclass
+class KillInstanceResult:
+    """Everything the kill-instance scenario observed."""
+
+    results: list[PipelineResult]
+    reference: list[PipelineResult]
+    #: accessions whose terminal record was in S3 when instance A died
+    completed_before_kill: list[str]
+    #: accessions instance B replayed wholesale from the journal
+    replayed: list[str]
+    #: the accession instance B adopted mid-alignment
+    adopted_accession: str
+    #: victim-accession shards merged from S3 checkpoints / re-aligned
+    shards_replayed: int
+    shards_realigned: int
+    #: fencing token instance B adopted with (A held token 1)
+    adopter_token: int
+    #: instance A's late, fenced-out publish raised FencedOut
+    stale_publish_rejected: bool
+    #: per-accession outcomes identical to the uninterrupted reference
+    outputs_identical: bool
+    #: count matrix identical to the uninterrupted reference
+    matrix_identical: bool
+
+    @property
+    def total_shards(self) -> int:
+        return self.shards_replayed + self.shards_realigned
+
+    @property
+    def rework_bounded(self) -> bool:
+        """Instance B re-aligned strictly fewer shards than the accession
+        has — the adoption recovered work instead of restarting."""
+        return self.shards_replayed > 0 and (
+            self.shards_realigned < self.total_shards
+        )
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.rework_bounded
+            and self.stale_publish_rejected
+            and self.adopter_token > 1
+            and self.outputs_identical
+            and self.matrix_identical
+        )
+
+    def to_table(self) -> str:
+        replayed = set(self.replayed)
+        table = Table(
+            ["accession", "status", "source", "mapped %"],
+            title="Kill-instance chaos — instance A SIGKILLed, "
+            "instance B adopted via S3",
+        )
+        for r in self.results:
+            source = (
+                "journal"
+                if r.accession in replayed
+                else (
+                    f"adopted ({self.shards_replayed}/{self.total_shards} "
+                    "shards from S3)"
+                    if r.accession == self.adopted_accession
+                    else "re-run"
+                )
+            )
+            table.add_row(
+                [
+                    r.accession,
+                    r.status.value,
+                    source,
+                    f"{100 * r.mapped_fraction:.1f}"
+                    if r.status is not RunStatus.FAILED
+                    else "-",
+                ]
+            )
+        lines = [
+            table.render(),
+            f"completed before kill: {self.completed_before_kill}",
+            f"adopted {self.adopted_accession} with fencing token "
+            f"{self.adopter_token}; stale holder's publish rejected: "
+            f"{self.stale_publish_rejected}",
+            f"rework bounded: {self.rework_bounded} "
+            f"({self.shards_realigned} of {self.total_shards} shards "
+            "re-aligned)",
+            f"outputs identical: {self.outputs_identical}  "
+            f"count matrix identical: {self.matrix_identical}",
+        ]
+        return "\n".join(lines)
+
+
+def run_kill_instance_chaos(
+    spec: KillInstanceSpec | None = None,
+) -> KillInstanceResult:
+    """SIGKILL a worker *instance* mid-batch; a second instance adopts.
+
+    Instance A (a forked child, standing in for a spot instance) runs a
+    journaled batch with shard checkpoints, replicating every append to
+    a durable-rooted S3 bucket under a fencing-token lease.  A hook on
+    the shard-checkpoint path SIGKILLs the whole process — engine pool
+    and all — after ``kill_after_shards`` checkpoints of the second
+    accession, so the death lands mid-alignment, deterministically.
+
+    Instance B (the parent, a different "instance": different process,
+    different working directory, no access to A's local journal) waits
+    out A's lease, adopts with a bumped fencing token, reconstructs the
+    journal from S3 segments, and resumes: completed accessions replay
+    wholesale, the victim accession re-dispatches only its unfinished
+    shards.  The scenario then proves A's late publish is fenced out and
+    the final results are byte-identical to an uninterrupted reference.
+    """
+    from repro.cloud.s3 import S3Service
+    from repro.core.replication import (
+        BatchLease,
+        FencedOut,
+        LeaseHeld,
+        ReplicatedJournal,
+        reconstruct_journal,
+    )
+
+    spec = spec or KillInstanceSpec()
+    accessions = spec.accessions
+    victim_acc = spec.victim_accession
+
+    def make_config() -> PipelineConfig:
+        return PipelineConfig(
+            workers=spec.workers,
+            align_batch_size=spec.align_batch_size,
+            write_outputs=False,
+        )
+
+    with TemporaryDirectory(prefix="kill-instance-") as tmp:
+        tmp_path = Path(tmp)
+        aligner, repo, _ = build_demo_inputs(
+            spec.n_accessions,
+            n_reads=spec.n_reads,
+            read_length=spec.read_length,
+            seed=spec.seed,
+            prefix="SRR9400",
+            cache_dir=spec.cache_dir,
+        )
+        # the durable root IS the simulated S3's cross-instance storage:
+        # both "instances" see it, neither survives without it
+        s3_root = tmp_path / "s3"
+        prefix = "batch"
+        lease_key = f"{prefix}/lease"
+
+        pid = os.fork()
+        if pid == 0:
+            # instance A: journaled + replicated batch, then die mid-shard
+            code = 1
+            try:
+                bucket = S3Service(root=s3_root).create_bucket("atlas-journal")
+                BatchLease.acquire(
+                    bucket,
+                    lease_key,
+                    "instance-a",
+                    now=time.time(),
+                    ttl=spec.lease_ttl,
+                )
+                journal = ReplicatedJournal(
+                    tmp_path / "a" / "journal.jsonl", bucket, prefix
+                )
+                pipeline = TranscriptomicsAtlasPipeline(
+                    repo, aligner, tmp_path / "a", config=make_config()
+                )
+                seen = {"n": 0}
+
+                def die_mid_shard(acc: str, start: int, end: int) -> None:
+                    if acc != victim_acc:
+                        return
+                    seen["n"] += 1
+                    if seen["n"] >= spec.kill_after_shards:
+                        # the deterministic "spot kill": the whole
+                        # instance — engine pool included — vanishes with
+                        # the checkpoint durably in S3
+                        import multiprocessing
+
+                        for proc in multiprocessing.active_children():
+                            if proc.pid is not None:
+                                os.kill(proc.pid, signal.SIGKILL)
+                        os.kill(os.getpid(), signal.SIGKILL)
+
+                pipeline._shard_record_hook = die_mid_shard
+                pipeline.run_batch(
+                    accessions,
+                    BatchOptions(journal=journal, shard_checkpoints=True),
+                )
+                code = 0
+            finally:
+                os._exit(code)
+
+        deadline = time.monotonic() + spec.kill_timeout
+        status = None
+        while time.monotonic() < deadline:
+            done, status = os.waitpid(pid, os.WNOHANG)
+            if done:
+                break
+            time.sleep(0.02)
+        else:
+            os.kill(pid, signal.SIGKILL)
+            os.waitpid(pid, 0)
+            raise RuntimeError(
+                f"instance A still alive after {spec.kill_timeout}s"
+            )
+        if not (os.WIFSIGNALED(status) and os.WTERMSIG(status) == signal.SIGKILL):
+            raise RuntimeError(
+                "instance A exited instead of dying mid-shard "
+                f"(wait status {status}); the kill hook never fired"
+            )
+
+        # instance B: fresh process state, fresh bucket handle over the
+        # same durable root — A's local journal file is NOT used
+        bucket = S3Service(root=s3_root).create_bucket("atlas-journal")
+        lease = None
+        while lease is None:
+            try:
+                lease = BatchLease.acquire(
+                    bucket,
+                    lease_key,
+                    "instance-b",
+                    now=time.time(),
+                    ttl=max(spec.lease_ttl, 60.0),
+                )
+            except LeaseHeld:
+                time.sleep(0.05)  # A's lease has not expired yet
+
+        journal_b_path = tmp_path / "b" / "journal.jsonl"
+        reconstruct_journal(bucket, prefix, journal_b_path)
+        pre_resume = RunJournal(journal_b_path).replay()
+        completed_before = sorted(pre_resume.terminal)
+
+        journal_b = ReplicatedJournal(journal_b_path, bucket, prefix)
+        resumed = TranscriptomicsAtlasPipeline(
+            repo, aligner, tmp_path / "b", config=make_config()
+        )
+        results = resumed.run_batch(
+            accessions,
+            BatchOptions(
+                journal=journal_b, resume=True, shard_checkpoints=True
+            ),
+        )
+        matrix = resumed.build_count_matrix()
+        by_acc = {c.accession: c for c in resumed._shard_ckpts}
+        victim_ckpt = by_acc.get(victim_acc)
+        shards_replayed = victim_ckpt.hits if victim_ckpt is not None else 0
+        shards_realigned = (
+            victim_ckpt.recorded if victim_ckpt is not None else 0
+        )
+
+        # instance A wakes up (simulated): its stale token-1 lease handle
+        # must be fenced out at publish time
+        results_bucket = S3Service(root=s3_root).create_bucket(
+            "atlas-results"
+        )
+        stale = BatchLease(bucket, lease_key, "instance-a", 1, 0.0)
+        try:
+            stale.publish(
+                results_bucket, "late/result", 1.0, now=time.time()
+            )
+            stale_publish_rejected = False
+        except FencedOut:
+            stale_publish_rejected = True
+        # ... while the live adopter's token still publishes fine
+        lease.publish(results_bucket, "adopted/result", 1.0, now=time.time())
+        lease.release(now=time.time())
+
+        reference_pipeline = TranscriptomicsAtlasPipeline(
+            repo, aligner, tmp_path / "reference", config=make_config()
+        )
+        reference = reference_pipeline.run_batch(accessions, BatchOptions())
+        ref_matrix = reference_pipeline.build_count_matrix()
+
+    replayed = [r.accession for r in results if r.resumed]
+    outputs_identical = len(results) == len(reference) and all(
+        _resume_comparable(r) == _resume_comparable(ref)
+        for r, ref in zip(results, reference)
+    )
+    matrix_identical = (
+        matrix.gene_ids == ref_matrix.gene_ids
+        and matrix.sample_ids == ref_matrix.sample_ids
+        and bool((matrix.counts == ref_matrix.counts).all())
+    )
+    return KillInstanceResult(
+        results=results,
+        reference=reference,
+        completed_before_kill=completed_before,
+        replayed=replayed,
+        adopted_accession=victim_acc,
+        shards_replayed=shards_replayed,
+        shards_realigned=shards_realigned,
+        adopter_token=lease.token,
+        stale_publish_rejected=stale_publish_rejected,
+        outputs_identical=outputs_identical,
+        matrix_identical=matrix_identical,
+    )

@@ -131,8 +131,8 @@ class TestAlignDispatch:
     def test_engine_routes_by_layout(self, bulk_sample, paired_sample):
         calls = []
         stub = SimpleNamespace(
-            run=lambda records, monitor=None, out_dir=None: calls.append(
-                ("run", len(records))
+            run=lambda records, monitor=None, out_dir=None, checkpoint=None: (
+                calls.append(("run", len(records)))
             ),
             run_paired=lambda m1, m2, monitor=None: calls.append(
                 ("run_paired", len(m1))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cloud.s3 import S3Bucket, S3Service
+from repro.cloud.s3 import PreconditionFailed, S3Bucket, S3Service
 
 
 class TestBucket:
@@ -69,6 +69,109 @@ class TestBucket:
     def test_empty_name_rejected(self):
         with pytest.raises(ValueError):
             S3Bucket("")
+
+
+class TestEdgeCases:
+    def test_prefix_listing_is_sorted_not_insertion_order(self):
+        b = S3Bucket("b")
+        for key in ("seg/000002", "seg/000000", "seg/000001", "other"):
+            b.put(key, 1, now=0.0)
+        assert b.keys("seg/") == ["seg/000000", "seg/000001", "seg/000002"]
+
+    def test_prefix_listing_excludes_near_miss_prefixes(self):
+        b = S3Bucket("b")
+        b.put("run/seg", 1, now=0.0)
+        b.put("run2/seg", 1, now=0.0)
+        assert b.keys("run/") == ["run/seg"]
+
+    def test_delete_missing_key_returns_false(self):
+        b = S3Bucket("b")
+        assert b.delete("never-stored") is False
+        assert b.object_count == 0
+
+    def test_head_after_overwrite_sees_latest(self):
+        b = S3Bucket("b")
+        b.put("k", 10, now=0.0, payload={"v": 1})
+        b.put("k", 20, now=5.0, payload={"v": 2})
+        obj = b.head("k")
+        assert obj is not None
+        assert (obj.size_bytes, obj.stored_at, obj.payload) == (
+            20,
+            5.0,
+            {"v": 2},
+        )
+
+    def test_zero_byte_object(self):
+        b = S3Bucket("b")
+        b.put("empty", 0, now=0.0, payload="")
+        assert b.get("empty").size_bytes == 0
+        assert "empty" in b
+        assert b.total_bytes == 0
+
+    def test_if_none_match_creates_once(self):
+        b = S3Bucket("b")
+        b.put("lease", 1, now=0.0, payload={"t": 1}, if_none_match="*")
+        with pytest.raises(PreconditionFailed):
+            b.put("lease", 1, now=1.0, payload={"t": 2}, if_none_match="*")
+        assert b.get("lease").payload == {"t": 1}
+        assert b.overwrites == 0
+
+    def test_if_none_match_requires_star(self):
+        with pytest.raises(ValueError):
+            S3Bucket("b").put("k", 1, now=0.0, if_none_match="etag")
+
+    def test_if_none_match_allows_create_after_delete(self):
+        b = S3Bucket("b")
+        b.put("k", 1, now=0.0, if_none_match="*")
+        b.delete("k")
+        b.put("k", 2, now=1.0, if_none_match="*")
+        assert b.get("k").size_bytes == 2
+
+    def test_overwrite_counter(self):
+        b = S3Bucket("b")
+        b.put("k", 1, now=0.0)
+        assert b.overwrites == 0
+        b.put("k", 2, now=1.0)
+        b.put("k", 3, now=2.0)
+        b.put("other", 1, now=3.0)
+        assert b.overwrites == 2
+
+
+class TestDurableRoot:
+    def test_objects_survive_a_fresh_bucket_handle(self, tmp_path):
+        a = S3Bucket("j", root=tmp_path)
+        a.put("runs/x", 10, now=1.0, payload={"lines": "abc\n"})
+        a.put("runs/y", 0, now=2.0)
+        b = S3Bucket("j", root=tmp_path)
+        assert b.keys() == ["runs/x", "runs/y"]
+        assert b.get("runs/x").payload == {"lines": "abc\n"}
+        assert b.get("runs/y").size_bytes == 0
+
+    def test_delete_removes_the_durable_object(self, tmp_path):
+        a = S3Bucket("j", root=tmp_path)
+        a.put("k", 1, now=0.0)
+        a.delete("k")
+        assert "k" not in S3Bucket("j", root=tmp_path)
+
+    def test_torn_durable_write_is_skipped_on_attach(self, tmp_path):
+        a = S3Bucket("j", root=tmp_path)
+        a.put("good", 1, now=0.0, payload="ok")
+        torn = a._object_path("torn")
+        torn.write_text('{"key": "torn", "size_byt')
+        b = S3Bucket("j", root=tmp_path)
+        assert b.keys() == ["good"]
+
+    def test_slash_keys_stay_flat_on_disk(self, tmp_path):
+        a = S3Bucket("j", root=tmp_path)
+        a.put("seg/000001-abc", 1, now=0.0)
+        files = [p.name for p in (tmp_path / "j").iterdir()]
+        assert files == ["seg%2F000001-abc"]
+
+    def test_service_root_is_shared_by_buckets(self, tmp_path):
+        s3 = S3Service(root=tmp_path)
+        s3.create_bucket("one").put("k", 1, now=0.0)
+        again = S3Service(root=tmp_path).create_bucket("one")
+        assert again.keys() == ["k"]
 
 
 class TestService:

@@ -223,3 +223,52 @@ class TestOverlapSchedule:
         from repro.core.atlas import overlap_schedule
 
         assert overlap_schedule(0.0, 50.0, 0.5) == (50.0, 1.0)
+
+
+class TestReplicatedCampaign:
+    """Journal replication + lease adoption on a spot fleet: interrupted
+    jobs resume from their last S3 progress checkpoint instead of
+    restarting, so redelivered work shrinks and the makespan does not
+    grow."""
+
+    @pytest.fixture(scope="class")
+    def spot_config(self, base_config):
+        return replace(
+            base_config,
+            market=InstanceMarket.SPOT,
+            spot_model=SpotModel(mean_interruption_seconds=2 * 3600.0),
+            visibility_timeout=1800.0,
+            drain_on_warning=False,
+            seed=11,
+        )
+
+    @pytest.fixture(scope="class")
+    def replicated(self, jobs, spot_config):
+        return run_atlas(jobs, replace(spot_config, replicate_journal=True))
+
+    @pytest.fixture(scope="class")
+    def plain(self, jobs, spot_config):
+        return run_atlas(jobs, spot_config)
+
+    def test_interrupted_jobs_adopted(self, replicated):
+        assert replicated.jobs_adopted >= 1
+        assert replicated.work_recovered_seconds > 0
+
+    def test_all_jobs_still_processed(self, replicated, jobs):
+        assert replicated.n_jobs == len(jobs)
+        assert replicated.n_failed == 0
+
+    def test_recovered_work_bounded_by_star_hours(self, replicated):
+        assert (
+            replicated.work_recovered_seconds
+            <= replicated.star_hours_actual * 3600.0
+        )
+
+    def test_adoption_does_not_hurt_makespan(self, replicated, plain):
+        assert (
+            replicated.makespan_seconds <= plain.makespan_seconds * 1.05
+        )
+
+    def test_plain_campaign_never_adopts(self, plain):
+        assert plain.jobs_adopted == 0
+        assert plain.work_recovered_seconds == 0.0

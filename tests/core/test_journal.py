@@ -8,6 +8,7 @@ import pytest
 from repro.core.journal import (
     JournalCorrupt,
     JournalIncompatible,
+    JournalWriteError,
     RunJournal,
     config_fingerprint,
 )
@@ -65,6 +66,41 @@ class TestAppend:
         with RunJournal(tmp_path / "j.jsonl") as journal:
             journal.record_started("a")
         assert journal._fh is None
+
+
+class _FailingHandle:
+    """File handle whose write always fails, like a full or yanked disk."""
+
+    def write(self, line):
+        raise OSError(28, "No space left on device")
+
+    def close(self):
+        pass
+
+
+class TestWriteErrors:
+    def test_oserror_becomes_typed_journal_write_error(self, journal):
+        journal.record_started("a")  # opens the real handle
+        journal._fh = _FailingHandle()
+        with pytest.raises(JournalWriteError) as err:
+            journal.record_step_done("SRR9000001", "prefetch")
+        # the context the bare OSError lacked: which record, for whom
+        assert "step-done" in str(err.value)
+        assert "SRR9000001" in str(err.value)
+        assert "prefetch" in str(err.value)
+        assert isinstance(err.value.__cause__, OSError)
+
+    def test_batch_level_records_name_no_accession(self, journal):
+        journal._fh = _FailingHandle()
+        with pytest.raises(JournalWriteError) as err:
+            journal.record_batch_start(["a"], "f" * 16)
+        assert "<batch>" in str(err.value)
+
+    def test_failed_append_does_not_count(self, journal):
+        journal._fh = _FailingHandle()
+        with pytest.raises(JournalWriteError):
+            journal.record_started("a")
+        assert journal.appends == 0
 
 
 class TestReplay:

@@ -110,6 +110,61 @@ class TestJournaledBatch:
             comparable(r) for r in reference.run_batch(ACCESSIONS)
         ]
 
+    def test_shard_checkpoints_resume_without_realigning(
+        self, repository, aligner_r111, tmp_path
+    ):
+        """Drop an accession's terminal record but keep its ``align.shard``
+        checkpoints: resume must rebuild the result from the journal's
+        shards (checkpoint hits, zero re-alignments) and match a plain
+        reference byte-identically."""
+        import json
+
+        journal_path = tmp_path / "run.jsonl"
+        victim = ACCESSIONS[1]
+        first = make_pipeline(
+            repository, aligner_r111, tmp_path / "a", workers=2,
+            align_batch_size=32,
+        )
+        from repro.core.pipeline import BatchOptions
+
+        originals = first.run_batch(
+            ACCESSIONS[:2],
+            BatchOptions(journal=journal_path, shard_checkpoints=True),
+        )
+        assert first.shard_checkpoint_summary()["recorded"] > 0
+
+        # simulate dying right before the victim's commit point
+        lines = journal_path.read_text().splitlines(keepends=True)
+        kept = [
+            line
+            for line in lines
+            if not (
+                json.loads(line)["t"] == "completed"
+                and json.loads(line)["acc"] == victim
+            )
+        ]
+        assert len(kept) == len(lines) - 1
+        journal_path.write_text("".join(kept))
+
+        second = make_pipeline(
+            repository, aligner_r111, tmp_path / "b", workers=2,
+            align_batch_size=32,
+        )
+        resumed = second.run_batch(
+            ACCESSIONS[:2],
+            BatchOptions(
+                journal=journal_path, resume=True, shard_checkpoints=True
+            ),
+        )
+        summary = second.shard_checkpoint_summary()
+        assert summary["hits"] > 0
+        assert summary["recorded"] == 0  # every shard came from the journal
+        assert [comparable(r) for r in resumed] == [
+            comparable(r) for r in originals
+        ]
+        by_acc = {r.accession: r for r in resumed}
+        assert not by_acc[victim].resumed  # re-ran, but from checkpoints
+
     def test_resume_parallel_matches_serial(
         self, repository, aligner_r111, tmp_path
     ):

@@ -1,0 +1,52 @@
+"""The kill-instance acceptance scenario, executable: instance A is
+SIGKILLed mid-alignment (engine pool and all), instance B adopts the
+batch through the S3-replicated journal under a fencing-token lease,
+re-aligns only the unfinished shards, and produces results identical to
+an uninterrupted reference — while the dead holder's late publish is
+rejected."""
+
+import pytest
+
+from repro.core.pipeline import RunStatus
+from repro.experiments.chaos import KillInstanceSpec, run_kill_instance_chaos
+
+
+@pytest.fixture(scope="module")
+def kill_result():
+    return run_kill_instance_chaos(KillInstanceSpec())
+
+
+class TestKillInstanceScenario:
+    def test_guarantees_hold(self, kill_result):
+        assert kill_result.passed
+        assert kill_result.outputs_identical
+        assert kill_result.matrix_identical
+
+    def test_instance_died_mid_accession(self, kill_result):
+        spec = KillInstanceSpec()
+        assert spec.victim_accession not in kill_result.completed_before_kill
+        assert len(kill_result.completed_before_kill) >= 1
+
+    def test_adoption_used_a_bumped_fencing_token(self, kill_result):
+        assert kill_result.adopter_token > 1
+
+    def test_stale_holder_fenced_out(self, kill_result):
+        assert kill_result.stale_publish_rejected
+
+    def test_rework_bounded_to_unfinished_shards(self, kill_result):
+        spec = KillInstanceSpec()
+        assert kill_result.shards_replayed >= spec.kill_after_shards
+        assert kill_result.shards_realigned < kill_result.total_shards
+        assert kill_result.rework_bounded
+
+    def test_one_result_per_accession_in_order(self, kill_result):
+        spec = KillInstanceSpec()
+        assert [r.accession for r in kill_result.results] == spec.accessions
+        assert all(
+            r.status is not RunStatus.FAILED for r in kill_result.results
+        )
+
+    def test_completed_accessions_replayed_not_rerun(self, kill_result):
+        assert sorted(kill_result.replayed) == (
+            kill_result.completed_before_kill
+        )
