@@ -28,11 +28,29 @@ applies).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Protocol, runtime_checkable
 
-from repro.align.paired import PairedStarAligner
+from repro.align.counts import GeneCounts
+from repro.align.engine import (
+    _align_pairs,
+    _align_records,
+    _count_outcome,
+    _count_paired_outcome,
+    _shard_bounds,
+)
+from repro.align.paired import PairedRunResult, PairedStarAligner, PairStatus
+from repro.align.progress import FinalLogStats, ProgressRecord
+from repro.align.star import AlignmentStatus, StarRunResult
+from repro.cloud.faas import (
+    ExecutionCapExceeded,
+    FaasService,
+    FunctionCrashed,
+    PayloadTooLarge,
+    TooManyRequests,
+)
 
 if TYPE_CHECKING:
     from repro.align.engine import ParallelStarAligner
@@ -42,13 +60,18 @@ if TYPE_CHECKING:
 
 __all__ = [
     "AlignerBackend",
+    "BACKEND_CHOICES",
     "EngineBackend",
+    "FaasAlignerBackend",
     "PairedAlignerBackend",
     "ReadBatch",
     "ReadChunkStream",
     "SerialAlignerBackend",
     "resolve_backend",
 ]
+
+#: valid values for the pipeline-level backend-selection knob
+BACKEND_CHOICES = ("auto", "serial", "engine", "faas")
 
 
 @dataclass(frozen=True)
@@ -235,7 +258,9 @@ class EngineBackend:
     ) -> AlignmentOutcome:
         if reads.paired:
             assert reads.mate2 is not None
-            return self.engine.run_paired(reads.records, reads.mate2, monitor=monitor)
+            return self.engine.run_paired(
+                reads.records, reads.mate2, monitor=monitor, checkpoint=checkpoint
+            )
         return self.engine.run(
             reads.records, monitor=monitor, out_dir=out_dir, checkpoint=checkpoint
         )
@@ -258,22 +283,572 @@ class EngineBackend:
         )
 
 
+class FaasAlignerBackend:
+    """Serverless scatter-gather alignment over short-lived functions.
+
+    The authors' follow-up paper replaces long-lived workers with FaaS:
+    one accession's reads are sharded along the engine's
+    ``_shard_bounds`` schedule and each shard becomes one function
+    invocation against a simulated :class:`~repro.cloud.faas.FaasService`.
+    The *function body* is the same pure batch helper a pool worker runs
+    (``_align_records`` / ``_align_pairs``), and the gather side is the
+    engine's merge loop verbatim — so results are byte-identical to the
+    serial and engine backends.
+
+    What the service can throw, the backend absorbs:
+
+    * retryable failures (:class:`TooManyRequests` throttles,
+      :class:`FunctionCrashed` sandbox deaths) re-invoke the same shard
+      under the per-invocation :class:`~repro.core.resilience.RetryPolicy`,
+      with backoff spent on the backend's *virtual* clock;
+    * structural failures (:class:`ExecutionCapExceeded` timeouts,
+      :class:`PayloadTooLarge` requests/responses) split the shard in
+      two and re-invoke both halves, merging sub-results so the original
+      schedule bounds — and therefore shard-checkpoint keys — are
+      preserved.
+
+    Shards are pre-sized from the batch-core cost model (the engine's
+    sizing rule) *and* the service's payload/cap limits, so splits are
+    the exception; ``checkpoint`` compatibility means a resumed batch
+    skips every shard a previous invocation round completed.
+
+    Durations are modeled (``seconds_per_read``), never wall-clock, so
+    cap and billing behaviour is deterministic; the virtual clock also
+    drives the warm-container pool, which persists across accessions
+    when the pipeline reuses one backend instance.
+    """
+
+    name = "faas"
+
+    def __init__(
+        self,
+        aligner: StarAligner,
+        *,
+        paired_parameters: Any = None,
+        service: FaasService | None = None,
+        function_name: str = "star-align",
+        memory_mb: int = 3008,
+        cold_start_seconds: float = 2.0,
+        retry: Any = None,
+        parallelism: int = 8,
+        batch_size: int | None = None,
+        seconds_per_read: float = 2e-4,
+        response_bytes_per_outcome: int = 96,
+    ) -> None:
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        if seconds_per_read <= 0:
+            raise ValueError("seconds_per_read must be positive")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.aligner = aligner
+        self.paired_parameters = paired_parameters
+        self._paired: PairedStarAligner | None = None
+        self.service = service if service is not None else FaasService()
+        try:
+            self.function = self.service.function(function_name)
+        except KeyError:
+            self.function = self.service.create_function(
+                function_name,
+                memory_mb=memory_mb,
+                cold_start_seconds=cold_start_seconds,
+            )
+        if retry is None:
+            # local import: repro.core imports this module at package init
+            from repro.core.resilience import RetryPolicy
+
+            retry = RetryPolicy(
+                max_attempts=4, base_delay=0.5, max_delay=30.0, jitter=0.0
+            )
+        self.retry = retry
+        self.parallelism = parallelism
+        self.batch_size = batch_size
+        self.seconds_per_read = seconds_per_read
+        self.response_bytes_per_outcome = response_bytes_per_outcome
+        #: virtual service time (advanced by modeled durations + backoff)
+        self.virtual_now = 0.0
+        self.cap_reshards = 0
+        self.payload_reshards = 0
+        self.throttle_retries = 0
+        self.crash_retries = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def limits(self):
+        return self.function.limits
+
+    def _paired_aligner(self) -> PairedStarAligner:
+        if self._paired is None:
+            self._paired = PairedStarAligner(self.aligner, self.paired_parameters)
+        return self._paired
+
+    @staticmethod
+    def _records_bytes(records: list[FastqRecord]) -> int:
+        # sequence + qualities + id + framing: the wire-size estimate the
+        # shard sizer and the service's payload check both use
+        return sum(2 * r.length + len(r.read_id) + 8 for r in records)
+
+    def _request_bytes(self, payload, *, paired: bool) -> int:
+        if paired:
+            return self._records_bytes(payload[0]) + self._records_bytes(payload[1])
+        return self._records_bytes(payload)
+
+    def _response_bytes(self, outcomes: list) -> int:
+        return len(outcomes) * self.response_bytes_per_outcome
+
+    def shard_size(self, records: list[FastqRecord], mate2=None) -> int:
+        """Reads per invocation: the engine's cost-model size, capped by
+        what fits the request-payload limit.
+
+        Payload size is known exactly up front, so oversized requests
+        are prevented here rather than discovered by a 413.  Execution
+        *time* is data-dependent (the service discovers cap overruns at
+        run time), so the cap deliberately does not clamp the schedule —
+        overruns surface as :class:`ExecutionCapExceeded` and are
+        re-sharded, which is the ``cap_reshards`` metric the campaign
+        reports.
+        """
+        n = len(records)
+        if self.batch_size is not None:
+            base = self.batch_size
+        elif not self.aligner.parameters.batch_align:
+            base = 64
+        else:
+            per_wave = -(-n // (2 * self.parallelism)) if n else 64
+            base = max(64, min(1024, per_wave))
+        if not n:
+            return base
+        total_bytes = self._records_bytes(records)
+        if mate2 is not None:
+            total_bytes += self._records_bytes(mate2)
+        avg = max(1.0, total_bytes / n)
+        by_payload = max(1, int(self.limits.max_request_bytes / avg))
+        return max(1, min(base, by_payload))
+
+    def faas_summary(self) -> dict:
+        """Counters for reports: invocation mix, re-shards, billing."""
+        fn = self.function
+        bill = fn.bill()
+        return {
+            "invocations": fn.invocations,
+            "cold_starts": fn.cold_starts,
+            "warm_starts": fn.warm_starts,
+            "cold_start_share": fn.cold_start_share,
+            "throttle_retries": self.throttle_retries,
+            "crash_retries": self.crash_retries,
+            "cap_reshards": self.cap_reshards,
+            "payload_reshards": self.payload_reshards,
+            "gb_seconds": bill.gb_seconds,
+            "billed_usd": bill.total_usd,
+        }
+
+    # -- scatter side --------------------------------------------------------
+
+    def _execute_shard(self, payload, *, paired: bool):
+        """Run one shard through one (or more) function invocations.
+
+        Returns the worker-tuple ``(outcomes, partial, seed_stats)`` —
+        exactly what a pool worker would have produced for this shard,
+        whatever combination of retries and splits it took to get there.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                invocation = self.function.invoke(
+                    self._request_bytes(payload, paired=paired),
+                    now=self.virtual_now,
+                )
+            except PayloadTooLarge:
+                self.payload_reshards += 1
+                return self._split_shard(payload, paired=paired)
+            except TooManyRequests:
+                if not self.retry.should_retry(attempt):
+                    raise
+                self.throttle_retries += 1
+                self.virtual_now += self.retry.delay_for(attempt)
+                continue
+            # the function body: the same pure helpers a pool worker runs,
+            # so the shard result is byte-identical wherever it executes
+            if paired:
+                value = _align_pairs(self._paired_aligner(), payload)
+                n_reads = len(payload[0])
+            else:
+                value = _align_records(self.aligner, payload)
+                n_reads = len(payload)
+            duration = n_reads * self.seconds_per_read
+            self.virtual_now += invocation.cold_start_seconds + min(
+                duration, self.limits.max_execution_seconds
+            )
+            try:
+                self.function.complete(
+                    invocation,
+                    duration,
+                    self._response_bytes(value[0]),
+                    now=self.virtual_now,
+                )
+            except FunctionCrashed:
+                if not self.retry.should_retry(attempt):
+                    raise
+                self.crash_retries += 1
+                self.virtual_now += self.retry.delay_for(attempt)
+                continue
+            except ExecutionCapExceeded:
+                self.cap_reshards += 1
+                return self._split_shard(payload, paired=paired)
+            except PayloadTooLarge:
+                # the response could not leave the function: halve the work
+                self.payload_reshards += 1
+                return self._split_shard(payload, paired=paired)
+            return value
+
+    def _split_shard(self, payload, *, paired: bool):
+        n = len(payload[0]) if paired else len(payload)
+        if n <= 1:
+            raise  # single read still over a limit: surface the limit error
+        mid = n // 2
+        if paired:
+            left = (payload[0][:mid], payload[1][:mid])
+            right = (payload[0][mid:], payload[1][mid:])
+        else:
+            left, right = payload[:mid], payload[mid:]
+        return self._merge_values(
+            self._execute_shard(left, paired=paired),
+            self._execute_shard(right, paired=paired),
+        )
+
+    def _merge_values(self, a, b):
+        """Fold two sub-shard worker tuples into one shard tuple."""
+        a_out, a_partial, a_stats = a
+        b_out, b_partial, b_stats = b
+        if a_partial is None and b_partial is None:
+            partial = None
+        else:
+            merged = GeneCounts(self.aligner.index.annotation)
+            for p in (a_partial, b_partial):
+                if p is not None:
+                    merged.merge_partial(p)
+            partial = merged.to_partial()
+        stats = {
+            k: a_stats.get(k, 0) + b_stats.get(k, 0)
+            for k in a_stats.keys() | b_stats.keys()
+            if k != "fallback_depths"
+        }
+        depths = dict(a_stats.get("fallback_depths", {}))
+        for d, c in b_stats.get("fallback_depths", {}).items():
+            depths[d] = depths.get(d, 0) + c
+        stats["fallback_depths"] = depths
+        return a_out + b_out, partial, stats
+
+    # -- gather side ---------------------------------------------------------
+
+    def align(
+        self,
+        reads: ReadBatch,
+        *,
+        monitor: ProgressMonitorHook | None = None,
+        out_dir: Path | str | None = None,
+        checkpoint: Any = None,
+    ) -> AlignmentOutcome:
+        if reads.paired:
+            assert reads.mate2 is not None
+            return self._align_paired(
+                reads.records, reads.mate2, monitor=monitor, checkpoint=checkpoint
+            )
+        return self._align_single(
+            reads.records, monitor=monitor, out_dir=out_dir, checkpoint=checkpoint
+        )
+
+    def align_stream(
+        self,
+        stream: ReadChunkStream,
+        *,
+        monitor: ProgressMonitorHook | None = None,
+        out_dir: Path | str | None = None,
+    ) -> AlignmentOutcome:
+        """Materialize, then align: short-lived functions need whole
+        request payloads, so there is no intra-accession overlap to win —
+        inter-accession prefetch overlap still applies."""
+        return self.align(stream.materialize(), monitor=monitor, out_dir=out_dir)
+
+    def _align_single(
+        self,
+        records: list[FastqRecord],
+        *,
+        monitor: ProgressMonitorHook | None,
+        out_dir: Path | str | None,
+        checkpoint: Any,
+    ) -> StarRunResult:
+        """The engine's single-end merge loop over invocation results."""
+        params = self.aligner.parameters
+        if not isinstance(records, list):
+            records = list(records)
+        total = len(records)
+        clock = time.monotonic
+        started = clock()
+
+        outcomes: list = []
+        progress: list[ProgressRecord] = []
+        quant = (
+            params.quant_gene_counts and self.aligner.index.annotation is not None
+        )
+        counts = GeneCounts(self.aligner.index.annotation) if quant else None
+        unique = multi = too_many = unmapped = spliced_n = 0
+        mismatch_bases = 0
+        aligned_bases = 0
+        aborted = False
+
+        def snapshot() -> ProgressRecord:
+            return ProgressRecord(
+                elapsed_seconds=max(0.0, clock() - started),
+                reads_processed=len(outcomes),
+                reads_total=total,
+                mapped_unique=unique,
+                mapped_multi=multi,
+            )
+
+        shard = self.shard_size(records)
+        bounds = _shard_bounds(total, shard) if total else []
+        cached = (
+            {b: checkpoint.load(b[0], b[1]) for b in bounds}
+            if checkpoint is not None
+            else {}
+        )
+        for span in bounds:
+            s, e = span
+            batch = records[s:e]
+            hit = cached.get(span)
+            replayed = hit is not None
+            value = hit if replayed else self._execute_shard(batch, paired=False)
+            batch_outcomes, partial, seed_stats = value
+            consumed = 0
+            for record, outcome in zip(batch, batch_outcomes):
+                outcomes.append(outcome)
+                consumed += 1
+                if outcome.status is AlignmentStatus.UNIQUE:
+                    unique += 1
+                    if outcome.spliced:
+                        spliced_n += 1
+                    mismatch_bases += outcome.mismatches
+                    aligned_bases += record.length
+                elif outcome.status is AlignmentStatus.MULTIMAPPED:
+                    multi += 1
+                elif outcome.status is AlignmentStatus.TOO_MANY_LOCI:
+                    too_many += 1
+                else:
+                    unmapped += 1
+                if len(outcomes) % params.progress_every == 0:
+                    rec = snapshot()
+                    progress.append(rec)
+                    if monitor is not None and not monitor(rec):
+                        aborted = True
+                        break
+            if counts is not None:
+                if consumed == len(batch_outcomes) and partial is not None:
+                    counts.merge_partial(partial)
+                else:
+                    for outcome in batch_outcomes[:consumed]:
+                        _count_outcome(counts, outcome)
+            if (
+                checkpoint is not None
+                and not replayed
+                and not aborted
+                and consumed == len(batch_outcomes)
+            ):
+                checkpoint.record(s, e, batch_outcomes, partial, seed_stats)
+            if aborted:
+                break
+
+        final_snapshot = snapshot()
+        if not progress or progress[-1].reads_processed != len(outcomes):
+            progress.append(final_snapshot)
+            if not aborted and monitor is not None and not monitor(final_snapshot):
+                aborted = True
+
+        final = FinalLogStats(
+            reads_total=total,
+            reads_processed=len(outcomes),
+            mapped_unique=unique,
+            mapped_multi=multi,
+            too_many_loci=too_many,
+            unmapped=unmapped,
+            mismatch_rate=(mismatch_bases / aligned_bases) if aligned_bases else 0.0,
+            spliced_reads=spliced_n,
+            elapsed_seconds=max(0.0, clock() - started),
+            aborted=aborted,
+        )
+        result = StarRunResult(
+            outcomes=outcomes,
+            progress=progress,
+            final=final,
+            gene_counts=counts,
+            aborted=aborted,
+        )
+        if out_dir is not None:
+            result.write_outputs(out_dir)
+        return result
+
+    def _align_paired(
+        self,
+        mate1: list[FastqRecord],
+        mate2: list[FastqRecord],
+        *,
+        monitor: ProgressMonitorHook | None,
+        checkpoint: Any,
+    ) -> PairedRunResult:
+        """The engine's paired merge loop over invocation results."""
+        params = self._paired_aligner().parameters
+        total = len(mate1)
+        clock = time.monotonic
+        started = clock()
+        outcomes: list = []
+        progress: list[ProgressRecord] = []
+        quant = (
+            params.quant_gene_counts and self.aligner.index.annotation is not None
+        )
+        counts = GeneCounts(self.aligner.index.annotation) if quant else None
+        proper = one_mate = discordant = multi = unmapped = 0
+        aborted = False
+
+        def snapshot() -> ProgressRecord:
+            return ProgressRecord(
+                elapsed_seconds=max(0.0, clock() - started),
+                reads_processed=len(outcomes),
+                reads_total=total,
+                mapped_unique=proper + one_mate + discordant,
+                mapped_multi=multi,
+            )
+
+        shard = self.shard_size(mate1, mate2)
+        bounds = _shard_bounds(total, shard) if total else []
+        cached = (
+            {b: checkpoint.load(b[0], b[1]) for b in bounds}
+            if checkpoint is not None
+            else {}
+        )
+        for span in bounds:
+            s, e = span
+            hit = cached.get(span)
+            replayed = hit is not None
+            value = (
+                hit
+                if replayed
+                else self._execute_shard((mate1[s:e], mate2[s:e]), paired=True)
+            )
+            batch_outcomes, partial, seed_stats = value
+            consumed = 0
+            for outcome in batch_outcomes:
+                outcomes.append(outcome)
+                consumed += 1
+                if outcome.status is PairStatus.PROPER_PAIR:
+                    proper += 1
+                elif outcome.status is PairStatus.ONE_MATE:
+                    one_mate += 1
+                elif outcome.status is PairStatus.DISCORDANT:
+                    discordant += 1
+                elif outcome.status is PairStatus.MULTIMAPPED:
+                    multi += 1
+                else:
+                    unmapped += 1
+                if len(outcomes) % params.progress_every == 0:
+                    rec = snapshot()
+                    progress.append(rec)
+                    if monitor is not None and not monitor(rec):
+                        aborted = True
+                        break
+            if counts is not None:
+                if consumed == len(batch_outcomes) and partial is not None:
+                    counts.merge_partial(partial)
+                else:
+                    for outcome in batch_outcomes[:consumed]:
+                        _count_paired_outcome(counts, outcome)
+            if (
+                checkpoint is not None
+                and not replayed
+                and not aborted
+                and consumed == len(batch_outcomes)
+            ):
+                checkpoint.record(s, e, batch_outcomes, partial, seed_stats)
+            if aborted:
+                break
+
+        final_snapshot = snapshot()
+        if not progress or progress[-1].reads_processed != len(outcomes):
+            progress.append(final_snapshot)
+            if not aborted and monitor is not None and not monitor(final_snapshot):
+                aborted = True
+
+        final = FinalLogStats(
+            reads_total=total,
+            reads_processed=len(outcomes),
+            mapped_unique=proper + one_mate + discordant,
+            mapped_multi=multi,
+            too_many_loci=0,
+            unmapped=unmapped,
+            mismatch_rate=0.0,
+            spliced_reads=sum(
+                o.mate1.spliced or o.mate2.spliced for o in outcomes
+            ),
+            elapsed_seconds=max(0.0, clock() - started),
+            aborted=aborted,
+        )
+        return PairedRunResult(
+            outcomes=outcomes,
+            progress=progress,
+            final=final,
+            gene_counts=counts,
+            aborted=aborted,
+        )
+
+
 def resolve_backend(
     config: Any,
     aligner: StarAligner,
     engine: ParallelStarAligner | None = None,
     *,
     paired: bool = False,
+    requested: str | None = None,
+    faas: FaasAlignerBackend | None = None,
 ) -> AlignerBackend:
     """Pick the backend for one accession.
 
     ``config`` is the pipeline-level options bundle (duck-typed so this
     module stays import-light); backend-selection knobs added there are
-    honoured here, keeping call sites branch-free.  A live ``engine``
-    wins (it serves both layouts from one worker pool); otherwise the
-    library layout picks the serial backend.
+    honoured here, keeping call sites branch-free.
+
+    ``requested`` (or ``config.backend``) pins an execution substrate:
+    ``"serial"`` runs in-process even when a live engine exists,
+    ``"engine"`` demands the worker pool (ValueError without one),
+    ``"faas"`` routes through ``faas`` — a pipeline-cached
+    :class:`FaasAlignerBackend`, built fresh here when none is supplied
+    (warm containers then do not persist across accessions).  Under
+    ``"auto"`` (the default) a live ``engine`` wins (it serves both
+    layouts from one worker pool); otherwise the library layout picks
+    the serial backend.
     """
-    if engine is not None:
+    if requested is None:
+        requested = getattr(config, "backend", None)
+    if requested is None:
+        requested = "auto"
+    if requested not in BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown backend {requested!r}; expected one of {BACKEND_CHOICES}"
+        )
+    if requested == "faas":
+        if faas is not None:
+            return faas
+        return FaasAlignerBackend(
+            aligner,
+            paired_parameters=getattr(config, "paired_parameters", None),
+        )
+    if requested == "engine":
+        if engine is None:
+            raise ValueError(
+                'backend="engine" needs a live engine (workers > 1)'
+            )
+        return EngineBackend(engine)
+    if requested == "auto" and engine is not None:
         return EngineBackend(engine)
     if paired:
         parameters = getattr(config, "paired_parameters", None)

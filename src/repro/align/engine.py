@@ -1072,8 +1072,16 @@ class ParallelStarAligner:
         *,
         monitor: ProgressMonitorHook | None = None,
         clock: Callable[[], float] = time.monotonic,
+        checkpoint=None,
     ) -> PairedRunResult:
-        """Parallel equivalent of :meth:`PairedStarAligner.run`."""
+        """Parallel equivalent of :meth:`PairedStarAligner.run`.
+
+        ``checkpoint`` has the same contract as in :meth:`run`: paired
+        shards already in the journal are merged from it instead of
+        re-aligned, and each fully merged live shard is journaled as it
+        lands (the payload codec round-trips :class:`PairedOutcome`
+        lists — see :mod:`repro.core.replication`).
+        """
         if len(mate1) != len(mate2):
             raise ValueError("mate lists must have equal length")
         params = self.paired_parameters
@@ -1096,12 +1104,40 @@ class ParallelStarAligner:
             )
 
         shard = self._shard_size(total)
-        batches = [
-            (mate1[s:e], mate2[s:e]) for s, e in _shard_bounds(total, shard)
-        ]
-        results_iter = self._ordered_results(_align_batch_paired, batches)
+        bounds = _shard_bounds(total, shard)
+        batches = [(mate1[s:e], mate2[s:e]) for s, e in bounds]
+        if checkpoint is not None:
+            cached = {b: checkpoint.load(b[0], b[1]) for b in bounds}
+            live_iter = self._ordered_results(
+                _align_batch_paired,
+                (
+                    batch
+                    for b, batch in zip(bounds, batches)
+                    if cached[b] is None
+                ),
+            )
+
+            def _interleaved():
+                # same ordered interleave as the single-end run: cached
+                # shards from the journal, live ones from the pool stream
+                for b in bounds:
+                    hit = cached[b]
+                    if hit is not None:
+                        yield b, hit, True
+                    else:
+                        _payload, value = next(live_iter)
+                        yield b, value, False
+
+            results_iter = _interleaved()
+            close_results = live_iter.close
+        else:
+            plain_iter = self._ordered_results(_align_batch_paired, batches)
+            results_iter = (
+                (None, value, False) for _payload, value in plain_iter
+            )
+            close_results = plain_iter.close
         try:
-            for _payload, (batch_outcomes, partial, seed_stats) in results_iter:
+            for span, (batch_outcomes, partial, seed_stats), replayed in results_iter:
                 self.health.seed_search.merge(seed_stats)
                 if self.parameters.batch_align:
                     self.health.batch_core_batches += 1
@@ -1131,10 +1167,19 @@ class ParallelStarAligner:
                     else:
                         for outcome in batch_outcomes[:consumed]:
                             _count_paired_outcome(counts, outcome)
+                if (
+                    checkpoint is not None
+                    and not replayed
+                    and not aborted
+                    and consumed == len(batch_outcomes)
+                ):
+                    checkpoint.record(
+                        span[0], span[1], batch_outcomes, partial, seed_stats
+                    )
                 if aborted:
                     break
         finally:
-            results_iter.close()
+            close_results()
 
         final_snapshot = snapshot()
         if not progress or progress[-1].reads_processed != len(outcomes):

@@ -14,9 +14,11 @@ Usage::
     python -m repro hpc [--jobs N] [--nodes N]
     python -m repro atlas [--jobs N] [--spot] [--release 111] [--fleet 8]
                           [--retries 3] [--fault-plan SPEC] [--no-drain]
-                          [--replicate]
+                          [--replicate] [--architecture asg|faas|hybrid|all]
+    python -m repro faas-crossover [--jobs N] [--seed N]
     python -m repro chaos [--accessions N] [--workers N] [--fault-plan SPEC]
                           [--resume] [--journal PATH] [--kill-instance]
+                          [--faas]
     python -m repro pipeline [--accessions N] [--journal PATH] [--resume]
                              [--journal-s3 DIR] [--shard-checkpoints]
                              [--adopt]
@@ -148,6 +150,22 @@ def _cmd_architecture(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faas_crossover(args: argparse.Namespace) -> int:
+    from repro.experiments.faas_crossover import run_faas_crossover
+
+    result = run_faas_crossover(n_jobs=args.jobs, seed=args.seed)
+    print(result.to_table())
+    crossover = result.crossover_scale
+    if crossover is None:
+        print("serverless never wins on this sweep")
+    else:
+        print(
+            f"serverless is cheaper up to scale {crossover:g} "
+            f"(mean {result.point(crossover).mean_fastq_mb:.0f} MB FASTQ)"
+        )
+    return 0
+
+
 def _cmd_ablation(args: argparse.Namespace) -> int:
     from repro.experiments.ablation import run_ablation
 
@@ -212,6 +230,23 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
         replicate_journal=args.replicate,
         seed=args.seed,
     )
+    if args.architecture is not None:
+        from repro.core.faas_atlas import ARCHITECTURES, compare_architectures
+
+        architectures = (
+            ARCHITECTURES
+            if args.architecture == "all"
+            else (args.architecture,)
+        )
+        comparison = compare_architectures(
+            jobs, config, architectures=architectures
+        )
+        print(comparison.to_table())
+        print(
+            f"hybrid routing: jobs <= {comparison.hybrid_read_threshold} "
+            "reads go to functions"
+        )
+        return 0
     report = run_atlas(jobs, config)
     table = Table(
         ["metric", "value"],
@@ -260,9 +295,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.core.resilience import RetryPolicy
     from repro.experiments.chaos import (
         ChaosSpec,
+        FaasChaosSpec,
         KillInstanceSpec,
         ResumeChaosSpec,
         run_chaos,
+        run_faas_chaos,
         run_kill_instance_chaos,
         run_resume_chaos,
     )
@@ -277,6 +314,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.faas and (args.resume or args.stream or args.kill_instance):
+        print(
+            "error: --faas is its own scenario; drop "
+            "--resume/--stream/--kill-instance",
+            file=sys.stderr,
+        )
+        return 2
+    if args.faas:
+        result = run_faas_chaos(FaasChaosSpec(seed=args.seed))
+        print(result.to_table())
+        return 0 if result.passed else 1
     if args.kill_instance:
         result = run_kill_instance_chaos(
             KillInstanceSpec(seed=args.seed)
@@ -607,6 +655,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_architecture)
 
+    p = sub.add_parser(
+        "faas-crossover",
+        help="serverless vs instance-fleet cost crossover sweep",
+    )
+    p.add_argument("--jobs", type=int, default=60)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_faas_crossover)
+
     p = sub.add_parser("ablation", help="early-stopping operating-point sweep")
     p.add_argument("--corpus", type=int, default=1000)
     p.add_argument("--seed", type=int, default=0)
@@ -681,6 +737,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="replicate per-job progress to S3 under a fencing-token "
         "lease so surviving instances adopt interrupted jobs mid-STAR",
     )
+    p.add_argument(
+        "--architecture",
+        choices=["asg", "faas", "hybrid", "all"],
+        default=None,
+        help="compare architectures on the same accession set: the ASG "
+        "instance fleet, serverless scatter-gather functions, or the "
+        "size-routed hybrid ('all' runs every variant)",
+    )
     p.set_defaults(fn=_cmd_atlas)
 
     p = sub.add_parser(
@@ -725,6 +789,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="SIGKILL a whole worker instance mid-batch; a second "
         "instance adopts via the S3-replicated journal + lease and the "
         "merged results must match an uninterrupted reference",
+    )
+    p.add_argument(
+        "--faas",
+        action="store_true",
+        help="kill the serverless driver mid-scatter and crash live "
+        "function invocations on the adopting run; adopted shards must "
+        "merge byte-identically to an uninterrupted reference",
     )
     p.set_defaults(fn=_cmd_chaos)
 

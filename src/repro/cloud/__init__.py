@@ -30,6 +30,18 @@ from repro.cloud.ec2 import (
     instance_type,
 )
 from repro.cloud.events import Process, SimEvent, Simulation, Timeout
+from repro.cloud.faas import (
+    ExecutionCapExceeded,
+    FaasBill,
+    FaasError,
+    FaasFunction,
+    FaasInvocation,
+    FaasLimits,
+    FaasService,
+    FunctionCrashed,
+    PayloadTooLarge,
+    TooManyRequests,
+)
 from repro.cloud.s3 import S3Bucket, S3Object, S3Service
 from repro.cloud.sqs import Message, SqsQueue
 
@@ -39,11 +51,20 @@ __all__ = [
     "CostReport",
     "EC2Instance",
     "Ec2Service",
+    "ExecutionCapExceeded",
+    "FaasBill",
+    "FaasError",
+    "FaasFunction",
+    "FaasInvocation",
+    "FaasLimits",
+    "FaasService",
+    "FunctionCrashed",
     "INSTANCE_CATALOG",
     "InstanceMarket",
     "InstanceState",
     "InstanceType",
     "Message",
+    "PayloadTooLarge",
     "Process",
     "S3Bucket",
     "S3Object",
@@ -54,5 +75,6 @@ __all__ = [
     "SpotModel",
     "SqsQueue",
     "Timeout",
+    "TooManyRequests",
     "instance_type",
 ]

@@ -1,0 +1,429 @@
+"""FaaS model: Lambda-style short-lived functions with real-world limits.
+
+The authors' follow-up paper ("Serverless Approach to Running
+Resource-Intensive STAR Aligner") replaces the long-lived EC2 workers of
+the source paper with functions-as-a-service.  The economics of that
+trade hinge on exactly the constraints this module simulates:
+
+* **Cold vs. warm starts** — a function container that served an
+  invocation stays warm for a keep-alive window; invoking with no warm
+  container available pays ``cold_start_seconds`` of extra latency
+  (loading a genome index into a fresh sandbox is the expensive part).
+* **Memory-tiered pricing** — compute is billed in GB-seconds
+  (``memory_mb / 1024 × billed seconds``) plus a flat per-request fee,
+  mirroring Lambda's price sheet.  More memory also means more vCPU in
+  real FaaS; the caller models that in its duration estimates.
+* **Execution cap** — invocations running past
+  ``max_execution_seconds`` (15 minutes by default) are killed; the
+  wasted compute is still billed.  Work units must be sized to fit.
+* **Payload limits** — request and response bodies are capped
+  (~6 MB synchronous-invoke limit); oversized shards must be split.
+* **Concurrency throttling** — in-flight invocations above
+  ``max_concurrency`` are rejected with the retryable
+  :class:`TooManyRequests`, the FaaS analogue of SQS redelivery.
+
+Like :mod:`repro.cloud.s3`, this is a pure data/accounting service: the
+caller supplies ``now`` timestamps and modeled durations, so the same
+service drives both the discrete-event campaign and the in-process
+:class:`~repro.align.backend.FaasAlignerBackend` deterministically.
+
+Invocation is two-phase — :meth:`FaasFunction.invoke` admits the request
+(payload + concurrency checks, warm-container assignment) and
+:meth:`FaasFunction.complete` settles it (cap + response checks,
+billing, container return) — because the caller computes the work
+*between* the phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = [
+    "ExecutionCapExceeded",
+    "FAAS_USD_PER_GB_SECOND",
+    "FAAS_USD_PER_REQUEST",
+    "FaasBill",
+    "FaasError",
+    "FaasFunction",
+    "FaasInvocation",
+    "FaasLimits",
+    "FaasService",
+    "FunctionCrashed",
+    "PayloadTooLarge",
+    "TooManyRequests",
+]
+
+#: Lambda x86 compute price (USD per GB-second)
+FAAS_USD_PER_GB_SECOND = 0.0000166667
+#: Lambda request price (USD per invocation; $0.20 per million)
+FAAS_USD_PER_REQUEST = 0.0000002
+
+
+class FaasError(RuntimeError):
+    """Base of FaaS service failures; carries the function name."""
+
+    #: whether a retry (possibly after backoff) can clear the failure
+    retryable = False
+
+    def __init__(self, function: str, detail: str) -> None:
+        self.function = function
+        super().__init__(f"faas function {function!r}: {detail}")
+
+
+class TooManyRequests(FaasError):
+    """Concurrency limit hit — retry after backoff (throttling is
+    transient by definition: in-flight invocations will drain)."""
+
+    retryable = True
+
+    def __init__(self, function: str, in_flight: int, limit: int) -> None:
+        self.in_flight = in_flight
+        self.limit = limit
+        super().__init__(
+            function, f"throttled at {in_flight}/{limit} concurrent invocations"
+        )
+
+
+class PayloadTooLarge(FaasError):
+    """Request or response body exceeds the service limit.
+
+    Not retryable as-is: the same payload will always be rejected.  The
+    caller must split the work unit (see the backend's re-shard path).
+    """
+
+    def __init__(
+        self, function: str, direction: str, size_bytes: int, limit: int
+    ) -> None:
+        self.direction = direction
+        self.size_bytes = size_bytes
+        self.limit = limit
+        super().__init__(
+            function,
+            f"{direction} payload of {size_bytes} bytes exceeds the "
+            f"{limit}-byte limit",
+        )
+
+
+class ExecutionCapExceeded(FaasError):
+    """The invocation ran past the execution cap and was killed.
+
+    The compute up to the cap is billed (real Lambda bills timeouts);
+    retrying the same work unit will time out again, so the caller must
+    split it.
+    """
+
+    def __init__(self, function: str, duration: float, cap: float) -> None:
+        self.duration = duration
+        self.cap = cap
+        super().__init__(
+            function,
+            f"invocation needed {duration:.1f}s but the cap is {cap:.0f}s",
+        )
+
+
+class FunctionCrashed(FaasError):
+    """The sandbox died mid-execution (chaos injection).
+
+    Retryable: a fresh invocation of the same payload succeeds.  The
+    wasted compute is billed, matching a real OOM-killed or
+    infrastructure-failed invocation.
+    """
+
+    retryable = True
+
+    def __init__(self, function: str, seq: int) -> None:
+        self.seq = seq
+        super().__init__(function, f"invocation #{seq} crashed mid-execution")
+
+
+@dataclass(frozen=True)
+class FaasLimits:
+    """Service limits, defaulted to AWS Lambda's published values."""
+
+    #: hard execution cap per invocation (Lambda: 15 minutes)
+    max_execution_seconds: float = 900.0
+    #: synchronous request payload cap (Lambda: 6 MB)
+    max_request_bytes: int = 6 * 1024 * 1024
+    #: synchronous response payload cap (Lambda: 6 MB)
+    max_response_bytes: int = 6 * 1024 * 1024
+    #: account-level concurrent-execution limit
+    max_concurrency: int = 1000
+    #: how long an idle container stays warm
+    keep_alive_seconds: float = 600.0
+
+    def __post_init__(self) -> None:
+        check_positive("max_execution_seconds", self.max_execution_seconds)
+        check_positive("max_request_bytes", self.max_request_bytes)
+        check_positive("max_response_bytes", self.max_response_bytes)
+        check_positive("max_concurrency", self.max_concurrency)
+        check_non_negative("keep_alive_seconds", self.keep_alive_seconds)
+
+
+@dataclass
+class FaasInvocation:
+    """One admitted invocation, open until :meth:`FaasFunction.complete`."""
+
+    function: str
+    seq: int
+    started_at: float
+    cold: bool
+    request_bytes: int
+    open: bool = True
+
+    @property
+    def cold_start_seconds(self) -> float:
+        """Init latency this invocation pays (0 when warm)."""
+        return 0.0 if not self.cold else self._cold_start
+
+    _cold_start: float = field(default=0.0, repr=False)
+
+
+@dataclass(frozen=True)
+class FaasBill:
+    """Roll-up of everything a service (or one function) charged."""
+
+    requests: int
+    gb_seconds: float
+    request_usd: float
+    compute_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        return self.request_usd + self.compute_usd
+
+
+class FaasFunction:
+    """One deployed function: a memory tier, a warm-container pool, and
+    the accounting for every invocation it served."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        memory_mb: int,
+        cold_start_seconds: float,
+        limits: FaasLimits,
+    ) -> None:
+        if not name:
+            raise ValueError("function name must be non-empty")
+        check_positive("memory_mb", memory_mb)
+        check_non_negative("cold_start_seconds", cold_start_seconds)
+        self.name = name
+        self.memory_mb = memory_mb
+        self.cold_start_seconds = cold_start_seconds
+        self.limits = limits
+        #: expiry times of idle warm containers (a multiset, kept sorted)
+        self._warm: list[float] = []
+        self.in_flight = 0
+        self._seq = 0
+        self._armed_crashes = 0
+        self._armed_throttles = 0
+        # -- counters --------------------------------------------------
+        self.invocations = 0
+        self.cold_starts = 0
+        self.warm_starts = 0
+        self.throttles = 0
+        self.crashes = 0
+        self.cap_exceeded = 0
+        self.billed_seconds = 0.0
+        self.request_bytes_total = 0
+        self.response_bytes_total = 0
+
+    # -- chaos -------------------------------------------------------------
+
+    def fail_next(self, times: int = 1) -> None:
+        """Arm the next ``times`` completions to crash mid-execution."""
+        if times < 1:
+            raise ValueError("times must be >= 1")
+        self._armed_crashes += times
+
+    def throttle_next(self, times: int = 1) -> None:
+        """Arm the next ``times`` invokes to throttle regardless of load.
+
+        Chaos hook: real throttling needs genuinely concurrent traffic,
+        which an in-process caller cannot generate — this lets tests
+        exercise the retry-on-429 path deterministically.
+        """
+        if times < 1:
+            raise ValueError("times must be >= 1")
+        self._armed_throttles += times
+
+    # -- warm pool ---------------------------------------------------------
+
+    def warm_count(self, now: float) -> int:
+        """Idle containers still within their keep-alive window."""
+        self._expire(now)
+        return len(self._warm)
+
+    def _expire(self, now: float) -> None:
+        self._warm = [t for t in self._warm if t >= now]
+
+    # -- invocation lifecycle ----------------------------------------------
+
+    def invoke(self, request_bytes: int, *, now: float) -> FaasInvocation:
+        """Admit one invocation (phase 1 of 2).
+
+        Raises :class:`PayloadTooLarge` for an oversized request and
+        :class:`TooManyRequests` at the concurrency limit; neither
+        counts as an invocation (the service rejected it at the door,
+        like a 413/429).
+        """
+        check_non_negative("request_bytes", request_bytes)
+        if request_bytes > self.limits.max_request_bytes:
+            raise PayloadTooLarge(
+                self.name, "request", request_bytes, self.limits.max_request_bytes
+            )
+        if self._armed_throttles > 0 or self.in_flight >= self.limits.max_concurrency:
+            if self._armed_throttles > 0:
+                self._armed_throttles -= 1
+            self.throttles += 1
+            raise TooManyRequests(
+                self.name, self.in_flight, self.limits.max_concurrency
+            )
+        self._expire(now)
+        cold = not self._warm
+        if cold:
+            self.cold_starts += 1
+        else:
+            # warm routing reuses the container closest to expiry, which
+            # maximizes the number of containers that stay warm
+            self._warm.pop(0)
+            self.warm_starts += 1
+        self.in_flight += 1
+        self._seq += 1
+        self.invocations += 1
+        self.request_bytes_total += request_bytes
+        inv = FaasInvocation(
+            function=self.name,
+            seq=self._seq,
+            started_at=now,
+            cold=cold,
+            request_bytes=request_bytes,
+        )
+        inv._cold_start = self.cold_start_seconds
+        return inv
+
+    def complete(
+        self,
+        invocation: FaasInvocation,
+        duration_seconds: float,
+        response_bytes: int,
+        *,
+        now: float,
+    ) -> float:
+        """Settle one invocation (phase 2 of 2); returns billed seconds.
+
+        ``duration_seconds`` is the modeled execution time (excluding
+        the cold start, which real FaaS does not bill for managed
+        runtimes).  Raises, in precedence order:
+
+        * :class:`FunctionCrashed` when a chaos crash is armed — the
+          full duration is billed and the container is destroyed;
+        * :class:`ExecutionCapExceeded` when the duration passes the
+          cap — compute up to the cap is billed;
+        * :class:`PayloadTooLarge` for an oversized response — the
+          function did all its work (full bill) but the result never
+          reached the caller.
+        """
+        if not invocation.open:
+            raise ValueError(f"invocation #{invocation.seq} already completed")
+        check_non_negative("duration_seconds", duration_seconds)
+        check_non_negative("response_bytes", response_bytes)
+        invocation.open = False
+        self.in_flight -= 1
+        if self._armed_crashes > 0:
+            self._armed_crashes -= 1
+            self.crashes += 1
+            # the sandbox died partway through: bill what ran, no warm
+            # container survives
+            self.billed_seconds += duration_seconds
+            raise FunctionCrashed(self.name, invocation.seq)
+        if duration_seconds > self.limits.max_execution_seconds:
+            self.cap_exceeded += 1
+            self.billed_seconds += self.limits.max_execution_seconds
+            # the runtime killed the handler but the container is reusable
+            self._warm.append(now + self.limits.keep_alive_seconds)
+            self._warm.sort()
+            raise ExecutionCapExceeded(
+                self.name, duration_seconds, self.limits.max_execution_seconds
+            )
+        self.billed_seconds += duration_seconds
+        self._warm.append(now + self.limits.keep_alive_seconds)
+        self._warm.sort()
+        if response_bytes > self.limits.max_response_bytes:
+            raise PayloadTooLarge(
+                self.name,
+                "response",
+                response_bytes,
+                self.limits.max_response_bytes,
+            )
+        self.response_bytes_total += response_bytes
+        return duration_seconds
+
+    # -- billing -----------------------------------------------------------
+
+    @property
+    def gb_seconds(self) -> float:
+        return (self.memory_mb / 1024.0) * self.billed_seconds
+
+    @property
+    def cold_start_share(self) -> float:
+        """Fraction of invocations that paid a cold start."""
+        if self.invocations == 0:
+            return 0.0
+        return self.cold_starts / self.invocations
+
+    def bill(self) -> FaasBill:
+        return FaasBill(
+            requests=self.invocations,
+            gb_seconds=self.gb_seconds,
+            request_usd=self.invocations * FAAS_USD_PER_REQUEST,
+            compute_usd=self.gb_seconds * FAAS_USD_PER_GB_SECOND,
+        )
+
+
+class FaasService:
+    """Function registry sharing one set of :class:`FaasLimits`."""
+
+    def __init__(self, *, limits: FaasLimits | None = None) -> None:
+        self.limits = limits if limits is not None else FaasLimits()
+        self._functions: dict[str, FaasFunction] = {}
+
+    def create_function(
+        self,
+        name: str,
+        *,
+        memory_mb: int = 3008,
+        cold_start_seconds: float = 2.0,
+    ) -> FaasFunction:
+        if name in self._functions:
+            raise ValueError(f"function {name!r} already exists")
+        fn = FaasFunction(
+            name,
+            memory_mb=memory_mb,
+            cold_start_seconds=cold_start_seconds,
+            limits=self.limits,
+        )
+        self._functions[name] = fn
+        return fn
+
+    def function(self, name: str) -> FaasFunction:
+        if name not in self._functions:
+            raise KeyError(f"function {name!r} does not exist")
+        return self._functions[name]
+
+    def functions(self) -> list[str]:
+        return sorted(self._functions)
+
+    def bill(self) -> FaasBill:
+        """Aggregate bill across every function."""
+        requests = sum(f.invocations for f in self._functions.values())
+        gb_seconds = sum(f.gb_seconds for f in self._functions.values())
+        return FaasBill(
+            requests=requests,
+            gb_seconds=gb_seconds,
+            request_usd=requests * FAAS_USD_PER_REQUEST,
+            compute_usd=gb_seconds * FAAS_USD_PER_GB_SECOND,
+        )

@@ -1,0 +1,552 @@
+"""Serverless (FaaS) embodiment of the atlas campaign — the third axis.
+
+:func:`~repro.core.atlas.run_atlas` models the paper's Fig. 2
+architecture: an AutoScalingGroup of big-memory instances draining an
+SQS queue.  This module models the *serverless* alternative the paper's
+conclusions gesture at — scatter-gather over short-lived function
+invocations — so the two can be compared on the same accession set:
+
+* a driver splits each run's reads into shards sized to a target
+  duration (amortizing cold starts against the 15-minute execution cap),
+  fans them out as function invocations, and gathers the partial counts;
+* the :class:`~repro.cloud.faas.FaasService` is authoritative for
+  admission and settlement: cold vs warm starts from its keep-alive
+  container pool, per-GB-second + per-request billing, and the execution
+  cap.  Shards whose *actual* duration (run-to-run noise included)
+  overruns the cap are killed at the cap, billed in full, and
+  re-scattered in halves — the ``cap_reshards`` axis;
+* early stopping scatters the check fraction first and gathers before
+  committing the rest, so an aborted run bills only the scanned prefix.
+
+Modeling assumptions, stated once: reads are already staged in S3 (both
+architectures share that ingestion cost, so it cancels out of the
+comparison); the STAR index is baked into the function image as a
+memory-mapped layer whose attach time is part of the cold start; and
+function CPU scales with configured memory at the usual ~1 vCPU per
+1769 MB.
+
+``hybrid`` routes each job by size — small runs to functions, large
+runs to the instance fleet — capturing the regime where per-request
+overhead and the execution cap make pure FaaS lose to instances on big
+single-cell archives while still winning on small bulk runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.faas import (
+    ExecutionCapExceeded,
+    FaasBill,
+    FaasLimits,
+    FaasService,
+)
+from repro.core.atlas import (
+    AtlasConfig,
+    AtlasJob,
+    AtlasRunReport,
+    JobRecord,
+    run_atlas,
+)
+from repro.core.early_stopping import Decision
+from repro.core.pipeline import RunStatus
+from repro.genome.ensembl import release_spec
+from repro.util.rng import derive_rng, ensure_rng
+from repro.util.validation import check_positive
+
+__all__ = [
+    "ARCHITECTURES",
+    "ArchitectureComparison",
+    "ArchitecturePoint",
+    "FaasAtlasConfig",
+    "FaasAtlasReport",
+    "compare_architectures",
+    "run_faas_atlas",
+]
+
+#: the architecture axis the CLI exposes
+ARCHITECTURES = ("asg", "faas", "hybrid")
+
+#: AWS Lambda allocates CPU proportionally to memory at this rate
+_MEMORY_MB_PER_VCPU = 1769.0
+
+
+@dataclass(frozen=True)
+class FaasAtlasConfig:
+    """The serverless side of the architecture comparison."""
+
+    #: function memory (drives both the GB-second rate and the vCPU share)
+    memory_mb: int = 10240
+    #: cold start: runtime init + attaching the baked-in index layer
+    cold_start_seconds: float = 30.0
+    limits: FaasLimits = field(default_factory=FaasLimits)
+    #: driver-side target duration per shard — comfortably under the cap,
+    #: but close enough that run-to-run noise pushes the tail over it
+    shard_seconds_target: float = 720.0
+    #: fixed per-invocation overhead (payload decode, S3 ranged GET)
+    invoke_overhead_seconds: float = 2.0
+    #: request payload: an S3 span reference, not the reads themselves
+    request_bytes: int = 1024
+    #: response payload per shard (the partial count vector)
+    response_bytes: int = 512 * 1024
+    #: per-shard lognormal duration noise on top of the job's own draw
+    shard_noise_sigma: float = 0.10
+    function_name: str = "star-align"
+
+    def __post_init__(self) -> None:
+        check_positive("memory_mb", self.memory_mb)
+        check_positive("shard_seconds_target", self.shard_seconds_target)
+        if self.shard_seconds_target > self.limits.max_execution_seconds:
+            raise ValueError(
+                "shard_seconds_target must not exceed the execution cap"
+            )
+
+    @property
+    def vcpus(self) -> int:
+        return max(1, int(self.memory_mb // _MEMORY_MB_PER_VCPU))
+
+
+@dataclass
+class FaasAtlasReport:
+    """Campaign-level results of the serverless embodiment."""
+
+    jobs: list[JobRecord]
+    makespan_seconds: float
+    bill: FaasBill
+    invocations: int
+    cold_starts: int
+    warm_starts: int
+    cold_start_share: float
+    cap_reshards: int
+    peak_concurrency: int
+    #: billed function compute seconds across the campaign
+    function_seconds: float
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def n_terminated(self) -> int:
+        return sum(1 for j in self.jobs if j.status is RunStatus.REJECTED_EARLY)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for j in self.jobs if j.status is RunStatus.FAILED)
+
+    @property
+    def total_usd(self) -> float:
+        return self.bill.total_usd
+
+    @property
+    def throughput_jobs_per_hour(self) -> float:
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return self.n_jobs / (self.makespan_seconds / 3600.0)
+
+
+def _resolve_status(
+    job: AtlasJob, config: AtlasConfig
+) -> tuple[float | None, RunStatus]:
+    """(stop_fraction, status) from the trajectory + policy alone.
+
+    Identical decision logic to
+    :func:`~repro.core.atlas.simulate_star_step` — statuses depend only
+    on the mapping-rate trajectory, so the same accession terminates (or
+    is rejected) under every architecture.
+    """
+    stop_fraction: float | None = None
+    status = RunStatus.ACCEPTED
+    if config.early_stopping is not None:
+        n = config.n_progress_snapshots
+        for i in range(1, n + 1):
+            f = i / n
+            rate = job.trajectory.rate_at(f)
+            if config.early_stopping.decide_rate(rate, f) is Decision.ABORT:
+                stop_fraction = f
+                status = RunStatus.REJECTED_EARLY
+                break
+    if (
+        stop_fraction is None
+        and config.acceptance_threshold is not None
+        and job.trajectory.rate_at(1.0) < config.acceptance_threshold
+    ):
+        status = RunStatus.REJECTED_FINAL
+    return stop_fraction, status
+
+
+def run_faas_atlas(
+    jobs: list[AtlasJob],
+    config: AtlasConfig,
+    faas: FaasAtlasConfig | None = None,
+) -> FaasAtlasReport:
+    """Run the accession set through the scatter-gather FaaS architecture.
+
+    Deterministic given ``config.seed``.  The scheduler is a simple
+    list-scheduling simulation: up to ``limits.max_concurrency`` shards
+    run at once, each shard occupying a concurrency slot for its cold
+    start plus its (cap-clamped) duration; completions are settled
+    against the service in time order, so the warm-pool and billing
+    accounting see the same schedule the makespan is computed from.
+    """
+    if not jobs:
+        raise ValueError("no jobs to run")
+    faas = faas or FaasAtlasConfig()
+    service = FaasService(limits=faas.limits)
+    fn = service.create_function(
+        faas.function_name,
+        memory_mb=faas.memory_mb,
+        cold_start_seconds=faas.cold_start_seconds,
+    )
+    rng = ensure_rng(config.seed)
+    job_rng_root = derive_rng(rng, "jobs")
+    spec = release_spec(config.release)
+    model = config.star_model
+    cap = faas.limits.max_execution_seconds
+    # driver-side expectation (no noise): what shard sizing is based on
+    expected_throughput = model.throughput(spec, faas.vcpus)
+
+    # one concurrency slot per allowed in-flight invocation; each entry
+    # is the time the slot frees up
+    slots = [0.0] * faas.limits.max_concurrency
+    heapq.heapify(slots)
+
+    # (job_index, lo_read, n_reads) work items; splits re-enter at the
+    # front so a cap-overrun job finishes before new jobs fan out
+    pending: deque[tuple[int, int, int]] = deque()
+    job_state: list[dict] = []
+    for idx, job in enumerate(jobs):
+        jrng = derive_rng(job_rng_root, job.accession)
+        job_noise = (
+            float(
+                jrng.lognormal(
+                    mean=-0.5 * model.noise_sigma**2, sigma=model.noise_sigma
+                )
+            )
+            if model.noise_sigma > 0
+            else 1.0
+        )
+        stop_fraction, status = _resolve_status(job, config)
+        n_reads = max(1, job.n_reads)
+        bytes_per_read = max(1.0, job.fastq_bytes / n_reads)
+        seconds_per_read = bytes_per_read / expected_throughput
+        shard_reads = max(
+            1, int(faas.shard_seconds_target / seconds_per_read)
+        )
+        reads_to_scan = (
+            n_reads
+            if stop_fraction is None
+            else max(1, math.ceil(stop_fraction * n_reads))
+        )
+        n_shards_full = math.ceil(n_reads / shard_reads)
+        job_state.append(
+            {
+                "noise": job_noise,
+                "rng": jrng,
+                "status": status,
+                "stop_fraction": stop_fraction,
+                "seconds_per_read": seconds_per_read,
+                "started_at": None,
+                "finish": 0.0,
+                "billed": 0.0,
+                "failure": "",
+                "full_seconds": (
+                    n_reads * seconds_per_read * job_noise
+                    + n_shards_full * faas.invoke_overhead_seconds
+                ),
+            }
+        )
+        for lo in range(0, reads_to_scan, shard_reads):
+            pending.append((idx, lo, min(shard_reads, reads_to_scan - lo)))
+
+    # deferred completions: settled against the service once the clock
+    # (the next shard's start time) has passed their end time, so the
+    # warm pool never sees a container returned "from the future"
+    active: list[tuple[float, int, object, float, int, int, int]] = []
+    cap_reshards = 0
+    peak_concurrency = 0
+    tiebreak = 0
+
+    def settle(inv, duration: float, idx: int, lo: int, n: int, t_end: float):
+        nonlocal cap_reshards
+        state = job_state[idx]
+        try:
+            fn.complete(inv, duration, faas.response_bytes, now=t_end)
+        except ExecutionCapExceeded:
+            cap_reshards += 1
+            if n <= 1:
+                state["status"] = RunStatus.FAILED
+                state["failure"] = (
+                    "ExecutionCapExceeded: a single-read shard exceeds "
+                    "the execution cap"
+                )
+            else:
+                half = n // 2
+                pending.appendleft((idx, lo + half, n - half))
+                pending.appendleft((idx, lo, half))
+        state["billed"] += min(duration, cap)
+        state["finish"] = max(state["finish"], t_end)
+
+    def settle_due(limit: float) -> None:
+        while active and active[0][0] <= limit:
+            t_end, _, inv, duration, idx, lo, n = heapq.heappop(active)
+            settle(inv, duration, idx, lo, n, t_end)
+
+    while pending or active:
+        if not pending:
+            settle_due(math.inf)
+            continue
+        idx, lo, n = pending.popleft()
+        state = job_state[idx]
+        if state["status"] is RunStatus.FAILED:
+            continue  # a sibling shard already failed the job
+        t0 = heapq.heappop(slots)
+        settle_due(t0)
+        invocation = fn.invoke(faas.request_bytes, now=t0)
+        shard_noise = (
+            float(
+                state["rng"].lognormal(
+                    mean=-0.5 * faas.shard_noise_sigma**2,
+                    sigma=faas.shard_noise_sigma,
+                )
+            )
+            if faas.shard_noise_sigma > 0
+            else 1.0
+        )
+        duration = (
+            faas.invoke_overhead_seconds
+            + n * state["seconds_per_read"] * state["noise"] * shard_noise
+        )
+        t_end = t0 + invocation.cold_start_seconds + min(duration, cap)
+        if state["started_at"] is None:
+            state["started_at"] = t0
+        tiebreak += 1
+        heapq.heappush(
+            active, (t_end, tiebreak, invocation, duration, idx, lo, n)
+        )
+        heapq.heappush(slots, t_end)
+        peak_concurrency = max(peak_concurrency, len(active))
+
+    records: list[JobRecord] = []
+    makespan = 0.0
+    for job, state in zip(jobs, job_state):
+        finished_at = state["finish"] + config.normalize_seconds
+        makespan = max(makespan, finished_at)
+        records.append(
+            JobRecord(
+                accession=job.accession,
+                status=state["status"],
+                library=job.library,
+                started_at=float(state["started_at"] or 0.0),
+                finished_at=finished_at,
+                star_seconds=state["billed"],
+                star_seconds_if_full=state["full_seconds"],
+                stop_fraction=state["stop_fraction"],
+                instance_id=f"faas:{fn.name}",
+                failure=state["failure"],
+            )
+        )
+
+    return FaasAtlasReport(
+        jobs=records,
+        makespan_seconds=makespan,
+        bill=service.bill(),
+        invocations=fn.invocations,
+        cold_starts=fn.cold_starts,
+        warm_starts=fn.warm_starts,
+        cold_start_share=fn.cold_start_share,
+        cap_reshards=cap_reshards,
+        peak_concurrency=peak_concurrency,
+        function_seconds=fn.billed_seconds,
+    )
+
+
+# --------------------------------------------------------------------------
+# the architecture comparison
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArchitecturePoint:
+    """One architecture's campaign summary over the shared accession set."""
+
+    architecture: str
+    n_jobs: int
+    cost_usd: float
+    makespan_seconds: float
+    cold_start_share: float
+    cap_reshards: int
+    n_faas_jobs: int
+    n_asg_jobs: int
+    n_terminated: int
+    n_failed: int
+
+    @property
+    def cost_per_accession_usd(self) -> float:
+        if self.n_jobs == 0:
+            return 0.0
+        return self.cost_usd / self.n_jobs
+
+    @property
+    def makespan_hours(self) -> float:
+        return self.makespan_seconds / 3600.0
+
+
+@dataclass
+class ArchitectureComparison:
+    """Cost/makespan across architectures for one accession set."""
+
+    points: list[ArchitecturePoint]
+    #: hybrid routing bound: jobs with at most this many reads go to FaaS
+    hybrid_read_threshold: int
+
+    def point(self, architecture: str) -> ArchitecturePoint:
+        for p in self.points:
+            if p.architecture == architecture:
+                return p
+        raise KeyError(architecture)
+
+    def to_table(self) -> str:
+        from repro.util.tables import Table
+
+        table = Table(
+            [
+                "architecture",
+                "jobs (faas/asg)",
+                "cost ($)",
+                "$/accession",
+                "makespan (h)",
+                "cold-start share",
+                "cap re-shards",
+                "terminated",
+                "failed",
+            ],
+            title="Architecture comparison — same accession set",
+        )
+        for p in self.points:
+            table.add_row(
+                [
+                    p.architecture,
+                    f"{p.n_jobs} ({p.n_faas_jobs}/{p.n_asg_jobs})",
+                    f"{p.cost_usd:.2f}",
+                    f"{p.cost_per_accession_usd:.4f}",
+                    f"{p.makespan_hours:.2f}",
+                    f"{p.cold_start_share:.3f}",
+                    p.cap_reshards,
+                    p.n_terminated,
+                    p.n_failed,
+                ]
+            )
+        return table.render()
+
+
+def _asg_point(report: AtlasRunReport) -> dict:
+    return {
+        "cost_usd": report.cost.total_usd,
+        "makespan_seconds": report.makespan_seconds,
+        "n_terminated": report.n_terminated,
+        "n_failed": report.n_failed,
+    }
+
+
+def compare_architectures(
+    jobs: list[AtlasJob],
+    config: AtlasConfig,
+    *,
+    architectures: tuple[str, ...] = ARCHITECTURES,
+    faas: FaasAtlasConfig | None = None,
+    hybrid_read_threshold: int | None = None,
+) -> ArchitectureComparison:
+    """Run the same accession set under each requested architecture.
+
+    ``hybrid_read_threshold`` defaults to the corpus median read count:
+    the half of the corpus made of small runs goes to functions, the
+    big half to the instance fleet.
+    """
+    unknown = set(architectures) - set(ARCHITECTURES)
+    if unknown:
+        raise ValueError(
+            f"unknown architectures {sorted(unknown)}; "
+            f"choose from {ARCHITECTURES}"
+        )
+    if not jobs:
+        raise ValueError("no jobs to run")
+    faas = faas or FaasAtlasConfig()
+    if hybrid_read_threshold is None:
+        hybrid_read_threshold = int(np.median([j.n_reads for j in jobs]))
+
+    points: list[ArchitecturePoint] = []
+    for arch in architectures:
+        if arch == "asg":
+            report = run_atlas(jobs, config)
+            points.append(
+                ArchitecturePoint(
+                    architecture="asg",
+                    n_jobs=len(jobs),
+                    n_faas_jobs=0,
+                    n_asg_jobs=len(jobs),
+                    cold_start_share=0.0,
+                    cap_reshards=0,
+                    **_asg_point(report),
+                )
+            )
+        elif arch == "faas":
+            freport = run_faas_atlas(jobs, config, faas)
+            points.append(
+                ArchitecturePoint(
+                    architecture="faas",
+                    n_jobs=len(jobs),
+                    cost_usd=freport.total_usd,
+                    makespan_seconds=freport.makespan_seconds,
+                    cold_start_share=freport.cold_start_share,
+                    cap_reshards=freport.cap_reshards,
+                    n_faas_jobs=len(jobs),
+                    n_asg_jobs=0,
+                    n_terminated=freport.n_terminated,
+                    n_failed=freport.n_failed,
+                )
+            )
+        else:  # hybrid
+            small = [j for j in jobs if j.n_reads <= hybrid_read_threshold]
+            large = [j for j in jobs if j.n_reads > hybrid_read_threshold]
+            cost = 0.0
+            makespan = 0.0
+            cold_share = 0.0
+            reshards = 0
+            terminated = failed = 0
+            if small:
+                freport = run_faas_atlas(small, config, faas)
+                cost += freport.total_usd
+                makespan = max(makespan, freport.makespan_seconds)
+                cold_share = freport.cold_start_share
+                reshards = freport.cap_reshards
+                terminated += freport.n_terminated
+                failed += freport.n_failed
+            if large:
+                report = run_atlas(large, config)
+                cost += report.cost.total_usd
+                makespan = max(makespan, report.makespan_seconds)
+                terminated += report.n_terminated
+                failed += report.n_failed
+            points.append(
+                ArchitecturePoint(
+                    architecture="hybrid",
+                    n_jobs=len(jobs),
+                    cost_usd=cost,
+                    makespan_seconds=makespan,
+                    cold_start_share=cold_share,
+                    cap_reshards=reshards,
+                    n_faas_jobs=len(small),
+                    n_asg_jobs=len(large),
+                    n_terminated=terminated,
+                    n_failed=failed,
+                )
+            )
+    return ArchitectureComparison(
+        points=points, hybrid_read_threshold=hybrid_read_threshold
+    )

@@ -240,14 +240,36 @@ class BatchOptions:
     #: effective before the engine is first created
     align_batch_size: int | None = None
     #: journal completed read shards inside the align step so resume
-    #: re-dispatches only unfinished shards (requires ``journal``; engine
-    #: single-end runs only — other shapes align normally).  Execution
-    #: shape, like everything here: results are byte-identical either way.
+    #: re-dispatches only unfinished shards (requires ``journal``;
+    #: engine and faas runs, single-end *and* paired — other shapes
+    #: align normally).  Execution shape, like everything here: results
+    #: are byte-identical either way.
     shard_checkpoints: bool = False
+    #: alignment backend for the batch: one of
+    #: :data:`~repro.align.backend.BACKEND_CHOICES` — ``"auto"`` (the
+    #: config-driven default), ``"serial"``, ``"engine"`` (requires
+    #: ``PipelineConfig.workers > 1``), or ``"faas"`` (shards each
+    #: accession across simulated function invocations; see
+    #: :class:`~repro.align.backend.FaasAlignerBackend`).  None means
+    #: ``"auto"``.  Execution shape: byte-identical outputs either way.
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_parallel < 1:
             raise ValueError("max_parallel must be >= 1")
+        if self.backend is not None:
+            from repro.align.backend import BACKEND_CHOICES
+
+            if self.backend not in BACKEND_CHOICES:
+                raise ValueError(
+                    f"backend must be one of {BACKEND_CHOICES}, "
+                    f"got {self.backend!r}"
+                )
+            if self.backend == "faas" and self.streaming:
+                raise ValueError(
+                    "backend='faas' needs the materialized align path; "
+                    "streaming consumes reads as they arrive"
+                )
         if self.shard_checkpoints and self.journal is None:
             raise ValueError("shard_checkpoints requires a journal")
         if self.shard_checkpoints and self.streaming:
@@ -325,6 +347,11 @@ class TranscriptomicsAtlasPipeline:
         #: per-batch overrides installed by run_batch from BatchOptions
         self._drain_deadline_base: float | None = None
         self._align_batch_override: int | None = None
+        self._backend_override: str | None = None
+        #: the serverless backend, created on first use and kept for the
+        #: pipeline's lifetime so warm containers persist across
+        #: accessions (the FaaS analogue of the engine's shared index)
+        self._faas_backend = None
         #: shard-checkpoint state for the current batch:
         #: (journal, replayed align_shards by accession, fingerprint)
         self._shard_ckpt_state: tuple | None = None
@@ -360,6 +387,29 @@ class TranscriptomicsAtlasPipeline:
                     stall_timeout=self.config.engine_stall_timeout,
                 ).start()
             return self._engine
+
+    def _get_faas_backend(self):
+        """The shared serverless backend (``BatchOptions(backend="faas")``).
+
+        Created on first use and kept for the pipeline's lifetime so the
+        simulated warm-container pool carries across accessions — the
+        FaaS analogue of keeping the engine's shared-memory index alive.
+        Thread-safe for parallel ``run_batch``.
+        """
+        with self._engine_lock:
+            if self._faas_backend is None:
+                from repro.align.backend import FaasAlignerBackend
+
+                batch_size = (
+                    self._align_batch_override
+                    if self._align_batch_override is not None
+                    else self.config.align_batch_size
+                )
+                self._faas_backend = FaasAlignerBackend(
+                    self.aligner,
+                    batch_size=batch_size,
+                )
+            return self._faas_backend
 
     def close(self) -> None:
         """Release the worker pool and shared-memory blocks (idempotent)."""
@@ -693,6 +743,7 @@ class TranscriptomicsAtlasPipeline:
 
         self._drain_deadline_base = options.drain_deadline
         self._align_batch_override = options.align_batch_size
+        self._backend_override = options.backend
         self._shard_ckpts = []
         self._shard_ckpt_state = (
             (run_journal, replayed_shards, fingerprint)
@@ -747,7 +798,36 @@ class TranscriptomicsAtlasPipeline:
         results = [results_map[a] for a in accessions if a in results_map]
         with self._results_lock:
             self.results.extend(results)
+        self._collect_journal_garbage(run_journal, accessions, results_map)
         return results
+
+    @staticmethod
+    def _collect_journal_garbage(
+        run_journal: RunJournal | None,
+        accessions: list[str],
+        results_map: dict[str, PipelineResult],
+    ) -> None:
+        """Drop the journal's replica prefix once the batch is terminal.
+
+        A replicated journal (see
+        :class:`~repro.core.replication.ReplicatedJournal`) keeps
+        segment/tail/manifest objects in S3 so a successor instance can
+        adopt an interrupted batch.  Once every requested accession has
+        a *terminal* result there is nothing left to adopt — the replica
+        is garbage, and at atlas scale (thousands of journals) leaking
+        it is a real storage bill.  The local journal file is untouched:
+        it remains the durable record of the run.  No-op for plain
+        journals, incomplete batches, and drained runs.
+        """
+        collect = getattr(run_journal, "collect_garbage", None)
+        if collect is None:
+            return
+        done = all(
+            a in results_map and results_map[a].status.terminal
+            for a in accessions
+        )
+        if done:
+            collect()
 
     def _shard_checkpointer(self, accession: str):
         """Build the align-shard checkpointer for one accession.

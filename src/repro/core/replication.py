@@ -47,6 +47,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro.align.counts import GeneCountsPartial
+from repro.align.paired import PairedOutcome, PairStatus
 from repro.align.star import AlignmentStatus, ReadAlignment
 from repro.cloud.s3 import PreconditionFailed, S3Bucket
 from repro.core.journal import RunJournal
@@ -207,6 +208,26 @@ class SegmentReplicator:
         )
         self.tail_writes += 1
 
+    def drop_prefix(self) -> int:
+        """Delete every replica object under this prefix; returns the count.
+
+        The garbage-collection path for a batch that reached terminal
+        state: segments accumulate per batch prefix forever otherwise.
+        The tail and manifest go too — a later :func:`reconstruct_journal`
+        of the dropped prefix yields an empty journal, which is correct
+        (there is nothing left to adopt).  Unsealed buffered lines are
+        discarded, so only call this once the batch outcome is durable
+        elsewhere (the local journal and the results store).
+        """
+        self._buffer.clear()
+        dropped = 0
+        for key in self.bucket.keys(f"{self.prefix}/seg/"):
+            dropped += int(self.bucket.delete(key))
+        dropped += int(self.bucket.delete(self.tail_key))
+        dropped += int(self.bucket.delete(self.manifest_key))
+        self._next_seq = 0
+        return dropped
+
 
 class ReplicatedJournal(RunJournal):
     """A :class:`RunJournal` whose appends are mirrored to S3.
@@ -238,6 +259,17 @@ class ReplicatedJournal(RunJournal):
     def close(self) -> None:
         self.replicator.flush()
         super().close()
+
+    def collect_garbage(self) -> int:
+        """Drop this batch's S3 replica (segments, tail, manifest).
+
+        Called by the pipeline once every accession in the batch has a
+        terminal record: nothing is left for another instance to adopt,
+        and the local journal file (which is *not* touched) remains the
+        durable record of what happened.  Returns the number of replica
+        objects deleted.
+        """
+        return self.replicator.drop_prefix()
 
 
 def reconstruct_journal(
@@ -461,36 +493,71 @@ def _decode_partial(v: dict | None) -> GeneCountsPartial | None:
     )
 
 
+def _encode_pair(o: PairedOutcome) -> list:
+    return [
+        o.pair_id,
+        o.status.value,
+        _encode_outcome(o.mate1),
+        _encode_outcome(o.mate2),
+        o.template_length,
+    ]
+
+
+def _decode_pair(v: list) -> PairedOutcome:
+    pair_id, status, mate1, mate2, template_length = v
+    return PairedOutcome(
+        pair_id=pair_id,
+        status=PairStatus(status),
+        mate1=_decode_outcome(mate1),
+        mate2=_decode_outcome(mate2),
+        template_length=template_length,
+    )
+
+
 def encode_shard_payload(
-    outcomes: list[ReadAlignment],
+    outcomes: list,
     partial: GeneCountsPartial | None,
     seed_stats: dict,
 ) -> dict:
     """JSON-safe form of one worker batch result (the ``shard`` field of
-    an ``align.shard`` record)."""
+    an ``align.shard`` record).
+
+    Accepts both library layouts: single-end :class:`ReadAlignment`
+    lists land under ``"o"``, paired :class:`PairedOutcome` lists under
+    ``"po"`` — so a paired checkpoint can never be mistaken for a
+    single-end one on replay.
+    """
     stats = dict(seed_stats)
     # JSON stringifies int dict keys; keep them explicit so decode is exact
     stats["fallback_depths"] = {
         str(d): c for d, c in seed_stats["fallback_depths"].items()
     }
-    return {
-        "o": [_encode_outcome(o) for o in outcomes],
+    payload: dict[str, Any] = {
         "gc": _encode_partial(partial),
         "ss": stats,
     }
+    if outcomes and isinstance(outcomes[0], PairedOutcome):
+        payload["po"] = [_encode_pair(o) for o in outcomes]
+    else:
+        payload["o"] = [_encode_outcome(o) for o in outcomes]
+    return payload
 
 
 def decode_shard_payload(
     payload: dict,
-) -> tuple[list[ReadAlignment], GeneCountsPartial | None, dict]:
+) -> tuple[list, GeneCountsPartial | None, dict]:
     """Inverse of :func:`encode_shard_payload`: yields the exact tuple the
     engine's worker entry point would have returned."""
     stats = dict(payload["ss"])
     stats["fallback_depths"] = {
         int(d): c for d, c in stats["fallback_depths"].items()
     }
+    if "po" in payload:
+        outcomes = [_decode_pair(v) for v in payload["po"]]
+    else:
+        outcomes = [_decode_outcome(v) for v in payload["o"]]
     return (
-        [_decode_outcome(v) for v in payload["o"]],
+        outcomes,
         _decode_partial(payload["gc"]),
         stats,
     )

@@ -234,8 +234,16 @@ class AlignStage:
             # scripted chaos: SIGKILL one pool worker right before this
             # accession's alignment, exercising the engine's recovery path
             engine.kill_worker()
+        requested = getattr(pipeline, "_backend_override", None)
         ctx.backend = resolve_backend(
-            cfg, pipeline.aligner, engine, paired=ctx.paired
+            cfg,
+            pipeline.aligner,
+            engine,
+            paired=ctx.paired,
+            requested=requested,
+            faas=(
+                pipeline._get_faas_backend() if requested == "faas" else None
+            ),
         )
         ctx.out_dir = (
             (ctx.work / "star")

@@ -916,3 +916,276 @@ def run_kill_instance_chaos(
         outputs_identical=outputs_identical,
         matrix_identical=matrix_identical,
     )
+
+
+# --------------------------------------------------------------------------
+# kill functions mid-shard → scatter-gather adoption
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaasChaosSpec:
+    """Parameters of the serverless kill-functions-mid-shard scenario."""
+
+    n_accessions: int = 2
+    n_reads: int = 600
+    read_length: int = 60
+    #: reads per function invocation (controls checkpoint granularity)
+    align_batch_size: int = 64
+    #: SIGKILL the driver after this many shard checkpoints of the
+    #: victim accession are durably journaled
+    kill_after_shards: int = 3
+    #: function crashes armed on the *adopting* run — live invocations
+    #: die mid-shard and the backend's retries must absorb them
+    function_failures: int = 2
+    #: give up if the driver never dies within this wall-clock budget
+    kill_timeout: float = 120.0
+    seed: int = 0
+    #: route index construction through an IndexCache rooted here
+    cache_dir: Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_accessions < 2:
+            raise ValueError("n_accessions must be >= 2")
+        if self.kill_after_shards < 1:
+            raise ValueError("kill_after_shards must be >= 1")
+
+    @property
+    def victim_accession(self) -> str:
+        """The accession the driver dies inside (the second, so the
+        first proves whole-accession replay alongside shard adoption)."""
+        return f"SRR9500{2:03d}"
+
+
+@dataclass
+class FaasChaosResult:
+    """Everything the serverless chaos scenario observed."""
+
+    results: list[PipelineResult]
+    reference: list[PipelineResult]
+    #: accessions whose terminal record survived the driver kill
+    completed_before_kill: list[str]
+    #: accessions the resumed driver replayed wholesale from the journal
+    replayed: list[str]
+    #: the accession whose shards were adopted mid-scatter
+    adopted_accession: str
+    #: victim shards merged from checkpoints / re-invoked as functions
+    shards_adopted: int
+    shards_realigned: int
+    #: function crashes injected into (and absorbed by) the adopting run
+    function_kills_absorbed: int
+    #: the adopting run's FaaS service counters (invocations, crashes…)
+    faas_summary: dict
+    #: per-accession outcomes identical to the uninterrupted reference
+    outputs_identical: bool
+    #: count matrix identical to the uninterrupted reference
+    matrix_identical: bool
+
+    @property
+    def total_shards(self) -> int:
+        return self.shards_adopted + self.shards_realigned
+
+    @property
+    def rework_bounded(self) -> bool:
+        """The adoption re-invoked strictly fewer shards than the
+        accession has — checkpointed scatter work was recovered."""
+        return self.shards_adopted > 0 and (
+            self.shards_realigned < self.total_shards
+        )
+
+    @property
+    def passed(self) -> bool:
+        return (
+            bool(self.completed_before_kill)
+            and self.rework_bounded
+            and self.function_kills_absorbed > 0
+            and self.outputs_identical
+            and self.matrix_identical
+        )
+
+    def to_table(self) -> str:
+        replayed = set(self.replayed)
+        table = Table(
+            ["accession", "status", "source", "mapped %"],
+            title="FaaS chaos — driver killed mid-scatter, functions "
+            "killed mid-shard on adoption",
+        )
+        for r in self.results:
+            source = (
+                "journal"
+                if r.accession in replayed
+                else (
+                    f"adopted ({self.shards_adopted}/{self.total_shards} "
+                    "shards from checkpoints)"
+                    if r.accession == self.adopted_accession
+                    else "re-run"
+                )
+            )
+            table.add_row(
+                [
+                    r.accession,
+                    r.status.value,
+                    source,
+                    f"{100 * r.mapped_fraction:.1f}"
+                    if r.status is not RunStatus.FAILED
+                    else "-",
+                ]
+            )
+        lines = [
+            table.render(),
+            f"completed before driver kill: {self.completed_before_kill}",
+            f"rework bounded: {self.rework_bounded} "
+            f"({self.shards_realigned} of {self.total_shards} victim "
+            "shards re-invoked)",
+            f"function crashes absorbed on adoption: "
+            f"{self.function_kills_absorbed}",
+            f"faas: {self.faas_summary}",
+            f"outputs identical: {self.outputs_identical}  "
+            f"count matrix identical: {self.matrix_identical}",
+        ]
+        return "\n".join(lines)
+
+
+def run_faas_chaos(spec: FaasChaosSpec | None = None) -> FaasChaosResult:
+    """Kill the serverless driver mid-scatter, then kill live functions.
+
+    A forked child drives a journaled ``backend="faas"`` batch with
+    shard checkpoints and SIGKILLs itself after ``kill_after_shards``
+    checkpoints of the second accession — mid-scatter, with the dead
+    driver's partial work durable in the journal.  The parent resumes
+    the batch on a fresh driver whose FaaS function is armed to crash
+    the next ``function_failures`` invocations (functions killed
+    mid-shard, live), and proves the central guarantee: adopted shards
+    are merged byte-identically — results and count matrix match an
+    uninterrupted serial reference exactly.
+    """
+    spec = spec or FaasChaosSpec()
+
+    def make_config() -> PipelineConfig:
+        return PipelineConfig(
+            align_batch_size=spec.align_batch_size,
+            write_outputs=False,
+        )
+
+    with TemporaryDirectory(prefix="faas-chaos-") as tmp:
+        tmp_path = Path(tmp)
+        aligner, repo, accessions = build_demo_inputs(
+            spec.n_accessions,
+            n_reads=spec.n_reads,
+            read_length=spec.read_length,
+            seed=spec.seed,
+            prefix="SRR9500",
+            cache_dir=spec.cache_dir,
+        )
+        victim_acc = spec.victim_accession
+        journal_path = tmp_path / "batch.jsonl"
+
+        pid = os.fork()
+        if pid == 0:
+            # the doomed driver: scatter until the kill hook fires
+            code = 1
+            try:
+                pipeline = TranscriptomicsAtlasPipeline(
+                    repo, aligner, tmp_path / "victim", config=make_config()
+                )
+                seen = {"n": 0}
+
+                def die_mid_scatter(acc: str, start: int, end: int) -> None:
+                    if acc != victim_acc:
+                        return
+                    seen["n"] += 1
+                    if seen["n"] >= spec.kill_after_shards:
+                        # no engine pool to reap: the faas driver is a
+                        # single process and dies whole
+                        os.kill(os.getpid(), signal.SIGKILL)
+
+                pipeline._shard_record_hook = die_mid_scatter
+                pipeline.run_batch(
+                    accessions,
+                    BatchOptions(
+                        backend="faas",
+                        journal=journal_path,
+                        shard_checkpoints=True,
+                    ),
+                )
+                code = 0
+            finally:
+                os._exit(code)
+
+        deadline = time.monotonic() + spec.kill_timeout
+        status = None
+        while time.monotonic() < deadline:
+            done, status = os.waitpid(pid, os.WNOHANG)
+            if done:
+                break
+            time.sleep(0.02)
+        else:
+            os.kill(pid, signal.SIGKILL)
+            os.waitpid(pid, 0)
+            raise RuntimeError(
+                f"faas driver still alive after {spec.kill_timeout}s"
+            )
+        if not (
+            os.WIFSIGNALED(status) and os.WTERMSIG(status) == signal.SIGKILL
+        ):
+            raise RuntimeError(
+                "faas driver exited instead of dying mid-scatter "
+                f"(wait status {status}); the kill hook never fired"
+            )
+
+        pre_resume = RunJournal(journal_path).replay()
+        completed_before = sorted(pre_resume.terminal)
+
+        # the adopting driver: resume the scatter, with live function
+        # kills armed so retries are exercised during the adoption too
+        resumed = TranscriptomicsAtlasPipeline(
+            repo, aligner, tmp_path / "adopter", config=make_config()
+        )
+        backend = resumed._get_faas_backend()
+        backend.function.fail_next(spec.function_failures)
+        results = resumed.run_batch(
+            accessions,
+            BatchOptions(
+                backend="faas",
+                journal=journal_path,
+                resume=True,
+                shard_checkpoints=True,
+            ),
+        )
+        matrix = resumed.build_count_matrix()
+        by_acc = {c.accession: c for c in resumed._shard_ckpts}
+        victim_ckpt = by_acc.get(victim_acc)
+        shards_adopted = victim_ckpt.hits if victim_ckpt is not None else 0
+        shards_realigned = (
+            victim_ckpt.recorded if victim_ckpt is not None else 0
+        )
+
+        reference_pipeline = TranscriptomicsAtlasPipeline(
+            repo, aligner, tmp_path / "reference", config=make_config()
+        )
+        reference = reference_pipeline.run_batch(accessions, BatchOptions())
+        ref_matrix = reference_pipeline.build_count_matrix()
+
+    replayed = [r.accession for r in results if r.resumed]
+    outputs_identical = len(results) == len(reference) and all(
+        _resume_comparable(r) == _resume_comparable(ref)
+        for r, ref in zip(results, reference)
+    )
+    matrix_identical = (
+        matrix.gene_ids == ref_matrix.gene_ids
+        and matrix.sample_ids == ref_matrix.sample_ids
+        and bool((matrix.counts == ref_matrix.counts).all())
+    )
+    return FaasChaosResult(
+        results=results,
+        reference=reference,
+        completed_before_kill=completed_before,
+        replayed=replayed,
+        adopted_accession=victim_acc,
+        shards_adopted=shards_adopted,
+        shards_realigned=shards_realigned,
+        function_kills_absorbed=backend.crash_retries,
+        faas_summary=backend.faas_summary(),
+        outputs_identical=outputs_identical,
+        matrix_identical=matrix_identical,
+    )

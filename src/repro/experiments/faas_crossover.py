@@ -1,0 +1,197 @@
+"""Where does serverless win?  The cost-per-accession crossover.
+
+The ASG architecture pays fixed per-instance overheads — boot, index
+download, shared-memory load — that amortize beautifully over the
+paper's multi-gigabyte archives and terribly over small runs.  The
+scatter-gather FaaS architecture pays per-invocation overheads instead
+(cold starts, per-request fees) and bills compute by the GB-second with
+no idle tail.  Somewhere between "thousands of tiny amplicon runs" and
+"105 GB single-cell archives" the cheaper architecture flips.
+
+This experiment pins the flip point: the same corpus is rescaled to a
+range of mean archive sizes and run through
+:func:`~repro.core.faas_atlas.compare_architectures` at each scale; the
+crossover is the largest scale at which pure FaaS is at most as
+expensive per accession as the instance fleet.  ``repro faas-crossover``
+prints the sweep; ``benchmarks/test_bench_faas.py`` records it to
+``BENCH_faas.json`` with the cost-per-accession bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.atlas import AtlasConfig, AtlasJob
+from repro.core.faas_atlas import FaasAtlasConfig, compare_architectures
+
+__all__ = [
+    "CrossoverPoint",
+    "CrossoverResult",
+    "run_faas_crossover",
+    "scale_jobs",
+]
+
+#: sweep over mean archive size, as a fraction of the paper-calibrated corpus
+DEFAULT_SCALES = (0.01, 0.03, 0.1, 0.3, 1.0)
+
+
+def scale_jobs(jobs: list[AtlasJob], scale: float) -> list[AtlasJob]:
+    """The same accession set with every archive rescaled by ``scale``.
+
+    Trajectories (and therefore early-stop/acceptance decisions) are
+    untouched: only the data volume moves, which is exactly the axis the
+    crossover is about.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be > 0")
+    return [
+        AtlasJob(
+            accession=j.accession,
+            sra_bytes=j.sra_bytes * scale,
+            fastq_bytes=j.fastq_bytes * scale,
+            n_reads=max(100, int(j.n_reads * scale)),
+            library=j.library,
+            trajectory=j.trajectory,
+        )
+        for j in jobs
+    ]
+
+
+@dataclass(frozen=True)
+class CrossoverPoint:
+    """One scale's architecture comparison, condensed."""
+
+    scale: float
+    mean_fastq_mb: float
+    asg_usd_per_accession: float
+    faas_usd_per_accession: float
+    hybrid_usd_per_accession: float
+    asg_makespan_hours: float
+    faas_makespan_hours: float
+    faas_cold_start_share: float
+    faas_cap_reshards: int
+
+    @property
+    def faas_wins(self) -> bool:
+        return self.faas_usd_per_accession <= self.asg_usd_per_accession
+
+
+@dataclass
+class CrossoverResult:
+    """The full sweep plus the flip point."""
+
+    points: list[CrossoverPoint]
+    n_jobs: int
+
+    @property
+    def crossover_scale(self) -> float | None:
+        """Largest swept scale where pure FaaS is the cheaper architecture."""
+        winning = [p.scale for p in self.points if p.faas_wins]
+        return max(winning) if winning else None
+
+    def point(self, scale: float) -> CrossoverPoint:
+        for p in self.points:
+            if p.scale == scale:
+                return p
+        raise KeyError(scale)
+
+    def to_table(self) -> str:
+        from repro.util.tables import Table
+
+        table = Table(
+            [
+                "scale",
+                "mean FASTQ (MB)",
+                "asg $/acc",
+                "faas $/acc",
+                "hybrid $/acc",
+                "asg h",
+                "faas h",
+                "cold share",
+                "cap re-shards",
+                "winner",
+            ],
+            title=f"FaaS cost crossover — {self.n_jobs} accessions per point",
+        )
+        for p in self.points:
+            table.add_row(
+                [
+                    f"{p.scale:g}",
+                    f"{p.mean_fastq_mb:.0f}",
+                    f"{p.asg_usd_per_accession:.4f}",
+                    f"{p.faas_usd_per_accession:.4f}",
+                    f"{p.hybrid_usd_per_accession:.4f}",
+                    f"{p.asg_makespan_hours:.2f}",
+                    f"{p.faas_makespan_hours:.2f}",
+                    f"{p.faas_cold_start_share:.3f}",
+                    p.faas_cap_reshards,
+                    "faas" if p.faas_wins else "asg",
+                ]
+            )
+        return table.render()
+
+    def to_json(self) -> dict:
+        """The ``BENCH_faas.json`` payload (cost-per-accession bars)."""
+        return {
+            "n_jobs": self.n_jobs,
+            "crossover_scale": self.crossover_scale,
+            "cost_per_accession_bars": [
+                {
+                    "scale": p.scale,
+                    "mean_fastq_mb": p.mean_fastq_mb,
+                    "asg_usd": p.asg_usd_per_accession,
+                    "faas_usd": p.faas_usd_per_accession,
+                    "hybrid_usd": p.hybrid_usd_per_accession,
+                    "winner": "faas" if p.faas_wins else "asg",
+                }
+                for p in self.points
+            ],
+            "points": [
+                {
+                    "scale": p.scale,
+                    "asg_makespan_hours": p.asg_makespan_hours,
+                    "faas_makespan_hours": p.faas_makespan_hours,
+                    "faas_cold_start_share": p.faas_cold_start_share,
+                    "faas_cap_reshards": p.faas_cap_reshards,
+                }
+                for p in self.points
+            ],
+        }
+
+
+def run_faas_crossover(
+    n_jobs: int = 60,
+    *,
+    scales: tuple[float, ...] = DEFAULT_SCALES,
+    seed: int = 0,
+    config: AtlasConfig | None = None,
+    faas: FaasAtlasConfig | None = None,
+) -> CrossoverResult:
+    """Sweep archive scale and compare architectures at each point."""
+    from repro.experiments.corpus import CorpusSpec, generate_corpus
+
+    base_jobs = generate_corpus(CorpusSpec(n_runs=n_jobs), rng=seed)
+    config = config or AtlasConfig(seed=seed)
+    points: list[CrossoverPoint] = []
+    for scale in sorted(scales):
+        jobs = scale_jobs(base_jobs, scale)
+        comparison = compare_architectures(jobs, config, faas=faas)
+        asg = comparison.point("asg")
+        fp = comparison.point("faas")
+        hybrid = comparison.point("hybrid")
+        points.append(
+            CrossoverPoint(
+                scale=scale,
+                mean_fastq_mb=sum(j.fastq_bytes for j in jobs)
+                / len(jobs)
+                / 1e6,
+                asg_usd_per_accession=asg.cost_per_accession_usd,
+                faas_usd_per_accession=fp.cost_per_accession_usd,
+                hybrid_usd_per_accession=hybrid.cost_per_accession_usd,
+                asg_makespan_hours=asg.makespan_hours,
+                faas_makespan_hours=fp.makespan_hours,
+                faas_cold_start_share=fp.cold_start_share,
+                faas_cap_reshards=fp.cap_reshards,
+            )
+        )
+    return CrossoverResult(points=points, n_jobs=n_jobs)

@@ -134,8 +134,8 @@ class TestAlignDispatch:
             run=lambda records, monitor=None, out_dir=None, checkpoint=None: (
                 calls.append(("run", len(records)))
             ),
-            run_paired=lambda m1, m2, monitor=None: calls.append(
-                ("run_paired", len(m1))
+            run_paired=lambda m1, m2, monitor=None, checkpoint=None: (
+                calls.append(("run_paired", len(m1)))
             ),
         )
         backend = EngineBackend(stub)

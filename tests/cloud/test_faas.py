@@ -1,0 +1,181 @@
+"""Unit tests for the FaaS service model (repro.cloud.faas)."""
+
+import pytest
+
+from repro.cloud.faas import (
+    FAAS_USD_PER_GB_SECOND,
+    FAAS_USD_PER_REQUEST,
+    ExecutionCapExceeded,
+    FaasLimits,
+    FaasService,
+    FunctionCrashed,
+    PayloadTooLarge,
+    TooManyRequests,
+)
+
+
+@pytest.fixture
+def fn():
+    service = FaasService()
+    return service.create_function("f", memory_mb=2048, cold_start_seconds=5.0)
+
+
+class TestLifecycle:
+    def test_first_invocation_is_cold(self, fn):
+        inv = fn.invoke(100, now=0.0)
+        assert inv.cold
+        assert inv.cold_start_seconds == 5.0
+        fn.complete(inv, 1.0, 100, now=6.0)
+        assert fn.cold_starts == 1
+        assert fn.warm_starts == 0
+
+    def test_container_reuse_is_warm(self, fn):
+        inv = fn.invoke(100, now=0.0)
+        fn.complete(inv, 1.0, 100, now=6.0)
+        inv2 = fn.invoke(100, now=10.0)
+        assert not inv2.cold
+        assert inv2.cold_start_seconds == 0.0
+        assert fn.warm_starts == 1
+
+    def test_keep_alive_expiry_forces_cold(self, fn):
+        inv = fn.invoke(100, now=0.0)
+        fn.complete(inv, 1.0, 100, now=6.0)
+        # the container expires keep_alive_seconds after completion
+        expiry = 6.0 + fn.limits.keep_alive_seconds
+        assert fn.warm_count(expiry - 1.0) == 1
+        inv2 = fn.invoke(100, now=expiry + 1.0)
+        assert inv2.cold
+        assert fn.cold_starts == 2
+
+    def test_double_complete_rejected(self, fn):
+        inv = fn.invoke(100, now=0.0)
+        fn.complete(inv, 1.0, 100, now=6.0)
+        with pytest.raises(ValueError, match="already completed"):
+            fn.complete(inv, 1.0, 100, now=7.0)
+
+    def test_concurrent_invocations_use_distinct_containers(self, fn):
+        a = fn.invoke(1, now=0.0)
+        b = fn.invoke(1, now=0.0)
+        assert a.cold and b.cold
+        fn.complete(a, 1.0, 1, now=6.0)
+        fn.complete(b, 1.0, 1, now=6.0)
+        # both containers are back in the pool
+        assert fn.warm_count(7.0) == 2
+
+
+class TestLimits:
+    def test_oversized_request_rejected_at_the_door(self, fn):
+        limit = fn.limits.max_request_bytes
+        with pytest.raises(PayloadTooLarge) as exc:
+            fn.invoke(limit + 1, now=0.0)
+        assert exc.value.direction == "request"
+        assert not exc.value.retryable
+        assert fn.invocations == 0  # a 413 is not an invocation
+
+    def test_oversized_response_after_full_bill(self, fn):
+        inv = fn.invoke(100, now=0.0)
+        with pytest.raises(PayloadTooLarge) as exc:
+            fn.complete(
+                inv, 2.0, fn.limits.max_response_bytes + 1, now=10.0
+            )
+        assert exc.value.direction == "response"
+        # the function did all its work: the compute is billed anyway
+        assert fn.billed_seconds == 2.0
+
+    def test_execution_cap_bills_up_to_the_cap(self, fn):
+        cap = fn.limits.max_execution_seconds
+        inv = fn.invoke(100, now=0.0)
+        with pytest.raises(ExecutionCapExceeded) as exc:
+            fn.complete(inv, cap + 100.0, 100, now=cap + 5.0)
+        assert not exc.value.retryable
+        assert fn.billed_seconds == cap
+        assert fn.cap_exceeded == 1
+        # the runtime killed the handler, not the container
+        assert fn.warm_count(cap + 6.0) == 1
+
+    def test_concurrency_throttle_is_retryable(self):
+        service = FaasService(limits=FaasLimits(max_concurrency=2))
+        f = service.create_function("g")
+        a = f.invoke(1, now=0.0)
+        b = f.invoke(1, now=0.0)
+        with pytest.raises(TooManyRequests) as exc:
+            f.invoke(1, now=0.0)
+        assert exc.value.retryable
+        assert exc.value.in_flight == 2
+        f.complete(a, 1.0, 1, now=1.0)
+        f.invoke(1, now=1.0)  # a slot freed: admitted again
+        assert f.throttles == 1
+        f.complete(b, 1.0, 1, now=1.0)
+
+
+class TestChaos:
+    def test_fail_next_crashes_and_bills(self, fn):
+        fn.fail_next()
+        inv = fn.invoke(100, now=0.0)
+        with pytest.raises(FunctionCrashed) as exc:
+            fn.complete(inv, 3.0, 100, now=8.0)
+        assert exc.value.retryable
+        assert fn.crashes == 1
+        assert fn.billed_seconds == 3.0
+        # the crashed sandbox is gone: the next start is cold
+        assert fn.invoke(100, now=9.0).cold
+
+    def test_throttle_next_fires_regardless_of_load(self, fn):
+        fn.throttle_next(2)
+        with pytest.raises(TooManyRequests):
+            fn.invoke(1, now=0.0)
+        with pytest.raises(TooManyRequests):
+            fn.invoke(1, now=0.0)
+        fn.invoke(1, now=0.0)  # armed throttles consumed
+
+
+class TestBilling:
+    def test_bill_matches_the_price_sheet(self, fn):
+        inv = fn.invoke(100, now=0.0)
+        fn.complete(inv, 10.0, 100, now=15.0)
+        bill = fn.bill()
+        assert bill.requests == 1
+        assert bill.gb_seconds == pytest.approx(2048 / 1024 * 10.0)
+        assert bill.request_usd == pytest.approx(FAAS_USD_PER_REQUEST)
+        assert bill.compute_usd == pytest.approx(
+            bill.gb_seconds * FAAS_USD_PER_GB_SECOND
+        )
+        assert bill.total_usd == pytest.approx(
+            bill.request_usd + bill.compute_usd
+        )
+
+    def test_cold_start_share(self, fn):
+        inv = fn.invoke(1, now=0.0)
+        fn.complete(inv, 1.0, 1, now=6.0)
+        inv = fn.invoke(1, now=7.0)
+        fn.complete(inv, 1.0, 1, now=8.0)
+        assert fn.cold_start_share == pytest.approx(0.5)
+
+    def test_service_bill_aggregates_functions(self):
+        service = FaasService()
+        a = service.create_function("a", memory_mb=1024)
+        b = service.create_function("b", memory_mb=2048)
+        for f in (a, b):
+            inv = f.invoke(1, now=0.0)
+            f.complete(inv, 10.0, 1, now=12.0)
+        bill = service.bill()
+        assert bill.requests == 2
+        assert bill.gb_seconds == pytest.approx(10.0 + 20.0)
+
+
+class TestRegistry:
+    def test_duplicate_function_rejected(self):
+        service = FaasService()
+        service.create_function("x")
+        with pytest.raises(ValueError, match="already exists"):
+            service.create_function("x")
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(KeyError):
+            FaasService().function("nope")
+
+    def test_functions_sorted(self):
+        service = FaasService()
+        service.create_function("b")
+        service.create_function("a")
+        assert service.functions() == ["a", "b"]

@@ -1,0 +1,142 @@
+"""Journal replica garbage collection.
+
+A batch's S3 replica exists so another instance can adopt the work if
+this one dies; once every accession in the batch is terminal there is
+nothing left to adopt and the replica is pure storage cost.  The
+pipeline drops the prefix at that point — and *only* at that point:
+an incomplete batch's replica must stay reconstructable byte-for-byte.
+"""
+
+import pytest
+
+from repro.cloud.s3 import S3Service
+from repro.core.journal import RunJournal
+from repro.core.pipeline import (
+    BatchOptions,
+    PipelineConfig,
+    TranscriptomicsAtlasPipeline,
+)
+from repro.core.replication import ReplicatedJournal, reconstruct_journal
+from repro.experiments.chaos import build_demo_inputs
+
+
+@pytest.fixture
+def bucket():
+    return S3Service().create_bucket("journals")
+
+
+@pytest.fixture(scope="module")
+def demo(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("demo-cache")
+    return build_demo_inputs(2, n_reads=80, cache_dir=cache)
+
+
+def run_batch(demo, tmp_path, journal, accessions, tag):
+    aligner, repo, _ = demo
+    pipeline = TranscriptomicsAtlasPipeline(
+        repo, aligner, tmp_path / f"work-{tag}", config=PipelineConfig()
+    )
+    return pipeline.run_batch(
+        list(accessions), BatchOptions(journal=journal)
+    )
+
+
+class TestCompletedBatch:
+    def test_replica_prefix_dropped(self, demo, tmp_path, bucket):
+        _, _, accessions = demo
+        journal = ReplicatedJournal(
+            tmp_path / "run.journal", bucket, "runs/a", segment_records=4
+        )
+        results = run_batch(demo, tmp_path, journal, accessions, "done")
+        assert all(r.status.terminal for r in results)
+        assert bucket.keys("runs/a/") == []
+
+    def test_local_journal_survives_gc(self, demo, tmp_path, bucket):
+        _, _, accessions = demo
+        path = tmp_path / "run.journal"
+        journal = ReplicatedJournal(path, bucket, "runs/b", segment_records=4)
+        run_batch(demo, tmp_path, journal, accessions, "local")
+        # the durable local record is untouched and still replays
+        replay = RunJournal(path).replay()
+        assert sorted(replay.completed) == sorted(accessions)
+
+    def test_gc_returns_dropped_object_count(self, bucket, tmp_path):
+        journal = ReplicatedJournal(
+            tmp_path / "j.journal", bucket, "runs/c", segment_records=2
+        )
+        for i in range(5):
+            journal.record_started(f"SRR{i}")
+        journal.close()
+        assert len(bucket.keys("runs/c/")) > 0
+        dropped = journal.collect_garbage()
+        assert dropped > 0
+        assert bucket.keys("runs/c/") == []
+
+
+class TestIncompleteBatch:
+    def test_partial_batch_keeps_replica(self, tmp_path, bucket):
+        """An interrupted batch's replica survives the GC trigger."""
+        journal = ReplicatedJournal(
+            tmp_path / "run.journal", bucket, "runs/d", segment_records=2
+        )
+        # what a killed instance leaves behind: one accession done, the
+        # second mid-flight — the batch asked for both, so the trigger
+        # must hold its fire and the replica stays adoptable
+        journal.record_batch_start(["SRR1", "SRR2"], {})
+        journal.record_completed("SRR1", {"status": "accepted"})
+        journal.record_started("SRR2")
+        journal.close()
+        terminal = type(
+            "R", (), {"status": type("S", (), {"terminal": True})()}
+        )()
+        TranscriptomicsAtlasPipeline._collect_journal_garbage(
+            journal, ["SRR1", "SRR2"], {"SRR1": terminal}
+        )
+        assert len(bucket.keys("runs/d/")) > 0
+        rebuilt = reconstruct_journal(bucket, "runs/d", tmp_path / "adopted")
+        assert rebuilt.path.read_bytes() == journal.path.read_bytes()
+
+    def test_incomplete_replica_reconstructs_byte_exact(
+        self, bucket, tmp_path
+    ):
+        path = tmp_path / "run.journal"
+        journal = ReplicatedJournal(path, bucket, "runs/e", segment_records=3)
+        journal.record_batch_start(["SRR1", "SRR2"], {"k": "v"})
+        journal.record_started("SRR1")
+        journal.record_step_done("SRR1", "prefetch")
+        journal.record_completed("SRR1", {"status": "accepted"})
+        journal.record_started("SRR2")  # interrupted here
+        journal.close()
+
+        rebuilt = reconstruct_journal(bucket, "runs/e", tmp_path / "rebuilt")
+        assert rebuilt.path.read_bytes() == path.read_bytes()
+        replay = rebuilt.replay()
+        assert "SRR1" in replay.completed
+        assert replay.pending(["SRR1", "SRR2"]) == ["SRR2"]
+
+
+class TestTriggerDuckTyping:
+    def test_plain_journal_has_no_gc_and_no_crash(self, demo, tmp_path):
+        """A plain RunJournal (no collect_garbage) passes through the
+        trigger untouched."""
+        _, _, accessions = demo
+        path = tmp_path / "plain.journal"
+        results = run_batch(demo, tmp_path, path, accessions, "plain")
+        assert all(r.status.terminal for r in results)
+        assert path.exists()
+
+    def test_trigger_requires_every_accession(self, bucket, tmp_path):
+        journal = ReplicatedJournal(
+            tmp_path / "j.journal", bucket, "runs/f", segment_records=2
+        )
+        journal.record_started("SRR1")
+        journal.close()
+        terminal = type("R", (), {"status": type("S", (), {"terminal": True})()})()
+        TranscriptomicsAtlasPipeline._collect_journal_garbage(
+            journal, ["SRR1", "SRR2"], {"SRR1": terminal}
+        )
+        assert len(bucket.keys("runs/f/")) > 0
+        TranscriptomicsAtlasPipeline._collect_journal_garbage(
+            journal, ["SRR1", "SRR2"], {"SRR1": terminal, "SRR2": terminal}
+        )
+        assert bucket.keys("runs/f/") == []
